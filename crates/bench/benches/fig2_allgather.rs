@@ -1,0 +1,41 @@
+//! Criterion bench for Figure 2 (MPI_Allgather, small messages): measures
+//! recording + simulation per library on a reduced cluster and prints the
+//! paper-scale series once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pip_collectives::CollectiveKind;
+use pip_mcoll_bench::figures::collective_comparison;
+use pip_mpi_model::{dispatch, Library};
+use pip_netsim::cluster::ClusterSpec;
+use pip_netsim::network::simulate;
+
+fn bench_allgather_pipeline(c: &mut Criterion) {
+    let cluster = ClusterSpec::new(16, 4);
+    let topology = cluster.topology();
+    let mut group = c.benchmark_group("fig2_allgather_pipeline_16x4");
+    group.sample_size(10);
+    for library in Library::ALL {
+        let profile = library.profile();
+        let params = profile.sim_params(cluster.nic);
+        group.bench_function(BenchmarkId::from_parameter(library.name()), |b| {
+            b.iter(|| {
+                let trace = dispatch::record_allgather(&profile, topology, 64);
+                simulate(library.name(), &trace, &params).unwrap().makespan_ns
+            });
+        });
+    }
+    group.finish();
+
+    let table = collective_comparison(CollectiveKind::Allgather, ClusterSpec::hpdc23(), &[64]);
+    println!(
+        "\n[fig2] 64 B allgather on 128x18, simulated microseconds: {:?}",
+        table
+            .series
+            .iter()
+            .map(|s| (s.library.name(), s.time_us[0]))
+            .collect::<Vec<_>>()
+    );
+}
+
+criterion_group!(benches, bench_allgather_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for ABL-MSGRATE: cost of simulating small-message bursts
+//! with a varying number of concurrent sender objects per node, plus the
+//! analytic message-rate model itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pip_netsim::params::SimParams;
+use pip_netsim::trace::{Trace, TraceOp};
+use pip_netsim::SimEngine;
+use pip_runtime::Topology;
+use pip_transport::netcard::NicModel;
+
+fn burst_trace(senders: usize, messages_per_sender: usize, bytes: usize) -> Trace {
+    let topo = Topology::new(2, senders);
+    let mut trace = Trace::empty(topo);
+    for s in 0..senders {
+        for m in 0..messages_per_sender {
+            let dest = topo.rank_of(1, s);
+            trace.push(s, TraceOp::Send { dest, bytes, tag: m as u64 });
+            trace.push(dest, TraceOp::Recv { source: s, bytes, tag: m as u64 });
+        }
+    }
+    trace
+}
+
+fn bench_message_rate(c: &mut Criterion) {
+    let engine = SimEngine::new(SimParams::default());
+    let mut group = c.benchmark_group("abl_message_rate_burst");
+    group.sample_size(20);
+    for senders in [1usize, 4, 18] {
+        let trace = burst_trace(senders, 100, 64);
+        group.bench_function(BenchmarkId::from_parameter(senders), |b| {
+            b.iter(|| engine.run(&trace).unwrap().makespan);
+        });
+    }
+    group.finish();
+
+    let nic = NicModel::default();
+    c.bench_function("abl_message_rate_model", |b| {
+        b.iter(|| {
+            (1..=36usize)
+                .map(|s| nic.node_message_rate(s, 64))
+                .sum::<f64>()
+        });
+    });
+}
+
+criterion_group!(benches, bench_message_rate);
+criterion_main!(benches);

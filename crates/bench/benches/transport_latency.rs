@@ -1,0 +1,30 @@
+//! Criterion bench for ABL-TRANSPORT: the functional copy engines moving
+//! real bytes (PiP single copy, POSIX-SHMEM double copy, CMA, XPMEM), which
+//! is the measured counterpart of the analytic intra-node cost model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pip_transport::cost::IntranodeMechanism;
+use pip_transport::engine_for;
+
+fn bench_copy_engines(c: &mut Criterion) {
+    for &bytes in &[64usize, 4096, 262144] {
+        let mut group = c.benchmark_group(format!("abl_transport_copy_{bytes}B"));
+        group.throughput(Throughput::Bytes(bytes as u64));
+        group.sample_size(30);
+        let src = vec![0xabu8; bytes];
+        for mechanism in IntranodeMechanism::ALL {
+            group.bench_function(BenchmarkId::from_parameter(mechanism.name()), |b| {
+                let mut engine = engine_for(mechanism);
+                let mut dst = vec![0u8; bytes];
+                b.iter(|| {
+                    let stats = engine.copy(&src, &mut dst);
+                    stats.bytes_moved
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_copy_engines);
+criterion_main!(benches);

@@ -1,0 +1,224 @@
+//! Building the per-figure comparison data: one simulated execution time per
+//! (library, message size) pair for a chosen collective on a chosen cluster.
+
+use pip_collectives::CollectiveKind;
+use pip_mpi_model::{dispatch, Library};
+use pip_netsim::cluster::ClusterSpec;
+use pip_netsim::network::simulate;
+use pip_netsim::trace::Trace;
+use pip_runtime::Topology;
+
+/// The simulated execution times of one library across the message sizes of
+/// a figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibrarySeries {
+    /// Which library this series describes.
+    pub library: Library,
+    /// Execution time in microseconds, one entry per message size.
+    pub time_us: Vec<f64>,
+}
+
+/// One figure's worth of data: every library's execution time at every
+/// message size, for one collective on one cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonTable {
+    /// The collective being measured.
+    pub collective: CollectiveKind,
+    /// The simulated cluster.
+    pub cluster: ClusterSpec,
+    /// Per-process message sizes in bytes (the figures' x axis).
+    pub sizes: Vec<usize>,
+    /// One series per library, in [`Library::ALL`] order.
+    pub series: Vec<LibrarySeries>,
+}
+
+impl ComparisonTable {
+    /// The series for `library`.
+    pub fn series_for(&self, library: Library) -> &LibrarySeries {
+        self.series
+            .iter()
+            .find(|s| s.library == library)
+            .expect("every library has a series")
+    }
+
+    /// Execution time of `library` at `size` bytes.
+    pub fn time_us(&self, library: Library, size: usize) -> f64 {
+        let idx = self
+            .sizes
+            .iter()
+            .position(|&s| s == size)
+            .expect("size present in table");
+        self.series_for(library).time_us[idx]
+    }
+
+    /// Scaled execution time (normalized to PiP-MColl) of `library` at index
+    /// `size_idx` — the quantity the paper's figures plot.
+    pub fn scaled(&self, library: Library, size_idx: usize) -> f64 {
+        let reference = self.series_for(Library::PipMColl).time_us[size_idx];
+        self.series_for(library).time_us[size_idx] / reference
+    }
+
+    /// Whether PiP-MColl is the fastest implementation at every message size
+    /// (the paper's headline qualitative claim for both figures).
+    pub fn pip_mcoll_fastest_everywhere(&self) -> bool {
+        (0..self.sizes.len()).all(|idx| {
+            let reference = self.series_for(Library::PipMColl).time_us[idx];
+            self.series
+                .iter()
+                .filter(|s| s.library != Library::PipMColl)
+                .all(|s| s.time_us[idx] >= reference)
+        })
+    }
+
+    /// The speedup of PiP-MColl over the *fastest competitor* at each size;
+    /// returns `(size, speedup)` of the maximum — the number the paper
+    /// quotes (65 % for scatter at 256 B, 4.6× for allgather at 64 B).
+    pub fn best_speedup_vs_fastest_competitor(&self) -> (usize, f64) {
+        let mut best = (self.sizes[0], 0.0f64);
+        for (idx, &size) in self.sizes.iter().enumerate() {
+            let reference = self.series_for(Library::PipMColl).time_us[idx];
+            let fastest_other = self
+                .series
+                .iter()
+                .filter(|s| s.library != Library::PipMColl)
+                .map(|s| s.time_us[idx])
+                .fold(f64::INFINITY, f64::min);
+            let speedup = fastest_other / reference;
+            if speedup > best.1 {
+                best = (size, speedup);
+            }
+        }
+        best
+    }
+
+    /// Number of message sizes at which PiP-MPICH is the slowest
+    /// implementation (the paper observes it "sometimes has the worst
+    /// performance").
+    pub fn pip_mpich_worst_count(&self) -> usize {
+        (0..self.sizes.len())
+            .filter(|&idx| {
+                let pip_mpich = self.series_for(Library::PipMpich).time_us[idx];
+                self.series
+                    .iter()
+                    .filter(|s| s.library != Library::PipMpich)
+                    .all(|s| s.time_us[idx] <= pip_mpich)
+            })
+            .count()
+    }
+}
+
+/// Record and simulate `collective` for every library in [`Library::ALL`]
+/// across `sizes` (bytes per process) on `cluster`.  Rooted collectives use
+/// rank 0 as the root, as the paper's benchmarks do.
+pub fn collective_comparison(
+    collective: CollectiveKind,
+    cluster: ClusterSpec,
+    sizes: &[usize],
+) -> ComparisonTable {
+    let topology = cluster.topology();
+    let mut series = Vec::with_capacity(Library::ALL.len());
+    for library in Library::ALL {
+        let profile = library.profile();
+        let params = profile.sim_params(cluster.nic);
+        let mut time_us = Vec::with_capacity(sizes.len());
+        for &bytes in sizes {
+            let trace = record_for(collective, &profile, topology, bytes);
+            let report = simulate(library.name(), &trace, &params)
+                .unwrap_or_else(|e| panic!("{} {collective:?} {bytes} B: {e}", library.name()));
+            time_us.push(report.makespan_us);
+        }
+        series.push(LibrarySeries { library, time_us });
+    }
+    ComparisonTable {
+        collective,
+        cluster,
+        sizes: sizes.to_vec(),
+        series,
+    }
+}
+
+fn record_for(
+    collective: CollectiveKind,
+    profile: &pip_mpi_model::LibraryProfile,
+    topology: Topology,
+    bytes: usize,
+) -> Trace {
+    match collective {
+        CollectiveKind::Allgather => dispatch::record_allgather(profile, topology, bytes),
+        CollectiveKind::Scatter => dispatch::record_scatter(profile, topology, bytes, 0),
+        CollectiveKind::Bcast => dispatch::record_bcast(profile, topology, bytes, 0),
+        CollectiveKind::Gather => dispatch::record_gather(profile, topology, bytes, 0),
+        CollectiveKind::Allreduce => dispatch::record_allreduce(profile, topology, bytes),
+        CollectiveKind::Alltoall => dispatch::record_alltoall(profile, topology, bytes),
+        CollectiveKind::Barrier | CollectiveKind::Reduce => {
+            dispatch::record_barrier(profile, topology)
+        }
+    }
+}
+
+/// The per-process message sizes of the paper's small-message figures.
+pub const PAPER_SMALL_SIZES: [usize; 6] = [16, 32, 64, 128, 256, 512];
+
+/// The larger message sizes used by the "larger messages" ablation.  The
+/// upper end is capped at 64 KiB so that recording the (world × size)
+/// buffers of 500+ ranks stays within a few seconds.
+pub const LARGE_SIZES: [usize; 4] = [1024, 4096, 16384, 65536];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cluster_table(kind: CollectiveKind) -> ComparisonTable {
+        collective_comparison(kind, ClusterSpec::new(8, 4), &[16, 64, 256])
+    }
+
+    #[test]
+    fn allgather_table_has_all_libraries_and_sizes() {
+        let table = small_cluster_table(CollectiveKind::Allgather);
+        assert_eq!(table.series.len(), 5);
+        assert!(table
+            .series
+            .iter()
+            .all(|s| s.time_us.len() == 3 && s.time_us.iter().all(|&t| t > 0.0)));
+    }
+
+    #[test]
+    fn pip_mcoll_wins_small_message_allgather_even_on_a_small_cluster() {
+        let table = small_cluster_table(CollectiveKind::Allgather);
+        assert!(table.pip_mcoll_fastest_everywhere(), "{table:?}");
+    }
+
+    #[test]
+    fn pip_mcoll_wins_small_message_scatter_even_on_a_small_cluster() {
+        let table = small_cluster_table(CollectiveKind::Scatter);
+        assert!(table.pip_mcoll_fastest_everywhere(), "{table:?}");
+    }
+
+    #[test]
+    fn scaled_time_of_reference_is_one() {
+        let table = small_cluster_table(CollectiveKind::Allgather);
+        for idx in 0..table.sizes.len() {
+            assert!((table.scaled(Library::PipMColl, idx) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn execution_time_grows_with_message_size() {
+        let table = small_cluster_table(CollectiveKind::Allgather);
+        for series in &table.series {
+            assert!(
+                series.time_us[0] <= series.time_us[2],
+                "{:?} not monotone: {:?}",
+                series.library,
+                series.time_us
+            );
+        }
+    }
+
+    #[test]
+    fn time_lookup_by_size_matches_series() {
+        let table = small_cluster_table(CollectiveKind::Scatter);
+        let direct = table.time_us(Library::OpenMpi, 64);
+        assert_eq!(direct, table.series_for(Library::OpenMpi).time_us[1]);
+    }
+}

@@ -1,0 +1,23 @@
+//! # pip-mcoll-bench
+//!
+//! The benchmark harness: everything needed to regenerate the paper's
+//! figures and the additional ablations listed in `DESIGN.md`.
+//!
+//! * [`figures`] builds library-vs-library comparison tables by recording
+//!   each library's collective schedule and replaying it through the
+//!   discrete-event simulator on the paper's cluster (128 nodes × 18
+//!   processes per node, Omni-Path).
+//! * [`report`] renders those tables in the paper's format — *scaled
+//!   execution time*, normalized to PiP-MColl, with values above the
+//!   clipping threshold marked the way Figure 1 annotates them.
+//!
+//! The `src/bin/*` binaries print one figure or claim each; the Criterion
+//! benches under `benches/` measure the same workloads (plus the real
+//! thread-runtime collectives at laptop scale) so `cargo bench` exercises
+//! every experiment end to end.
+
+pub mod figures;
+pub mod report;
+
+pub use figures::{collective_comparison, ComparisonTable, LibrarySeries};
+pub use report::render_scaled_table;

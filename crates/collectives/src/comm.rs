@@ -1,0 +1,581 @@
+//! The communication abstraction the algorithms are written against, and its
+//! two implementations: real execution on the PiP thread runtime and trace
+//! recording for the simulator.
+//!
+//! ## Cost semantics
+//!
+//! The trait separates operations by what they cost on the real system:
+//!
+//! * [`Comm::send`] / [`Comm::recv`] — a message between two processes.  The
+//!   simulator charges network costs when the endpoints are on different
+//!   nodes and the library's intra-node transport when they share a node.
+//! * [`Comm::shared_write`] / [`Comm::shared_read`] — a PiP-style direct
+//!   load/store into a peer's exposed buffer: exactly one copy, charged to
+//!   the calling process.
+//! * [`Comm::send_from_shared`] / [`Comm::recv_into_shared`] — the zero-copy
+//!   pattern PiP-MColl relies on: a process injects a message straight out
+//!   of (or receives straight into) a peer's exposed buffer, so only the
+//!   network transfer is charged.
+//! * [`Comm::charge_copy`] / [`Comm::charge_reduce`] / [`Comm::delay`] —
+//!   local work annotations; the thread implementation performs no
+//!   additional movement (the algorithm already did the work on its own
+//!   buffers), the trace implementation records the corresponding cost.
+//!
+//! Algorithms must never branch on *received payload contents* — only on
+//! ranks, sizes and topology — so that a trace recorded without real data is
+//! faithful to the real execution.
+
+use std::cell::RefCell;
+
+use pip_netsim::trace::{Trace, TraceOp};
+use pip_runtime::{TaskCtx, Topology};
+use pip_transport::cost::IntranodeMechanism;
+
+/// A commutative reduction operator over raw bytes.
+///
+/// The operator combines `other` into `acc` (`acc[i] ⊕= other[i]` for the
+/// element interpretation the caller chose).
+pub type ReduceFn<'a> = dyn Fn(&mut [u8], &[u8]) + Sync + 'a;
+
+/// The communication surface available to a collective algorithm.
+pub trait Comm {
+    /// This process's global rank.
+    fn rank(&self) -> usize;
+
+    /// The cluster topology.
+    fn topology(&self) -> Topology;
+
+    /// Total number of processes.
+    fn world_size(&self) -> usize {
+        self.topology().world_size()
+    }
+
+    /// Node hosting this process.
+    fn node_id(&self) -> usize {
+        self.topology().node_of(self.rank())
+    }
+
+    /// Local rank within the node (the paper's `R_l`).
+    fn local_rank(&self) -> usize {
+        self.topology().local_rank_of(self.rank())
+    }
+
+    /// Processes per node (the paper's `P`).
+    fn ppn(&self) -> usize {
+        self.topology().ppn()
+    }
+
+    /// Number of nodes (the paper's `N`).
+    fn num_nodes(&self) -> usize {
+        self.topology().nodes()
+    }
+
+    /// Whether this process is its node's leader (local rank 0).
+    fn is_node_root(&self) -> bool {
+        self.local_rank() == 0
+    }
+
+    // -- messaging -----------------------------------------------------
+
+    /// Send `data` to `dest` with `tag`.
+    fn send(&self, dest: usize, tag: u64, data: &[u8]);
+
+    /// Receive exactly `len` bytes from `source` with `tag`.
+    fn recv(&self, source: usize, tag: u64, len: usize) -> Vec<u8>;
+
+    /// Send to `dest` and receive from `source` (both may proceed
+    /// concurrently; neither direction blocks the other).
+    fn sendrecv(
+        &self,
+        dest: usize,
+        send_tag: u64,
+        data: &[u8],
+        source: usize,
+        recv_tag: u64,
+        recv_len: usize,
+    ) -> Vec<u8> {
+        self.send(dest, send_tag, data);
+        self.recv(source, recv_tag, recv_len)
+    }
+
+    // -- PiP shared address space (intra-node) ---------------------------
+
+    /// Expose a buffer of `len` bytes under `name`, owned by this process.
+    fn shared_alloc(&self, name: &str, len: usize);
+
+    /// Publish an existing private buffer under `name` so peers can read it
+    /// directly.
+    ///
+    /// Under PiP a process's private memory is already addressable by its
+    /// peers, so publication costs nothing — this is the zero-copy property
+    /// the multi-object algorithms rely on.  (The thread implementation
+    /// copies into a region purely to make the bytes reachable; no cost is
+    /// recorded.)
+    fn shared_publish(&self, name: &str, data: &[u8]);
+
+    /// Retrieve the contents of a region this process owns, at no cost.
+    ///
+    /// The inverse of [`Comm::shared_publish`]: the region served as this
+    /// process's own destination buffer (peers deposited data into it), so
+    /// under PiP no additional copy is needed to "collect" it.
+    fn shared_collect(&self, name: &str, len: usize) -> Vec<u8>;
+
+    /// Store `data` into the buffer `name` owned by local rank
+    /// `owner_local`, starting at `offset` (one copy, performed by the
+    /// caller).
+    fn shared_write(&self, owner_local: usize, name: &str, offset: usize, data: &[u8]);
+
+    /// Load `len` bytes from the buffer `name` owned by local rank
+    /// `owner_local`, starting at `offset` (one copy, performed by the
+    /// caller).
+    fn shared_read(&self, owner_local: usize, name: &str, offset: usize, len: usize) -> Vec<u8>;
+
+    /// Send `len` bytes straight out of a peer's exposed buffer (zero-copy:
+    /// only the message itself is charged).
+    fn send_from_shared(
+        &self,
+        owner_local: usize,
+        name: &str,
+        offset: usize,
+        len: usize,
+        dest: usize,
+        tag: u64,
+    );
+
+    /// Receive `len` bytes straight into a peer's exposed buffer (zero-copy).
+    fn recv_into_shared(
+        &self,
+        owner_local: usize,
+        name: &str,
+        offset: usize,
+        source: usize,
+        tag: u64,
+        len: usize,
+    );
+
+    /// Barrier across the tasks of this node.
+    fn node_barrier(&self);
+
+    // -- local work annotations ------------------------------------------
+
+    /// Account for a local copy of `bytes` bytes the algorithm performed on
+    /// its private buffers (e.g. the final Bruck shift).
+    fn charge_copy(&self, bytes: usize);
+
+    /// Account for a local reduction over `bytes` bytes.
+    fn charge_reduce(&self, bytes: usize);
+
+    /// Account for fixed software overhead (e.g. PiP-MPICH's size
+    /// synchronization).
+    fn delay(&self, nanos: f64);
+}
+
+// ---------------------------------------------------------------------------
+// Real execution on the PiP thread runtime.
+// ---------------------------------------------------------------------------
+
+/// [`Comm`] implementation that runs on the thread-based PiP runtime and
+/// moves real bytes.  Used by the correctness tests and the examples.
+pub struct ThreadComm<'a> {
+    ctx: &'a TaskCtx,
+}
+
+impl<'a> ThreadComm<'a> {
+    /// Wrap a task context.
+    pub fn new(ctx: &'a TaskCtx) -> Self {
+        Self { ctx }
+    }
+
+    /// The underlying task context.
+    pub fn ctx(&self) -> &TaskCtx {
+        self.ctx
+    }
+}
+
+impl Comm for ThreadComm<'_> {
+    fn rank(&self) -> usize {
+        self.ctx.rank()
+    }
+
+    fn topology(&self) -> Topology {
+        self.ctx.topology()
+    }
+
+    fn send(&self, dest: usize, tag: u64, data: &[u8]) {
+        self.ctx
+            .send(dest, tag, data.to_vec())
+            .expect("send failed");
+    }
+
+    fn recv(&self, source: usize, tag: u64, len: usize) -> Vec<u8> {
+        let msg = self.ctx.recv(source, tag).expect("recv failed");
+        assert_eq!(
+            msg.payload.len(),
+            len,
+            "rank {} expected {} bytes from {} (tag {}), got {}",
+            self.rank(),
+            len,
+            source,
+            tag,
+            msg.payload.len()
+        );
+        msg.payload
+    }
+
+    fn shared_alloc(&self, name: &str, len: usize) {
+        self.ctx.expose(name, len);
+    }
+
+    fn shared_publish(&self, name: &str, data: &[u8]) {
+        let region = self.ctx.expose(name, data.len());
+        region.write(0, data);
+    }
+
+    fn shared_collect(&self, name: &str, len: usize) -> Vec<u8> {
+        let region = self.ctx.attach(self.local_rank(), name);
+        region.read_vec(0, len).expect("shared_collect in bounds")
+    }
+
+    fn shared_write(&self, owner_local: usize, name: &str, offset: usize, data: &[u8]) {
+        let region = self.ctx.attach(owner_local, name);
+        region.write(offset, data);
+    }
+
+    fn shared_read(&self, owner_local: usize, name: &str, offset: usize, len: usize) -> Vec<u8> {
+        let region = self.ctx.attach(owner_local, name);
+        region.read_vec(offset, len).expect("shared_read in bounds")
+    }
+
+    fn send_from_shared(
+        &self,
+        owner_local: usize,
+        name: &str,
+        offset: usize,
+        len: usize,
+        dest: usize,
+        tag: u64,
+    ) {
+        let region = self.ctx.attach(owner_local, name);
+        let data = region
+            .read_vec(offset, len)
+            .expect("send_from_shared in bounds");
+        self.ctx.send(dest, tag, data).expect("send failed");
+    }
+
+    fn recv_into_shared(
+        &self,
+        owner_local: usize,
+        name: &str,
+        offset: usize,
+        source: usize,
+        tag: u64,
+        len: usize,
+    ) {
+        let msg = self.ctx.recv(source, tag).expect("recv failed");
+        assert_eq!(msg.payload.len(), len, "recv_into_shared length mismatch");
+        let region = self.ctx.attach(owner_local, name);
+        region.write(offset, &msg.payload);
+    }
+
+    fn node_barrier(&self) {
+        self.ctx.node_barrier();
+    }
+
+    fn charge_copy(&self, _bytes: usize) {}
+
+    fn charge_reduce(&self, _bytes: usize) {}
+
+    fn delay(&self, _nanos: f64) {}
+}
+
+// ---------------------------------------------------------------------------
+// Trace recording for the simulator.
+// ---------------------------------------------------------------------------
+
+/// [`Comm`] implementation that records the operations a rank performs,
+/// without moving data.  Receives return zeroed buffers of the requested
+/// length, which is sound because algorithms never branch on payload
+/// contents.
+pub struct TraceComm {
+    rank: usize,
+    topology: Topology,
+    ops: RefCell<Vec<TraceOp>>,
+}
+
+impl TraceComm {
+    /// Create a recorder for `rank` in `topology`.
+    pub fn new(rank: usize, topology: Topology) -> Self {
+        Self {
+            rank,
+            topology,
+            ops: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The operations recorded so far, consuming the recorder.
+    pub fn into_ops(self) -> Vec<TraceOp> {
+        self.ops.into_inner()
+    }
+
+    fn push(&self, op: TraceOp) {
+        self.ops.borrow_mut().push(op);
+    }
+}
+
+impl Comm for TraceComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    fn send(&self, dest: usize, tag: u64, data: &[u8]) {
+        self.push(TraceOp::Send {
+            dest,
+            bytes: data.len(),
+            tag,
+        });
+    }
+
+    fn recv(&self, source: usize, tag: u64, len: usize) -> Vec<u8> {
+        self.push(TraceOp::Recv {
+            source,
+            bytes: len,
+            tag,
+        });
+        vec![0u8; len]
+    }
+
+    fn shared_alloc(&self, _name: &str, _len: usize) {}
+
+    fn shared_publish(&self, _name: &str, _data: &[u8]) {}
+
+    fn shared_collect(&self, _name: &str, len: usize) -> Vec<u8> {
+        vec![0u8; len]
+    }
+
+    fn shared_write(&self, _owner_local: usize, _name: &str, _offset: usize, data: &[u8]) {
+        self.push(TraceOp::CopyIntra {
+            bytes: data.len(),
+            mechanism: None,
+            first_use: false,
+        });
+    }
+
+    fn shared_read(&self, _owner_local: usize, _name: &str, _offset: usize, len: usize) -> Vec<u8> {
+        self.push(TraceOp::CopyIntra {
+            bytes: len,
+            mechanism: None,
+            first_use: false,
+        });
+        vec![0u8; len]
+    }
+
+    fn send_from_shared(
+        &self,
+        _owner_local: usize,
+        _name: &str,
+        _offset: usize,
+        len: usize,
+        dest: usize,
+        tag: u64,
+    ) {
+        self.push(TraceOp::Send {
+            dest,
+            bytes: len,
+            tag,
+        });
+    }
+
+    fn recv_into_shared(
+        &self,
+        _owner_local: usize,
+        _name: &str,
+        _offset: usize,
+        source: usize,
+        tag: u64,
+        len: usize,
+    ) {
+        self.push(TraceOp::Recv {
+            source,
+            bytes: len,
+            tag,
+        });
+    }
+
+    fn node_barrier(&self) {
+        self.push(TraceOp::LocalBarrier);
+    }
+
+    fn charge_copy(&self, bytes: usize) {
+        self.push(TraceOp::CopyIntra {
+            bytes,
+            mechanism: Some(IntranodeMechanism::Pip),
+            first_use: false,
+        });
+    }
+
+    fn charge_reduce(&self, bytes: usize) {
+        self.push(TraceOp::Reduce { bytes });
+    }
+
+    fn delay(&self, nanos: f64) {
+        self.push(TraceOp::Delay { nanos });
+    }
+}
+
+/// Record a full-cluster trace of an algorithm by replaying it once per rank
+/// against a [`TraceComm`].
+///
+/// The closure receives the rank's recorder and must run the *same* algorithm
+/// every rank would run; recording is sequential and needs no threads because
+/// recorded receives never block.
+pub fn record_trace<F>(topology: Topology, per_rank: F) -> Trace
+where
+    F: Fn(&TraceComm),
+{
+    let mut trace = Trace::empty(topology);
+    for rank in 0..topology.world_size() {
+        let comm = TraceComm::new(rank, topology);
+        per_rank(&comm);
+        trace.ranks[rank].ops = comm.into_ops();
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pip_runtime::Cluster;
+
+    #[test]
+    fn thread_comm_exposes_coordinates() {
+        let topo = Topology::new(2, 3);
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            (comm.rank(), comm.node_id(), comm.local_rank(), comm.ppn())
+        })
+        .unwrap();
+        assert_eq!(results[4], (4, 1, 1, 3));
+    }
+
+    #[test]
+    fn thread_comm_send_recv_moves_real_bytes() {
+        let topo = Topology::new(1, 2);
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            if comm.rank() == 0 {
+                comm.send(1, 5, &[1, 2, 3]);
+                Vec::new()
+            } else {
+                comm.recv(0, 5, 3)
+            }
+        })
+        .unwrap();
+        assert_eq!(results[1], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn thread_comm_shared_ops_move_real_bytes() {
+        let topo = Topology::new(1, 2);
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            if comm.local_rank() == 0 {
+                comm.shared_alloc("buf", 8);
+            }
+            comm.node_barrier();
+            if comm.local_rank() == 1 {
+                comm.shared_write(0, "buf", 2, &[7, 8]);
+            }
+            comm.node_barrier();
+            comm.shared_read(0, "buf", 0, 4)
+        })
+        .unwrap();
+        assert_eq!(results[0], vec![0, 0, 7, 8]);
+        assert_eq!(results[1], vec![0, 0, 7, 8]);
+    }
+
+    #[test]
+    fn thread_comm_zero_copy_paths_deliver_data() {
+        let topo = Topology::new(2, 2);
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            // Node 0's leader exposes data; node 0's rank 1 sends it from the
+            // shared buffer to node 1's rank 1, which receives it into node
+            // 1's leader's buffer.
+            if comm.rank() == 0 {
+                comm.shared_alloc("src", 4);
+                comm.shared_write(0, "src", 0, &[9, 9, 9, 9]);
+            }
+            if comm.rank() == 2 {
+                comm.shared_alloc("dst", 4);
+            }
+            comm.node_barrier();
+            if comm.rank() == 1 {
+                comm.send_from_shared(0, "src", 0, 4, 3, 11);
+            }
+            if comm.rank() == 3 {
+                comm.recv_into_shared(0, "dst", 0, 1, 11, 4);
+            }
+            comm.node_barrier();
+            if comm.node_id() == 1 {
+                comm.shared_read(0, "dst", 0, 4)
+            } else {
+                Vec::new()
+            }
+        })
+        .unwrap();
+        assert_eq!(results[2], vec![9, 9, 9, 9]);
+        assert_eq!(results[3], vec![9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn trace_comm_records_expected_ops() {
+        let topo = Topology::new(2, 2);
+        let comm = TraceComm::new(1, topo);
+        comm.send(3, 7, &[0u8; 32]);
+        let data = comm.recv(3, 8, 16);
+        assert_eq!(data, vec![0u8; 16]);
+        comm.shared_write(0, "x", 0, &[0u8; 8]);
+        comm.node_barrier();
+        comm.charge_reduce(64);
+        comm.delay(123.0);
+        comm.send_from_shared(0, "x", 0, 24, 2, 9);
+        let ops = comm.into_ops();
+        assert_eq!(ops.len(), 7);
+        assert!(matches!(ops[0], TraceOp::Send { dest: 3, bytes: 32, tag: 7 }));
+        assert!(matches!(ops[1], TraceOp::Recv { source: 3, bytes: 16, tag: 8 }));
+        assert!(matches!(ops[2], TraceOp::CopyIntra { bytes: 8, .. }));
+        assert!(matches!(ops[3], TraceOp::LocalBarrier));
+        assert!(matches!(ops[4], TraceOp::Reduce { bytes: 64 }));
+        assert!(matches!(ops[5], TraceOp::Delay { .. }));
+        assert!(matches!(ops[6], TraceOp::Send { dest: 2, bytes: 24, tag: 9 }));
+    }
+
+    #[test]
+    fn record_trace_produces_one_entry_per_rank() {
+        let topo = Topology::new(2, 2);
+        let trace = record_trace(topo, |comm| {
+            let next = (comm.rank() + 1) % comm.world_size();
+            let prev = (comm.rank() + comm.world_size() - 1) % comm.world_size();
+            comm.send(next, 0, &[0u8; 8]);
+            comm.recv(prev, 0, 8);
+        });
+        assert_eq!(trace.ranks.len(), 4);
+        assert!(trace.validate().is_ok());
+        assert_eq!(trace.total_messages(), 4);
+    }
+
+    #[test]
+    fn default_accessors_derive_from_topology() {
+        let topo = Topology::new(3, 4);
+        let comm = TraceComm::new(7, topo);
+        assert_eq!(comm.world_size(), 12);
+        assert_eq!(comm.node_id(), 1);
+        assert_eq!(comm.local_rank(), 3);
+        assert_eq!(comm.num_nodes(), 3);
+        assert!(!comm.is_node_root());
+    }
+}

@@ -1,0 +1,112 @@
+//! # pip-collectives
+//!
+//! The collective algorithms of the PiP-MColl reproduction.
+//!
+//! Every algorithm is written once against the [`comm::Comm`] trait and can
+//! then be
+//!
+//! * **executed** on the thread-based PiP runtime ([`comm::ThreadComm`]),
+//!   moving real bytes — this is how correctness is established against the
+//!   sequential [`oracle`]; or
+//! * **recorded** with [`comm::TraceComm`] into a `pip-netsim` trace — this
+//!   is how the paper-scale performance figures are produced.
+//!
+//! ## Algorithm families
+//!
+//! * [`binomial`] — binomial-tree broadcast, scatter and gather (the
+//!   small-message defaults of MPICH-derived libraries).
+//! * [`bruck`] — Bruck allgather and alltoall (non-power-of-two small
+//!   messages).
+//! * [`recursive_doubling`] — recursive-doubling allgather and allreduce and
+//!   the dissemination barrier.
+//! * [`ring`] — ring allgather and ring (reduce-scatter + allgather)
+//!   allreduce, the large-message baselines.
+//! * [`hierarchical`] — classic *single-leader* two-level collectives: the
+//!   node leader is the only process that talks to the network, everything
+//!   else moves through node-local shared memory.  This is the
+//!   "single-object" design the paper improves on.
+//! * [`multi_object`] — the PiP-MColl algorithms: every local process drives
+//!   the NIC simultaneously, using the shared address space to read and
+//!   write the node leader's buffers directly (HPDC '23, §2).
+//!
+//! [`oracle`] holds sequential reference implementations used by the tests.
+
+pub mod binomial;
+pub mod bruck;
+pub mod comm;
+pub mod hierarchical;
+pub mod multi_object;
+pub mod oracle;
+pub mod recursive_doubling;
+pub mod ring;
+
+pub use comm::{Comm, ReduceFn, ThreadComm, TraceComm};
+
+/// Identifies a collective operation (used by the library presets and the
+/// benchmark harness to name what they are measuring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    /// MPI_Bcast.
+    Bcast,
+    /// MPI_Scatter.
+    Scatter,
+    /// MPI_Gather.
+    Gather,
+    /// MPI_Allgather.
+    Allgather,
+    /// MPI_Reduce.
+    Reduce,
+    /// MPI_Allreduce.
+    Allreduce,
+    /// MPI_Alltoall.
+    Alltoall,
+    /// MPI_Barrier.
+    Barrier,
+}
+
+impl CollectiveKind {
+    /// Display name matching MPI nomenclature.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CollectiveKind::Bcast => "MPI_Bcast",
+            CollectiveKind::Scatter => "MPI_Scatter",
+            CollectiveKind::Gather => "MPI_Gather",
+            CollectiveKind::Allgather => "MPI_Allgather",
+            CollectiveKind::Reduce => "MPI_Reduce",
+            CollectiveKind::Allreduce => "MPI_Allreduce",
+            CollectiveKind::Alltoall => "MPI_Alltoall",
+            CollectiveKind::Barrier => "MPI_Barrier",
+        }
+    }
+
+    /// All collectives implemented in this crate.
+    pub const ALL: [CollectiveKind; 8] = [
+        CollectiveKind::Bcast,
+        CollectiveKind::Scatter,
+        CollectiveKind::Gather,
+        CollectiveKind::Allgather,
+        CollectiveKind::Reduce,
+        CollectiveKind::Allreduce,
+        CollectiveKind::Alltoall,
+        CollectiveKind::Barrier,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collective_names_follow_mpi_convention() {
+        assert_eq!(CollectiveKind::Allgather.name(), "MPI_Allgather");
+        assert_eq!(CollectiveKind::Scatter.name(), "MPI_Scatter");
+        assert_eq!(CollectiveKind::Barrier.name(), "MPI_Barrier");
+    }
+
+    #[test]
+    fn all_kinds_have_unique_names() {
+        let names: std::collections::HashSet<_> =
+            CollectiveKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), CollectiveKind::ALL.len());
+    }
+}

@@ -1,0 +1,226 @@
+//! Multi-object allreduce: the reduction vector is split into `P` chunks;
+//! local rank `R_l` owns chunk `R_l`, reduces it across its node through the
+//! shared address space, then joins an inter-node recursive-doubling
+//! allreduce restricted to the processes with the same local rank.  The node
+//! therefore runs `P` concurrent inter-node reductions (one per chunk)
+//! instead of funnelling the whole vector through its leader.
+
+use crate::comm::{Comm, ReduceFn};
+use crate::multi_object::schedule::chunk_bounds;
+use crate::recursive_doubling::largest_pow2_leq;
+
+/// Multi-object allreduce for a commutative `op`; `buf` holds this rank's
+/// contribution on entry and the fully reduced vector on return.
+///
+/// `elem_size` is the size of one reduction element in bytes; the per-chunk
+/// partition is aligned to it so `op` always sees whole elements.
+pub fn allreduce_multi_object<C: Comm>(
+    comm: &C,
+    buf: &mut [u8],
+    elem_size: usize,
+    op: &ReduceFn<'_>,
+    tag: u64,
+) {
+    let len = buf.len();
+    assert!(elem_size > 0, "element size must be positive");
+    assert_eq!(len % elem_size, 0, "buffer must hold whole elements");
+    let ppn = comm.ppn();
+    let nodes = comm.num_nodes();
+    let node = comm.node_id();
+    let local = comm.local_rank();
+    let topo = comm.topology();
+    let in_name = format!("mo_ar_in_{tag}");
+    let out_name = format!("mo_ar_out_{tag}");
+
+    // Every process publishes its contribution (free under PiP).
+    comm.shared_publish(&in_name, buf);
+    comm.node_barrier();
+
+    // Intra-node reduction of this process's chunk across all local peers.
+    // Chunks are expressed in elements, then converted back to bytes.
+    let elements = len / elem_size;
+    let elem_chunk = |index: usize| {
+        let (s, e) = chunk_bounds(elements, ppn, index);
+        (s * elem_size, e * elem_size)
+    };
+    let (start, end) = elem_chunk(local);
+    let mut chunk = buf[start..end].to_vec();
+    for peer in 0..ppn {
+        if peer == local || chunk.is_empty() {
+            continue;
+        }
+        let contribution = comm.shared_read(peer, &in_name, start, end - start);
+        op(&mut chunk, &contribution);
+        comm.charge_reduce(end - start);
+    }
+
+    // Inter-node recursive doubling among the processes with the same local
+    // rank (one independent allreduce per chunk).
+    if nodes > 1 && !chunk.is_empty() {
+        let peer_rank = |n: usize| topo.rank_of(n, local);
+        let pof2 = largest_pow2_leq(nodes);
+        let rem = nodes - pof2;
+        let bytes = chunk.len();
+        let newnode: isize = if node < 2 * rem {
+            if node % 2 == 0 {
+                comm.send(peer_rank(node + 1), tag, &chunk);
+                -1
+            } else {
+                let data = comm.recv(peer_rank(node - 1), tag, bytes);
+                op(&mut chunk, &data);
+                comm.charge_reduce(bytes);
+                (node / 2) as isize
+            }
+        } else {
+            (node - rem) as isize
+        };
+        if newnode >= 0 {
+            let newnode = newnode as usize;
+            let to_node = |nn: usize| if nn < rem { nn * 2 + 1 } else { nn + rem };
+            let mut mask = 1usize;
+            let mut round = 1u64;
+            while mask < pof2 {
+                let partner = peer_rank(to_node(newnode ^ mask));
+                let received =
+                    comm.sendrecv(partner, tag + round, &chunk, partner, tag + round, bytes);
+                op(&mut chunk, &received);
+                comm.charge_reduce(bytes);
+                mask <<= 1;
+                round += 1;
+            }
+        }
+        if node < 2 * rem {
+            if node % 2 == 0 {
+                let data = comm.recv(peer_rank(node + 1), tag + 63, bytes);
+                chunk.copy_from_slice(&data);
+            } else {
+                comm.send(peer_rank(node - 1), tag + 63, &chunk);
+            }
+        }
+    }
+
+    // Publish the globally reduced chunk and assemble the full vector.
+    comm.shared_publish(&out_name, &chunk);
+    comm.node_barrier();
+    for owner in 0..ppn {
+        let (s, e) = elem_chunk(owner);
+        if s == e {
+            continue;
+        }
+        if owner == local {
+            buf[s..e].copy_from_slice(&chunk);
+        } else {
+            let data = comm.shared_read(owner, &out_name, 0, e - s);
+            buf[s..e].copy_from_slice(&data);
+        }
+    }
+    comm.node_barrier();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{record_trace, ThreadComm};
+    use crate::oracle;
+    use pip_runtime::{Cluster, Topology};
+
+    fn run(nodes: usize, ppn: usize, len: usize) {
+        let topo = Topology::new(nodes, ppn);
+        let world = topo.world_size();
+        let contributions: Vec<Vec<u8>> =
+            (0..world).map(|r| oracle::rank_payload(r, len)).collect();
+        let expected = oracle::allreduce(&contributions, oracle::wrapping_add_u8);
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            let mut buf = oracle::rank_payload(comm.rank(), len);
+            allreduce_multi_object(&comm, &mut buf, 1, &oracle::wrapping_add_u8, 3900);
+            buf
+        })
+        .unwrap();
+        for (rank, buf) in results.iter().enumerate() {
+            assert_eq!(buf, &expected, "multi-object allreduce mismatch at rank {rank}");
+        }
+    }
+
+    #[test]
+    fn two_nodes_even_chunks() {
+        run(2, 4, 64);
+    }
+
+    #[test]
+    fn odd_nodes_uneven_chunks() {
+        run(3, 3, 35);
+    }
+
+    #[test]
+    fn prime_node_count() {
+        run(5, 2, 16);
+    }
+
+    #[test]
+    fn single_node() {
+        run(1, 4, 32);
+    }
+
+    #[test]
+    fn single_rank_per_node() {
+        run(4, 1, 16);
+    }
+
+    #[test]
+    fn vector_shorter_than_ppn() {
+        // Some chunks are empty.
+        run(2, 6, 3);
+    }
+
+    #[test]
+    fn single_rank_total() {
+        run(1, 1, 8);
+    }
+
+    #[test]
+    fn f64_sum_reduction() {
+        let topo = Topology::new(2, 3);
+        let world = topo.world_size();
+        let elements = 4;
+        let expected: Vec<f64> = (0..elements)
+            .map(|i| (0..world).map(|r| (r * 10 + i) as f64).sum())
+            .collect();
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            let mut buf = Vec::new();
+            for i in 0..elements {
+                buf.extend_from_slice(&((comm.rank() * 10 + i) as f64).to_le_bytes());
+            }
+            allreduce_multi_object(&comm, &mut buf, 8, &oracle::sum_f64, 4100);
+            buf
+        })
+        .unwrap();
+        for buf in results {
+            let values: Vec<f64> = buf
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            for (value, want) in values.iter().zip(&expected) {
+                assert!((value - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_every_local_rank_talks_to_the_network() {
+        let topo = Topology::new(8, 4);
+        let trace = record_trace(topo, |comm| {
+            let mut buf = vec![0u8; 4096];
+            allreduce_multi_object(comm, &mut buf, 1, &oracle::wrapping_add_u8, 1);
+        });
+        trace.validate().unwrap();
+        // Every local rank of node 0 sends in the inter-node phase (8 nodes
+        // = 3 recursive-doubling rounds on its own chunk).
+        for local in 0..4 {
+            assert_eq!(trace.ranks[local].send_count(), 3);
+            // Each round carries one quarter of the vector.
+            assert_eq!(trace.ranks[local].bytes_sent(), 3 * 1024);
+        }
+    }
+}

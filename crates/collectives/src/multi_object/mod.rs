@@ -1,0 +1,40 @@
+//! The PiP-MColl multi-object collectives (Huang et al., HPDC '23, §2).
+//!
+//! The single-leader hierarchical design funnels every inter-node byte of a
+//! node through one process, so a small-message collective is limited by that
+//! process's message rate.  The multi-object design removes the funnel: all
+//! `P` processes of a node act as independent sender/receiver *objects* that
+//! read from and write into the node leader's buffers directly through the
+//! PiP shared address space — no staging copies, no leader bottleneck — so a
+//! node can keep `P` messages in flight at once and approach the adapter's
+//! aggregate message rate.
+//!
+//! Per collective:
+//!
+//! * [`allgather`] — the paper's multi-object Bruck allgather with base
+//!   `P + 1` (steps ①–⑥ of §2).
+//! * [`scatter`] / [`bcast`] / [`gather`] — the root node's processes share
+//!   the fan-out/fan-in: local rank `R_l` serves the remote nodes `n` with
+//!   `n mod P == R_l`, sending straight out of (or receiving straight into)
+//!   the root's buffer.
+//! * [`allreduce`] — the reduction vector is split into `P` chunks; local
+//!   rank `R_l` owns chunk `R_l`, reduces it across the node through shared
+//!   memory and runs an inter-node recursive doubling restricted to the
+//!   processes with the same local rank, giving `P` concurrent allreduces.
+//! * [`alltoall`] — node-aware pairwise exchange where each local rank
+//!   handles a disjoint subset of the partner nodes.
+
+pub mod allgather;
+pub mod allreduce;
+pub mod alltoall;
+pub mod bcast;
+pub mod gather;
+pub mod scatter;
+pub mod schedule;
+
+pub use allgather::allgather_multi_object;
+pub use allreduce::allreduce_multi_object;
+pub use alltoall::alltoall_multi_object;
+pub use bcast::bcast_multi_object;
+pub use gather::gather_multi_object;
+pub use scatter::scatter_multi_object;

@@ -1,0 +1,257 @@
+//! Index arithmetic shared by the multi-object algorithms: node pairing for
+//! the base-(P+1) Bruck exchange, remainder handling, responsibility
+//! assignment of remote nodes to local ranks, and chunk partitioning.
+//!
+//! Keeping this logic in pure functions makes the paper's formulas (§2,
+//! steps ③–⑤) directly testable without running any communication.
+
+/// One inter-node transfer of the multi-object Bruck exchange: local rank
+/// `local` on node `node` pairs with `src_node` / `dst_node` and moves
+/// `count` node-blocks into offset `recv_offset` (in node-blocks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BruckTransfer {
+    /// Node offset handled by this local rank: `(R_l + 1) * S_p`.
+    pub offset: usize,
+    /// Node this rank receives from: `(N_id + offset) mod N`.
+    pub src_node: usize,
+    /// Node this rank sends to: `(N_id - offset) mod N`.
+    pub dst_node: usize,
+    /// Number of node-blocks exchanged.
+    pub count: usize,
+    /// Destination offset of the received blocks, in node-blocks.
+    pub recv_offset: usize,
+}
+
+/// The phases of the multi-object Bruck exchange for one local rank.
+///
+/// `nodes` is the paper's `N`, `ppn` its `P`; `node` / `local` identify the
+/// process.  Phases are returned in execution order; a node barrier must
+/// separate consecutive phases (all local ranks of a node produce the same
+/// number of phases, possibly with `count == 0` transfers).
+pub fn bruck_phases(nodes: usize, ppn: usize, node: usize, local: usize) -> Vec<BruckTransfer> {
+    assert!(local < ppn);
+    assert!(node < nodes);
+    let base = ppn + 1;
+    let mut phases = Vec::new();
+    let mut span = 1usize; // the paper's S_p: node-blocks already gathered
+    // Full phases: each multiplies the gathered span by `base`.
+    while span.saturating_mul(base) <= nodes {
+        let offset = (local + 1) * span;
+        phases.push(transfer(nodes, node, offset, span, offset));
+        span *= base;
+    }
+    // Remainder phase (paper step ⑤): cover the leftover `nodes - span`
+    // node-blocks; local rank `R_l` is responsible for the slice starting at
+    // `(R_l + 1) * span`.
+    if span < nodes {
+        let offset = (local + 1) * span;
+        let count = if offset < nodes {
+            span.min(nodes - offset)
+        } else {
+            0
+        };
+        phases.push(transfer(nodes, node, offset, count, offset));
+    }
+    phases
+}
+
+fn transfer(nodes: usize, node: usize, offset: usize, count: usize, recv_offset: usize) -> BruckTransfer {
+    BruckTransfer {
+        offset,
+        src_node: (node + offset) % nodes,
+        dst_node: (node + nodes - (offset % nodes.max(1)) % nodes) % nodes,
+        count,
+        recv_offset,
+    }
+}
+
+/// Number of phases (full + remainder) of the base-(P+1) Bruck exchange —
+/// identical for every rank, which the barrier structure relies on.
+pub fn bruck_phase_count(nodes: usize, ppn: usize) -> usize {
+    let base = ppn + 1;
+    let mut span = 1usize;
+    let mut phases = 0usize;
+    while span.saturating_mul(base) <= nodes {
+        span *= base;
+        phases += 1;
+    }
+    if span < nodes {
+        phases += 1;
+    }
+    phases
+}
+
+/// The remote nodes local rank `local` is responsible for in the flat
+/// fan-out/fan-in collectives (scatter, bcast, gather): every node `n`
+/// except `skip_node` with `n mod ppn == local`.
+pub fn responsible_nodes(
+    nodes: usize,
+    ppn: usize,
+    local: usize,
+    skip_node: usize,
+) -> impl Iterator<Item = usize> {
+    (0..nodes).filter(move |&n| n != skip_node && n % ppn == local)
+}
+
+/// Split `len` bytes into `parts` contiguous chunks as evenly as possible;
+/// returns the `(start, end)` byte range of chunk `index`.
+pub fn chunk_bounds(len: usize, parts: usize, index: usize) -> (usize, usize) {
+    assert!(index < parts);
+    let base = len / parts;
+    let extra = len % parts;
+    let start = index * base + index.min(extra);
+    let size = base + usize::from(index < extra);
+    (start, start + size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    /// Simulate the coverage of the multi-object Bruck exchange for one node
+    /// and check that, phase by phase, the gathered region grows exactly as
+    /// the paper describes and finally covers all `nodes` node-blocks.
+    fn coverage_is_complete(nodes: usize, ppn: usize) {
+        let node = 0;
+        let mut covered: HashSet<usize> = HashSet::new();
+        covered.insert(0); // own node-block after the intra-node gather
+        let phase_count = bruck_phase_count(nodes, ppn);
+        let per_local: Vec<Vec<BruckTransfer>> = (0..ppn)
+            .map(|local| bruck_phases(nodes, ppn, node, local))
+            .collect();
+        for local in 0..ppn {
+            assert_eq!(per_local[local].len(), phase_count, "phase count must be uniform");
+        }
+        for phase in 0..phase_count {
+            let mut new_blocks = Vec::new();
+            for local in 0..ppn {
+                let t = per_local[local][phase];
+                for b in 0..t.count {
+                    new_blocks.push(t.recv_offset + b);
+                }
+            }
+            for block in new_blocks {
+                assert!(block < nodes, "received block {block} out of range");
+                assert!(
+                    covered.insert(block),
+                    "block {block} received twice ({nodes} nodes, {ppn} ppn)"
+                );
+            }
+        }
+        assert_eq!(covered.len(), nodes, "coverage incomplete for {nodes} nodes, {ppn} ppn");
+    }
+
+    #[test]
+    fn coverage_for_paper_testbed() {
+        coverage_is_complete(128, 18);
+    }
+
+    #[test]
+    fn coverage_for_small_configurations() {
+        for nodes in 1..=20 {
+            for ppn in 1..=6 {
+                coverage_is_complete(nodes, ppn);
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_when_ppn_exceeds_nodes() {
+        coverage_is_complete(3, 8);
+        coverage_is_complete(2, 18);
+    }
+
+    #[test]
+    fn phase_count_is_logarithmic_in_base_p_plus_1() {
+        // 128 nodes, 18 ppn: base 19 -> one full phase (19 <= 128) then a
+        // remainder phase.
+        assert_eq!(bruck_phase_count(128, 18), 2);
+        // Base 2 (ppn 1) degenerates to classic Bruck: ceil(log2(128)) = 7.
+        assert_eq!(bruck_phase_count(128, 1), 7);
+        // Single node: nothing to exchange.
+        assert_eq!(bruck_phase_count(1, 18), 0);
+    }
+
+    #[test]
+    fn transfers_pair_source_and_destination_symmetrically() {
+        let nodes = 10;
+        let ppn = 3;
+        for local in 0..ppn {
+            for t in bruck_phases(nodes, ppn, 4, local) {
+                assert_eq!(t.src_node, (4 + t.offset) % nodes);
+                assert_eq!(t.dst_node, (4 + nodes - t.offset % nodes) % nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn responsible_nodes_partition_the_remote_nodes() {
+        let nodes = 11;
+        let ppn = 4;
+        let skip = 3;
+        let mut seen = HashSet::new();
+        for local in 0..ppn {
+            for n in responsible_nodes(nodes, ppn, local, skip) {
+                assert!(n != skip);
+                assert!(seen.insert(n), "node {n} assigned twice");
+            }
+        }
+        assert_eq!(seen.len(), nodes - 1);
+    }
+
+    #[test]
+    fn chunk_bounds_cover_the_buffer_without_gaps() {
+        let len = 37;
+        let parts = 5;
+        let mut expected_start = 0;
+        for i in 0..parts {
+            let (start, end) = chunk_bounds(len, parts, i);
+            assert_eq!(start, expected_start);
+            expected_start = end;
+        }
+        assert_eq!(expected_start, len);
+    }
+
+    #[test]
+    fn chunk_bounds_handle_len_smaller_than_parts() {
+        let (s0, e0) = chunk_bounds(2, 5, 0);
+        let (s4, e4) = chunk_bounds(2, 5, 4);
+        assert_eq!((s0, e0), (0, 1));
+        assert_eq!((s4, e4), (2, 2));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_coverage_random_configurations(nodes in 1usize..200, ppn in 1usize..24) {
+            coverage_is_complete(nodes, ppn);
+        }
+
+        #[test]
+        fn prop_chunks_partition(len in 0usize..10_000, parts in 1usize..64) {
+            let mut total = 0;
+            let mut prev_end = 0;
+            for i in 0..parts {
+                let (start, end) = chunk_bounds(len, parts, i);
+                prop_assert_eq!(start, prev_end);
+                prop_assert!(end >= start);
+                total += end - start;
+                prev_end = end;
+            }
+            prop_assert_eq!(total, len);
+        }
+
+        #[test]
+        fn prop_responsible_nodes_partition(nodes in 1usize..300, ppn in 1usize..32, skip_seed in 0usize..300) {
+            let skip = skip_seed % nodes;
+            let mut seen = HashSet::new();
+            for local in 0..ppn {
+                for n in responsible_nodes(nodes, ppn, local, skip) {
+                    prop_assert!(seen.insert(n));
+                }
+            }
+            prop_assert_eq!(seen.len(), nodes - 1);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Sequential reference implementations of every collective, used by the
+//! tests to check the distributed algorithms.
+//!
+//! Each function takes the per-rank inputs for the whole cluster and returns
+//! the per-rank outputs MPI semantics require.
+
+/// Expected allgather result: the concatenation of every rank's contribution,
+/// identical on every rank.
+pub fn allgather(contributions: &[Vec<u8>]) -> Vec<u8> {
+    contributions.concat()
+}
+
+/// Expected scatter result for each rank: rank `i` receives block `i` of the
+/// root's send buffer.
+pub fn scatter(root_sendbuf: &[u8], world: usize) -> Vec<Vec<u8>> {
+    assert_eq!(root_sendbuf.len() % world, 0, "sendbuf must hold world blocks");
+    let block = root_sendbuf.len() / world;
+    (0..world)
+        .map(|rank| root_sendbuf[rank * block..(rank + 1) * block].to_vec())
+        .collect()
+}
+
+/// Expected gather result at the root: the concatenation of every rank's
+/// contribution (other ranks receive nothing).
+pub fn gather(contributions: &[Vec<u8>]) -> Vec<u8> {
+    contributions.concat()
+}
+
+/// Expected bcast result: every rank ends with the root's buffer.
+pub fn bcast(root_buf: &[u8]) -> Vec<u8> {
+    root_buf.to_vec()
+}
+
+/// Expected allreduce result with a caller-provided element-wise combine,
+/// identical on every rank.
+pub fn allreduce(contributions: &[Vec<u8>], combine: impl Fn(&mut [u8], &[u8])) -> Vec<u8> {
+    let mut acc = contributions[0].clone();
+    for contribution in &contributions[1..] {
+        combine(&mut acc, contribution);
+    }
+    acc
+}
+
+/// Expected alltoall result for each rank: rank `i`'s output block `j` is
+/// rank `j`'s input block `i`.
+pub fn alltoall(inputs: &[Vec<u8>], world: usize) -> Vec<Vec<u8>> {
+    let block = inputs[0].len() / world;
+    (0..world)
+        .map(|receiver| {
+            let mut out = Vec::with_capacity(world * block);
+            for sender in 0..world {
+                out.extend_from_slice(&inputs[sender][receiver * block..(receiver + 1) * block]);
+            }
+            out
+        })
+        .collect()
+}
+
+/// Element-wise wrapping addition over `u8` payloads, a convenient
+/// commutative reduction for tests.
+pub fn wrapping_add_u8(acc: &mut [u8], other: &[u8]) {
+    for (a, b) in acc.iter_mut().zip(other) {
+        *a = a.wrapping_add(*b);
+    }
+}
+
+/// Element-wise addition over little-endian `f64` payloads (the typical HPC
+/// reduction).
+pub fn sum_f64(acc: &mut [u8], other: &[u8]) {
+    assert_eq!(acc.len(), other.len());
+    assert_eq!(acc.len() % 8, 0);
+    for i in (0..acc.len()).step_by(8) {
+        let a = f64::from_le_bytes(acc[i..i + 8].try_into().unwrap());
+        let b = f64::from_le_bytes(other[i..i + 8].try_into().unwrap());
+        acc[i..i + 8].copy_from_slice(&(a + b).to_le_bytes());
+    }
+}
+
+/// Deterministic per-rank payload generator used throughout the tests: rank
+/// `r` contributes `len` bytes whose value depends on the rank and position.
+pub fn rank_payload(rank: usize, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((rank * 131 + i * 7 + 13) % 251) as u8)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_splits_blocks_in_rank_order() {
+        let sendbuf: Vec<u8> = (0..12).collect();
+        let out = scatter(&sendbuf, 4);
+        assert_eq!(out[0], vec![0, 1, 2]);
+        assert_eq!(out[3], vec![9, 10, 11]);
+    }
+
+    #[test]
+    fn allgather_concatenates_in_rank_order() {
+        let contributions = vec![vec![1, 1], vec![2, 2], vec![3, 3]];
+        assert_eq!(allgather(&contributions), vec![1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn allreduce_applies_combine_across_all_ranks() {
+        let contributions = vec![vec![1u8, 2], vec![3, 4], vec![5, 6]];
+        let result = allreduce(&contributions, wrapping_add_u8);
+        assert_eq!(result, vec![9, 12]);
+    }
+
+    #[test]
+    fn alltoall_transposes_blocks() {
+        // 2 ranks, 1-byte blocks.
+        let inputs = vec![vec![10, 11], vec![20, 21]];
+        let out = alltoall(&inputs, 2);
+        assert_eq!(out[0], vec![10, 20]);
+        assert_eq!(out[1], vec![11, 21]);
+    }
+
+    #[test]
+    fn sum_f64_adds_elementwise() {
+        let mut acc = 1.5f64.to_le_bytes().to_vec();
+        let other = 2.25f64.to_le_bytes().to_vec();
+        sum_f64(&mut acc, &other);
+        assert_eq!(f64::from_le_bytes(acc.try_into().unwrap()), 3.75);
+    }
+
+    #[test]
+    fn rank_payload_is_deterministic_and_rank_dependent() {
+        assert_eq!(rank_payload(3, 16), rank_payload(3, 16));
+        assert_ne!(rank_payload(3, 16), rank_payload(4, 16));
+    }
+}

@@ -1,0 +1,322 @@
+//! The [`Communicator`]: the MPI-like handle application code uses for
+//! point-to-point and collective communication.
+//!
+//! A communicator wraps one task of the PiP thread runtime together with the
+//! [`LibraryProfile`] that decides which collective algorithms are used.  It
+//! hands out monotonically increasing collective sequence numbers so that
+//! concurrent and back-to-back collectives never collide on tags or shared
+//! buffer names.
+
+use std::cell::Cell;
+
+use pip_collectives::comm::{Comm as _, ThreadComm};
+use pip_mpi_model::{dispatch, CollectiveRequest, LibraryProfile};
+use pip_runtime::{TaskCtx, Topology};
+
+use crate::datatype::{from_bytes, to_bytes, Datatype, ReduceOp};
+
+/// Tag space reserved for each collective invocation (rounds and phases are
+/// encoded in the low bits).
+const COLLECTIVE_TAG_STRIDE: u64 = 1 << 16;
+/// Tag space where point-to-point tags live, above all collective tags.
+const P2P_TAG_BASE: u64 = 1 << 48;
+
+/// An MPI-like communicator bound to one process of the launched world.
+pub struct Communicator<'a> {
+    inner: ThreadComm<'a>,
+    profile: LibraryProfile,
+    next_collective: Cell<u64>,
+}
+
+impl<'a> Communicator<'a> {
+    /// Wrap a task context with the given library profile.  Most code uses
+    /// [`crate::world::World`] instead of calling this directly.
+    pub fn new(ctx: &'a TaskCtx, profile: LibraryProfile) -> Self {
+        Self {
+            inner: ThreadComm::new(ctx),
+            profile,
+            next_collective: Cell::new(1),
+        }
+    }
+
+    /// This process's rank.
+    pub fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    /// Number of processes in the world.
+    pub fn size(&self) -> usize {
+        self.inner.world_size()
+    }
+
+    /// The cluster topology.
+    pub fn topology(&self) -> Topology {
+        self.inner.topology()
+    }
+
+    /// The node hosting this process.
+    pub fn node_id(&self) -> usize {
+        self.inner.node_id()
+    }
+
+    /// This process's rank within its node.
+    pub fn local_rank(&self) -> usize {
+        self.inner.local_rank()
+    }
+
+    /// The library profile driving algorithm selection.
+    pub fn profile(&self) -> &LibraryProfile {
+        &self.profile
+    }
+
+    fn next_tag(&self) -> u64 {
+        let seq = self.next_collective.get();
+        self.next_collective.set(seq + 1);
+        seq * COLLECTIVE_TAG_STRIDE
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Send a typed message to `dest` with a user `tag`.
+    pub fn send<T: Datatype>(&self, dest: usize, tag: u64, data: &[T]) {
+        self.inner.send(dest, P2P_TAG_BASE + tag, &to_bytes(data));
+    }
+
+    /// Receive exactly `count` typed elements from `source` with `tag`.
+    pub fn recv<T: Datatype>(&self, source: usize, tag: u64, count: usize) -> Vec<T> {
+        from_bytes(&self.inner.recv(source, P2P_TAG_BASE + tag, count * T::SIZE))
+    }
+
+    /// Combined send and receive with the same peer count on both sides.
+    pub fn sendrecv<T: Datatype>(
+        &self,
+        dest: usize,
+        send_data: &[T],
+        source: usize,
+        recv_count: usize,
+        tag: u64,
+    ) -> Vec<T> {
+        from_bytes(&self.inner.sendrecv(
+            dest,
+            P2P_TAG_BASE + tag,
+            &to_bytes(send_data),
+            source,
+            P2P_TAG_BASE + tag,
+            recv_count * T::SIZE,
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives
+    // ------------------------------------------------------------------
+
+    /// MPI_Allgather: every rank contributes `send`; returns the
+    /// concatenation of all contributions in rank order.
+    pub fn allgather<T: Datatype>(&self, send: &[T]) -> Vec<T> {
+        let sendbuf = to_bytes(send);
+        let mut recvbuf = vec![0u8; sendbuf.len() * self.size()];
+        dispatch::execute(
+            &self.profile,
+            &self.inner,
+            CollectiveRequest::Allgather {
+                sendbuf: &sendbuf,
+                recvbuf: &mut recvbuf,
+            },
+            self.next_tag(),
+        );
+        from_bytes(&recvbuf)
+    }
+
+    /// MPI_Scatter: the root supplies `send` (one block of `count` elements
+    /// per rank); every rank receives its block.
+    pub fn scatter<T: Datatype>(&self, send: Option<&[T]>, count: usize, root: usize) -> Vec<T> {
+        if let Some(send) = send {
+            assert_eq!(
+                send.len(),
+                count * self.size(),
+                "root must supply count * size elements"
+            );
+        }
+        let sendbuf = send.map(to_bytes);
+        let mut recvbuf = vec![0u8; count * T::SIZE];
+        dispatch::execute(
+            &self.profile,
+            &self.inner,
+            CollectiveRequest::Scatter {
+                sendbuf: sendbuf.as_deref(),
+                recvbuf: &mut recvbuf,
+                root,
+            },
+            self.next_tag(),
+        );
+        from_bytes(&recvbuf)
+    }
+
+    /// MPI_Bcast: `buf` holds the root's data on return at every rank.
+    pub fn bcast<T: Datatype>(&self, buf: &mut [T], root: usize) {
+        let mut bytes = to_bytes(buf);
+        dispatch::execute(
+            &self.profile,
+            &self.inner,
+            CollectiveRequest::Bcast {
+                buf: &mut bytes,
+                root,
+            },
+            self.next_tag(),
+        );
+        for (value, chunk) in buf.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
+            *value = T::read_le(chunk);
+        }
+    }
+
+    /// MPI_Gather: every rank contributes `send`; the root receives all
+    /// contributions in rank order (`Some` at root, `None` elsewhere).
+    pub fn gather<T: Datatype>(&self, send: &[T], root: usize) -> Option<Vec<T>> {
+        let sendbuf = to_bytes(send);
+        let mut recvbuf = vec![0u8; sendbuf.len() * self.size()];
+        let is_root = self.rank() == root;
+        dispatch::execute(
+            &self.profile,
+            &self.inner,
+            CollectiveRequest::Gather {
+                sendbuf: &sendbuf,
+                recvbuf: is_root.then_some(recvbuf.as_mut_slice()),
+                root,
+            },
+            self.next_tag(),
+        );
+        is_root.then(|| from_bytes(&recvbuf))
+    }
+
+    /// MPI_Allreduce with a built-in operator; `buf` holds the reduced
+    /// vector on return at every rank.
+    pub fn allreduce<T: Datatype>(&self, buf: &mut [T], op: ReduceOp) {
+        let mut bytes = to_bytes(buf);
+        let combine = move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other);
+        dispatch::execute(
+            &self.profile,
+            &self.inner,
+            CollectiveRequest::Allreduce {
+                buf: &mut bytes,
+                elem_size: T::SIZE,
+                op: &combine,
+            },
+            self.next_tag(),
+        );
+        for (value, chunk) in buf.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
+            *value = T::read_le(chunk);
+        }
+    }
+
+    /// MPI_Alltoall: `send` holds one block of `count` elements per
+    /// destination rank; returns one block per source rank.
+    pub fn alltoall<T: Datatype>(&self, send: &[T], count: usize) -> Vec<T> {
+        assert_eq!(send.len(), count * self.size());
+        let sendbuf = to_bytes(send);
+        let mut recvbuf = vec![0u8; sendbuf.len()];
+        dispatch::execute(
+            &self.profile,
+            &self.inner,
+            CollectiveRequest::Alltoall {
+                sendbuf: &sendbuf,
+                recvbuf: &mut recvbuf,
+            },
+            self.next_tag(),
+        );
+        from_bytes(&recvbuf)
+    }
+
+    /// MPI_Barrier.
+    pub fn barrier(&self) {
+        dispatch::execute(
+            &self.profile,
+            &self.inner,
+            CollectiveRequest::Barrier,
+            self.next_tag(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+    use pip_mpi_model::Library;
+
+    #[test]
+    fn typed_point_to_point_round_trip() {
+        let results = World::builder()
+            .nodes(1)
+            .ppn(2)
+            .library(Library::PipMColl)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 7, &[1.5f64, -2.5]);
+                    Vec::new()
+                } else {
+                    comm.recv::<f64>(0, 7, 2)
+                }
+            })
+            .unwrap();
+        assert_eq!(results[1], vec![1.5, -2.5]);
+    }
+
+    #[test]
+    fn collective_sequence_numbers_keep_back_to_back_collectives_separate() {
+        let results = World::builder()
+            .nodes(2)
+            .ppn(2)
+            .library(Library::PipMColl)
+            .run(|comm| {
+                // Two different collectives back to back on the same
+                // communicator must not interfere.
+                let first = comm.allgather(&[comm.rank() as u32]);
+                let second = comm.allgather(&[(comm.rank() * 10) as u32]);
+                comm.barrier();
+                (first, second)
+            })
+            .unwrap();
+        for (first, second) in results {
+            assert_eq!(first, vec![0, 1, 2, 3]);
+            assert_eq!(second, vec![0, 10, 20, 30]);
+        }
+    }
+
+    #[test]
+    fn typed_allreduce_supports_min_and_max() {
+        let results = World::builder()
+            .nodes(2)
+            .ppn(3)
+            .library(Library::PipMColl)
+            .run(|comm| {
+                let mut maxes = [comm.rank() as i64, -(comm.rank() as i64)];
+                comm.allreduce(&mut maxes, ReduceOp::Max);
+                let mut mins = [comm.rank() as f64];
+                comm.allreduce(&mut mins, ReduceOp::Min);
+                (maxes, mins)
+            })
+            .unwrap();
+        for (maxes, mins) in results {
+            assert_eq!(maxes, [5, 0]);
+            assert_eq!(mins, [0.0]);
+        }
+    }
+
+    #[test]
+    fn sendrecv_exchanges_between_neighbours() {
+        let results = World::builder()
+            .nodes(1)
+            .ppn(4)
+            .library(Library::OpenMpi)
+            .run(|comm| {
+                let right = (comm.rank() + 1) % comm.size();
+                let left = (comm.rank() + comm.size() - 1) % comm.size();
+                let received = comm.sendrecv(right, &[comm.rank() as u32], left, 1, 3);
+                received[0]
+            })
+            .unwrap();
+        assert_eq!(results, vec![3, 0, 1, 2]);
+    }
+}

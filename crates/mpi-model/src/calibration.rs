@@ -1,0 +1,103 @@
+//! Calibration constants and their provenance.
+//!
+//! Absolute values are not the point of this reproduction — the paper's
+//! testbed cannot be re-measured here — but the *structure* of the costs is:
+//! which library pays kernel crossings, which pays double copies, which pays
+//! extra synchronization, and what the adapter can absorb.  The constants
+//! below are drawn from published measurements for comparable hardware and
+//! from the mechanism papers cited in the paper's introduction:
+//!
+//! * **NIC / link** (`pip_transport::netcard::NicParams::omni_path_hpdc23`):
+//!   Intel Omni-Path 100 series — 100 Gb/s, ~97 M msg/s aggregate message
+//!   rate (both quoted in the paper, §3), ~0.9 µs port-to-port latency, and
+//!   a few hundred nanoseconds of per-message host send/receive processing
+//!   (PSM2 microbenchmarks).
+//! * **CMA** (`process_vm_readv`): one system call per transfer, ~0.4–0.5 µs
+//!   on Broadwell-class Xeons (Chakraborty et al., CLUSTER '17 report
+//!   kernel-assisted copies only winning past a few kilobytes for exactly
+//!   this reason).
+//! * **XPMEM**: attach ~2–3 µs amortized by a registration cache, ~1 µs soft
+//!   page fault on first touch of each mapped page (Hashmi et al.,
+//!   IPDPS '18).
+//! * **POSIX shared memory**: no kernel crossing in steady state but two
+//!   copies of every payload through a bounded segment (Parsons & Pai,
+//!   IPDPS '14).
+//! * **PiP**: plain load/store access to the peer's memory — a single copy,
+//!   no kernel involvement (Hori et al., HPDC '18).
+//! * **Per-library software overheads**: relative magnitudes follow the
+//!   small-message latency differences commonly reported between these
+//!   libraries on OPA/InfiniBand fabrics; PiP-MPICH's extra per-message
+//!   synchronization is the "message size synchronization" overhead the
+//!   paper blames for PiP-MPICH sometimes being the slowest implementation.
+
+use pip_transport::cost::Nanos;
+
+/// Fixed cost charged once per collective invocation (argument checking,
+/// schedule selection), identical for all libraries.
+pub const GENERIC_COLLECTIVE_SETUP: Nanos = 150.0;
+
+/// Open MPI per-send software overhead beyond the NIC host overhead.
+pub const OPENMPI_SEND_OVERHEAD: Nanos = 180.0;
+/// Open MPI per-receive software overhead.
+pub const OPENMPI_RECV_OVERHEAD: Nanos = 200.0;
+
+/// Intel MPI per-send software overhead.
+pub const INTELMPI_SEND_OVERHEAD: Nanos = 120.0;
+/// Intel MPI per-receive software overhead.
+pub const INTELMPI_RECV_OVERHEAD: Nanos = 140.0;
+
+/// MVAPICH2 per-send software overhead.
+pub const MVAPICH2_SEND_OVERHEAD: Nanos = 150.0;
+/// MVAPICH2 per-receive software overhead.
+pub const MVAPICH2_RECV_OVERHEAD: Nanos = 170.0;
+
+/// PiP-MPICH per-send software overhead (lean MPICH path over PiP).
+pub const PIPMPICH_SEND_OVERHEAD: Nanos = 110.0;
+/// PiP-MPICH per-receive software overhead.
+pub const PIPMPICH_RECV_OVERHEAD: Nanos = 130.0;
+/// PiP-MPICH message-size synchronization, paid on every send and receive
+/// (the overhead the paper identifies in §3 as making PiP-MPICH sometimes
+/// the slowest implementation).
+pub const PIPMPICH_SIZE_SYNC: Nanos = 650.0;
+
+/// PiP-MColl per-send software overhead (the paper's design removes the
+/// synchronization and most of the matching work from the critical path).
+pub const PIPMCOLL_SEND_OVERHEAD: Nanos = 100.0;
+/// PiP-MColl per-receive software overhead.
+pub const PIPMCOLL_RECV_OVERHEAD: Nanos = 120.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overheads_are_positive_and_sub_microsecond() {
+        for value in [
+            OPENMPI_SEND_OVERHEAD,
+            OPENMPI_RECV_OVERHEAD,
+            INTELMPI_SEND_OVERHEAD,
+            INTELMPI_RECV_OVERHEAD,
+            MVAPICH2_SEND_OVERHEAD,
+            MVAPICH2_RECV_OVERHEAD,
+            PIPMPICH_SEND_OVERHEAD,
+            PIPMPICH_RECV_OVERHEAD,
+            PIPMCOLL_SEND_OVERHEAD,
+            PIPMCOLL_RECV_OVERHEAD,
+        ] {
+            assert!(value > 0.0 && value < 1000.0);
+        }
+    }
+
+    #[test]
+    fn size_sync_dominates_ordinary_software_overheads() {
+        assert!(PIPMPICH_SIZE_SYNC > OPENMPI_SEND_OVERHEAD);
+        assert!(PIPMPICH_SIZE_SYNC > MVAPICH2_RECV_OVERHEAD);
+    }
+
+    #[test]
+    fn pip_mcoll_has_the_leanest_software_path() {
+        assert!(PIPMCOLL_SEND_OVERHEAD <= PIPMPICH_SEND_OVERHEAD);
+        assert!(PIPMCOLL_SEND_OVERHEAD <= INTELMPI_SEND_OVERHEAD);
+        assert!(PIPMCOLL_SEND_OVERHEAD <= OPENMPI_SEND_OVERHEAD);
+    }
+}

@@ -1,0 +1,426 @@
+//! Dispatching a collective call to the algorithm a library would select.
+//!
+//! [`execute`] is generic over the communicator, so the same code path is
+//! used to run a collective for real on the thread runtime and to record it
+//! for the simulator.  The `record_*` helpers build the paper's workloads
+//! (per-process message sizes on a given topology) and produce validated
+//! traces, which is what the figure binaries and Criterion benches consume.
+
+use pip_collectives::comm::{record_trace, Comm, ReduceFn};
+use pip_collectives::{binomial, bruck, hierarchical, multi_object, recursive_doubling, ring};
+use pip_netsim::trace::Trace;
+use pip_runtime::Topology;
+
+use crate::selection::{
+    AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, GatherAlgo, ScatterAlgo,
+};
+use crate::LibraryProfile;
+
+/// A collective invocation, expressed over raw byte buffers (the `core`
+/// crate layers typed buffers on top).
+pub enum CollectiveRequest<'a> {
+    /// MPI_Allgather: `sendbuf` is this rank's block, `recvbuf` holds one
+    /// block per rank on return.
+    Allgather {
+        /// Contribution of the calling rank.
+        sendbuf: &'a [u8],
+        /// Receives every rank's contribution.
+        recvbuf: &'a mut [u8],
+    },
+    /// MPI_Scatter from `root`.
+    Scatter {
+        /// Root's send buffer (one block per rank); `None` on other ranks.
+        sendbuf: Option<&'a [u8]>,
+        /// Receives the calling rank's block.
+        recvbuf: &'a mut [u8],
+        /// Root rank.
+        root: usize,
+    },
+    /// MPI_Bcast from `root`.
+    Bcast {
+        /// Payload; holds the root's data on return.
+        buf: &'a mut [u8],
+        /// Root rank.
+        root: usize,
+    },
+    /// MPI_Gather to `root`.
+    Gather {
+        /// Contribution of the calling rank.
+        sendbuf: &'a [u8],
+        /// Root's receive buffer (one block per rank); `None` elsewhere.
+        recvbuf: Option<&'a mut [u8]>,
+        /// Root rank.
+        root: usize,
+    },
+    /// MPI_Allreduce with a commutative operator.
+    Allreduce {
+        /// Contribution on entry, reduced vector on return.
+        buf: &'a mut [u8],
+        /// Size of one reduction element in bytes.
+        elem_size: usize,
+        /// The reduction operator.
+        op: &'a ReduceFn<'a>,
+    },
+    /// MPI_Alltoall.
+    Alltoall {
+        /// One block per destination rank.
+        sendbuf: &'a [u8],
+        /// One block per source rank on return.
+        recvbuf: &'a mut [u8],
+    },
+    /// MPI_Barrier.
+    Barrier,
+}
+
+/// Execute `request` on `comm` using the algorithms `profile` selects.
+///
+/// `tag` must be unique per outstanding collective on the communicator
+/// (callers typically use a per-communicator sequence number shifted left).
+pub fn execute<C: Comm>(profile: &LibraryProfile, comm: &C, request: CollectiveRequest<'_>, tag: u64) {
+    comm.delay(profile.per_collective_setup);
+    let world = comm.world_size();
+    match request {
+        CollectiveRequest::Allgather { sendbuf, recvbuf } => {
+            match profile.selection.allgather_for(sendbuf.len(), world) {
+                AllgatherAlgo::Bruck => bruck::allgather_bruck(comm, sendbuf, recvbuf, tag),
+                AllgatherAlgo::RecursiveDoubling => {
+                    recursive_doubling::allgather_recursive_doubling(comm, sendbuf, recvbuf, tag)
+                }
+                AllgatherAlgo::Ring => ring::allgather_ring(comm, sendbuf, recvbuf, tag),
+                AllgatherAlgo::Hierarchical => {
+                    hierarchical::allgather_hierarchical(comm, sendbuf, recvbuf, tag)
+                }
+                AllgatherAlgo::MultiObject => {
+                    multi_object::allgather_multi_object(comm, sendbuf, recvbuf, tag)
+                }
+            }
+        }
+        CollectiveRequest::Scatter {
+            sendbuf,
+            recvbuf,
+            root,
+        } => match profile.selection.scatter {
+            ScatterAlgo::Binomial => binomial::scatter_binomial(comm, sendbuf, recvbuf, root, tag),
+            ScatterAlgo::Hierarchical => {
+                hierarchical::scatter_hierarchical(comm, sendbuf, recvbuf, root, tag)
+            }
+            ScatterAlgo::MultiObject => {
+                multi_object::scatter_multi_object(comm, sendbuf, recvbuf, root, tag)
+            }
+        },
+        CollectiveRequest::Bcast { buf, root } => match profile.selection.bcast {
+            BcastAlgo::Binomial => binomial::bcast_binomial(comm, buf, root, tag),
+            BcastAlgo::Hierarchical => hierarchical::bcast_hierarchical(comm, buf, root, tag),
+            BcastAlgo::MultiObject => multi_object::bcast_multi_object(comm, buf, root, tag),
+        },
+        CollectiveRequest::Gather {
+            sendbuf,
+            recvbuf,
+            root,
+        } => match profile.selection.gather {
+            GatherAlgo::Binomial => binomial::gather_binomial(comm, sendbuf, recvbuf, root, tag),
+            GatherAlgo::MultiObject => {
+                multi_object::gather_multi_object(comm, sendbuf, recvbuf, root, tag)
+            }
+        },
+        CollectiveRequest::Allreduce { buf, elem_size, op } => {
+            match profile.selection.allreduce_for(buf.len()) {
+                AllreduceAlgo::RecursiveDoubling => {
+                    recursive_doubling::allreduce_recursive_doubling(comm, buf, op, tag)
+                }
+                AllreduceAlgo::Ring => ring::allreduce_ring(comm, buf, op, tag),
+                AllreduceAlgo::Hierarchical => {
+                    hierarchical::allreduce_hierarchical(comm, buf, op, tag)
+                }
+                AllreduceAlgo::MultiObject => {
+                    multi_object::allreduce_multi_object(comm, buf, elem_size, op, tag)
+                }
+            }
+        }
+        CollectiveRequest::Alltoall { sendbuf, recvbuf } => match profile.selection.alltoall {
+            AlltoallAlgo::Bruck => bruck::alltoall_bruck(comm, sendbuf, recvbuf, tag),
+            AlltoallAlgo::MultiObject => {
+                multi_object::alltoall_multi_object(comm, sendbuf, recvbuf, tag)
+            }
+        },
+        CollectiveRequest::Barrier => recursive_doubling::barrier_dissemination(comm, tag),
+    }
+}
+
+fn elementwise_sum(acc: &mut [u8], other: &[u8]) {
+    for (a, b) in acc.iter_mut().zip(other) {
+        *a = a.wrapping_add(*b);
+    }
+}
+
+/// Record the trace of an allgather of `bytes` bytes per process.
+pub fn record_allgather(profile: &LibraryProfile, topology: Topology, bytes: usize) -> Trace {
+    record_trace(topology, |comm| {
+        let sendbuf = vec![0u8; bytes];
+        let mut recvbuf = vec![0u8; bytes * topology.world_size()];
+        execute(
+            profile,
+            comm,
+            CollectiveRequest::Allgather {
+                sendbuf: &sendbuf,
+                recvbuf: &mut recvbuf,
+            },
+            1,
+        );
+    })
+}
+
+/// Record the trace of a scatter of `bytes` bytes per process from `root`.
+pub fn record_scatter(
+    profile: &LibraryProfile,
+    topology: Topology,
+    bytes: usize,
+    root: usize,
+) -> Trace {
+    record_trace(topology, |comm| {
+        let sendbuf = vec![0u8; bytes * topology.world_size()];
+        let mut recvbuf = vec![0u8; bytes];
+        let send = (comm.rank() == root).then_some(sendbuf.as_slice());
+        execute(
+            profile,
+            comm,
+            CollectiveRequest::Scatter {
+                sendbuf: send,
+                recvbuf: &mut recvbuf,
+                root,
+            },
+            1,
+        );
+    })
+}
+
+/// Record the trace of a broadcast of `bytes` bytes from `root`.
+pub fn record_bcast(
+    profile: &LibraryProfile,
+    topology: Topology,
+    bytes: usize,
+    root: usize,
+) -> Trace {
+    record_trace(topology, |comm| {
+        let mut buf = vec![0u8; bytes];
+        execute(profile, comm, CollectiveRequest::Bcast { buf: &mut buf, root }, 1);
+    })
+}
+
+/// Record the trace of a gather of `bytes` bytes per process to `root`.
+pub fn record_gather(
+    profile: &LibraryProfile,
+    topology: Topology,
+    bytes: usize,
+    root: usize,
+) -> Trace {
+    record_trace(topology, |comm| {
+        let sendbuf = vec![0u8; bytes];
+        let mut recvbuf = vec![0u8; bytes * topology.world_size()];
+        let recv = (comm.rank() == root).then_some(recvbuf.as_mut_slice());
+        execute(
+            profile,
+            comm,
+            CollectiveRequest::Gather {
+                sendbuf: &sendbuf,
+                recvbuf: recv,
+                root,
+            },
+            1,
+        );
+    })
+}
+
+/// Record the trace of an allreduce over a vector of `bytes` bytes
+/// (byte-wise sum operator, element size 1).
+pub fn record_allreduce(profile: &LibraryProfile, topology: Topology, bytes: usize) -> Trace {
+    record_trace(topology, |comm| {
+        let mut buf = vec![0u8; bytes];
+        execute(
+            profile,
+            comm,
+            CollectiveRequest::Allreduce {
+                buf: &mut buf,
+                elem_size: 1,
+                op: &elementwise_sum,
+            },
+            1,
+        );
+    })
+}
+
+/// Record the trace of an alltoall of `bytes` bytes per destination process.
+pub fn record_alltoall(profile: &LibraryProfile, topology: Topology, bytes: usize) -> Trace {
+    record_trace(topology, |comm| {
+        let sendbuf = vec![0u8; bytes * topology.world_size()];
+        let mut recvbuf = vec![0u8; bytes * topology.world_size()];
+        execute(
+            profile,
+            comm,
+            CollectiveRequest::Alltoall {
+                sendbuf: &sendbuf,
+                recvbuf: &mut recvbuf,
+            },
+            1,
+        );
+    })
+}
+
+/// Record the trace of a barrier.
+pub fn record_barrier(profile: &LibraryProfile, topology: Topology) -> Trace {
+    record_trace(topology, |comm| {
+        execute(profile, comm, CollectiveRequest::Barrier, 1);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Library;
+    use pip_collectives::oracle;
+    use pip_collectives::ThreadComm;
+    use pip_runtime::Cluster;
+
+    /// Run an allgather through the dispatcher for every library on the real
+    /// runtime and check the result against the oracle — this exercises the
+    /// exact code path the figures measure, end to end.
+    #[test]
+    fn dispatched_allgather_is_correct_for_every_library() {
+        let topo = Topology::new(3, 2);
+        let world = topo.world_size();
+        let block = 16;
+        let contributions: Vec<Vec<u8>> =
+            (0..world).map(|r| oracle::rank_payload(r, block)).collect();
+        let expected = oracle::allgather(&contributions);
+        for library in Library::ALL {
+            let profile = library.profile();
+            let results = Cluster::launch(topo, |ctx| {
+                let comm = ThreadComm::new(ctx);
+                let sendbuf = oracle::rank_payload(comm.rank(), block);
+                let mut recvbuf = vec![0u8; world * block];
+                execute(
+                    &profile,
+                    &comm,
+                    CollectiveRequest::Allgather {
+                        sendbuf: &sendbuf,
+                        recvbuf: &mut recvbuf,
+                    },
+                    1,
+                );
+                recvbuf
+            })
+            .unwrap();
+            for buf in &results {
+                assert_eq!(buf, &expected, "{} allgather incorrect", library.name());
+            }
+        }
+    }
+
+    #[test]
+    fn dispatched_scatter_is_correct_for_every_library() {
+        let topo = Topology::new(2, 3);
+        let world = topo.world_size();
+        let block = 8;
+        let sendbuf = oracle::rank_payload(0, world * block);
+        let expected = oracle::scatter(&sendbuf, world);
+        for library in Library::ALL {
+            let profile = library.profile();
+            let sendbuf_ref = &sendbuf;
+            let results = Cluster::launch(topo, |ctx| {
+                let comm = ThreadComm::new(ctx);
+                let mut recvbuf = vec![0u8; block];
+                let send = (comm.rank() == 0).then_some(sendbuf_ref.as_slice());
+                execute(
+                    &profile,
+                    &comm,
+                    CollectiveRequest::Scatter {
+                        sendbuf: send,
+                        recvbuf: &mut recvbuf,
+                        root: 0,
+                    },
+                    1,
+                );
+                recvbuf
+            })
+            .unwrap();
+            for (rank, buf) in results.iter().enumerate() {
+                assert_eq!(buf, &expected[rank], "{} scatter incorrect", library.name());
+            }
+        }
+    }
+
+    #[test]
+    fn dispatched_allreduce_is_correct_for_every_library() {
+        let topo = Topology::new(2, 2);
+        let world = topo.world_size();
+        let len = 24;
+        let contributions: Vec<Vec<u8>> =
+            (0..world).map(|r| oracle::rank_payload(r, len)).collect();
+        let expected = oracle::allreduce(&contributions, oracle::wrapping_add_u8);
+        for library in Library::ALL {
+            let profile = library.profile();
+            let results = Cluster::launch(topo, |ctx| {
+                let comm = ThreadComm::new(ctx);
+                let mut buf = oracle::rank_payload(comm.rank(), len);
+                execute(
+                    &profile,
+                    &comm,
+                    CollectiveRequest::Allreduce {
+                        buf: &mut buf,
+                        elem_size: 1,
+                        op: &oracle::wrapping_add_u8,
+                    },
+                    1,
+                );
+                buf
+            })
+            .unwrap();
+            for buf in &results {
+                assert_eq!(buf, &expected, "{} allreduce incorrect", library.name());
+            }
+        }
+    }
+
+    #[test]
+    fn recorded_traces_validate_for_every_library_and_collective() {
+        let topo = Topology::new(4, 3);
+        for library in Library::ALL {
+            let profile = library.profile();
+            for trace in [
+                record_allgather(&profile, topo, 64),
+                record_scatter(&profile, topo, 64, 0),
+                record_bcast(&profile, topo, 256, 0),
+                record_gather(&profile, topo, 64, 0),
+                record_allreduce(&profile, topo, 512),
+                record_alltoall(&profile, topo, 32),
+                record_barrier(&profile, topo),
+            ] {
+                trace
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{}: invalid trace: {e}", library.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn pip_mcoll_spreads_network_work_across_local_ranks() {
+        let topo = Topology::new(8, 4);
+        let mcoll = record_allgather(&Library::PipMColl.profile(), topo, 64);
+        let mvapich = record_allgather(&Library::Mvapich2.profile(), topo, 64);
+        // Flat Bruck: every rank sends in every round.  Multi-object: at most
+        // a couple of sends per rank.
+        let mcoll_max_sends = (0..4).map(|r| mcoll.ranks[r].send_count()).max().unwrap();
+        let mvapich_rank0_sends = mvapich.ranks[0].send_count();
+        assert!(mcoll_max_sends < mvapich_rank0_sends);
+    }
+
+    #[test]
+    fn large_allgather_switches_algorithms_for_comparators() {
+        let topo = Topology::new(4, 2);
+        let profile = Library::OpenMpi.profile();
+        let small = record_allgather(&profile, topo, 64);
+        let large = record_allgather(&profile, topo, 64 * 1024);
+        // Ring allgather sends p-1 messages per rank; Bruck sends log2(p).
+        assert!(large.ranks[0].send_count() > small.ranks[0].send_count());
+    }
+}

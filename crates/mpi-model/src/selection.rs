@@ -1,0 +1,267 @@
+//! Per-library algorithm selection tables.
+//!
+//! MPI libraries pick a collective algorithm from the message size, the
+//! communicator size and (for node-aware libraries) the topology.  The
+//! tables below reproduce the choices the comparators make in the regime the
+//! paper evaluates (small and medium messages, large communicators), plus
+//! the large-message switch points so that the "larger messages" experiments
+//! exercise the same crossovers real libraries have.
+
+use serde::{Deserialize, Serialize};
+
+/// Allgather algorithm choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AllgatherAlgo {
+    /// Bruck's algorithm (small messages, any rank count).
+    Bruck,
+    /// Recursive doubling (small messages, power-of-two ranks).
+    RecursiveDoubling,
+    /// Ring (large messages).
+    Ring,
+    /// Single-leader two-level algorithm.
+    Hierarchical,
+    /// PiP-MColl multi-object Bruck with base P+1.
+    MultiObject,
+}
+
+/// Scatter algorithm choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScatterAlgo {
+    /// Binomial tree over all ranks.
+    Binomial,
+    /// Single-leader two-level algorithm.
+    Hierarchical,
+    /// PiP-MColl multi-object scatter.
+    MultiObject,
+}
+
+/// Broadcast algorithm choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BcastAlgo {
+    /// Binomial tree over all ranks.
+    Binomial,
+    /// Single-leader two-level algorithm.
+    Hierarchical,
+    /// PiP-MColl multi-object broadcast.
+    MultiObject,
+}
+
+/// Gather algorithm choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GatherAlgo {
+    /// Binomial tree over all ranks.
+    Binomial,
+    /// PiP-MColl multi-object gather.
+    MultiObject,
+}
+
+/// Allreduce algorithm choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AllreduceAlgo {
+    /// Recursive doubling (small messages).
+    RecursiveDoubling,
+    /// Ring reduce-scatter + allgather (large messages).
+    Ring,
+    /// Single-leader two-level algorithm.
+    Hierarchical,
+    /// PiP-MColl multi-object chunked allreduce.
+    MultiObject,
+}
+
+/// Alltoall algorithm choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlltoallAlgo {
+    /// Bruck's algorithm (small messages).
+    Bruck,
+    /// PiP-MColl multi-object node-aware pairwise exchange.
+    MultiObject,
+}
+
+/// The byte threshold (per-process message size) above which libraries
+/// switch from latency-oriented to bandwidth-oriented algorithms.
+pub const LARGE_MESSAGE_THRESHOLD: usize = 32 * 1024;
+
+/// Per-collective algorithm selection for one library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectionTable {
+    /// Allgather for small messages (below [`LARGE_MESSAGE_THRESHOLD`]).
+    pub allgather_small: AllgatherAlgo,
+    /// Allgather for large messages.
+    pub allgather_large: AllgatherAlgo,
+    /// Scatter (same algorithm across the sizes studied).
+    pub scatter: ScatterAlgo,
+    /// Broadcast.
+    pub bcast: BcastAlgo,
+    /// Gather.
+    pub gather: GatherAlgo,
+    /// Allreduce for small messages.
+    pub allreduce_small: AllreduceAlgo,
+    /// Allreduce for large messages.
+    pub allreduce_large: AllreduceAlgo,
+    /// Alltoall.
+    pub alltoall: AlltoallAlgo,
+    /// Whether recursive doubling replaces Bruck when the rank count is a
+    /// power of two (MPICH-derived behaviour).
+    pub prefer_recursive_doubling_pow2: bool,
+}
+
+impl SelectionTable {
+    /// Open MPI (tuned decision rules, flat algorithms at this scale).
+    pub fn open_mpi() -> Self {
+        Self {
+            allgather_small: AllgatherAlgo::Bruck,
+            allgather_large: AllgatherAlgo::Ring,
+            scatter: ScatterAlgo::Binomial,
+            bcast: BcastAlgo::Binomial,
+            gather: GatherAlgo::Binomial,
+            allreduce_small: AllreduceAlgo::RecursiveDoubling,
+            allreduce_large: AllreduceAlgo::Ring,
+            alltoall: AlltoallAlgo::Bruck,
+            prefer_recursive_doubling_pow2: false,
+        }
+    }
+
+    /// Intel MPI (MPICH-derived defaults).
+    pub fn intel_mpi() -> Self {
+        Self {
+            allgather_small: AllgatherAlgo::Bruck,
+            allgather_large: AllgatherAlgo::Ring,
+            scatter: ScatterAlgo::Binomial,
+            bcast: BcastAlgo::Hierarchical,
+            gather: GatherAlgo::Binomial,
+            allreduce_small: AllreduceAlgo::RecursiveDoubling,
+            allreduce_large: AllreduceAlgo::Ring,
+            alltoall: AlltoallAlgo::Bruck,
+            prefer_recursive_doubling_pow2: true,
+        }
+    }
+
+    /// MVAPICH2 (node-aware scatter/bcast/allreduce, flat small allgather).
+    pub fn mvapich2() -> Self {
+        Self {
+            allgather_small: AllgatherAlgo::Bruck,
+            allgather_large: AllgatherAlgo::Ring,
+            scatter: ScatterAlgo::Hierarchical,
+            bcast: BcastAlgo::Hierarchical,
+            gather: GatherAlgo::Binomial,
+            allreduce_small: AllreduceAlgo::Hierarchical,
+            allreduce_large: AllreduceAlgo::Ring,
+            alltoall: AlltoallAlgo::Bruck,
+            prefer_recursive_doubling_pow2: true,
+        }
+    }
+
+    /// PiP-MPICH: stock MPICH algorithm selection over the PiP transport.
+    pub fn pip_mpich() -> Self {
+        Self {
+            allgather_small: AllgatherAlgo::Bruck,
+            allgather_large: AllgatherAlgo::Ring,
+            scatter: ScatterAlgo::Binomial,
+            bcast: BcastAlgo::Binomial,
+            gather: GatherAlgo::Binomial,
+            allreduce_small: AllreduceAlgo::RecursiveDoubling,
+            allreduce_large: AllreduceAlgo::Ring,
+            alltoall: AlltoallAlgo::Bruck,
+            prefer_recursive_doubling_pow2: true,
+        }
+    }
+
+    /// PiP-MColl: the multi-object algorithms everywhere they exist.
+    pub fn pip_mcoll() -> Self {
+        Self {
+            allgather_small: AllgatherAlgo::MultiObject,
+            allgather_large: AllgatherAlgo::MultiObject,
+            scatter: ScatterAlgo::MultiObject,
+            bcast: BcastAlgo::MultiObject,
+            gather: GatherAlgo::MultiObject,
+            allreduce_small: AllreduceAlgo::MultiObject,
+            allreduce_large: AllreduceAlgo::MultiObject,
+            alltoall: AlltoallAlgo::MultiObject,
+            prefer_recursive_doubling_pow2: false,
+        }
+    }
+
+    /// The allgather algorithm for a per-process block of `bytes` bytes on a
+    /// communicator of `world` ranks.
+    pub fn allgather_for(&self, bytes: usize, world: usize) -> AllgatherAlgo {
+        let algo = if bytes >= LARGE_MESSAGE_THRESHOLD {
+            self.allgather_large
+        } else {
+            self.allgather_small
+        };
+        if algo == AllgatherAlgo::Bruck
+            && self.prefer_recursive_doubling_pow2
+            && world.is_power_of_two()
+        {
+            AllgatherAlgo::RecursiveDoubling
+        } else {
+            algo
+        }
+    }
+
+    /// The allreduce algorithm for a vector of `bytes` bytes.
+    pub fn allreduce_for(&self, bytes: usize) -> AllreduceAlgo {
+        if bytes >= LARGE_MESSAGE_THRESHOLD {
+            self.allreduce_large
+        } else {
+            self.allreduce_small
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pip_mcoll_always_selects_multi_object() {
+        let table = SelectionTable::pip_mcoll();
+        assert_eq!(table.allgather_for(64, 2304), AllgatherAlgo::MultiObject);
+        assert_eq!(table.allgather_for(1 << 20, 2304), AllgatherAlgo::MultiObject);
+        assert_eq!(table.allreduce_for(64), AllreduceAlgo::MultiObject);
+        assert_eq!(table.scatter, ScatterAlgo::MultiObject);
+    }
+
+    #[test]
+    fn comparators_use_flat_small_message_allgather() {
+        for table in [
+            SelectionTable::open_mpi(),
+            SelectionTable::intel_mpi(),
+            SelectionTable::mvapich2(),
+            SelectionTable::pip_mpich(),
+        ] {
+            let algo = table.allgather_for(64, 2304);
+            assert!(
+                matches!(algo, AllgatherAlgo::Bruck | AllgatherAlgo::RecursiveDoubling),
+                "expected a flat algorithm, got {algo:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn power_of_two_switches_bruck_to_recursive_doubling() {
+        let table = SelectionTable::pip_mpich();
+        assert_eq!(table.allgather_for(64, 1024), AllgatherAlgo::RecursiveDoubling);
+        assert_eq!(table.allgather_for(64, 2304), AllgatherAlgo::Bruck);
+        // Open MPI keeps Bruck regardless.
+        assert_eq!(
+            SelectionTable::open_mpi().allgather_for(64, 1024),
+            AllgatherAlgo::Bruck
+        );
+    }
+
+    #[test]
+    fn large_messages_switch_to_ring() {
+        let table = SelectionTable::open_mpi();
+        assert_eq!(table.allgather_for(LARGE_MESSAGE_THRESHOLD, 100), AllgatherAlgo::Ring);
+        assert_eq!(table.allreduce_for(1 << 20), AllreduceAlgo::Ring);
+        assert_eq!(table.allreduce_for(256), AllreduceAlgo::RecursiveDoubling);
+    }
+
+    #[test]
+    fn mvapich2_is_node_aware_for_rooted_collectives() {
+        let table = SelectionTable::mvapich2();
+        assert_eq!(table.scatter, ScatterAlgo::Hierarchical);
+        assert_eq!(table.bcast, BcastAlgo::Hierarchical);
+    }
+}

@@ -1,0 +1,608 @@
+//! The discrete-event engine that replays a [`Trace`] against the cost
+//! models and produces completion times.
+//!
+//! ## Model
+//!
+//! * Every rank is a sequential processor: an operation starts when the
+//!   previous one has completed.
+//! * `Send` charges the sender its host overhead (NIC `o` plus library
+//!   software overhead) and then hands the message to the node's adapter,
+//!   which serializes injections: a new message may enter the wire only
+//!   `max(g_nic, bytes/G)` after the previous one from the same node.  The
+//!   receiving node's adapter serializes arrivals the same way.  Intra-node
+//!   messages bypass the adapter entirely and are charged to the configured
+//!   intra-node mechanism.
+//! * `Recv` completes at `max(posted, arrival) + o_recv`.
+//! * `LocalBarrier` releases all ranks of the node at the time the last of
+//!   them arrives plus the barrier cost.
+//!
+//! The engine is deterministic: the event queue breaks time ties by a
+//! monotonically increasing sequence number.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use pip_transport::cost::{IntranodeCost, Nanos};
+
+use crate::params::SimParams;
+use crate::trace::{Trace, TraceError, TraceOp};
+
+/// Fixed cost of completing an intra-node receive (polling the flag the
+/// sender set in shared memory).  The payload copy itself is charged to the
+/// sender's transfer cost.
+const INTRA_RECV_FLAG_COST: Nanos = 40.0;
+
+/// Totally ordered wrapper for simulation timestamps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TimeKey(Nanos);
+
+impl Eq for TimeKey {}
+
+impl PartialOrd for TimeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RankState {
+    Runnable,
+    BlockedOnRecv,
+    BlockedOnBarrier,
+    Finished,
+}
+
+#[derive(Debug)]
+struct RankRuntime {
+    pc: usize,
+    ready_time: Nanos,
+    state: RankState,
+    barriers_done: usize,
+    finish_time: Nanos,
+}
+
+#[derive(Debug, Default)]
+struct BarrierEpisode {
+    arrived: usize,
+    latest_arrival: Nanos,
+    waiters: Vec<usize>,
+}
+
+/// Per-run simulation statistics beyond the makespan.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimStats {
+    /// Messages that crossed the network.
+    pub internode_messages: usize,
+    /// Messages whose endpoints shared a node.
+    pub intranode_messages: usize,
+    /// Payload bytes that crossed the network.
+    pub internode_bytes: usize,
+    /// Total simulated NIC injection occupancy summed over nodes.
+    pub nic_busy_total: Nanos,
+    /// Largest single-node NIC injection occupancy.
+    pub nic_busy_max: Nanos,
+    /// Number of node-local barrier episodes completed.
+    pub barrier_episodes: usize,
+}
+
+/// The outcome of replaying one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// Completion time of the whole schedule (maximum over ranks).
+    pub makespan: Nanos,
+    /// Per-rank completion times.
+    pub rank_finish: Vec<Nanos>,
+    /// Aggregate statistics.
+    pub stats: SimStats,
+}
+
+/// Errors the engine can report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The trace failed structural validation.
+    InvalidTrace(TraceError),
+    /// The schedule deadlocked: some ranks can never make progress (their
+    /// receives or barriers are never satisfied).
+    Deadlock { stuck_ranks: Vec<usize> },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::InvalidTrace(err) => write!(f, "invalid trace: {err}"),
+            SimError::Deadlock { stuck_ranks } => {
+                write!(f, "simulation deadlocked; stuck ranks: {stuck_ranks:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The discrete-event simulator.
+#[derive(Debug)]
+pub struct SimEngine {
+    params: SimParams,
+}
+
+impl SimEngine {
+    /// Create an engine with the given parameters.
+    pub fn new(params: SimParams) -> Self {
+        Self { params }
+    }
+
+    /// The engine's parameters.
+    pub fn params(&self) -> &SimParams {
+        &self.params
+    }
+
+    /// Replay `trace` and return completion times and statistics.
+    pub fn run(&self, trace: &Trace) -> Result<SimOutcome, SimError> {
+        trace.validate().map_err(SimError::InvalidTrace)?;
+        let topology = trace.topology;
+        let world = topology.world_size();
+        let nic = self.params.nic_model();
+        let intranode = self.params.intranode;
+
+        let mut ranks: Vec<RankRuntime> = (0..world)
+            .map(|_| RankRuntime {
+                pc: 0,
+                ready_time: 0.0,
+                state: RankState::Runnable,
+                barriers_done: 0,
+                finish_time: 0.0,
+            })
+            .collect();
+
+        // Node-level NIC resources.
+        let mut tx_free = vec![0.0f64; topology.nodes()];
+        let mut rx_free = vec![0.0f64; topology.nodes()];
+        let mut nic_busy = vec![0.0f64; topology.nodes()];
+
+        // In-flight messages: (source, dest, tag) -> arrival times, FIFO.
+        let mut mailbox: HashMap<(usize, usize, u64), VecDeque<Nanos>> = HashMap::new();
+        // Ranks blocked on a receive, keyed the same way.
+        let mut blocked_recv: HashMap<(usize, usize, u64), usize> = HashMap::new();
+        // Barrier bookkeeping per node: episode index -> state.
+        let mut barriers: Vec<HashMap<usize, BarrierEpisode>> =
+            (0..topology.nodes()).map(|_| HashMap::new()).collect();
+
+        let mut stats = SimStats::default();
+
+        // Event queue: (time, seq, rank).
+        let mut queue: BinaryHeap<Reverse<(TimeKey, u64, usize)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let push_event = |queue: &mut BinaryHeap<Reverse<(TimeKey, u64, usize)>>,
+                              seq: &mut u64,
+                              time: Nanos,
+                              rank: usize| {
+            queue.push(Reverse((TimeKey(time), *seq, rank)));
+            *seq += 1;
+        };
+
+        for rank in 0..world {
+            push_event(&mut queue, &mut seq, 0.0, rank);
+        }
+
+        while let Some(Reverse((TimeKey(now), _, rank))) = queue.pop() {
+            let state = ranks[rank].state;
+            if state == RankState::Finished
+                || state == RankState::BlockedOnRecv
+                || state == RankState::BlockedOnBarrier
+            {
+                // Blocked ranks are re-scheduled explicitly when unblocked;
+                // stale events are ignored.
+                continue;
+            }
+            let now = now.max(ranks[rank].ready_time);
+            let pc = ranks[rank].pc;
+            let ops = &trace.ranks[rank].ops;
+            if pc >= ops.len() {
+                ranks[rank].state = RankState::Finished;
+                ranks[rank].finish_time = now;
+                continue;
+            }
+            match ops[pc] {
+                TraceOp::Send { dest, bytes, tag } => {
+                    let src_node = topology.node_of(rank);
+                    let dst_node = topology.node_of(dest);
+                    let (sender_done, arrival) = if rank == dest {
+                        // Self message: a local copy.
+                        let done = now + self.params.memcpy.copy_cost(bytes);
+                        (done, done)
+                    } else if src_node == dst_node {
+                        stats.intranode_messages += 1;
+                        let cost = intranode
+                            .transfer_cost(bytes, !self.params.warm_buffers)
+                            + self.params.software_send_overhead;
+                        let done = now + cost;
+                        (done, done)
+                    } else {
+                        stats.internode_messages += 1;
+                        stats.internode_bytes += bytes;
+                        let sender_done = now
+                            + nic.host_send_overhead(bytes)
+                            + self.params.software_send_overhead;
+                        let occupancy = nic.nic_occupancy(bytes);
+                        let tx_start = sender_done.max(tx_free[src_node]);
+                        let tx_end = tx_start + occupancy;
+                        tx_free[src_node] = tx_end;
+                        nic_busy[src_node] += occupancy;
+                        let rx_ready = tx_end + nic.wire_latency();
+                        let rx_start = rx_ready.max(rx_free[dst_node]);
+                        let rx_end = rx_start + occupancy;
+                        rx_free[dst_node] = rx_end;
+                        nic_busy[dst_node] += occupancy;
+                        (sender_done, rx_end)
+                    };
+                    mailbox
+                        .entry((rank, dest, tag))
+                        .or_default()
+                        .push_back(arrival);
+                    // Wake a receiver blocked on this message.
+                    if let Some(&receiver) = blocked_recv.get(&(rank, dest, tag)) {
+                        blocked_recv.remove(&(rank, dest, tag));
+                        ranks[receiver].state = RankState::Runnable;
+                        let wake = arrival.max(ranks[receiver].ready_time);
+                        push_event(&mut queue, &mut seq, wake, receiver);
+                    }
+                    ranks[rank].pc += 1;
+                    ranks[rank].ready_time = sender_done;
+                    push_event(&mut queue, &mut seq, sender_done, rank);
+                }
+                TraceOp::Recv { source, bytes, tag } => {
+                    let key = (source, rank, tag);
+                    let available = mailbox
+                        .get_mut(&key)
+                        .and_then(|queue| queue.pop_front());
+                    match available {
+                        Some(arrival) => {
+                            let same_node = topology.same_node(source, rank);
+                            let recv_cost = if same_node || source == rank {
+                                INTRA_RECV_FLAG_COST + self.params.software_recv_overhead
+                            } else {
+                                nic.host_recv_overhead(bytes)
+                                    + self.params.software_recv_overhead
+                            };
+                            let done = now.max(arrival) + recv_cost;
+                            ranks[rank].pc += 1;
+                            ranks[rank].ready_time = done;
+                            push_event(&mut queue, &mut seq, done, rank);
+                        }
+                        None => {
+                            ranks[rank].state = RankState::BlockedOnRecv;
+                            ranks[rank].ready_time = now;
+                            blocked_recv.insert(key, rank);
+                        }
+                    }
+                }
+                TraceOp::CopyIntra {
+                    bytes,
+                    mechanism,
+                    first_use,
+                } => {
+                    let cost_model = mechanism
+                        .map(IntranodeCost::defaults_for)
+                        .unwrap_or(intranode);
+                    let cold = first_use && !self.params.warm_buffers;
+                    let done = now + cost_model.transfer_cost(bytes, cold);
+                    ranks[rank].pc += 1;
+                    ranks[rank].ready_time = done;
+                    push_event(&mut queue, &mut seq, done, rank);
+                }
+                TraceOp::Reduce { bytes } => {
+                    let done = now + self.params.memcpy.reduce_cost(bytes);
+                    ranks[rank].pc += 1;
+                    ranks[rank].ready_time = done;
+                    push_event(&mut queue, &mut seq, done, rank);
+                }
+                TraceOp::Delay { nanos } => {
+                    let done = now + nanos.max(0.0);
+                    ranks[rank].pc += 1;
+                    ranks[rank].ready_time = done;
+                    push_event(&mut queue, &mut seq, done, rank);
+                }
+                TraceOp::LocalBarrier => {
+                    let node = topology.node_of(rank);
+                    let ppn = topology.ppn();
+                    let episode_index = ranks[rank].barriers_done;
+                    let episode = barriers[node].entry(episode_index).or_default();
+                    episode.arrived += 1;
+                    episode.latest_arrival = episode.latest_arrival.max(now);
+                    if episode.arrived == ppn {
+                        let release =
+                            episode.latest_arrival + self.params.barrier_cost(ppn);
+                        stats.barrier_episodes += 1;
+                        let waiters: Vec<usize> = episode
+                            .waiters
+                            .drain(..)
+                            .chain(std::iter::once(rank))
+                            .collect();
+                        barriers[node].remove(&episode_index);
+                        for waiter in waiters {
+                            ranks[waiter].state = RankState::Runnable;
+                            ranks[waiter].pc += 1;
+                            ranks[waiter].barriers_done += 1;
+                            ranks[waiter].ready_time = release;
+                            push_event(&mut queue, &mut seq, release, waiter);
+                        }
+                    } else {
+                        episode.waiters.push(rank);
+                        ranks[rank].state = RankState::BlockedOnBarrier;
+                        ranks[rank].ready_time = now;
+                    }
+                }
+            }
+        }
+
+        // Every rank must have drained its program; otherwise the schedule
+        // deadlocked (validation catches most causes, but e.g. circular
+        // waits are only detectable here).
+        let stuck: Vec<usize> = ranks
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.state != RankState::Finished)
+            .map(|(rank, _)| rank)
+            .collect();
+        if !stuck.is_empty() {
+            return Err(SimError::Deadlock { stuck_ranks: stuck });
+        }
+
+        stats.nic_busy_total = nic_busy.iter().sum();
+        stats.nic_busy_max = nic_busy.iter().copied().fold(0.0, Nanos::max);
+
+        let rank_finish: Vec<Nanos> = ranks.iter().map(|r| r.finish_time).collect();
+        let makespan = rank_finish.iter().copied().fold(0.0, Nanos::max);
+        Ok(SimOutcome {
+            makespan,
+            rank_finish,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pip_runtime::Topology;
+    use pip_transport::cost::IntranodeMechanism;
+
+    fn engine() -> SimEngine {
+        SimEngine::new(SimParams::default())
+    }
+
+    fn topo(nodes: usize, ppn: usize) -> Topology {
+        Topology::new(nodes, ppn)
+    }
+
+    #[test]
+    fn empty_trace_completes_at_time_zero() {
+        let trace = Trace::empty(topo(2, 2));
+        let outcome = engine().run(&trace).unwrap();
+        assert_eq!(outcome.makespan, 0.0);
+        assert_eq!(outcome.stats.internode_messages, 0);
+    }
+
+    #[test]
+    fn single_internode_message_latency_matches_model() {
+        let mut trace = Trace::empty(topo(2, 1));
+        trace.push(0, TraceOp::Send { dest: 1, bytes: 64, tag: 0 });
+        trace.push(1, TraceOp::Recv { source: 0, bytes: 64, tag: 0 });
+        let engine = engine();
+        let outcome = engine.run(&trace).unwrap();
+        let nic = engine.params().nic_model();
+        let expected = nic.host_send_overhead(64)
+            + 2.0 * nic.nic_occupancy(64)
+            + nic.wire_latency()
+            + nic.host_recv_overhead(64);
+        assert!((outcome.makespan - expected).abs() < 1e-6);
+        assert_eq!(outcome.stats.internode_messages, 1);
+        assert_eq!(outcome.stats.internode_bytes, 64);
+    }
+
+    #[test]
+    fn intranode_message_bypasses_the_nic() {
+        let mut trace = Trace::empty(topo(1, 2));
+        trace.push(0, TraceOp::Send { dest: 1, bytes: 64, tag: 0 });
+        trace.push(1, TraceOp::Recv { source: 0, bytes: 64, tag: 0 });
+        let outcome = engine().run(&trace).unwrap();
+        assert_eq!(outcome.stats.internode_messages, 0);
+        assert_eq!(outcome.stats.intranode_messages, 1);
+        assert_eq!(outcome.stats.nic_busy_total, 0.0);
+        // Intra-node through PiP is far cheaper than crossing the wire.
+        assert!(outcome.makespan < 1000.0);
+    }
+
+    #[test]
+    fn recv_posted_before_send_still_completes() {
+        // Rank 1 (receiver) is scheduled first but must block and be woken.
+        let mut trace = Trace::empty(topo(2, 1));
+        trace.push(1, TraceOp::Recv { source: 0, bytes: 8, tag: 9 });
+        trace.push(0, TraceOp::Delay { nanos: 5000.0 });
+        trace.push(0, TraceOp::Send { dest: 1, bytes: 8, tag: 9 });
+        let outcome = engine().run(&trace).unwrap();
+        assert!(outcome.makespan > 5000.0);
+        assert!(outcome.rank_finish[1] >= outcome.rank_finish[0]);
+    }
+
+    #[test]
+    fn nic_serializes_messages_from_the_same_node() {
+        // Two senders on node 0 each send 8 messages to node 1; the node's
+        // adapter must serialize them, so the makespan exceeds a single
+        // sender's host overhead chain.
+        let messages = 8;
+        let mut trace = Trace::empty(topo(2, 2));
+        for sender in [0usize, 1] {
+            for m in 0..messages {
+                trace.push(sender, TraceOp::Send { dest: 2 + sender, bytes: 16, tag: m });
+            }
+        }
+        for receiver in [2usize, 3] {
+            for m in 0..messages {
+                trace.push(receiver, TraceOp::Recv { source: receiver - 2, bytes: 16, tag: m });
+            }
+        }
+        let engine = engine();
+        let outcome = engine.run(&trace).unwrap();
+        let nic = engine.params().nic_model();
+        // Lower bound: the NIC must inject 16 messages back to back.
+        let nic_bound = 16.0 * nic.nic_occupancy(16);
+        assert!(outcome.stats.nic_busy_max >= nic_bound - 1e-6);
+        assert!(outcome.makespan > nic_bound);
+    }
+
+    #[test]
+    fn multiple_senders_beat_a_single_sender_for_many_small_messages() {
+        // The multi-object premise: sending N messages from one process is
+        // slower than sending N/k messages from each of k processes on the
+        // same node, because host overhead dominates small messages.
+        let total_messages = 32;
+        let nodes = 2;
+
+        // Single sender.
+        let mut single = Trace::empty(topo(nodes, 4));
+        for m in 0..total_messages {
+            single.push(0, TraceOp::Send { dest: 4, bytes: 32, tag: m as u64 });
+            single.push(4, TraceOp::Recv { source: 0, bytes: 32, tag: m as u64 });
+        }
+
+        // Four senders, four receivers.
+        let mut multi = Trace::empty(topo(nodes, 4));
+        for m in 0..total_messages {
+            let sender = m % 4;
+            let receiver = 4 + m % 4;
+            multi.push(sender, TraceOp::Send { dest: receiver, bytes: 32, tag: m as u64 });
+            multi.push(receiver, TraceOp::Recv { source: sender, bytes: 32, tag: m as u64 });
+        }
+
+        let engine = engine();
+        let t_single = engine.run(&single).unwrap().makespan;
+        let t_multi = engine.run(&multi).unwrap().makespan;
+        assert!(
+            t_multi < t_single / 2.0,
+            "multi-object ({t_multi:.0} ns) should be well under half of single-object ({t_single:.0} ns)"
+        );
+    }
+
+    #[test]
+    fn barrier_releases_all_ranks_at_the_same_time() {
+        let mut trace = Trace::empty(topo(1, 4));
+        trace.push(0, TraceOp::Delay { nanos: 1000.0 });
+        for rank in 0..4 {
+            trace.push(rank, TraceOp::LocalBarrier);
+        }
+        let outcome = engine().run(&trace).unwrap();
+        let finish = &outcome.rank_finish;
+        for rank in 1..4 {
+            assert!((finish[rank] - finish[0]).abs() < 1e-9);
+        }
+        assert!(outcome.makespan >= 1000.0);
+        assert_eq!(outcome.stats.barrier_episodes, 1);
+    }
+
+    #[test]
+    fn barriers_only_synchronize_within_a_node() {
+        let mut trace = Trace::empty(topo(2, 2));
+        // Node 0 ranks barrier quickly; node 1 ranks delay first.
+        for rank in [0usize, 1] {
+            trace.push(rank, TraceOp::LocalBarrier);
+        }
+        for rank in [2usize, 3] {
+            trace.push(rank, TraceOp::Delay { nanos: 10_000.0 });
+            trace.push(rank, TraceOp::LocalBarrier);
+        }
+        let outcome = engine().run(&trace).unwrap();
+        assert!(outcome.rank_finish[0] < 1000.0);
+        assert!(outcome.rank_finish[2] >= 10_000.0);
+    }
+
+    #[test]
+    fn deadlock_is_reported_not_hung() {
+        let mut trace = Trace::empty(topo(1, 2));
+        // Rank 0 waits for a message that is sent only after rank 1's own
+        // receive from rank 0 — a classic circular wait.
+        trace.push(0, TraceOp::Recv { source: 1, bytes: 8, tag: 0 });
+        trace.push(0, TraceOp::Send { dest: 1, bytes: 8, tag: 0 });
+        trace.push(1, TraceOp::Recv { source: 0, bytes: 8, tag: 0 });
+        trace.push(1, TraceOp::Send { dest: 0, bytes: 8, tag: 0 });
+        let err = SimEngine::new(SimParams::default()).run(&trace).unwrap_err();
+        match err {
+            SimError::Deadlock { stuck_ranks } => {
+                assert_eq!(stuck_ranks, vec![0, 1]);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_trace_is_rejected_before_running() {
+        let mut trace = Trace::empty(topo(1, 2));
+        trace.push(0, TraceOp::Send { dest: 1, bytes: 8, tag: 0 });
+        // No matching receive.
+        assert!(matches!(
+            engine().run(&trace).unwrap_err(),
+            SimError::InvalidTrace(_)
+        ));
+    }
+
+    #[test]
+    fn cma_intranode_transport_is_slower_than_pip_for_small_messages() {
+        let mut trace = Trace::empty(topo(1, 2));
+        for m in 0..16u64 {
+            trace.push(0, TraceOp::Send { dest: 1, bytes: 16, tag: m });
+            trace.push(1, TraceOp::Recv { source: 0, bytes: 16, tag: m });
+        }
+        let pip = SimEngine::new(SimParams::default()).run(&trace).unwrap();
+        let cma = SimEngine::new(SimParams::default().with_intranode(IntranodeMechanism::Cma))
+            .run(&trace)
+            .unwrap();
+        assert!(cma.makespan > pip.makespan * 2.0);
+    }
+
+    #[test]
+    fn determinism_identical_runs_identical_results() {
+        let mut trace = Trace::empty(topo(4, 3));
+        for rank in 0..12usize {
+            let peer = (rank + 3) % 12;
+            trace.push(rank, TraceOp::Send { dest: peer, bytes: 128, tag: 7 });
+            let from = (rank + 12 - 3) % 12;
+            trace.push(rank, TraceOp::Recv { source: from, bytes: 128, tag: 7 });
+            trace.push(rank, TraceOp::LocalBarrier);
+        }
+        let a = engine().run(&trace).unwrap();
+        let b = engine().run(&trace).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn self_send_is_a_local_copy() {
+        let mut trace = Trace::empty(topo(1, 1));
+        trace.push(0, TraceOp::Send { dest: 0, bytes: 1024, tag: 0 });
+        trace.push(0, TraceOp::Recv { source: 0, bytes: 1024, tag: 0 });
+        let outcome = engine().run(&trace).unwrap();
+        assert_eq!(outcome.stats.internode_messages, 0);
+        assert!(outcome.makespan < 5000.0);
+    }
+
+    #[test]
+    fn software_overhead_increases_every_message_cost() {
+        let mut trace = Trace::empty(topo(2, 1));
+        for m in 0..4u64 {
+            trace.push(0, TraceOp::Send { dest: 1, bytes: 8, tag: m });
+            trace.push(1, TraceOp::Recv { source: 0, bytes: 8, tag: m });
+        }
+        let base = SimEngine::new(SimParams::default()).run(&trace).unwrap();
+        let taxed = SimEngine::new(
+            SimParams::default().with_software_overhead(500.0, 500.0),
+        )
+        .run(&trace)
+        .unwrap();
+        assert!(taxed.makespan > base.makespan + 4.0 * 500.0 - 1.0);
+    }
+}

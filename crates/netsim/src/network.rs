@@ -1,0 +1,131 @@
+//! High-level simulation entry point and reporting.
+
+use pip_transport::cost::Nanos;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{SimEngine, SimError, SimOutcome};
+use crate::params::SimParams;
+use crate::trace::Trace;
+
+/// A human- and machine-readable summary of one simulated collective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Label supplied by the caller (e.g. the library preset name).
+    pub label: String,
+    /// Completion time of the collective in nanoseconds.
+    pub makespan_ns: Nanos,
+    /// Completion time in microseconds (the unit the paper plots).
+    pub makespan_us: f64,
+    /// Number of ranks simulated.
+    pub world_size: usize,
+    /// Messages that crossed the network.
+    pub internode_messages: usize,
+    /// Messages between tasks of one node.
+    pub intranode_messages: usize,
+    /// Bytes that crossed the network.
+    pub internode_bytes: usize,
+    /// Largest per-node NIC occupancy, as a fraction of the makespan
+    /// (how close the busiest adapter came to saturation).
+    pub nic_utilization: f64,
+    /// Number of node-local barrier episodes.
+    pub barrier_episodes: usize,
+}
+
+impl SimulationReport {
+    /// Build a report from a raw engine outcome.
+    pub fn from_outcome(label: impl Into<String>, world_size: usize, outcome: &SimOutcome) -> Self {
+        let nic_utilization = if outcome.makespan > 0.0 {
+            outcome.stats.nic_busy_max / outcome.makespan
+        } else {
+            0.0
+        };
+        Self {
+            label: label.into(),
+            makespan_ns: outcome.makespan,
+            makespan_us: outcome.makespan / 1000.0,
+            world_size,
+            internode_messages: outcome.stats.internode_messages,
+            intranode_messages: outcome.stats.intranode_messages,
+            internode_bytes: outcome.stats.internode_bytes,
+            nic_utilization,
+            barrier_episodes: outcome.stats.barrier_episodes,
+        }
+    }
+
+    /// Execution time scaled to another report (the paper's figures plot
+    /// "scaled execution time", normalized to PiP-MColl).
+    pub fn scaled_to(&self, reference: &SimulationReport) -> f64 {
+        if reference.makespan_ns == 0.0 {
+            return f64::INFINITY;
+        }
+        self.makespan_ns / reference.makespan_ns
+    }
+}
+
+/// Simulate `trace` under `params` and label the report.
+pub fn simulate(
+    label: impl Into<String>,
+    trace: &Trace,
+    params: &SimParams,
+) -> Result<SimulationReport, SimError> {
+    let engine = SimEngine::new(*params);
+    let outcome = engine.run(trace)?;
+    Ok(SimulationReport::from_outcome(
+        label,
+        trace.topology.world_size(),
+        &outcome,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceOp;
+    use pip_runtime::Topology;
+
+    fn ping_pong_trace() -> Trace {
+        let mut trace = Trace::empty(Topology::new(2, 1));
+        trace.push(0, TraceOp::Send { dest: 1, bytes: 256, tag: 0 });
+        trace.push(1, TraceOp::Recv { source: 0, bytes: 256, tag: 0 });
+        trace.push(1, TraceOp::Send { dest: 0, bytes: 256, tag: 1 });
+        trace.push(0, TraceOp::Recv { source: 1, bytes: 256, tag: 1 });
+        trace
+    }
+
+    #[test]
+    fn simulate_produces_consistent_units() {
+        let report = simulate("ping-pong", &ping_pong_trace(), &SimParams::default()).unwrap();
+        assert_eq!(report.label, "ping-pong");
+        assert!((report.makespan_us - report.makespan_ns / 1000.0).abs() < 1e-12);
+        assert_eq!(report.world_size, 2);
+        assert_eq!(report.internode_messages, 2);
+        assert_eq!(report.internode_bytes, 512);
+    }
+
+    #[test]
+    fn scaled_to_self_is_one() {
+        let report = simulate("x", &ping_pong_trace(), &SimParams::default()).unwrap();
+        assert!((report.scaled_to(&report) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_to_is_ratio_of_makespans() {
+        let fast = simulate("fast", &ping_pong_trace(), &SimParams::default()).unwrap();
+        let slow = simulate(
+            "slow",
+            &ping_pong_trace(),
+            &SimParams::default().with_software_overhead(10_000.0, 10_000.0),
+        )
+        .unwrap();
+        let ratio = slow.scaled_to(&fast);
+        assert!(ratio > 2.0);
+        assert!((slow.makespan_ns / fast.makespan_ns - ratio).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nic_utilization_is_bounded() {
+        let report = simulate("x", &ping_pong_trace(), &SimParams::default()).unwrap();
+        assert!(report.nic_utilization >= 0.0);
+        assert!(report.nic_utilization <= 1.0);
+    }
+}

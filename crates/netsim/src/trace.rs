@@ -1,0 +1,382 @@
+//! Communication traces: the per-rank operation sequences the simulator
+//! replays.
+//!
+//! A trace is produced by running a collective algorithm against the
+//! recording communicator (`pip_collectives::comm::TraceComm`), so it
+//! contains exactly the sends, receives, intra-node copies, reductions and
+//! barriers the algorithm would perform — with payload *sizes* but not
+//! payload bytes.
+
+use pip_runtime::Topology;
+use pip_transport::cost::{IntranodeMechanism, Nanos};
+use serde::{Deserialize, Serialize};
+
+/// One operation executed by one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceOp {
+    /// Post a message of `bytes` bytes to `dest` with `tag`.  The sender is
+    /// busy for its host overhead; delivery is asynchronous.
+    Send { dest: usize, bytes: usize, tag: u64 },
+    /// Wait for a message of `bytes` bytes from `source` with `tag`.
+    Recv {
+        source: usize,
+        bytes: usize,
+        tag: u64,
+    },
+    /// Move `bytes` bytes between two tasks of the same node through the
+    /// intra-node mechanism configured in the simulation parameters (or an
+    /// explicit override).
+    CopyIntra {
+        bytes: usize,
+        /// Mechanism override; `None` uses the simulation's configured
+        /// intra-node transport.
+        mechanism: Option<IntranodeMechanism>,
+        /// Whether this is the first use of the peer buffer (charges attach
+        /// and page-fault costs where the mechanism has them).
+        first_use: bool,
+    },
+    /// Apply a reduction over `bytes` bytes of local data.
+    Reduce { bytes: usize },
+    /// Generic local work of a fixed duration (software bookkeeping the
+    /// algorithm performs, e.g. PiP-MPICH's size synchronization).
+    Delay { nanos: Nanos },
+    /// Node-wide barrier: all ranks of the executing rank's node must reach
+    /// their matching barrier before any of them proceeds.
+    LocalBarrier,
+}
+
+impl TraceOp {
+    /// Bytes carried by this operation (0 for barriers and delays).
+    pub fn bytes(&self) -> usize {
+        match self {
+            TraceOp::Send { bytes, .. }
+            | TraceOp::Recv { bytes, .. }
+            | TraceOp::CopyIntra { bytes, .. }
+            | TraceOp::Reduce { bytes } => *bytes,
+            TraceOp::Delay { .. } | TraceOp::LocalBarrier => 0,
+        }
+    }
+}
+
+/// The ordered operations of one rank.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RankTrace {
+    /// Operations in program order.
+    pub ops: Vec<TraceOp>,
+}
+
+impl RankTrace {
+    /// Number of sends in the trace.
+    pub fn send_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, TraceOp::Send { .. }))
+            .count()
+    }
+
+    /// Number of receives in the trace.
+    pub fn recv_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, TraceOp::Recv { .. }))
+            .count()
+    }
+
+    /// Total bytes sent by this rank.
+    pub fn bytes_sent(&self) -> usize {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                TraceOp::Send { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Number of node-local barrier episodes this rank participates in.
+    pub fn barrier_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, TraceOp::LocalBarrier))
+            .count()
+    }
+}
+
+/// A whole-cluster trace: one [`RankTrace`] per rank plus the topology it was
+/// recorded for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// The cluster the trace describes.
+    #[serde(skip, default = "default_topology")]
+    pub topology: Topology,
+    /// Per-rank operation lists, indexed by rank.
+    pub ranks: Vec<RankTrace>,
+}
+
+fn default_topology() -> Topology {
+    Topology::new(1, 1)
+}
+
+/// Problems detected by [`Trace::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The number of rank traces does not match the topology's world size.
+    WrongRankCount { expected: usize, actual: usize },
+    /// A send or receive references a rank outside the world.
+    RankOutOfRange { rank: usize, op_rank: usize },
+    /// Sends and receives do not pair up: for some (source, dest, tag) the
+    /// message counts differ.
+    UnmatchedMessages {
+        source: usize,
+        dest: usize,
+        tag: u64,
+        sent: usize,
+        received: usize,
+    },
+    /// Ranks of the same node disagree on how many barrier episodes they
+    /// participate in.
+    BarrierMismatch {
+        node: usize,
+        min_count: usize,
+        max_count: usize,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::WrongRankCount { expected, actual } => {
+                write!(f, "trace has {actual} rank entries, topology expects {expected}")
+            }
+            TraceError::RankOutOfRange { rank, op_rank } => {
+                write!(f, "rank {rank} references out-of-range rank {op_rank}")
+            }
+            TraceError::UnmatchedMessages {
+                source,
+                dest,
+                tag,
+                sent,
+                received,
+            } => write!(
+                f,
+                "messages {source}->{dest} tag {tag}: {sent} sent but {received} received"
+            ),
+            TraceError::BarrierMismatch {
+                node,
+                min_count,
+                max_count,
+            } => write!(
+                f,
+                "node {node}: ranks disagree on barrier count ({min_count}..{max_count})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl Trace {
+    /// Create an empty trace (no operations) for `topology`.
+    pub fn empty(topology: Topology) -> Self {
+        Self {
+            topology,
+            ranks: vec![RankTrace::default(); topology.world_size()],
+        }
+    }
+
+    /// Append `op` to `rank`'s program.
+    pub fn push(&mut self, rank: usize, op: TraceOp) {
+        self.ranks[rank].ops.push(op);
+    }
+
+    /// Total messages sent across all ranks.
+    pub fn total_messages(&self) -> usize {
+        self.ranks.iter().map(RankTrace::send_count).sum()
+    }
+
+    /// Total payload bytes sent across all ranks.
+    pub fn total_bytes(&self) -> usize {
+        self.ranks.iter().map(RankTrace::bytes_sent).sum()
+    }
+
+    /// Messages whose source and destination live on different nodes.
+    pub fn internode_messages(&self) -> usize {
+        let mut count = 0;
+        for (rank, trace) in self.ranks.iter().enumerate() {
+            for op in &trace.ops {
+                if let TraceOp::Send { dest, .. } = op {
+                    if !self.topology.same_node(rank, *dest) {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// Check the structural invariants the simulator relies on: correct rank
+    /// count, in-range peers, matched send/receive multisets, and consistent
+    /// barrier counts within each node.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let world = self.topology.world_size();
+        if self.ranks.len() != world {
+            return Err(TraceError::WrongRankCount {
+                expected: world,
+                actual: self.ranks.len(),
+            });
+        }
+        use std::collections::HashMap;
+        let mut sent: HashMap<(usize, usize, u64), usize> = HashMap::new();
+        let mut received: HashMap<(usize, usize, u64), usize> = HashMap::new();
+        for (rank, trace) in self.ranks.iter().enumerate() {
+            for op in &trace.ops {
+                match *op {
+                    TraceOp::Send { dest, tag, .. } => {
+                        if dest >= world {
+                            return Err(TraceError::RankOutOfRange { rank, op_rank: dest });
+                        }
+                        *sent.entry((rank, dest, tag)).or_default() += 1;
+                    }
+                    TraceOp::Recv { source, tag, .. } => {
+                        if source >= world {
+                            return Err(TraceError::RankOutOfRange {
+                                rank,
+                                op_rank: source,
+                            });
+                        }
+                        *received.entry((source, rank, tag)).or_default() += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut keys: Vec<_> = sent.keys().chain(received.keys()).copied().collect();
+        keys.sort_unstable();
+        keys.dedup();
+        for key in keys {
+            let s = sent.get(&key).copied().unwrap_or(0);
+            let r = received.get(&key).copied().unwrap_or(0);
+            if s != r {
+                return Err(TraceError::UnmatchedMessages {
+                    source: key.0,
+                    dest: key.1,
+                    tag: key.2,
+                    sent: s,
+                    received: r,
+                });
+            }
+        }
+        for node in 0..self.topology.nodes() {
+            let counts: Vec<usize> = self
+                .topology
+                .ranks_on_node(node)
+                .map(|rank| self.ranks[rank].barrier_count())
+                .collect();
+            let min = counts.iter().copied().min().unwrap_or(0);
+            let max = counts.iter().copied().max().unwrap_or(0);
+            if min != max {
+                return Err(TraceError::BarrierMismatch {
+                    node,
+                    min_count: min,
+                    max_count: max,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_topology() -> Topology {
+        Topology::new(2, 2)
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let trace = Trace::empty(tiny_topology());
+        assert!(trace.validate().is_ok());
+        assert_eq!(trace.total_messages(), 0);
+        assert_eq!(trace.total_bytes(), 0);
+    }
+
+    #[test]
+    fn matched_send_recv_is_valid() {
+        let mut trace = Trace::empty(tiny_topology());
+        trace.push(0, TraceOp::Send { dest: 2, bytes: 64, tag: 1 });
+        trace.push(2, TraceOp::Recv { source: 0, bytes: 64, tag: 1 });
+        assert!(trace.validate().is_ok());
+        assert_eq!(trace.total_messages(), 1);
+        assert_eq!(trace.total_bytes(), 64);
+        assert_eq!(trace.internode_messages(), 1);
+    }
+
+    #[test]
+    fn unmatched_send_is_detected() {
+        let mut trace = Trace::empty(tiny_topology());
+        trace.push(0, TraceOp::Send { dest: 1, bytes: 8, tag: 0 });
+        let err = trace.validate().unwrap_err();
+        assert!(matches!(err, TraceError::UnmatchedMessages { sent: 1, received: 0, .. }));
+    }
+
+    #[test]
+    fn out_of_range_peer_is_detected() {
+        let mut trace = Trace::empty(tiny_topology());
+        trace.push(0, TraceOp::Send { dest: 9, bytes: 8, tag: 0 });
+        assert!(matches!(
+            trace.validate().unwrap_err(),
+            TraceError::RankOutOfRange { op_rank: 9, .. }
+        ));
+    }
+
+    #[test]
+    fn barrier_mismatch_is_detected() {
+        let mut trace = Trace::empty(tiny_topology());
+        trace.push(0, TraceOp::LocalBarrier);
+        // Rank 1 (same node as 0) never reaches a barrier.
+        let err = trace.validate().unwrap_err();
+        assert!(matches!(err, TraceError::BarrierMismatch { node: 0, .. }));
+    }
+
+    #[test]
+    fn wrong_rank_count_is_detected() {
+        let mut trace = Trace::empty(tiny_topology());
+        trace.ranks.pop();
+        assert!(matches!(
+            trace.validate().unwrap_err(),
+            TraceError::WrongRankCount { expected: 4, actual: 3 }
+        ));
+    }
+
+    #[test]
+    fn intra_node_messages_not_counted_as_internode() {
+        let mut trace = Trace::empty(tiny_topology());
+        trace.push(0, TraceOp::Send { dest: 1, bytes: 8, tag: 0 });
+        trace.push(1, TraceOp::Recv { source: 0, bytes: 8, tag: 0 });
+        assert_eq!(trace.internode_messages(), 0);
+        assert!(trace.validate().is_ok());
+    }
+
+    #[test]
+    fn rank_trace_counters() {
+        let mut rt = RankTrace::default();
+        rt.ops.push(TraceOp::Send { dest: 1, bytes: 10, tag: 0 });
+        rt.ops.push(TraceOp::Send { dest: 2, bytes: 20, tag: 0 });
+        rt.ops.push(TraceOp::Recv { source: 1, bytes: 5, tag: 0 });
+        rt.ops.push(TraceOp::LocalBarrier);
+        assert_eq!(rt.send_count(), 2);
+        assert_eq!(rt.recv_count(), 1);
+        assert_eq!(rt.bytes_sent(), 30);
+        assert_eq!(rt.barrier_count(), 1);
+    }
+
+    #[test]
+    fn op_bytes_accessor() {
+        assert_eq!(TraceOp::Send { dest: 0, bytes: 7, tag: 0 }.bytes(), 7);
+        assert_eq!(TraceOp::LocalBarrier.bytes(), 0);
+        assert_eq!(TraceOp::Delay { nanos: 5.0 }.bytes(), 0);
+        assert_eq!(TraceOp::Reduce { bytes: 12 }.bytes(), 12);
+    }
+}

@@ -1,0 +1,143 @@
+//! Error types for the PiP runtime.
+
+use std::fmt;
+
+/// Convenience alias used throughout the runtime.
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+/// Errors surfaced by the PiP runtime.
+///
+/// The runtime is deliberately strict: misuse that a real PiP/MPI program
+/// would turn into a hang or a segfault (attaching a region that was never
+/// exposed, reading past the end of an exposed buffer, a task panicking) is
+/// reported as a structured error instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A topology parameter was zero or inconsistent.
+    InvalidTopology(String),
+    /// A rank outside `0..world_size` was referenced.
+    RankOutOfRange { rank: usize, world_size: usize },
+    /// A local rank outside `0..ppn` was referenced.
+    LocalRankOutOfRange { local_rank: usize, ppn: usize },
+    /// `attach` referenced a region name the peer never exposed (after the
+    /// attach timeout expired).
+    RegionNotExposed { owner_local_rank: usize, name: String },
+    /// A region access was out of bounds.
+    RegionOutOfBounds {
+        name: String,
+        offset: usize,
+        len: usize,
+        capacity: usize,
+    },
+    /// A region was exposed twice with different sizes.
+    RegionSizeMismatch {
+        name: String,
+        exposed: usize,
+        requested: usize,
+    },
+    /// A task panicked; the payload is its panic message when available.
+    TaskPanicked { rank: usize, message: String },
+    /// A receive waited longer than the fabric's configured timeout.
+    RecvTimeout {
+        receiver: usize,
+        source: usize,
+        tag: u64,
+    },
+    /// The fabric was asked to send to/receive from a rank that has already
+    /// terminated and drained its mailbox.
+    PeerGone { rank: usize },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
+            RuntimeError::RankOutOfRange { rank, world_size } => {
+                write!(f, "rank {rank} out of range (world size {world_size})")
+            }
+            RuntimeError::LocalRankOutOfRange { local_rank, ppn } => {
+                write!(f, "local rank {local_rank} out of range (ppn {ppn})")
+            }
+            RuntimeError::RegionNotExposed {
+                owner_local_rank,
+                name,
+            } => write!(
+                f,
+                "region '{name}' was never exposed by local rank {owner_local_rank}"
+            ),
+            RuntimeError::RegionOutOfBounds {
+                name,
+                offset,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "access [{offset}, {}) out of bounds for region '{name}' of {capacity} bytes",
+                offset + len
+            ),
+            RuntimeError::RegionSizeMismatch {
+                name,
+                exposed,
+                requested,
+            } => write!(
+                f,
+                "region '{name}' already exposed with {exposed} bytes, re-exposed with {requested}"
+            ),
+            RuntimeError::TaskPanicked { rank, message } => {
+                write!(f, "task with rank {rank} panicked: {message}")
+            }
+            RuntimeError::RecvTimeout {
+                receiver,
+                source,
+                tag,
+            } => write!(
+                f,
+                "rank {receiver} timed out receiving from {source} with tag {tag}"
+            ),
+            RuntimeError::PeerGone { rank } => write!(f, "peer rank {rank} has terminated"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = RuntimeError::RegionOutOfBounds {
+            name: "dest".into(),
+            offset: 16,
+            len: 32,
+            capacity: 24,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("dest"));
+        assert!(msg.contains("24"));
+        assert!(msg.contains("[16, 48)"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            RuntimeError::PeerGone { rank: 3 },
+            RuntimeError::PeerGone { rank: 3 }
+        );
+        assert_ne!(
+            RuntimeError::PeerGone { rank: 3 },
+            RuntimeError::PeerGone { rank: 4 }
+        );
+    }
+
+    #[test]
+    fn rank_out_of_range_mentions_both_numbers() {
+        let err = RuntimeError::RankOutOfRange {
+            rank: 9,
+            world_size: 8,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains('9') && msg.contains('8'));
+    }
+}

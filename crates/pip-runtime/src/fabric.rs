@@ -1,0 +1,288 @@
+//! The inter-node fabric: a tag-matching mailbox standing in for the
+//! interconnect (Intel Omni-Path in the paper's testbed).
+//!
+//! Within the correctness runtime every simulated node lives in one Rust
+//! process, so the "network" is a set of per-rank inboxes with MPI-style
+//! `(source, tag)` matching, an unexpected-message queue, and a configurable
+//! receive timeout that turns deadlocks in a broken schedule into test
+//! failures instead of hangs.
+//!
+//! The fabric carries *payload bytes only*; timing at scale is produced by
+//! the `pip-netsim` crate from traces, not by measuring this mailbox.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{Result, RuntimeError};
+
+/// Message tag, mirroring MPI's integer tags (wide enough to encode
+/// collective round numbers without collision).
+pub type Tag = u64;
+
+/// Matching specification for a receive: either an exact source or any
+/// source, and either an exact tag or any tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchSpec {
+    /// Required source rank, or `None` for `MPI_ANY_SOURCE`.
+    pub source: Option<usize>,
+    /// Required tag, or `None` for `MPI_ANY_TAG`.
+    pub tag: Option<Tag>,
+}
+
+impl MatchSpec {
+    /// Match a specific `(source, tag)` pair.
+    pub fn exact(source: usize, tag: Tag) -> Self {
+        Self {
+            source: Some(source),
+            tag: Some(tag),
+        }
+    }
+
+    /// Match any message.
+    pub fn any() -> Self {
+        Self {
+            source: None,
+            tag: None,
+        }
+    }
+
+    fn matches(&self, message: &Message) -> bool {
+        self.source.map_or(true, |s| s == message.source)
+            && self.tag.map_or(true, |t| t == message.tag)
+    }
+}
+
+/// A delivered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Rank of the sender.
+    pub source: usize,
+    /// Tag attached by the sender.
+    pub tag: Tag,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct Inbox {
+    queue: Mutex<VecDeque<Message>>,
+    condvar: Condvar,
+}
+
+/// The fabric connecting all ranks of a launched cluster.
+///
+/// Cloning the handle is cheap; all clones refer to the same mailboxes.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    inner: Arc<FabricInner>,
+}
+
+#[derive(Debug)]
+struct FabricInner {
+    inboxes: Vec<Inbox>,
+    recv_timeout: Duration,
+}
+
+/// Default receive timeout.  Collective schedules complete in milliseconds at
+/// the scales the correctness runtime is used for, so thirty seconds only
+/// triggers on genuinely broken schedules (mismatched send/recv pairs).
+pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(30);
+
+impl Fabric {
+    /// Create a fabric for `world_size` ranks with the default timeout.
+    pub fn new(world_size: usize) -> Self {
+        Self::with_timeout(world_size, DEFAULT_RECV_TIMEOUT)
+    }
+
+    /// Create a fabric with a custom receive timeout (useful in tests that
+    /// deliberately provoke mismatched schedules).
+    pub fn with_timeout(world_size: usize, recv_timeout: Duration) -> Self {
+        let inboxes = (0..world_size).map(|_| Inbox::default()).collect();
+        Self {
+            inner: Arc::new(FabricInner {
+                inboxes,
+                recv_timeout,
+            }),
+        }
+    }
+
+    /// Number of ranks attached to the fabric.
+    pub fn world_size(&self) -> usize {
+        self.inner.inboxes.len()
+    }
+
+    fn inbox(&self, rank: usize) -> Result<&Inbox> {
+        self.inner.inboxes.get(rank).ok_or(RuntimeError::RankOutOfRange {
+            rank,
+            world_size: self.world_size(),
+        })
+    }
+
+    /// Deliver `payload` from `source` to `dest` with `tag`.
+    pub fn send(&self, source: usize, dest: usize, tag: Tag, payload: Vec<u8>) -> Result<()> {
+        // Validate the source too so a typo'd rank id fails loudly.
+        self.inbox(source)?;
+        let inbox = self.inbox(dest)?;
+        let mut queue = inbox.queue.lock();
+        queue.push_back(Message {
+            source,
+            tag,
+            payload,
+        });
+        inbox.condvar.notify_all();
+        Ok(())
+    }
+
+    /// Blocking matched receive for rank `receiver`.
+    ///
+    /// Messages that arrived earlier but do not match stay queued (the
+    /// unexpected-message queue), preserving per-(source, tag) FIFO order as
+    /// MPI requires.
+    pub fn recv(&self, receiver: usize, spec: MatchSpec) -> Result<Message> {
+        let inbox = self.inbox(receiver)?;
+        let deadline = Instant::now() + self.inner.recv_timeout;
+        let mut queue = inbox.queue.lock();
+        loop {
+            if let Some(pos) = queue.iter().position(|m| spec.matches(m)) {
+                return Ok(queue.remove(pos).expect("position is valid"));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RuntimeError::RecvTimeout {
+                    receiver,
+                    source: spec.source.unwrap_or(usize::MAX),
+                    tag: spec.tag.unwrap_or(u64::MAX),
+                });
+            }
+            let wait = deadline - now;
+            inbox.condvar.wait_for(&mut queue, wait);
+        }
+    }
+
+    /// Non-blocking matched receive: returns `Ok(None)` when nothing matches.
+    pub fn try_recv(&self, receiver: usize, spec: MatchSpec) -> Result<Option<Message>> {
+        let inbox = self.inbox(receiver)?;
+        let mut queue = inbox.queue.lock();
+        if let Some(pos) = queue.iter().position(|m| spec.matches(m)) {
+            Ok(Some(queue.remove(pos).expect("position is valid")))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Number of messages currently queued for `rank` (matched or not).
+    pub fn pending(&self, rank: usize) -> Result<usize> {
+        Ok(self.inbox(rank)?.queue.lock().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn send_then_recv_delivers_payload() {
+        let fabric = Fabric::new(4);
+        fabric.send(1, 2, 7, vec![1, 2, 3]).unwrap();
+        let msg = fabric.recv(2, MatchSpec::exact(1, 7)).unwrap();
+        assert_eq!(msg.source, 1);
+        assert_eq!(msg.tag, 7);
+        assert_eq!(msg.payload, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn matching_skips_unexpected_messages() {
+        let fabric = Fabric::new(2);
+        fabric.send(0, 1, 5, vec![5]).unwrap();
+        fabric.send(0, 1, 6, vec![6]).unwrap();
+        // Receive tag 6 first even though tag 5 arrived earlier.
+        let msg = fabric.recv(1, MatchSpec::exact(0, 6)).unwrap();
+        assert_eq!(msg.payload, vec![6]);
+        // Tag 5 is still there.
+        let msg = fabric.recv(1, MatchSpec::exact(0, 5)).unwrap();
+        assert_eq!(msg.payload, vec![5]);
+        assert_eq!(fabric.pending(1).unwrap(), 0);
+    }
+
+    #[test]
+    fn fifo_order_preserved_per_source_and_tag() {
+        let fabric = Fabric::new(2);
+        for i in 0..10u8 {
+            fabric.send(0, 1, 3, vec![i]).unwrap();
+        }
+        for i in 0..10u8 {
+            let msg = fabric.recv(1, MatchSpec::exact(0, 3)).unwrap();
+            assert_eq!(msg.payload, vec![i]);
+        }
+    }
+
+    #[test]
+    fn any_source_and_any_tag_match_first_message() {
+        let fabric = Fabric::new(3);
+        fabric.send(2, 0, 9, vec![42]).unwrap();
+        let msg = fabric.recv(0, MatchSpec::any()).unwrap();
+        assert_eq!(msg.source, 2);
+        assert_eq!(msg.payload, vec![42]);
+    }
+
+    #[test]
+    fn recv_blocks_until_message_arrives() {
+        let fabric = Fabric::new(2);
+        let receiver = fabric.clone();
+        let handle = thread::spawn(move || receiver.recv(1, MatchSpec::exact(0, 1)).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        fabric.send(0, 1, 1, vec![99]).unwrap();
+        assert_eq!(handle.join().unwrap().payload, vec![99]);
+    }
+
+    #[test]
+    fn recv_times_out_on_missing_message() {
+        let fabric = Fabric::with_timeout(2, Duration::from_millis(30));
+        let err = fabric.recv(0, MatchSpec::exact(1, 0)).unwrap_err();
+        assert!(matches!(err, RuntimeError::RecvTimeout { receiver: 0, .. }));
+    }
+
+    #[test]
+    fn try_recv_does_not_block() {
+        let fabric = Fabric::new(2);
+        assert!(fabric.try_recv(0, MatchSpec::any()).unwrap().is_none());
+        fabric.send(1, 0, 2, vec![1]).unwrap();
+        assert!(fabric.try_recv(0, MatchSpec::any()).unwrap().is_some());
+    }
+
+    #[test]
+    fn out_of_range_ranks_are_rejected() {
+        let fabric = Fabric::new(2);
+        assert!(fabric.send(0, 5, 0, vec![]).is_err());
+        assert!(fabric.send(5, 0, 0, vec![]).is_err());
+        assert!(fabric.recv(5, MatchSpec::any()).is_err());
+        assert!(fabric.pending(9).is_err());
+    }
+
+    #[test]
+    fn many_concurrent_senders_one_receiver() {
+        let fabric = Fabric::new(17);
+        thread::scope(|scope| {
+            for sender in 1..17 {
+                let fabric = fabric.clone();
+                scope.spawn(move || {
+                    for round in 0..8u64 {
+                        fabric
+                            .send(sender, 0, round, vec![sender as u8])
+                            .unwrap();
+                    }
+                });
+            }
+            let mut total = 0usize;
+            for _ in 0..16 * 8 {
+                let msg = fabric.recv(0, MatchSpec::any()).unwrap();
+                total += msg.payload[0] as usize;
+            }
+            assert_eq!(total, (1..17).sum::<usize>() * 8);
+        });
+    }
+}

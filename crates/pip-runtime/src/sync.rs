@@ -1,0 +1,287 @@
+//! Intra-node synchronization primitives used by the collectives' shared
+//! memory phases: a reusable sense-reversing barrier, a broadcast cell, and
+//! an atomic arrival counter.
+//!
+//! These are the userspace primitives a PiP-based MPI implementation would
+//! use inside a node (no futex round-trips on the fast path, no kernel
+//! objects shared across process boundaries — everything lives in the shared
+//! address space).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A reusable barrier for a fixed set of participants.
+///
+/// Unlike `std::sync::Barrier`, this barrier hands back the *generation*
+/// number, which the collectives use to tag epoch-synchronized accesses to
+/// exposed regions, and it can be cloned and stored inside per-task contexts.
+#[derive(Debug, Clone)]
+pub struct SenseBarrier {
+    inner: Arc<BarrierInner>,
+}
+
+#[derive(Debug)]
+struct BarrierInner {
+    parties: usize,
+    state: Mutex<BarrierState>,
+    condvar: Condvar,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+}
+
+impl SenseBarrier {
+    /// Create a barrier for `parties` participants.
+    ///
+    /// # Panics
+    /// Panics if `parties == 0`.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "a barrier needs at least one participant");
+        Self {
+            inner: Arc::new(BarrierInner {
+                parties,
+                state: Mutex::new(BarrierState {
+                    arrived: 0,
+                    generation: 0,
+                }),
+                condvar: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Number of participants.
+    pub fn parties(&self) -> usize {
+        self.inner.parties
+    }
+
+    /// Block until all participants have arrived.  Returns the generation
+    /// that was completed (starting at 0 for the first barrier episode).
+    pub fn wait(&self) -> u64 {
+        let mut state = self.inner.state.lock();
+        let generation = state.generation;
+        state.arrived += 1;
+        if state.arrived == self.inner.parties {
+            state.arrived = 0;
+            state.generation += 1;
+            self.inner.condvar.notify_all();
+            return generation;
+        }
+        while state.generation == generation {
+            self.inner.condvar.wait(&mut state);
+        }
+        generation
+    }
+
+    /// The number of completed barrier episodes so far.
+    pub fn completed_generations(&self) -> u64 {
+        self.inner.state.lock().generation
+    }
+}
+
+/// A single-producer broadcast cell: the root stores a value, every consumer
+/// blocks until the value for the requested epoch is available.
+///
+/// Used by the intra-node broadcast step of the hierarchical collectives and
+/// by PiP-MPICH's "message size synchronization" (the overhead the paper
+/// calls out in §3).
+#[derive(Debug, Clone)]
+pub struct BroadcastCell<T: Clone> {
+    inner: Arc<BroadcastInner<T>>,
+}
+
+#[derive(Debug)]
+struct BroadcastInner<T> {
+    state: Mutex<BroadcastState<T>>,
+    condvar: Condvar,
+}
+
+#[derive(Debug)]
+struct BroadcastState<T> {
+    epoch: u64,
+    value: Option<T>,
+}
+
+impl<T: Clone> Default for BroadcastCell<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> BroadcastCell<T> {
+    /// Create an empty cell at epoch 0.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(BroadcastInner {
+                state: Mutex::new(BroadcastState {
+                    epoch: 0,
+                    value: None,
+                }),
+                condvar: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Publish `value` for epoch `epoch`.  Epochs must be published in
+    /// increasing order by a single producer.
+    pub fn publish(&self, epoch: u64, value: T) {
+        let mut state = self.inner.state.lock();
+        debug_assert!(
+            epoch >= state.epoch,
+            "epochs must be published in increasing order"
+        );
+        state.epoch = epoch;
+        state.value = Some(value);
+        self.inner.condvar.notify_all();
+    }
+
+    /// Block until a value for an epoch `>= epoch` has been published and
+    /// return a clone of it.
+    pub fn wait_for(&self, epoch: u64) -> T {
+        let mut state = self.inner.state.lock();
+        while state.value.is_none() || state.epoch < epoch {
+            self.inner.condvar.wait(&mut state);
+        }
+        state.value.clone().expect("value present after wait")
+    }
+}
+
+/// A shared monotonically increasing counter, used to count arrivals in the
+/// multi-sender phases and to generate unique identifiers for exposed
+/// regions created on the fly.
+#[derive(Debug, Clone, Default)]
+pub struct ArrivalCounter {
+    inner: Arc<AtomicUsize>,
+}
+
+impl ArrivalCounter {
+    /// Create a counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment and return the *previous* value.
+    pub fn arrive(&self) -> usize {
+        self.inner.fetch_add(1, Ordering::AcqRel)
+    }
+
+    /// Current value.
+    pub fn value(&self) -> usize {
+        self.inner.load(Ordering::Acquire)
+    }
+
+    /// Reset to zero (only safe between synchronized phases).
+    pub fn reset(&self) {
+        self.inner.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn barrier_synchronizes_all_threads() {
+        let parties = 8;
+        let barrier = SenseBarrier::new(parties);
+        let counter = ArrivalCounter::new();
+        thread::scope(|scope| {
+            for _ in 0..parties {
+                let barrier = barrier.clone();
+                let counter = counter.clone();
+                scope.spawn(move || {
+                    counter.arrive();
+                    barrier.wait();
+                    // After the barrier every arrival must be visible.
+                    assert_eq!(counter.value(), parties);
+                });
+            }
+        });
+        assert_eq!(barrier.completed_generations(), 1);
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_generations() {
+        let parties = 4;
+        let rounds = 25;
+        let barrier = SenseBarrier::new(parties);
+        thread::scope(|scope| {
+            for _ in 0..parties {
+                let barrier = barrier.clone();
+                scope.spawn(move || {
+                    for round in 0..rounds {
+                        let generation = barrier.wait();
+                        assert_eq!(generation, round);
+                    }
+                });
+            }
+        });
+        assert_eq!(barrier.completed_generations(), rounds);
+    }
+
+    #[test]
+    fn single_party_barrier_never_blocks() {
+        let barrier = SenseBarrier::new(1);
+        for round in 0..10 {
+            assert_eq!(barrier.wait(), round);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_party_barrier_panics() {
+        let _ = SenseBarrier::new(0);
+    }
+
+    #[test]
+    fn broadcast_cell_delivers_to_all_waiters() {
+        let cell: BroadcastCell<Vec<u8>> = BroadcastCell::new();
+        let consumers = 6;
+        thread::scope(|scope| {
+            for _ in 0..consumers {
+                let cell = cell.clone();
+                scope.spawn(move || {
+                    let value = cell.wait_for(1);
+                    assert_eq!(value, vec![7, 7, 7]);
+                });
+            }
+            let producer = cell.clone();
+            scope.spawn(move || {
+                producer.publish(1, vec![7, 7, 7]);
+            });
+        });
+    }
+
+    #[test]
+    fn broadcast_cell_epoch_ordering() {
+        let cell: BroadcastCell<u32> = BroadcastCell::new();
+        cell.publish(1, 10);
+        cell.publish(2, 20);
+        // A waiter that only needs epoch 1 sees the latest value.
+        assert_eq!(cell.wait_for(1), 20);
+        assert_eq!(cell.wait_for(2), 20);
+    }
+
+    #[test]
+    fn arrival_counter_counts_concurrent_arrivals() {
+        let counter = ArrivalCounter::new();
+        thread::scope(|scope| {
+            for _ in 0..16 {
+                let counter = counter.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        counter.arrive();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.value(), 1600);
+        counter.reset();
+        assert_eq!(counter.value(), 0);
+    }
+}

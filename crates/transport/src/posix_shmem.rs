@@ -1,0 +1,153 @@
+//! The POSIX shared-memory copy engine: the sender copies its payload into a
+//! bounded shared segment, the receiver copies it back out — the double copy
+//! the paper (and Parsons & Pai, IPDPS '14) identifies as the limiting factor
+//! of SHMEM-based collectives for medium and large messages.
+//!
+//! Messages larger than the segment are pipelined through it in chunks,
+//! exactly as an MPI implementation pipelines through its fixed-size copy
+//! buffers.
+
+use crate::cost::{CopyStats, IntranodeMechanism};
+use crate::CopyEngine;
+
+/// Default shared-segment (copy buffer) size: 64 KiB per peer pair, the
+/// common default of MPICH/Open MPI shared-memory BTLs.
+pub const DEFAULT_SEGMENT_BYTES: usize = 64 * 1024;
+
+/// Functional model of a POSIX-SHMEM transfer.
+#[derive(Debug, Clone)]
+pub struct PosixShmemEngine {
+    segment: Vec<u8>,
+    total: CopyStats,
+}
+
+impl Default for PosixShmemEngine {
+    fn default() -> Self {
+        Self::with_segment_size(DEFAULT_SEGMENT_BYTES)
+    }
+}
+
+impl PosixShmemEngine {
+    /// Create an engine whose shared segment holds `segment_bytes` bytes.
+    pub fn with_segment_size(segment_bytes: usize) -> Self {
+        assert!(segment_bytes > 0, "segment must be non-empty");
+        Self {
+            segment: vec![0u8; segment_bytes],
+            total: CopyStats::default(),
+        }
+    }
+
+    /// Size of the staging segment.
+    pub fn segment_size(&self) -> usize {
+        self.segment.len()
+    }
+
+    /// Cumulative statistics.
+    pub fn totals(&self) -> CopyStats {
+        self.total
+    }
+}
+
+impl CopyEngine for PosixShmemEngine {
+    fn mechanism(&self) -> IntranodeMechanism {
+        IntranodeMechanism::PosixShmem
+    }
+
+    fn copy(&mut self, src: &[u8], dst: &mut [u8]) -> CopyStats {
+        assert_eq!(src.len(), dst.len(), "SHMEM copy requires equal lengths");
+        let chunk = self.segment.len();
+        let mut stats = CopyStats::default();
+        let mut offset = 0;
+        while offset < src.len() {
+            let len = chunk.min(src.len() - offset);
+            // Copy-in: sender -> shared segment.
+            self.segment[..len].copy_from_slice(&src[offset..offset + len]);
+            // Copy-out: shared segment -> receiver.
+            dst[offset..offset + len].copy_from_slice(&self.segment[..len]);
+            stats.bytes_moved += 2 * len;
+            stats.staged_bytes += len;
+            stats.copies += 2;
+            offset += len;
+        }
+        if src.is_empty() {
+            // A zero-byte message still performs the handshake (no data).
+            stats.copies = 2;
+        }
+        self.total.merge(&stats);
+        stats
+    }
+}
+
+/// A variant used by tests to confirm the chunking helper and the engine
+/// agree on chunk counts.
+pub fn chunks_required(message_bytes: usize, segment_bytes: usize) -> usize {
+    if message_bytes == 0 {
+        0
+    } else {
+        message_bytes.div_ceil(segment_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memcpy::copy_chunked;
+    use proptest::prelude::*;
+
+    #[test]
+    fn double_copy_reported() {
+        let mut engine = PosixShmemEngine::default();
+        let src = vec![9u8; 1000];
+        let mut dst = vec![0u8; 1000];
+        let stats = engine.copy(&src, &mut dst);
+        assert_eq!(dst, src);
+        assert_eq!(stats.bytes_moved, 2000);
+        assert_eq!(stats.staged_bytes, 1000);
+        assert_eq!(stats.syscalls, 0);
+    }
+
+    #[test]
+    fn large_message_is_pipelined_through_segment() {
+        let mut engine = PosixShmemEngine::with_segment_size(256);
+        let src: Vec<u8> = (0..2000).map(|i| (i % 251) as u8).collect();
+        let mut dst = vec![0u8; 2000];
+        let stats = engine.copy(&src, &mut dst);
+        assert_eq!(dst, src);
+        assert_eq!(stats.copies, 2 * chunks_required(2000, 256));
+    }
+
+    #[test]
+    fn message_smaller_than_segment_uses_one_round_trip() {
+        let mut engine = PosixShmemEngine::with_segment_size(4096);
+        let src = vec![1u8; 64];
+        let mut dst = vec![0u8; 64];
+        let stats = engine.copy(&src, &mut dst);
+        assert_eq!(stats.copies, 2);
+    }
+
+    #[test]
+    fn chunks_required_edge_cases() {
+        assert_eq!(chunks_required(0, 64), 0);
+        assert_eq!(chunks_required(64, 64), 1);
+        assert_eq!(chunks_required(65, 64), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_shmem_is_lossless(payload in proptest::collection::vec(any::<u8>(), 0..8192), segment in 1usize..1024) {
+            let mut engine = PosixShmemEngine::with_segment_size(segment);
+            let mut dst = vec![0u8; payload.len()];
+            let stats = engine.copy(&payload, &mut dst);
+            prop_assert_eq!(&dst, &payload);
+            prop_assert_eq!(stats.bytes_moved, payload.len() * 2);
+        }
+    }
+
+    #[test]
+    fn copy_chunked_helper_matches_engine_chunking() {
+        let src = vec![5u8; 700];
+        let mut dst = vec![0u8; 700];
+        let helper_chunks = copy_chunked(&src, &mut dst, 256, |_| {});
+        assert_eq!(helper_chunks, chunks_required(700, 256));
+    }
+}

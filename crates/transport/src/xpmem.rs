@@ -1,0 +1,169 @@
+//! The XPMEM copy engine: a peer exposes a segment once, other processes
+//! attach it into their own address space (a system call), and subsequent
+//! transfers are plain single copies — but the first touch of every page in
+//! the attached mapping takes a soft page fault.
+//!
+//! The engine keeps a registration cache keyed by "segment id" so that, as in
+//! real XPMEM-based MPI implementations (Hashmi et al., IPDPS '18), the
+//! attach cost is paid once per buffer and the page faults once per page.
+
+use std::collections::HashSet;
+
+use crate::cost::{CopyStats, IntranodeMechanism, PAGE_SIZE};
+use crate::CopyEngine;
+
+/// Functional model of XPMEM transfers with a registration cache.
+#[derive(Debug, Default, Clone)]
+pub struct XpmemEngine {
+    /// Segments (by caller-provided id) that have already been attached.
+    attached_segments: HashSet<usize>,
+    /// (segment, page index) pairs that have already been touched.
+    touched_pages: HashSet<(usize, usize)>,
+    total: CopyStats,
+}
+
+impl XpmemEngine {
+    /// Create an engine with an empty registration cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cumulative statistics.
+    pub fn totals(&self) -> CopyStats {
+        self.total
+    }
+
+    /// Number of distinct segments attached so far.
+    pub fn attached_count(&self) -> usize {
+        self.attached_segments.len()
+    }
+
+    /// Copy identifying the peer buffer by `segment_id`, so the registration
+    /// cache can amortize attach and page-fault costs across calls that reuse
+    /// the same buffer (as collective loops do).
+    pub fn copy_segment(&mut self, segment_id: usize, src: &[u8], dst: &mut [u8]) -> CopyStats {
+        assert_eq!(src.len(), dst.len(), "XPMEM copy requires equal lengths");
+        let mut stats = CopyStats::default();
+        if self.attached_segments.insert(segment_id) {
+            // xpmem_get + xpmem_attach on first use of this buffer.
+            stats.syscalls += 2;
+        }
+        let pages = src.len().div_ceil(PAGE_SIZE).max(1);
+        for page in 0..pages {
+            if self.touched_pages.insert((segment_id, page)) {
+                stats.page_faults += 1;
+            }
+        }
+        dst.copy_from_slice(src);
+        stats.bytes_moved += src.len();
+        stats.copies += 1;
+        self.total.merge(&stats);
+        stats
+    }
+
+    /// Drop a segment from the registration cache (buffer freed / window
+    /// destroyed); the next use pays attach and fault costs again.
+    pub fn evict(&mut self, segment_id: usize) {
+        self.attached_segments.remove(&segment_id);
+        self.touched_pages.retain(|(seg, _)| *seg != segment_id);
+    }
+}
+
+impl CopyEngine for XpmemEngine {
+    fn mechanism(&self) -> IntranodeMechanism {
+        IntranodeMechanism::Xpmem
+    }
+
+    fn copy(&mut self, src: &[u8], dst: &mut [u8]) -> CopyStats {
+        // Anonymous transfers use the source pointer's address as segment id;
+        // buffers reused across iterations therefore hit the cache, which is
+        // the steady-state behaviour benchmark loops observe.
+        let segment_id = src.as_ptr() as usize;
+        self.copy_segment(segment_id, src, dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_use_pays_attach_and_faults() {
+        let mut engine = XpmemEngine::new();
+        let src = vec![1u8; 3 * PAGE_SIZE];
+        let mut dst = vec![0u8; 3 * PAGE_SIZE];
+        let stats = engine.copy_segment(7, &src, &mut dst);
+        assert_eq!(dst, src);
+        assert_eq!(stats.syscalls, 2);
+        assert_eq!(stats.page_faults, 3);
+        assert_eq!(stats.copies, 1);
+    }
+
+    #[test]
+    fn second_use_is_cached() {
+        let mut engine = XpmemEngine::new();
+        let src = vec![2u8; PAGE_SIZE];
+        let mut dst = vec![0u8; PAGE_SIZE];
+        engine.copy_segment(1, &src, &mut dst);
+        let warm = engine.copy_segment(1, &src, &mut dst);
+        assert_eq!(warm.syscalls, 0);
+        assert_eq!(warm.page_faults, 0);
+        assert_eq!(warm.copies, 1);
+    }
+
+    #[test]
+    fn different_segments_are_independent() {
+        let mut engine = XpmemEngine::new();
+        let src = vec![3u8; 16];
+        let mut dst = vec![0u8; 16];
+        engine.copy_segment(1, &src, &mut dst);
+        let other = engine.copy_segment(2, &src, &mut dst);
+        assert_eq!(other.syscalls, 2);
+        assert_eq!(engine.attached_count(), 2);
+    }
+
+    #[test]
+    fn evict_forces_reattach() {
+        let mut engine = XpmemEngine::new();
+        let src = vec![4u8; 16];
+        let mut dst = vec![0u8; 16];
+        engine.copy_segment(5, &src, &mut dst);
+        engine.evict(5);
+        let again = engine.copy_segment(5, &src, &mut dst);
+        assert_eq!(again.syscalls, 2);
+        assert_eq!(again.page_faults, 1);
+    }
+
+    #[test]
+    fn small_transfer_touches_at_least_one_page() {
+        let mut engine = XpmemEngine::new();
+        let src = vec![5u8; 8];
+        let mut dst = vec![0u8; 8];
+        let stats = engine.copy_segment(9, &src, &mut dst);
+        assert_eq!(stats.page_faults, 1);
+    }
+
+    #[test]
+    fn growing_a_buffer_faults_only_new_pages() {
+        let mut engine = XpmemEngine::new();
+        let small = vec![6u8; PAGE_SIZE];
+        let mut dst_small = vec![0u8; PAGE_SIZE];
+        engine.copy_segment(3, &small, &mut dst_small);
+        let large = vec![6u8; 4 * PAGE_SIZE];
+        let mut dst_large = vec![0u8; 4 * PAGE_SIZE];
+        let stats = engine.copy_segment(3, &large, &mut dst_large);
+        assert_eq!(stats.page_faults, 3);
+        assert_eq!(stats.syscalls, 0);
+    }
+
+    #[test]
+    fn anonymous_copy_uses_pointer_identity_for_caching() {
+        let mut engine = XpmemEngine::new();
+        let src = vec![7u8; 64];
+        let mut dst = vec![0u8; 64];
+        let first = engine.copy(&src, &mut dst);
+        let second = engine.copy(&src, &mut dst);
+        assert!(first.syscalls > 0);
+        assert_eq!(second.syscalls, 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Failure-injection integration tests: the runtime and the simulator must
+//! turn broken programs and broken schedules into structured errors, never
+//! into hangs or silent corruption.
+
+use std::time::Duration;
+
+use pip_mcoll::netsim::engine::{SimEngine, SimError};
+use pip_mcoll::netsim::params::SimParams;
+use pip_mcoll::netsim::trace::{Trace, TraceOp};
+use pip_mcoll::runtime::{Cluster, RuntimeError, Topology};
+use pip_mcoll::core::prelude::*;
+
+#[test]
+fn task_panic_is_attributed_to_the_failing_rank() {
+    let err = Cluster::launch(Topology::new(2, 2), |ctx| {
+        if ctx.rank() == 3 {
+            panic!("injected fault on rank 3");
+        }
+        ctx.rank()
+    })
+    .unwrap_err();
+    match err {
+        RuntimeError::TaskPanicked { rank, message } => {
+            assert_eq!(rank, 3);
+            assert!(message.contains("injected fault"));
+        }
+        other => panic!("unexpected error: {other:?}"),
+    }
+}
+
+#[test]
+fn mismatched_point_to_point_times_out_instead_of_hanging() {
+    let results = Cluster::launch_with_timeout(
+        Topology::new(1, 2),
+        Duration::from_millis(50),
+        |ctx| {
+            if ctx.rank() == 0 {
+                // Waits for a message that is never sent.
+                ctx.recv(1, 99).map(|_| ())
+            } else {
+                Ok(())
+            }
+        },
+    )
+    .unwrap();
+    assert!(matches!(results[0], Err(RuntimeError::RecvTimeout { .. })));
+    assert!(results[1].is_ok());
+}
+
+#[test]
+fn wrong_sized_region_access_is_reported() {
+    let results = Cluster::launch(Topology::new(1, 2), |ctx| {
+        if ctx.local_rank() == 0 {
+            ctx.expose("window", 8);
+        }
+        ctx.node_barrier();
+        let region = ctx.attach(0, "window");
+        let outcome = region.try_write(6, &[0u8; 8]);
+        ctx.node_barrier();
+        outcome
+    })
+    .unwrap();
+    assert!(matches!(
+        results[1],
+        Err(RuntimeError::RegionOutOfBounds { capacity: 8, .. })
+    ));
+}
+
+#[test]
+fn simulator_rejects_unmatched_schedules() {
+    let mut trace = Trace::empty(Topology::new(2, 1));
+    trace.push(0, TraceOp::Send { dest: 1, bytes: 64, tag: 0 });
+    // Receive never posted on rank 1.
+    let err = SimEngine::new(SimParams::default()).run(&trace).unwrap_err();
+    assert!(matches!(err, SimError::InvalidTrace(_)));
+}
+
+#[test]
+fn simulator_reports_circular_waits_as_deadlock() {
+    let mut trace = Trace::empty(Topology::new(2, 1));
+    trace.push(0, TraceOp::Recv { source: 1, bytes: 8, tag: 0 });
+    trace.push(0, TraceOp::Send { dest: 1, bytes: 8, tag: 0 });
+    trace.push(1, TraceOp::Recv { source: 0, bytes: 8, tag: 0 });
+    trace.push(1, TraceOp::Send { dest: 0, bytes: 8, tag: 0 });
+    let err = SimEngine::new(SimParams::default()).run(&trace).unwrap_err();
+    match err {
+        SimError::Deadlock { stuck_ranks } => assert_eq!(stuck_ranks, vec![0, 1]),
+        other => panic!("unexpected: {other:?}"),
+    }
+}
+
+#[test]
+fn user_program_panic_surfaces_through_the_world_api() {
+    let err = World::builder()
+        .nodes(1)
+        .ppn(3)
+        .library(Library::PipMColl)
+        .run(|comm| {
+            if comm.rank() == 2 {
+                panic!("application bug");
+            }
+            comm.rank()
+        })
+        .unwrap_err();
+    assert!(err.to_string().contains("application bug"));
+}
