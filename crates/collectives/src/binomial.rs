@@ -168,7 +168,7 @@ pub fn gather_binomial<C: Comm>(
     }
 
     if rank == root {
-        let recvbuf = recvbuf.as_deref_mut().expect("root must supply recvbuf");
+        let recvbuf = recvbuf.expect("root must supply recvbuf");
         assert_eq!(recvbuf.len(), p * block);
         for i in 0..p {
             let abs = rank_of(i, root, p);

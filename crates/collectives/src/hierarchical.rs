@@ -285,7 +285,7 @@ pub fn allreduce_hierarchical<C: Comm>(comm: &C, buf: &mut [u8], op: &ReduceFn<'
             let rem = nodes - pof2;
             let leader_of = |n: usize| topo.node_root(n);
             let newnode: isize = if node < 2 * rem {
-                if node % 2 == 0 {
+                if node.is_multiple_of(2) {
                     comm.send(leader_of(node + 1), tag, buf);
                     -1
                 } else {
@@ -313,7 +313,7 @@ pub fn allreduce_hierarchical<C: Comm>(comm: &C, buf: &mut [u8], op: &ReduceFn<'
                 }
             }
             if node < 2 * rem {
-                if node % 2 == 0 {
+                if node.is_multiple_of(2) {
                     let data = comm.recv(leader_of(node + 1), tag + 63, len);
                     buf.copy_from_slice(&data);
                 } else {

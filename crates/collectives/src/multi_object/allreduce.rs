@@ -62,7 +62,7 @@ pub fn allreduce_multi_object<C: Comm>(
         let rem = nodes - pof2;
         let bytes = chunk.len();
         let newnode: isize = if node < 2 * rem {
-            if node % 2 == 0 {
+            if node.is_multiple_of(2) {
                 comm.send(peer_rank(node + 1), tag, &chunk);
                 -1
             } else {
@@ -90,7 +90,7 @@ pub fn allreduce_multi_object<C: Comm>(
             }
         }
         if node < 2 * rem {
-            if node % 2 == 0 {
+            if node.is_multiple_of(2) {
                 let data = comm.recv(peer_rank(node + 1), tag + 63, bytes);
                 chunk.copy_from_slice(&data);
             } else {

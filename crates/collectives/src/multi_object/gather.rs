@@ -12,7 +12,7 @@ use crate::multi_object::schedule::responsible_nodes;
 pub fn gather_multi_object<C: Comm>(
     comm: &C,
     sendbuf: &[u8],
-    mut recvbuf: Option<&mut [u8]>,
+    recvbuf: Option<&mut [u8]>,
     root: usize,
     tag: u64,
 ) {
@@ -60,7 +60,6 @@ pub fn gather_multi_object<C: Comm>(
         if rank == root {
             let gathered = comm.shared_collect(&dst_name, comm.world_size() * block);
             recvbuf
-                .as_deref_mut()
                 .expect("root recvbuf")
                 .copy_from_slice(&gathered);
         }

@@ -121,17 +121,17 @@ mod tests {
         let per_local: Vec<Vec<BruckTransfer>> = (0..ppn)
             .map(|local| bruck_phases(nodes, ppn, node, local))
             .collect();
-        for local in 0..ppn {
-            assert_eq!(per_local[local].len(), phase_count, "phase count must be uniform");
+        for phases in &per_local {
+            assert_eq!(phases.len(), phase_count, "phase count must be uniform");
         }
         for phase in 0..phase_count {
-            let mut new_blocks = Vec::new();
-            for local in 0..ppn {
-                let t = per_local[local][phase];
-                for b in 0..t.count {
-                    new_blocks.push(t.recv_offset + b);
-                }
-            }
+            let new_blocks: Vec<usize> = per_local
+                .iter()
+                .flat_map(|phases| {
+                    let t = phases[phase];
+                    (0..t.count).map(move |b| t.recv_offset + b)
+                })
+                .collect();
             for block in new_blocks {
                 assert!(block < nodes, "received block {block} out of range");
                 assert!(
@@ -240,6 +240,84 @@ mod tests {
                 prev_end = end;
             }
             prop_assert_eq!(total, len);
+        }
+
+        #[test]
+        fn prop_exchange_has_no_self_sends(nodes in 1usize..200, ppn in 1usize..24, node_seed in 0usize..200) {
+            let node = node_seed % nodes;
+            for local in 0..ppn {
+                for t in bruck_phases(nodes, ppn, node, local) {
+                    prop_assert!(t.src_node < nodes);
+                    prop_assert!(t.dst_node < nodes);
+                    if t.count > 0 {
+                        // A non-empty transfer always pairs with a *different*
+                        // node: offsets are in 1..nodes, so the modular
+                        // pairing can never fold back onto the sender.
+                        prop_assert!(t.src_node != node, "self-receive at {nodes}x{ppn} node {node} local {local}");
+                        prop_assert!(t.dst_node != node, "self-send at {nodes}x{ppn} node {node} local {local}");
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn prop_receive_coverage_is_exactly_once_for_every_node(nodes in 1usize..120, ppn in 1usize..20, node_seed in 0usize..120) {
+            // Every node's receive schedule collects each of the other
+            // nodes' blocks exactly once (node-relative block indices
+            // 1..nodes), regardless of which node it is.
+            let node = node_seed % nodes;
+            let mut covered: HashSet<usize> = HashSet::new();
+            covered.insert(0);
+            for local in 0..ppn {
+                for t in bruck_phases(nodes, ppn, node, local) {
+                    for b in 0..t.count {
+                        let block = t.recv_offset + b;
+                        prop_assert!(block < nodes);
+                        prop_assert!(covered.insert(block), "block {block} received twice at node {node}");
+                    }
+                }
+            }
+            prop_assert_eq!(covered.len(), nodes);
+        }
+
+        #[test]
+        fn prop_sends_and_receives_pair_up_across_nodes(nodes in 2usize..80, ppn in 1usize..12) {
+            // Deadlock-freedom of the barrier-separated exchange: if node n
+            // expects `count` blocks from node s in phase p (via local l),
+            // then node s's schedule sends exactly that transfer to n in the
+            // same phase via the same local rank.
+            for node in 0..nodes {
+                for local in 0..ppn {
+                    let mine = bruck_phases(nodes, ppn, node, local);
+                    for (phase, t) in mine.iter().enumerate() {
+                        let peer = bruck_phases(nodes, ppn, t.src_node, local);
+                        let matching = peer[phase];
+                        prop_assert_eq!(matching.dst_node, node);
+                        prop_assert_eq!(matching.count, t.count);
+                        prop_assert_eq!(matching.offset, t.offset);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn prop_rounds_are_logarithmically_bounded(nodes in 1usize..500, ppn in 1usize..32, node_seed in 0usize..500) {
+            // At most ceil(log_{P+1}(N)) full phases plus one remainder
+            // phase, and every rank agrees on the count (the node barrier
+            // between phases relies on that).
+            let base = ppn + 1;
+            let mut bound = 0usize;
+            let mut span = 1usize;
+            while span < nodes {
+                span = span.saturating_mul(base);
+                bound += 1;
+            }
+            let phase_count = bruck_phase_count(nodes, ppn);
+            prop_assert!(phase_count <= bound + 1, "{phase_count} phases > bound {bound} + 1");
+            let node = node_seed % nodes;
+            for local in 0..ppn {
+                prop_assert_eq!(bruck_phases(nodes, ppn, node, local).len(), phase_count);
+            }
         }
 
         #[test]

@@ -48,8 +48,8 @@ pub fn alltoall(inputs: &[Vec<u8>], world: usize) -> Vec<Vec<u8>> {
     (0..world)
         .map(|receiver| {
             let mut out = Vec::with_capacity(world * block);
-            for sender in 0..world {
-                out.extend_from_slice(&inputs[sender][receiver * block..(receiver + 1) * block]);
+            for input in &inputs[..world] {
+                out.extend_from_slice(&input[receiver * block..(receiver + 1) * block]);
             }
             out
         })

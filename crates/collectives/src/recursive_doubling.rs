@@ -69,7 +69,7 @@ pub fn allreduce_recursive_doubling<C: Comm>(
 
     // Fold the first 2*rem ranks into rem ranks so a power of two remains.
     let newrank: isize = if rank < 2 * rem {
-        if rank % 2 == 0 {
+        if rank.is_multiple_of(2) {
             comm.send(rank + 1, tag, buf);
             -1
         } else {
@@ -106,7 +106,7 @@ pub fn allreduce_recursive_doubling<C: Comm>(
 
     // Hand the result back to the folded-out ranks.
     if rank < 2 * rem {
-        if rank % 2 == 0 {
+        if rank.is_multiple_of(2) {
             let data = comm.recv(rank + 1, tag + 63, bytes);
             buf.copy_from_slice(&data);
         } else {

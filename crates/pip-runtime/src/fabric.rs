@@ -50,8 +50,8 @@ impl MatchSpec {
     }
 
     fn matches(&self, message: &Message) -> bool {
-        self.source.map_or(true, |s| s == message.source)
-            && self.tag.map_or(true, |t| t == message.tag)
+        self.source.is_none_or(|s| s == message.source)
+            && self.tag.is_none_or(|t| t == message.tag)
     }
 }
 

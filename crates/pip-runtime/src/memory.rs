@@ -86,7 +86,7 @@ impl ExposedRegion {
 
     fn check_bounds(&self, offset: usize, len: usize) -> Result<()> {
         let capacity = self.len();
-        if offset.checked_add(len).map_or(true, |end| end > capacity) {
+        if offset.checked_add(len).is_none_or(|end| end > capacity) {
             return Err(RuntimeError::RegionOutOfBounds {
                 name: self.inner.name.clone(),
                 offset,

@@ -256,15 +256,21 @@ mod tests {
 
     #[test]
     fn invalid_params_are_rejected() {
-        let mut params = NicParams::default();
-        params.bytes_per_ns = 0.0;
-        assert!(params.validate().is_err());
-        let mut params = NicParams::default();
-        params.wire_latency = f64::NAN;
-        assert!(params.validate().is_err());
-        let mut params = NicParams::default();
-        params.send_overhead_base = -1.0;
-        assert!(params.validate().is_err());
+        let no_bandwidth = NicParams {
+            bytes_per_ns: 0.0,
+            ..NicParams::default()
+        };
+        assert!(no_bandwidth.validate().is_err());
+        let nan_latency = NicParams {
+            wire_latency: f64::NAN,
+            ..NicParams::default()
+        };
+        assert!(nan_latency.validate().is_err());
+        let negative_overhead = NicParams {
+            send_overhead_base: -1.0,
+            ..NicParams::default()
+        };
+        assert!(negative_overhead.validate().is_err());
     }
 
     proptest! {

@@ -145,6 +145,107 @@ fn alltoall_matches_oracle_everywhere() {
     });
 }
 
+/// Non-power-of-two worlds (9 and 10 ranks): recursive doubling cannot run
+/// pure, so these force the Bruck allgather/alltoall paths and the binomial
+/// fallback of every library's selection table.
+const NONPOW2_TOPOLOGIES: [(usize, usize); 2] = [(3, 3), (5, 2)];
+
+#[test]
+fn allreduce_matches_oracle_on_nonpow2_topologies() {
+    for library in Library::ALL {
+        for (nodes, ppn) in NONPOW2_TOPOLOGIES {
+            let world = nodes * ppn;
+            let results = World::builder()
+                .nodes(nodes)
+                .ppn(ppn)
+                .library(library)
+                .run(|comm| {
+                    // Three elements so reductions that split the payload
+                    // across local ranks hit an uneven partition.
+                    let rank = comm.rank() as u64;
+                    let mut sums = [rank, rank * rank, 7];
+                    comm.allreduce(&mut sums, ReduceOp::Sum);
+                    let mut mins = [comm.rank() as i32 * -3 + 4];
+                    comm.allreduce(&mut mins, ReduceOp::Min);
+                    (sums, mins)
+                })
+                .unwrap();
+            let sum: u64 = (0..world as u64).sum();
+            let sq_sum: u64 = (0..world as u64).map(|r| r * r).sum();
+            let min = (world as i32 - 1) * -3 + 4;
+            for (sums, mins) in results {
+                assert_eq!(
+                    sums,
+                    [sum, sq_sum, 7 * world as u64],
+                    "{} allreduce sum on {nodes}x{ppn}",
+                    library.name()
+                );
+                assert_eq!(mins, [min], "{} allreduce min on {nodes}x{ppn}", library.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn alltoall_matches_oracle_on_nonpow2_topologies() {
+    for library in Library::ALL {
+        for (nodes, ppn) in NONPOW2_TOPOLOGIES {
+            let world = nodes * ppn;
+            let block = 3; // multi-element blocks on an odd-sized world
+            let results = World::builder()
+                .nodes(nodes)
+                .ppn(ppn)
+                .library(library)
+                .run(move |comm| {
+                    let send: Vec<u16> = (0..world * block)
+                        .map(|j| (comm.rank() * 10_000 + j) as u16)
+                        .collect();
+                    comm.alltoall(&send, block)
+                })
+                .unwrap();
+            for (rank, recv) in results.iter().enumerate() {
+                let expected: Vec<u16> = (0..world)
+                    .flat_map(|sender| {
+                        (0..block).map(move |e| (sender * 10_000 + rank * block + e) as u16)
+                    })
+                    .collect();
+                assert_eq!(recv, &expected, "{} on {nodes}x{ppn}", library.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn gather_matches_oracle_on_nonpow2_topologies_with_nonzero_root() {
+    for library in Library::ALL {
+        for (nodes, ppn) in NONPOW2_TOPOLOGIES {
+            let world = nodes * ppn;
+            // A root in the middle of the last node exercises the rotated
+            // binomial tree rather than the rank-0 special case.
+            let root = world - 2;
+            let results = World::builder()
+                .nodes(nodes)
+                .ppn(ppn)
+                .library(library)
+                .run(move |comm| comm.gather(&[comm.rank() as u32, 7, 77], root))
+                .unwrap();
+            let expected: Vec<u32> = (0..world as u32).flat_map(|r| [r, 7, 77]).collect();
+            for (rank, result) in results.iter().enumerate() {
+                if rank == root {
+                    assert_eq!(
+                        result.as_deref(),
+                        Some(expected.as_slice()),
+                        "{} on {nodes}x{ppn}",
+                        library.name()
+                    );
+                } else {
+                    assert!(result.is_none(), "{} on {nodes}x{ppn}", library.name());
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn byte_level_collectives_match_oracle_on_random_payloads() {
     // Exercise the raw byte-level algorithms (as the dispatcher uses them)

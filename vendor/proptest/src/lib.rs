@@ -1,0 +1,294 @@
+//! Offline shim for `proptest`.
+//!
+//! A compact, deterministic property-testing engine exposing the subset of
+//! the proptest API the workspace uses: the [`proptest!`] macro, integer
+//! range and [`Just`] strategies, [`any`], [`collection::vec`],
+//! [`prop_oneof!`], `prop_assert!`/`prop_assert_eq!` and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Differences from the real crate, by design:
+//!
+//! * sampling is **deterministic** — the RNG is seeded from the test
+//!   function's name, so failures reproduce without a persistence file;
+//! * there is **no shrinking** — the panic message carries the case inputs
+//!   via the assertion text instead;
+//! * range strategies deliberately over-weight their endpooints (each bound
+//!   is drawn with probability 1/8) so boundary bugs surface within a
+//!   handful of cases.
+//!
+//! Swap in the real proptest by editing the workspace `Cargo.toml` only.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Execution parameters for a [`proptest!`] block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic splitmix64 generator seeded from the test name.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { state: hash | 1 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A source of random values of one type.
+///
+/// Object-safe so heterogeneous strategies can be unified by [`prop_oneof!`].
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategy producing one constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // i128 arithmetic so signed ranges and full-width unsigned
+                // ranges never overflow while computing the span.
+                let start = self.start as i128;
+                let span = (self.end as i128 - start) as u64;
+                // Over-weight the endpoints: boundary cases find off-by-one
+                // bugs far faster than the uniform interior does.
+                match rng.below(8) {
+                    0 => self.start,
+                    1 => (self.end as i128 - 1) as $t,
+                    _ => (start + rng.below(span) as i128) as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical "any value" strategy, selected via [`any`].
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for any value of `T`, as `any::<T>()`.
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Uniform choice between boxed strategies; built by [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let index = rng.below(self.options.len() as u64) as usize;
+        self.options[index].sample(rng)
+    }
+}
+
+/// Boxes a strategy for [`Union`]; used by the [`prop_oneof!`] expansion.
+pub fn boxed_strategy<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<E>` with a length drawn from `len`.
+    pub struct VecStrategy<E> {
+        element: E,
+        len: Range<usize>,
+    }
+
+    // `len` is a concrete `Range<usize>` (not a generic length strategy) so
+    // unsuffixed literals like `0..8192` infer to usize at the call site.
+    pub fn vec<E: Strategy>(element: E, len: Range<usize>) -> VecStrategy<E> {
+        VecStrategy { element, len }
+    }
+
+    impl<E: Strategy> Strategy for VecStrategy<E> {
+        type Value = Vec<E::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.len.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Commonly imported items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])* fn $name:ident ($($arg:ident in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed_strategy($strat)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::TestRng::from_name("x");
+        let mut b = crate::TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn range_strategy_stays_in_bounds_and_hits_endpoints() {
+        let mut rng = crate::TestRng::from_name("bounds");
+        let strat = 3usize..17;
+        let mut saw_low = false;
+        let mut saw_high = false;
+        for _ in 0..512 {
+            let v = strat.sample(&mut rng);
+            assert!((3..17).contains(&v));
+            saw_low |= v == 3;
+            saw_high |= v == 16;
+        }
+        assert!(saw_low && saw_high, "endpoint weighting broken");
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(len in 0usize..32, payload in collection::vec(any::<u8>(), 0..8), flag in prop_oneof![Just(true), Just(false)]) {
+            prop_assert!(len < 32);
+            prop_assert!(payload.len() < 8);
+            prop_assert!(usize::from(flag) <= 1);
+        }
+    }
+}

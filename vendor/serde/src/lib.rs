@@ -1,0 +1,30 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its parameter and
+//! report types so they can be dumped to disk once a real serializer is
+//! available, but nothing serializes yet and the build environment cannot
+//! reach crates.io.  This shim keeps the derive annotations compiling:
+//! the traits exist, are blanket-implemented for every type, and the derive
+//! macros (from `vendor/serde_derive`) accept the `#[serde(...)]` helper
+//! attributes and expand to nothing.
+//!
+//! Swapping in the real serde is a one-line change in the workspace
+//! `Cargo.toml`; no source file needs to change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub mod de {
+    pub use super::DeserializeOwned;
+}
