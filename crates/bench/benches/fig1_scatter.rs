@@ -21,7 +21,9 @@ fn bench_scatter_pipeline(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(library.name()), |b| {
             b.iter(|| {
                 let trace = dispatch::record_scatter(&profile, topology, 256, 0);
-                simulate(library.name(), &trace, &params).unwrap().makespan_ns
+                simulate(library.name(), &trace, &params)
+                    .unwrap()
+                    .makespan_ns
             });
         });
     }

@@ -20,7 +20,9 @@ fn bench_allgather_pipeline(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(library.name()), |b| {
             b.iter(|| {
                 let trace = dispatch::record_allgather(&profile, topology, 64);
-                simulate(library.name(), &trace, &params).unwrap().makespan_ns
+                simulate(library.name(), &trace, &params)
+                    .unwrap()
+                    .makespan_ns
             });
         });
     }

@@ -15,8 +15,22 @@ fn burst_trace(senders: usize, messages_per_sender: usize, bytes: usize) -> Trac
     for s in 0..senders {
         for m in 0..messages_per_sender {
             let dest = topo.rank_of(1, s);
-            trace.push(s, TraceOp::Send { dest, bytes, tag: m as u64 });
-            trace.push(dest, TraceOp::Recv { source: s, bytes, tag: m as u64 });
+            trace.push(
+                s,
+                TraceOp::Send {
+                    dest,
+                    bytes,
+                    tag: m as u64,
+                },
+            );
+            trace.push(
+                dest,
+                TraceOp::Recv {
+                    source: s,
+                    bytes,
+                    tag: m as u64,
+                },
+            );
         }
     }
     trace

@@ -25,8 +25,22 @@ fn simulated_rate(senders: usize, messages_per_sender: usize, bytes: usize) -> f
     for s in 0..senders {
         for m in 0..messages_per_sender {
             let dest = topo.rank_of(1, s);
-            trace.push(s, TraceOp::Send { dest, bytes, tag: m as u64 });
-            trace.push(dest, TraceOp::Recv { source: s, bytes, tag: m as u64 });
+            trace.push(
+                s,
+                TraceOp::Send {
+                    dest,
+                    bytes,
+                    tag: m as u64,
+                },
+            );
+            trace.push(
+                dest,
+                TraceOp::Recv {
+                    source: s,
+                    bytes,
+                    tag: m as u64,
+                },
+            );
         }
     }
     let outcome = SimEngine::new(SimParams::default()).run(&trace).unwrap();
@@ -39,7 +53,9 @@ fn main() {
     let bytes = 64;
     let messages_per_sender = 200;
     println!("=== ABL-MSGRATE: node message rate vs. concurrent sender objects (64 B) ===\n");
-    println!("| Senders | Model rate (M msg/s) | Simulated rate (M msg/s) | Model throughput (Gb/s) |");
+    println!(
+        "| Senders | Model rate (M msg/s) | Simulated rate (M msg/s) | Model throughput (Gb/s) |"
+    );
     println!("|---|---|---|---|");
     for senders in [1, 2, 4, 8, 12, 18, 24, 36] {
         let model_rate = nic.node_message_rate(senders, bytes) / 1e6;

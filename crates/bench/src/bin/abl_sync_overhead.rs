@@ -17,7 +17,9 @@ fn main() {
     let cluster = ClusterSpec::new(32, 18);
     let topology = cluster.topology();
     let sizes = [16usize, 64, 256];
-    println!("=== ABL-SYNC: PiP-MPICH message-size synchronization sweep (32 nodes x 18 ppn) ===\n");
+    println!(
+        "=== ABL-SYNC: PiP-MPICH message-size synchronization sweep (32 nodes x 18 ppn) ===\n"
+    );
     println!("| Sync per message (ns) | 16 B (us) | 64 B (us) | 256 B (us) |");
     println!("|---|---|---|---|");
     for sync in [0.0f64, 200.0, 650.0, 1000.0, 2000.0] {

@@ -1,8 +1,18 @@
 //! Building the per-figure comparison data: one simulated execution time per
 //! (library, message size) pair for a chosen collective on a chosen cluster.
+//!
+//! Traces come from the plan cache rather than from replaying algorithms:
+//! each `(library, collective, topology, size)` cell compiles a
+//! schedule-fidelity plan once — process-wide — and every later request for
+//! the same cell (repeated tables, other figures, ablations) lowers the
+//! cached plan to a trace without running the algorithm again.
 
+use std::sync::{Arc, Mutex, OnceLock};
+
+use pip_collectives::plan::Fidelity;
 use pip_collectives::CollectiveKind;
-use pip_mpi_model::{dispatch, Library};
+use pip_mpi_model::plan::compile_cluster;
+use pip_mpi_model::{ClusterPlanCache, CollectiveShape, Library};
 use pip_netsim::cluster::ClusterSpec;
 use pip_netsim::network::simulate;
 use pip_netsim::trace::Trace;
@@ -137,23 +147,67 @@ pub fn collective_comparison(
     }
 }
 
+/// The process-wide plan cache behind [`collective_comparison`].
+///
+/// Growth is bounded by the number of distinct `(library, collective,
+/// topology, size)` cells the process ever simulates — a few hundred plans
+/// for a full figure sweep — and the lock is only held for map access, never
+/// across a compile.
+fn figure_plans() -> &'static Mutex<ClusterPlanCache> {
+    static PLANS: OnceLock<Mutex<ClusterPlanCache>> = OnceLock::new();
+    PLANS.get_or_init(|| Mutex::new(ClusterPlanCache::new()))
+}
+
+/// `(hits, misses)` of the process-wide figure plan cache.
+pub fn figure_plan_stats() -> (u64, u64) {
+    figure_plans().lock().unwrap().stats()
+}
+
 fn record_for(
     collective: CollectiveKind,
     profile: &pip_mpi_model::LibraryProfile,
     topology: Topology,
     bytes: usize,
 ) -> Trace {
-    match collective {
-        CollectiveKind::Allgather => dispatch::record_allgather(profile, topology, bytes),
-        CollectiveKind::Scatter => dispatch::record_scatter(profile, topology, bytes, 0),
-        CollectiveKind::Bcast => dispatch::record_bcast(profile, topology, bytes, 0),
-        CollectiveKind::Gather => dispatch::record_gather(profile, topology, bytes, 0),
-        CollectiveKind::Allreduce => dispatch::record_allreduce(profile, topology, bytes),
-        CollectiveKind::Alltoall => dispatch::record_alltoall(profile, topology, bytes),
-        CollectiveKind::Barrier | CollectiveKind::Reduce => {
-            dispatch::record_barrier(profile, topology)
+    let shape = CollectiveShape {
+        kind: match collective {
+            // The barrier workload stands in for MPI_Reduce until a
+            // dedicated reduce path exists (as in the legacy record path).
+            CollectiveKind::Reduce => CollectiveKind::Barrier,
+            kind => kind,
+        },
+        block: if collective == CollectiveKind::Barrier || collective == CollectiveKind::Reduce {
+            0
+        } else {
+            bytes
+        },
+        root: 0,
+        elem_size: 1,
+    };
+    // Compile outside the lock so concurrent figure builders never block
+    // behind another cell's whole-cluster compile; first inserter wins.
+    let cached = figure_plans()
+        .lock()
+        .unwrap()
+        .lookup(profile, topology, &shape);
+    let plan = match cached {
+        Some(plan) => plan,
+        None => {
+            let compiled = Arc::new(compile_cluster(
+                profile,
+                topology,
+                &shape,
+                Fidelity::Schedule,
+            ));
+            figure_plans()
+                .lock()
+                .unwrap()
+                .insert(profile, topology, &shape, compiled)
         }
-    }
+    };
+    // Tag base 1 matches the legacy `record_*` helpers, so traces are
+    // byte-identical to the pre-plan pipeline.
+    plan.to_trace(1)
 }
 
 /// The per-process message sizes of the paper's small-message figures.
@@ -220,5 +274,28 @@ mod tests {
         let table = small_cluster_table(CollectiveKind::Scatter);
         let direct = table.time_us(Library::OpenMpi, 64);
         assert_eq!(direct, table.series_for(Library::OpenMpi).time_us[1]);
+    }
+
+    /// Rebuilding the same figure cells must be served from the plan cache —
+    /// the point of the plan/execute split for figure generation.  The cache
+    /// (and the stats) are process-wide, so only *deltas* around two
+    /// identical builds are meaningful under parallel test execution.
+    #[test]
+    fn repeated_tables_hit_the_figure_plan_cache() {
+        let build = || collective_comparison(CollectiveKind::Bcast, ClusterSpec::new(6, 3), &[32]);
+        let first = build();
+        let (hits_before, misses_before) = figure_plan_stats();
+        let second = build();
+        let (hits_after, misses_after) = figure_plan_stats();
+        assert_eq!(first, second, "cached traces must reproduce the table");
+        assert_eq!(
+            misses_after, misses_before,
+            "a repeated table must not recompile any cell"
+        );
+        assert_eq!(
+            hits_after - hits_before,
+            Library::ALL.len() as u64,
+            "every (library, size) cell of the repeat must hit the cache"
+        );
     }
 }

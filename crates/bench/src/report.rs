@@ -121,8 +121,7 @@ mod tests {
 
     #[test]
     fn csv_has_header_plus_one_row_per_library() {
-        let table =
-            collective_comparison(CollectiveKind::Allgather, ClusterSpec::new(4, 2), &[32]);
+        let table = collective_comparison(CollectiveKind::Allgather, ClusterSpec::new(4, 2), &[32]);
         let csv = render_csv(&table);
         assert_eq!(csv.lines().count(), 1 + Library::ALL.len());
         assert!(csv.starts_with("library,32"));

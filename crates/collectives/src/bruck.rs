@@ -50,8 +50,7 @@ pub fn allgather_bruck<C: Comm>(comm: &C, sendbuf: &[u8], recvbuf: &mut [u8], ta
     // position (j - rank) mod p.
     for j in 0..p {
         let pos = (j + p - rank) % p;
-        recvbuf[j * block..(j + 1) * block]
-            .copy_from_slice(&tmp[pos * block..(pos + 1) * block]);
+        recvbuf[j * block..(j + 1) * block].copy_from_slice(&tmp[pos * block..(pos + 1) * block]);
     }
     comm.charge_copy(p * block);
 }

@@ -78,13 +78,34 @@ pub trait Comm {
     // -- messaging -----------------------------------------------------
 
     /// Send `data` to `dest` with `tag`.
+    ///
+    /// **Contract: sending never blocks.**  Every implementation provides
+    /// buffered (eager) semantics — the call enqueues the message and
+    /// returns without waiting for a matching receive.  The default
+    /// [`Comm::sendrecv`] and the deadlock-freedom of every symmetric
+    /// exchange in the algorithms rely on this guarantee.
     fn send(&self, dest: usize, tag: u64, data: &[u8]);
+
+    /// As [`Comm::send`] but taking ownership of the payload, so
+    /// implementations that can hand the buffer straight to the transport
+    /// (the thread runtime's fabric) avoid re-copying it.  The default
+    /// forwards to [`Comm::send`].
+    fn send_owned(&self, dest: usize, tag: u64, data: Vec<u8>) {
+        self.send(dest, tag, &data);
+    }
 
     /// Receive exactly `len` bytes from `source` with `tag`.
     fn recv(&self, source: usize, tag: u64, len: usize) -> Vec<u8>;
 
-    /// Send to `dest` and receive from `source` (both may proceed
-    /// concurrently; neither direction blocks the other).
+    /// Send to `dest`, then receive from `source`.
+    ///
+    /// The default implementation posts the send first and then blocks on
+    /// the receive.  Because [`Comm::send`] is guaranteed not to block, the
+    /// two directions cannot deadlock: in a symmetric exchange both peers
+    /// get their sends posted before either waits, regardless of ordering.
+    /// This is MPI_Sendrecv's semantics over an eager transport — the
+    /// directions are concurrent *in effect* (neither waits on the other's
+    /// completion), not via extra threads.
     fn sendrecv(
         &self,
         dest: usize,
@@ -202,9 +223,14 @@ impl Comm for ThreadComm<'_> {
     }
 
     fn send(&self, dest: usize, tag: u64, data: &[u8]) {
-        self.ctx
-            .send(dest, tag, data.to_vec())
-            .expect("send failed");
+        // One copy: the fabric takes ownership of the borrowed bytes once
+        // and the allocation travels to the receiver untouched.
+        self.ctx.send_bytes(dest, tag, data).expect("send failed");
+    }
+
+    fn send_owned(&self, dest: usize, tag: u64, data: Vec<u8>) {
+        // Zero copies: the caller's allocation moves into the fabric.
+        self.ctx.send(dest, tag, data).expect("send failed");
     }
 
     fn recv(&self, source: usize, tag: u64, len: usize) -> Vec<u8> {
@@ -219,7 +245,7 @@ impl Comm for ThreadComm<'_> {
             tag,
             msg.payload.len()
         );
-        msg.payload
+        msg.payload.into_vec()
     }
 
     fn shared_alloc(&self, name: &str, len: usize) {
@@ -259,6 +285,8 @@ impl Comm for ThreadComm<'_> {
         let data = region
             .read_vec(offset, len)
             .expect("send_from_shared in bounds");
+        // The single copy out of the shared region is the only one; the
+        // resulting allocation moves into the fabric.
         self.ctx.send(dest, tag, data).expect("send failed");
     }
 
@@ -531,6 +559,57 @@ mod tests {
         assert_eq!(results[3], vec![9, 9, 9, 9]);
     }
 
+    /// Regression test for the sendrecv contract: symmetric exchange
+    /// patterns — both peers inside a pairwise exchange calling `sendrecv`
+    /// towards each other at the same time — must complete, because sends
+    /// are buffered and never block.  Runs several rounds with payloads big
+    /// enough that a rendezvous-style (blocking) send would deadlock the
+    /// pair immediately.
+    #[test]
+    fn sendrecv_exchange_pattern_completes_and_delivers() {
+        let topo = Topology::new(2, 2);
+        let rounds = 4u64;
+        let len = 256 * 1024;
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            let p = comm.world_size();
+            let mut sum = 0u64;
+            for round in 0..rounds {
+                // Pairwise exchange: partner = rank ^ (1 + round % (p-1)),
+                // clipped to the world — every rank sends and receives in
+                // the same call.
+                let partner = comm.rank() ^ (1 + (round as usize) % (p - 1));
+                if partner >= p {
+                    continue;
+                }
+                let payload = vec![comm.rank() as u8; len];
+                let received =
+                    comm.sendrecv(partner, 42 + round, &payload, partner, 42 + round, len);
+                assert_eq!(received, vec![partner as u8; len]);
+                sum += received[0] as u64;
+            }
+            sum
+        })
+        .unwrap();
+        assert_eq!(results.len(), 4);
+    }
+
+    #[test]
+    fn send_owned_delivers_without_extra_copy() {
+        let topo = Topology::new(1, 2);
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            if comm.rank() == 0 {
+                comm.send_owned(1, 5, vec![4, 5, 6]);
+                Vec::new()
+            } else {
+                comm.recv(0, 5, 3)
+            }
+        })
+        .unwrap();
+        assert_eq!(results[1], vec![4, 5, 6]);
+    }
+
     #[test]
     fn trace_comm_records_expected_ops() {
         let topo = Topology::new(2, 2);
@@ -545,13 +624,34 @@ mod tests {
         comm.send_from_shared(0, "x", 0, 24, 2, 9);
         let ops = comm.into_ops();
         assert_eq!(ops.len(), 7);
-        assert!(matches!(ops[0], TraceOp::Send { dest: 3, bytes: 32, tag: 7 }));
-        assert!(matches!(ops[1], TraceOp::Recv { source: 3, bytes: 16, tag: 8 }));
+        assert!(matches!(
+            ops[0],
+            TraceOp::Send {
+                dest: 3,
+                bytes: 32,
+                tag: 7
+            }
+        ));
+        assert!(matches!(
+            ops[1],
+            TraceOp::Recv {
+                source: 3,
+                bytes: 16,
+                tag: 8
+            }
+        ));
         assert!(matches!(ops[2], TraceOp::CopyIntra { bytes: 8, .. }));
         assert!(matches!(ops[3], TraceOp::LocalBarrier));
         assert!(matches!(ops[4], TraceOp::Reduce { bytes: 64 }));
         assert!(matches!(ops[5], TraceOp::Delay { .. }));
-        assert!(matches!(ops[6], TraceOp::Send { dest: 2, bytes: 24, tag: 9 }));
+        assert!(matches!(
+            ops[6],
+            TraceOp::Send {
+                dest: 2,
+                bytes: 24,
+                tag: 9
+            }
+        ));
     }
 
     #[test]

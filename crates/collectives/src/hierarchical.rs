@@ -72,7 +72,14 @@ pub fn allgather_hierarchical<C: Comm>(comm: &C, sendbuf: &[u8], recvbuf: &mut [
             let dst = comm.topology().node_root(dst_node);
             let src = comm.topology().node_root(src_node);
             comm.send_from_shared(0, &name, 0, count * node_block, dst, tag + round);
-            comm.recv_into_shared(0, &name, have * node_block, src, tag + round, count * node_block);
+            comm.recv_into_shared(
+                0,
+                &name,
+                have * node_block,
+                src,
+                tag + round,
+                count * node_block,
+            );
             have += count;
             step <<= 1;
             round += 1;
@@ -504,7 +511,11 @@ mod tests {
             if is_leader {
                 assert!(rank_trace.send_count() > 0, "leader {rank} must send");
             } else {
-                assert_eq!(rank_trace.send_count(), 0, "non-leader {rank} must not send");
+                assert_eq!(
+                    rank_trace.send_count(),
+                    0,
+                    "non-leader {rank} must not send"
+                );
             }
         }
     }

@@ -9,7 +9,10 @@
 //!   moving real bytes — this is how correctness is established against the
 //!   sequential [`oracle`]; or
 //! * **recorded** with [`comm::TraceComm`] into a `pip-netsim` trace — this
-//!   is how the paper-scale performance figures are produced.
+//!   is how the paper-scale performance figures are produced; or
+//! * **compiled** with [`plan::PlanComm`] into a symbolic [`plan::Plan`]
+//!   that can be cached, executed repeatedly ([`plan::execute_rank_plan`])
+//!   and lowered straight to a trace — the plan/execute split.
 //!
 //! ## Algorithm families
 //!
@@ -37,6 +40,7 @@ pub mod comm;
 pub mod hierarchical;
 pub mod multi_object;
 pub mod oracle;
+pub mod plan;
 pub mod recursive_doubling;
 pub mod ring;
 

@@ -43,7 +43,10 @@ pub fn allgather_multi_object<C: Comm>(comm: &C, sendbuf: &[u8], recvbuf: &mut [
 
     // Steps ②–⑤: multi-object Bruck exchange over nodes.
     let topo = comm.topology();
-    for (phase, t) in bruck_phases(nodes, ppn, node, local).into_iter().enumerate() {
+    for (phase, t) in bruck_phases(nodes, ppn, node, local)
+        .into_iter()
+        .enumerate()
+    {
         if t.count > 0 {
             let dst = topo.rank_of(t.dst_node, local);
             let src = topo.rank_of(t.src_node, local);
@@ -91,7 +94,10 @@ mod tests {
         })
         .unwrap();
         for (rank, buf) in results.iter().enumerate() {
-            assert_eq!(buf, &expected, "multi-object allgather mismatch at rank {rank}");
+            assert_eq!(
+                buf, &expected,
+                "multi-object allgather mismatch at rank {rank}"
+            );
         }
     }
 

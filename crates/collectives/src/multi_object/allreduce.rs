@@ -138,7 +138,10 @@ mod tests {
         })
         .unwrap();
         for (rank, buf) in results.iter().enumerate() {
-            assert_eq!(buf, &expected, "multi-object allreduce mismatch at rank {rank}");
+            assert_eq!(
+                buf, &expected,
+                "multi-object allreduce mismatch at rank {rank}"
+            );
         }
     }
 

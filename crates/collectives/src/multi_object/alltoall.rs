@@ -128,7 +128,10 @@ mod tests {
         })
         .unwrap();
         for (rank, buf) in results.iter().enumerate() {
-            assert_eq!(buf, &expected[rank], "multi-object alltoall mismatch at rank {rank}");
+            assert_eq!(
+                buf, &expected[rank],
+                "multi-object alltoall mismatch at rank {rank}"
+            );
         }
     }
 

@@ -59,9 +59,7 @@ pub fn gather_multi_object<C: Comm>(
 
         if rank == root {
             let gathered = comm.shared_collect(&dst_name, comm.world_size() * block);
-            recvbuf
-                .expect("root recvbuf")
-                .copy_from_slice(&gathered);
+            recvbuf.expect("root recvbuf").copy_from_slice(&gathered);
         }
     } else {
         // Remote node: gather the node-block into the courier's staging
@@ -103,7 +101,10 @@ mod tests {
             recvbuf
         })
         .unwrap();
-        assert_eq!(results[root], expected, "multi-object gather mismatch at root");
+        assert_eq!(
+            results[root], expected,
+            "multi-object gather mismatch at root"
+        );
     }
 
     #[test]

@@ -48,14 +48,7 @@ pub fn scatter_multi_object<C: Comm>(
         // sending each node's block straight out of the root's buffer.
         for n in responsible_nodes(nodes, ppn, local, root_node) {
             let dst = topo.rank_of(n, receiver_local_for(n));
-            comm.send_from_shared(
-                root_local,
-                &src_name,
-                n * node_block,
-                node_block,
-                dst,
-                tag,
-            );
+            comm.send_from_shared(root_local, &src_name, n * node_block, node_block, dst, tag);
         }
 
         // Local delivery: each root-node process copies its own block out of
@@ -102,7 +95,10 @@ mod tests {
         })
         .unwrap();
         for (rank, buf) in results.iter().enumerate() {
-            assert_eq!(buf, &expected[rank], "multi-object scatter mismatch at rank {rank}");
+            assert_eq!(
+                buf, &expected[rank],
+                "multi-object scatter mismatch at rank {rank}"
+            );
         }
     }
 

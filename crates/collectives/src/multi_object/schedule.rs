@@ -34,7 +34,7 @@ pub fn bruck_phases(nodes: usize, ppn: usize, node: usize, local: usize) -> Vec<
     let base = ppn + 1;
     let mut phases = Vec::new();
     let mut span = 1usize; // the paper's S_p: node-blocks already gathered
-    // Full phases: each multiplies the gathered span by `base`.
+                           // Full phases: each multiplies the gathered span by `base`.
     while span.saturating_mul(base) <= nodes {
         let offset = (local + 1) * span;
         phases.push(transfer(nodes, node, offset, span, offset));
@@ -55,7 +55,13 @@ pub fn bruck_phases(nodes: usize, ppn: usize, node: usize, local: usize) -> Vec<
     phases
 }
 
-fn transfer(nodes: usize, node: usize, offset: usize, count: usize, recv_offset: usize) -> BruckTransfer {
+fn transfer(
+    nodes: usize,
+    node: usize,
+    offset: usize,
+    count: usize,
+    recv_offset: usize,
+) -> BruckTransfer {
     BruckTransfer {
         offset,
         src_node: (node + offset) % nodes,
@@ -140,7 +146,11 @@ mod tests {
                 );
             }
         }
-        assert_eq!(covered.len(), nodes, "coverage incomplete for {nodes} nodes, {ppn} ppn");
+        assert_eq!(
+            covered.len(),
+            nodes,
+            "coverage incomplete for {nodes} nodes, {ppn} ppn"
+        );
     }
 
     #[test]

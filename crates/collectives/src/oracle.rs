@@ -13,7 +13,11 @@ pub fn allgather(contributions: &[Vec<u8>]) -> Vec<u8> {
 /// Expected scatter result for each rank: rank `i` receives block `i` of the
 /// root's send buffer.
 pub fn scatter(root_sendbuf: &[u8], world: usize) -> Vec<Vec<u8>> {
-    assert_eq!(root_sendbuf.len() % world, 0, "sendbuf must hold world blocks");
+    assert_eq!(
+        root_sendbuf.len() % world,
+        0,
+        "sendbuf must hold world blocks"
+    );
     let block = root_sendbuf.len() / world;
     (0..world)
         .map(|rank| root_sendbuf[rank * block..(rank + 1) * block].to_vec())

@@ -1,0 +1,904 @@
+//! The collective-schedule IR: a validated, per-rank program of
+//! communication and data-movement operations with *symbolic* buffer
+//! references.
+//!
+//! A [`Plan`] is what a collective algorithm compiles to: one [`RankPlan`]
+//! per rank, each an ordered list of [`PlanOp`]s.  Data-carrying operations
+//! reference bytes through [`Src`] — a concatenation of ranges over the
+//! caller's send buffer, the initial contents of the receive buffer, or
+//! *values* (bytes that materialize during execution: received messages,
+//! shared-memory reads, reduction results).  Because every reference is
+//! symbolic, the same plan can be
+//!
+//! * **executed** against any [`crate::comm::Comm`] with fresh caller
+//!   buffers ([`crate::plan::exec::execute_rank_plan`]), or
+//! * **lowered** straight to a `pip-netsim` [`Trace`] without running the
+//!   algorithm again ([`Plan::to_trace`]).
+//!
+//! Plans are compiled at tag base 0; [`Plan::to_trace`] and the executor
+//! rebase every tag by the invocation tag, and shared-region names are
+//! namespaced per invocation so back-to-back executions of the same cached
+//! plan never collide.
+
+use pip_netsim::trace::{Trace, TraceOp};
+use pip_runtime::Topology;
+use pip_transport::cost::IntranodeMechanism;
+
+/// Index of a runtime value (received message, shared read, reduction
+/// result) within a rank's plan.
+pub type ValId = u32;
+
+/// Index into [`RankPlan::names`].
+pub type NameId = u32;
+
+/// How much information a plan carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Full data provenance: every payload resolves to symbolic sources, so
+    /// the plan can be executed and must reproduce the algorithm's output.
+    Exec,
+    /// Schedule only: payloads carry lengths but not provenance
+    /// ([`SrcSeg::Opaque`]).  Enough for [`Plan::to_trace`]; refusing
+    /// execution.
+    Schedule,
+}
+
+/// One contiguous piece of a payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SrcSeg {
+    /// Bytes `offset..offset + len` of the caller's send buffer.
+    SendBuf {
+        /// Start within the send buffer.
+        offset: usize,
+        /// Length in bytes.
+        len: usize,
+    },
+    /// Bytes of the caller's receive buffer *as it was on entry*.
+    RecvInit {
+        /// Start within the receive buffer.
+        offset: usize,
+        /// Length in bytes.
+        len: usize,
+    },
+    /// Bytes `offset..offset + len` of runtime value `id`.
+    Val {
+        /// The value.
+        id: ValId,
+        /// Start within the value.
+        offset: usize,
+        /// Length in bytes.
+        len: usize,
+    },
+    /// Bytes that are the same on every execution (the algorithm wrote
+    /// constants, e.g. zero padding).
+    Lit(Vec<u8>),
+    /// Unknown provenance of a known length (schedule-fidelity plans only).
+    Opaque {
+        /// Length in bytes.
+        len: usize,
+    },
+}
+
+impl SrcSeg {
+    /// Length of this segment in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            SrcSeg::SendBuf { len, .. }
+            | SrcSeg::RecvInit { len, .. }
+            | SrcSeg::Val { len, .. }
+            | SrcSeg::Opaque { len } => *len,
+            SrcSeg::Lit(bytes) => bytes.len(),
+        }
+    }
+
+    /// Whether the segment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A payload source: a concatenation of segments.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Src {
+    /// Segments in concatenation order.
+    pub segs: Vec<SrcSeg>,
+}
+
+impl Src {
+    /// A source with no bytes.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// An opaque source of `len` bytes (schedule fidelity).
+    pub fn opaque(len: usize) -> Self {
+        Self {
+            segs: vec![SrcSeg::Opaque { len }],
+        }
+    }
+
+    /// Total length in bytes.
+    pub fn len(&self) -> usize {
+        self.segs.iter().map(SrcSeg::len).sum()
+    }
+
+    /// Whether the source carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether any segment is [`SrcSeg::Opaque`].
+    pub fn is_opaque(&self) -> bool {
+        self.segs.iter().any(|s| matches!(s, SrcSeg::Opaque { .. }))
+    }
+}
+
+/// One operation of a rank's compiled program.
+///
+/// The communication operations mirror the [`crate::comm::Comm`] surface
+/// one-for-one (so lowering to a trace is mechanical); [`PlanOp::Reduce`]
+/// and [`PlanOp::CopyOut`] are *data* operations the compiler derived from
+/// the algorithm's private buffer manipulation — they move bytes at
+/// execution time but are invisible to the trace, exactly like the private
+/// manipulation they replace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanOp {
+    /// Expose a shared region of `len` bytes owned by this rank.
+    SharedAlloc {
+        /// Region name.
+        name: NameId,
+        /// Region length.
+        len: usize,
+    },
+    /// Expose a shared region and fill it from `src` (free under PiP).
+    SharedPublish {
+        /// Region name.
+        name: NameId,
+        /// Bytes to publish.
+        src: Src,
+    },
+    /// Read back a whole region this rank owns into value `dst` (free).
+    SharedCollect {
+        /// Region name.
+        name: NameId,
+        /// Region length.
+        len: usize,
+        /// Value receiving the bytes.
+        dst: ValId,
+    },
+    /// Store `src` into local rank `owner_local`'s region at `offset`.
+    SharedWrite {
+        /// Owner of the region within this node.
+        owner_local: usize,
+        /// Region name.
+        name: NameId,
+        /// Byte offset within the region.
+        offset: usize,
+        /// Bytes to store.
+        src: Src,
+    },
+    /// Load `len` bytes from a peer's region into value `dst`.
+    SharedRead {
+        /// Owner of the region within this node.
+        owner_local: usize,
+        /// Region name.
+        name: NameId,
+        /// Byte offset within the region.
+        offset: usize,
+        /// Length in bytes.
+        len: usize,
+        /// Value receiving the bytes.
+        dst: ValId,
+    },
+    /// Send `src` to `dest` with tag base + `tag`.
+    Send {
+        /// Destination rank.
+        dest: usize,
+        /// Tag offset from the invocation tag.
+        tag: u64,
+        /// Payload.
+        src: Src,
+    },
+    /// Receive `len` bytes from `source` into value `dst`.
+    Recv {
+        /// Source rank.
+        source: usize,
+        /// Tag offset from the invocation tag.
+        tag: u64,
+        /// Expected length.
+        len: usize,
+        /// Value receiving the bytes.
+        dst: ValId,
+    },
+    /// Send straight out of a peer's shared region (zero-copy).
+    SendFromShared {
+        /// Owner of the region within this node.
+        owner_local: usize,
+        /// Region name.
+        name: NameId,
+        /// Byte offset within the region.
+        offset: usize,
+        /// Length in bytes.
+        len: usize,
+        /// Destination rank.
+        dest: usize,
+        /// Tag offset from the invocation tag.
+        tag: u64,
+    },
+    /// Receive straight into a peer's shared region (zero-copy).
+    RecvIntoShared {
+        /// Owner of the region within this node.
+        owner_local: usize,
+        /// Region name.
+        name: NameId,
+        /// Byte offset within the region.
+        offset: usize,
+        /// Source rank.
+        source: usize,
+        /// Tag offset from the invocation tag.
+        tag: u64,
+        /// Length in bytes.
+        len: usize,
+    },
+    /// Barrier across the tasks of this rank's node.
+    NodeBarrier,
+    /// Apply the caller's reduction operator: `dst = op(acc, other)`.
+    ///
+    /// Data operation — replaces the algorithm's private `op(...)` call;
+    /// does not lower to a trace op (the matching cost is recorded
+    /// separately by [`PlanOp::ChargeReduce`]).
+    Reduce {
+        /// Value receiving the reduced bytes.
+        dst: ValId,
+        /// Accumulator input.
+        acc: Src,
+        /// Second operand.
+        other: Src,
+    },
+    /// Write `src` into the caller's receive buffer at `offset`.
+    ///
+    /// Data operation — replaces the algorithm's private copies into the
+    /// output buffer; does not lower to a trace op.
+    CopyOut {
+        /// Destination offset within the receive buffer.
+        offset: usize,
+        /// Bytes to write.
+        src: Src,
+    },
+    /// Cost annotation: a private copy of `bytes` bytes.
+    ChargeCopy {
+        /// Bytes copied.
+        bytes: usize,
+    },
+    /// Cost annotation: a private reduction over `bytes` bytes.
+    ChargeReduce {
+        /// Bytes reduced.
+        bytes: usize,
+    },
+    /// Cost annotation: fixed software overhead.
+    Delay {
+        /// Duration in nanoseconds.
+        nanos: f64,
+    },
+}
+
+/// Buffer shapes a plan expects from its caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoShape {
+    /// Required send-buffer length (`None`: no send buffer, e.g. a non-root
+    /// scatter rank).
+    pub sendbuf: Option<usize>,
+    /// Required receive-buffer length (`None`: no receive buffer, e.g. a
+    /// non-root gather rank).
+    pub recvbuf: Option<usize>,
+    /// The send and receive buffer are the *same* caller buffer (bcast,
+    /// allreduce).  The executor then reads [`SrcSeg::SendBuf`] from the
+    /// receive buffer's pre-execution contents.
+    pub inout: bool,
+    /// The plan contains [`PlanOp::Reduce`] and needs a reduction operator.
+    pub needs_reduce_op: bool,
+}
+
+/// Problems detected by plan validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// An op references a name index outside [`RankPlan::names`].
+    BadName {
+        /// Rank whose plan is invalid.
+        rank: usize,
+        /// Index of the offending op.
+        op: usize,
+    },
+    /// An op references a value never defined, defined later, or out of
+    /// range.
+    UndefinedValue {
+        /// Rank whose plan is invalid.
+        rank: usize,
+        /// Index of the offending op.
+        op: usize,
+        /// The value referenced.
+        val: ValId,
+    },
+    /// A source range exceeds the referenced buffer or value.
+    SrcOutOfBounds {
+        /// Rank whose plan is invalid.
+        rank: usize,
+        /// Index of the offending op.
+        op: usize,
+    },
+    /// A `CopyOut` writes outside the receive buffer, or the plan writes
+    /// output without declaring a receive buffer.
+    OutOfBoundsOutput {
+        /// Rank whose plan is invalid.
+        rank: usize,
+        /// Index of the offending op.
+        op: usize,
+    },
+    /// A shared-region access exceeds the region, or targets a region never
+    /// allocated.
+    BadRegionAccess {
+        /// Rank whose plan is invalid.
+        rank: usize,
+        /// Index of the offending op.
+        op: usize,
+        /// Region name.
+        name: String,
+    },
+    /// Two allocations of the same region disagree on length.
+    RegionSizeConflict {
+        /// Region name.
+        name: String,
+    },
+    /// The lowered trace failed structural validation (unmatched messages,
+    /// inconsistent barriers, bad peer ranks).
+    InvalidSchedule(String),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::BadName { rank, op } => {
+                write!(f, "rank {rank} op {op}: name index out of range")
+            }
+            PlanError::UndefinedValue { rank, op, val } => {
+                write!(f, "rank {rank} op {op}: value {val} used before definition")
+            }
+            PlanError::SrcOutOfBounds { rank, op } => {
+                write!(f, "rank {rank} op {op}: source range out of bounds")
+            }
+            PlanError::OutOfBoundsOutput { rank, op } => {
+                write!(f, "rank {rank} op {op}: output write out of bounds")
+            }
+            PlanError::BadRegionAccess { rank, op, name } => {
+                write!(f, "rank {rank} op {op}: bad access to region {name:?}")
+            }
+            PlanError::RegionSizeConflict { name } => {
+                write!(f, "region {name:?} allocated with conflicting lengths")
+            }
+            PlanError::InvalidSchedule(e) => write!(f, "invalid schedule: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The compiled program of one rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankPlan {
+    /// The rank this plan was compiled for.
+    pub rank: usize,
+    /// The topology it was compiled for.
+    pub topology: Topology,
+    /// How much information the plan carries.
+    pub fidelity: Fidelity,
+    /// Buffer shapes expected from the caller.
+    pub io: IoShape,
+    /// Shared-region names, as recorded at the canonical tag base; the
+    /// executor namespaces them per invocation.
+    pub names: Vec<String>,
+    /// Length of each runtime value, indexed by [`ValId`].
+    pub val_lens: Vec<usize>,
+    /// Operations in program order.
+    pub ops: Vec<PlanOp>,
+}
+
+impl RankPlan {
+    /// Validate the rank-local invariants: in-range names, define-before-use
+    /// values, in-bounds source ranges and output writes.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        let rank = self.rank;
+        let mut defined = vec![false; self.val_lens.len()];
+        let check_name = |op: usize, name: NameId| -> Result<(), PlanError> {
+            if (name as usize) < self.names.len() {
+                Ok(())
+            } else {
+                Err(PlanError::BadName { rank, op })
+            }
+        };
+        let sendbuf_len = if self.io.inout {
+            self.io.recvbuf
+        } else {
+            self.io.sendbuf
+        };
+        for (i, op) in self.ops.iter().enumerate() {
+            let check_src = |src: &Src, defined: &[bool]| -> Result<(), PlanError> {
+                for seg in &src.segs {
+                    match *seg {
+                        SrcSeg::SendBuf { offset, len } => {
+                            let limit =
+                                sendbuf_len.ok_or(PlanError::SrcOutOfBounds { rank, op: i })?;
+                            if offset + len > limit {
+                                return Err(PlanError::SrcOutOfBounds { rank, op: i });
+                            }
+                        }
+                        SrcSeg::RecvInit { offset, len } => {
+                            let limit = self
+                                .io
+                                .recvbuf
+                                .ok_or(PlanError::SrcOutOfBounds { rank, op: i })?;
+                            if offset + len > limit {
+                                return Err(PlanError::SrcOutOfBounds { rank, op: i });
+                            }
+                        }
+                        SrcSeg::Val { id, offset, len } => {
+                            let id = id as usize;
+                            if id >= defined.len() || !defined[id] {
+                                return Err(PlanError::UndefinedValue {
+                                    rank,
+                                    op: i,
+                                    val: id as ValId,
+                                });
+                            }
+                            if offset + len > self.val_lens[id] {
+                                return Err(PlanError::SrcOutOfBounds { rank, op: i });
+                            }
+                        }
+                        SrcSeg::Lit(_) | SrcSeg::Opaque { .. } => {}
+                    }
+                }
+                Ok(())
+            };
+            let define = |op_idx: usize, val: ValId, len: usize, defined: &mut Vec<bool>| {
+                let idx = val as usize;
+                if idx >= self.val_lens.len() || self.val_lens[idx] != len {
+                    return Err(PlanError::UndefinedValue {
+                        rank,
+                        op: op_idx,
+                        val,
+                    });
+                }
+                defined[idx] = true;
+                Ok(())
+            };
+            match op {
+                PlanOp::SharedAlloc { name, .. } => check_name(i, *name)?,
+                PlanOp::SharedPublish { name, src } => {
+                    check_name(i, *name)?;
+                    check_src(src, &defined)?;
+                }
+                PlanOp::SharedCollect { name, len, dst } => {
+                    check_name(i, *name)?;
+                    define(i, *dst, *len, &mut defined)?;
+                }
+                PlanOp::SharedWrite { name, src, .. } => {
+                    check_name(i, *name)?;
+                    check_src(src, &defined)?;
+                }
+                PlanOp::SharedRead { name, len, dst, .. } => {
+                    check_name(i, *name)?;
+                    define(i, *dst, *len, &mut defined)?;
+                }
+                PlanOp::Send { src, .. } => check_src(src, &defined)?,
+                PlanOp::Recv { len, dst, .. } => define(i, *dst, *len, &mut defined)?,
+                PlanOp::SendFromShared { name, .. } | PlanOp::RecvIntoShared { name, .. } => {
+                    check_name(i, *name)?
+                }
+                PlanOp::NodeBarrier => {}
+                PlanOp::Reduce { dst, acc, other } => {
+                    check_src(acc, &defined)?;
+                    check_src(other, &defined)?;
+                    define(i, *dst, acc.len(), &mut defined)?;
+                }
+                PlanOp::CopyOut { offset, src } => {
+                    check_src(src, &defined)?;
+                    let limit = self
+                        .io
+                        .recvbuf
+                        .ok_or(PlanError::OutOfBoundsOutput { rank, op: i })?;
+                    if offset + src.len() > limit {
+                        return Err(PlanError::OutOfBoundsOutput { rank, op: i });
+                    }
+                }
+                PlanOp::ChargeCopy { .. } | PlanOp::ChargeReduce { .. } | PlanOp::Delay { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Lower this rank's program to the trace ops [`crate::comm::TraceComm`]
+    /// would record, with tags rebased by `tag`.
+    pub fn to_trace_ops(&self, tag: u64) -> Vec<TraceOp> {
+        let mut ops = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            match op {
+                PlanOp::Send { dest, tag: t, src } => ops.push(TraceOp::Send {
+                    dest: *dest,
+                    bytes: src.len(),
+                    tag: tag + t,
+                }),
+                PlanOp::Recv {
+                    source,
+                    tag: t,
+                    len,
+                    ..
+                } => ops.push(TraceOp::Recv {
+                    source: *source,
+                    bytes: *len,
+                    tag: tag + t,
+                }),
+                PlanOp::SendFromShared {
+                    len, dest, tag: t, ..
+                } => ops.push(TraceOp::Send {
+                    dest: *dest,
+                    bytes: *len,
+                    tag: tag + t,
+                }),
+                PlanOp::RecvIntoShared {
+                    source,
+                    tag: t,
+                    len,
+                    ..
+                } => ops.push(TraceOp::Recv {
+                    source: *source,
+                    bytes: *len,
+                    tag: tag + t,
+                }),
+                PlanOp::SharedWrite { src, .. } => ops.push(TraceOp::CopyIntra {
+                    bytes: src.len(),
+                    mechanism: None,
+                    first_use: false,
+                }),
+                PlanOp::SharedRead { len, .. } => ops.push(TraceOp::CopyIntra {
+                    bytes: *len,
+                    mechanism: None,
+                    first_use: false,
+                }),
+                PlanOp::NodeBarrier => ops.push(TraceOp::LocalBarrier),
+                PlanOp::ChargeCopy { bytes } => ops.push(TraceOp::CopyIntra {
+                    bytes: *bytes,
+                    mechanism: Some(IntranodeMechanism::Pip),
+                    first_use: false,
+                }),
+                PlanOp::ChargeReduce { bytes } => ops.push(TraceOp::Reduce { bytes: *bytes }),
+                PlanOp::Delay { nanos } => ops.push(TraceOp::Delay { nanos: *nanos }),
+                // Free under PiP (TraceComm records nothing for these) or
+                // pure data ops the trace never sees.
+                PlanOp::SharedAlloc { .. }
+                | PlanOp::SharedPublish { .. }
+                | PlanOp::SharedCollect { .. }
+                | PlanOp::Reduce { .. }
+                | PlanOp::CopyOut { .. } => {}
+            }
+        }
+        ops
+    }
+}
+
+/// A whole-cluster plan: one [`RankPlan`] per rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// The topology the plan was compiled for.
+    pub topology: Topology,
+    /// Per-rank programs, indexed by rank.
+    pub ranks: Vec<RankPlan>,
+}
+
+impl Plan {
+    /// Lower the whole plan to a validated-shape [`Trace`] with tags rebased
+    /// by `tag` — the direct replacement for replaying the algorithm once
+    /// per rank through a recording communicator.
+    pub fn to_trace(&self, tag: u64) -> Trace {
+        let mut trace = Trace::empty(self.topology);
+        for (rank, plan) in self.ranks.iter().enumerate() {
+            trace.ranks[rank].ops = plan.to_trace_ops(tag);
+        }
+        trace
+    }
+
+    /// Validate every rank's program plus the cross-rank invariants: matched
+    /// send/receive multisets, consistent barrier counts, and in-bounds
+    /// shared-region accesses against the regions the owning ranks allocate.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        use std::collections::HashMap;
+        for plan in &self.ranks {
+            plan.validate()?;
+        }
+        // Message matching and barrier consistency: reuse the trace
+        // validator on the lowered schedule.
+        self.to_trace(0)
+            .validate()
+            .map_err(|e| PlanError::InvalidSchedule(e.to_string()))?;
+        // Region registry: (node, owner_local, name) -> len.
+        let mut regions: HashMap<(usize, usize, String), usize> = HashMap::new();
+        for (rank, plan) in self.ranks.iter().enumerate() {
+            let node = self.topology.node_of(rank);
+            let local = self.topology.local_rank_of(rank);
+            for op in &plan.ops {
+                let (name, len) = match op {
+                    PlanOp::SharedAlloc { name, len } => (*name, *len),
+                    PlanOp::SharedPublish { name, src } => (*name, src.len()),
+                    _ => continue,
+                };
+                let name = plan.names[name as usize].clone();
+                match regions.entry((node, local, name.clone())) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        if *e.get() != len {
+                            return Err(PlanError::RegionSizeConflict { name });
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(len);
+                    }
+                }
+            }
+        }
+        let region_len = |node: usize, owner: usize, name: &str| -> Option<usize> {
+            regions.get(&(node, owner, name.to_string())).copied()
+        };
+        for (rank, plan) in self.ranks.iter().enumerate() {
+            let node = self.topology.node_of(rank);
+            for (i, op) in plan.ops.iter().enumerate() {
+                let access = match op {
+                    PlanOp::SharedWrite {
+                        owner_local,
+                        name,
+                        offset,
+                        src,
+                    } => Some((*owner_local, *name, *offset, src.len())),
+                    PlanOp::SharedRead {
+                        owner_local,
+                        name,
+                        offset,
+                        len,
+                        ..
+                    }
+                    | PlanOp::SendFromShared {
+                        owner_local,
+                        name,
+                        offset,
+                        len,
+                        ..
+                    }
+                    | PlanOp::RecvIntoShared {
+                        owner_local,
+                        name,
+                        offset,
+                        len,
+                        ..
+                    } => Some((*owner_local, *name, *offset, *len)),
+                    PlanOp::SharedCollect { name, len, dst: _ } => {
+                        Some((self.topology.local_rank_of(rank), *name, 0, *len))
+                    }
+                    _ => None,
+                };
+                if let Some((owner, name, offset, len)) = access {
+                    let name = &plan.names[name as usize];
+                    match region_len(node, owner, name) {
+                        Some(region) if offset + len <= region => {}
+                        _ => {
+                            return Err(PlanError::BadRegionAccess {
+                                rank,
+                                op: i,
+                                name: name.clone(),
+                            })
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of ops across all ranks.
+    pub fn total_ops(&self) -> usize {
+        self.ranks.iter().map(|r| r.ops.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf_plan(rank: usize, topo: Topology) -> RankPlan {
+        RankPlan {
+            rank,
+            topology: topo,
+            fidelity: Fidelity::Exec,
+            io: IoShape {
+                sendbuf: Some(4),
+                recvbuf: Some(8),
+                inout: false,
+                needs_reduce_op: false,
+            },
+            names: vec!["r_0".to_string()],
+            val_lens: vec![4],
+            ops: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn validate_accepts_define_before_use() {
+        let topo = Topology::new(1, 2);
+        let mut plan = leaf_plan(0, topo);
+        plan.ops = vec![
+            PlanOp::Recv {
+                source: 1,
+                tag: 0,
+                len: 4,
+                dst: 0,
+            },
+            PlanOp::CopyOut {
+                offset: 4,
+                src: Src {
+                    segs: vec![SrcSeg::Val {
+                        id: 0,
+                        offset: 0,
+                        len: 4,
+                    }],
+                },
+            },
+        ];
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_use_before_define() {
+        let topo = Topology::new(1, 2);
+        let mut plan = leaf_plan(0, topo);
+        plan.ops = vec![PlanOp::Send {
+            dest: 1,
+            tag: 0,
+            src: Src {
+                segs: vec![SrcSeg::Val {
+                    id: 0,
+                    offset: 0,
+                    len: 4,
+                }],
+            },
+        }];
+        assert!(matches!(
+            plan.validate().unwrap_err(),
+            PlanError::UndefinedValue { val: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_bounds_copy_out() {
+        let topo = Topology::new(1, 2);
+        let mut plan = leaf_plan(0, topo);
+        plan.ops = vec![PlanOp::CopyOut {
+            offset: 6,
+            src: Src {
+                segs: vec![SrcSeg::SendBuf { offset: 0, len: 4 }],
+            },
+        }];
+        assert!(matches!(
+            plan.validate().unwrap_err(),
+            PlanError::OutOfBoundsOutput { .. }
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_oversized_sendbuf_range() {
+        let topo = Topology::new(1, 2);
+        let mut plan = leaf_plan(0, topo);
+        plan.ops = vec![PlanOp::Send {
+            dest: 1,
+            tag: 0,
+            src: Src {
+                segs: vec![SrcSeg::SendBuf { offset: 2, len: 4 }],
+            },
+        }];
+        assert!(matches!(
+            plan.validate().unwrap_err(),
+            PlanError::SrcOutOfBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn plan_validate_rejects_unmatched_messages() {
+        let topo = Topology::new(1, 2);
+        let mut a = leaf_plan(0, topo);
+        a.ops = vec![PlanOp::Send {
+            dest: 1,
+            tag: 0,
+            src: Src {
+                segs: vec![SrcSeg::SendBuf { offset: 0, len: 4 }],
+            },
+        }];
+        let b = leaf_plan(1, topo);
+        let plan = Plan {
+            topology: topo,
+            ranks: vec![a, b],
+        };
+        assert!(matches!(
+            plan.validate().unwrap_err(),
+            PlanError::InvalidSchedule(_)
+        ));
+    }
+
+    #[test]
+    fn plan_validate_rejects_region_overflow() {
+        let topo = Topology::new(1, 2);
+        let mut a = leaf_plan(0, topo);
+        a.ops = vec![PlanOp::SharedAlloc { name: 0, len: 4 }];
+        let mut b = leaf_plan(1, topo);
+        b.ops = vec![PlanOp::SharedWrite {
+            owner_local: 0,
+            name: 0,
+            offset: 2,
+            src: Src {
+                segs: vec![SrcSeg::SendBuf { offset: 0, len: 4 }],
+            },
+        }];
+        let plan = Plan {
+            topology: topo,
+            ranks: vec![a, b],
+        };
+        assert!(matches!(
+            plan.validate().unwrap_err(),
+            PlanError::BadRegionAccess { rank: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn lowering_rebases_tags_and_skips_data_ops() {
+        let topo = Topology::new(1, 2);
+        let mut a = leaf_plan(0, topo);
+        a.val_lens = vec![4, 4];
+        a.io.needs_reduce_op = true;
+        a.ops = vec![
+            PlanOp::Recv {
+                source: 1,
+                tag: 3,
+                len: 4,
+                dst: 0,
+            },
+            PlanOp::Reduce {
+                dst: 1,
+                acc: Src {
+                    segs: vec![SrcSeg::SendBuf { offset: 0, len: 4 }],
+                },
+                other: Src {
+                    segs: vec![SrcSeg::Val {
+                        id: 0,
+                        offset: 0,
+                        len: 4,
+                    }],
+                },
+            },
+            PlanOp::ChargeReduce { bytes: 4 },
+            PlanOp::CopyOut {
+                offset: 0,
+                src: Src {
+                    segs: vec![SrcSeg::Val {
+                        id: 1,
+                        offset: 0,
+                        len: 4,
+                    }],
+                },
+            },
+        ];
+        let ops = a.to_trace_ops(100);
+        assert_eq!(ops.len(), 2);
+        assert!(matches!(
+            ops[0],
+            TraceOp::Recv {
+                source: 1,
+                bytes: 4,
+                tag: 103
+            }
+        ));
+        assert!(matches!(ops[1], TraceOp::Reduce { bytes: 4 }));
+    }
+}

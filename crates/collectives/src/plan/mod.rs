@@ -1,0 +1,28 @@
+//! The plan/execute split: compile a collective once, run it many times.
+//!
+//! A collective schedule is a pure function of `(collective, topology,
+//! message size, library)` — nothing in it depends on payload contents.
+//! This module exploits that invariance the way persistent/partitioned MPI
+//! collectives do, by separating the two phases that today's `execute()`
+//! path fuses:
+//!
+//! * **Compile** ([`record`]): run the unmodified algorithm once against the
+//!   recording [`record::PlanComm`] (the third [`crate::comm::Comm`]
+//!   implementation, next to `ThreadComm` and `TraceComm`) and assemble a
+//!   validated [`ir::RankPlan`] — a symbolic per-rank program.
+//! * **Execute** ([`exec`]): replay the compiled program on a live
+//!   communicator with fresh caller buffers, or lower it straight to a
+//!   `pip-netsim` trace ([`ir::Plan::to_trace`]) without touching the
+//!   algorithm again.
+//!
+//! Caching compiled plans per communicator (see `pip-mpi-model`'s
+//! `PlanCache`) turns the dispatch hot path into *lookup-or-compile, then
+//! run*.
+
+pub mod exec;
+pub mod ir;
+pub mod record;
+
+pub use exec::{execute_rank_plan, PlanIo};
+pub use ir::{Fidelity, IoShape, Plan, PlanError, PlanOp, RankPlan, Src, SrcSeg, ValId};
+pub use record::{assemble, PlanComm, EXEC_PASSES};

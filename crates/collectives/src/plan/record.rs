@@ -1,0 +1,952 @@
+//! Compiling a collective algorithm to a [`RankPlan`] by *recording* it.
+//!
+//! [`PlanComm`] is the third [`Comm`] implementation: like
+//! [`crate::comm::TraceComm`] it runs the unmodified algorithm once per rank
+//! without moving real data, but instead of only noting costs it captures a
+//! full symbolic program.  The hard part is *data provenance*: algorithms
+//! privately copy, slice and concatenate the byte buffers the `Comm` surface
+//! hands them, so the recorder cannot see where an outgoing payload came
+//! from.  The compiler recovers provenance with **fingerprint taint**:
+//!
+//! * every byte the recorder hands to the algorithm (receives, shared reads,
+//!   the caller's buffers) is a pseudo-random *fingerprint* of its symbolic
+//!   location `(value, offset)`;
+//! * reductions are intercepted by a compiler-provided operator
+//!   ([`PlanComm::reducer`]) that records a [`PlanOp::Reduce`] and rewrites
+//!   the accumulator with the fingerprints of a fresh value, so reduced data
+//!   stays trackable;
+//! * every byte the algorithm passes back (sends, shared writes, the final
+//!   output buffer) is resolved to its source by inverting the fingerprint
+//!   function.
+//!
+//! One 8-bit fingerprint per byte would collide constantly, so an
+//! exec-fidelity compile runs the algorithm **eight times** with eight
+//! independent fingerprint seeds (sound because algorithms never branch on
+//! payload contents — the op skeleton is asserted identical across passes).
+//! A byte position is then identified by the 64-bit tuple of its observed
+//! bytes, making a mis-resolution as unlikely as a 64-bit hash collision;
+//! bytes that are identical across all eight passes are constants the
+//! algorithm wrote itself and become [`SrcSeg::Lit`].
+//!
+//! Schedule-fidelity compiles skip all of this: one pass, zero-filled
+//! buffers, [`SrcSeg::Opaque`] payloads — exactly the cost of the legacy
+//! `record_trace` replay, but producing a cacheable [`RankPlan`].
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use pip_runtime::Topology;
+
+use crate::comm::Comm;
+use crate::plan::ir::{Fidelity, IoShape, NameId, PlanOp, RankPlan, Src, SrcSeg, ValId};
+
+/// Number of recording passes for an exec-fidelity compile (64 effective
+/// fingerprint bits per byte position).
+pub const EXEC_PASSES: usize = 8;
+
+/// Pseudo-value standing for the caller's send buffer in the internal value
+/// numbering (mapped to [`SrcSeg::SendBuf`] on emission).
+const VAL_SENDBUF: ValId = 0;
+/// Pseudo-value standing for the receive buffer's initial contents.
+const VAL_RECVINIT: ValId = 1;
+/// First id for values that materialize during execution.
+const FIRST_RUNTIME_VAL: ValId = 2;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A 64-bit seed unique to `(pass, val)`.
+///
+/// Hashing the pair *before* mixing in the offset is load-bearing: a packed
+/// key like `(pass << 56) ^ (val << 24) ^ offset` would let large offsets
+/// (≥ 2²⁴, i.e. buffers over 16 MiB) spill into the value bits and collide
+/// *identically in every pass*, silently defeating the multi-pass scheme.
+/// With a hashed seed, a cross-location collision needs
+/// `seed_a ^ off_a == seed_b ^ off_b` — a structureless 2⁻⁶⁴ event.
+#[inline]
+fn pass_val_seed(pass: u32, val: ValId) -> u64 {
+    splitmix64(((pass as u64) << 32) | val as u64)
+}
+
+/// The fingerprint byte of `(pass, val, offset)`.
+#[inline]
+fn fingerprint(pass: u32, val: ValId, offset: usize) -> u8 {
+    (splitmix64(pass_val_seed(pass, val) ^ offset as u64) >> 17) as u8
+}
+
+/// Fill `buf` with the fingerprints of value `val` for `pass`.
+pub(crate) fn fill_fingerprints(pass: u32, val: ValId, buf: &mut [u8]) {
+    let seed = pass_val_seed(pass, val);
+    for (off, byte) in buf.iter_mut().enumerate() {
+        *byte = (splitmix64(seed ^ off as u64) >> 17) as u8;
+    }
+}
+
+/// Index of a captured payload within a pass recording.
+type SiteId = u32;
+
+/// The op skeleton recorded during one pass: identical to [`PlanOp`] except
+/// that payloads are capture-site indices and names are still strings.
+#[derive(Debug, Clone, PartialEq)]
+enum RecOp {
+    SharedAlloc {
+        name: String,
+        len: usize,
+    },
+    SharedPublish {
+        name: String,
+        site: SiteId,
+    },
+    SharedCollect {
+        name: String,
+        len: usize,
+        dst: ValId,
+    },
+    SharedWrite {
+        owner_local: usize,
+        name: String,
+        offset: usize,
+        site: SiteId,
+    },
+    SharedRead {
+        owner_local: usize,
+        name: String,
+        offset: usize,
+        len: usize,
+        dst: ValId,
+    },
+    Send {
+        dest: usize,
+        tag: u64,
+        site: SiteId,
+    },
+    Recv {
+        source: usize,
+        tag: u64,
+        len: usize,
+        dst: ValId,
+    },
+    SendFromShared {
+        owner_local: usize,
+        name: String,
+        offset: usize,
+        len: usize,
+        dest: usize,
+        tag: u64,
+    },
+    RecvIntoShared {
+        owner_local: usize,
+        name: String,
+        offset: usize,
+        source: usize,
+        tag: u64,
+        len: usize,
+    },
+    NodeBarrier,
+    Reduce {
+        dst: ValId,
+        acc: SiteId,
+        other: SiteId,
+    },
+    ChargeCopy {
+        bytes: usize,
+    },
+    ChargeReduce {
+        bytes: usize,
+    },
+    Delay {
+        nanos: f64,
+    },
+}
+
+#[derive(Debug, Default)]
+struct RecState {
+    ops: Vec<RecOp>,
+    /// Length of each runtime value (ids offset by [`FIRST_RUNTIME_VAL`]).
+    val_lens: Vec<usize>,
+    /// Captured payload bytes, one entry per resolution site (empty vectors
+    /// under schedule fidelity, where only the length matters).
+    sites: Vec<Vec<u8>>,
+    /// Length of each resolution site.
+    site_lens: Vec<usize>,
+}
+
+/// The recording [`Comm`] implementation.  One instance records one pass for
+/// one rank; [`assemble`] fuses the passes into a [`RankPlan`].
+pub struct PlanComm {
+    rank: usize,
+    topology: Topology,
+    pass: u32,
+    fidelity: Fidelity,
+    state: Mutex<RecState>,
+}
+
+/// Everything one pass recorded, extracted with [`PlanComm::finish`].
+pub struct PassRecording {
+    ops: Vec<RecOp>,
+    val_lens: Vec<usize>,
+    sites: Vec<Vec<u8>>,
+    site_lens: Vec<usize>,
+    /// Final contents of the caller-visible output buffer, if any.
+    out: Option<Vec<u8>>,
+}
+
+impl PlanComm {
+    /// Create a recorder for `rank` in `topology`, for recording pass
+    /// `pass` (always 0 for schedule fidelity).
+    pub fn new(rank: usize, topology: Topology, pass: u32, fidelity: Fidelity) -> Self {
+        assert!(
+            fidelity == Fidelity::Exec || pass == 0,
+            "schedule fidelity records a single pass"
+        );
+        Self {
+            rank,
+            topology,
+            pass,
+            fidelity,
+            state: Mutex::new(RecState::default()),
+        }
+    }
+
+    /// The pass this recorder fills.
+    pub fn pass(&self) -> u32 {
+        self.pass
+    }
+
+    /// Fill `buf` with the fingerprints of the caller's send buffer for this
+    /// pass (zeroes under schedule fidelity).  The compile driver uses this
+    /// to prepare the synthetic input buffers before running the algorithm.
+    pub fn fill_sendbuf(&self, buf: &mut [u8]) {
+        match self.fidelity {
+            Fidelity::Exec => fill_fingerprints(self.pass, VAL_SENDBUF, buf),
+            Fidelity::Schedule => buf.fill(0),
+        }
+    }
+
+    /// As [`PlanComm::fill_sendbuf`] for the receive buffer's initial
+    /// contents.
+    pub fn fill_recvbuf(&self, buf: &mut [u8]) {
+        match self.fidelity {
+            Fidelity::Exec => fill_fingerprints(self.pass, VAL_RECVINIT, buf),
+            Fidelity::Schedule => buf.fill(0),
+        }
+    }
+
+    /// A reduction operator that records [`PlanOp::Reduce`] and re-taints
+    /// the accumulator.  The compile driver passes this to allreduce-style
+    /// requests instead of the caller's real operator.
+    pub fn reducer(&self) -> impl Fn(&mut [u8], &[u8]) + Sync + '_ {
+        move |acc: &mut [u8], other: &[u8]| {
+            let mut state = self.state.lock().unwrap();
+            let acc_site = Self::capture(&mut state, acc, self.fidelity);
+            let other_site = Self::capture(&mut state, other, self.fidelity);
+            let dst = Self::new_val(&mut state, acc.len());
+            state.ops.push(RecOp::Reduce {
+                dst,
+                acc: acc_site,
+                other: other_site,
+            });
+            drop(state);
+            if self.fidelity == Fidelity::Exec {
+                fill_fingerprints(self.pass, dst, acc);
+            }
+        }
+    }
+
+    /// Extract the pass recording.  `out` is the final contents of the
+    /// caller-visible output buffer (`None` when the rank has none, e.g. a
+    /// non-root gather rank or a barrier).
+    pub fn finish(self, out: Option<Vec<u8>>) -> PassRecording {
+        let state = self.state.into_inner().unwrap();
+        PassRecording {
+            ops: state.ops,
+            val_lens: state.val_lens,
+            sites: state.sites,
+            site_lens: state.site_lens,
+            out,
+        }
+    }
+
+    fn capture(state: &mut RecState, data: &[u8], fidelity: Fidelity) -> SiteId {
+        let id = state.sites.len() as SiteId;
+        // Under schedule fidelity only the length matters; never copy (or
+        // even allocate for) the payload bytes.
+        state.site_lens.push(data.len());
+        match fidelity {
+            Fidelity::Exec => state.sites.push(data.to_vec()),
+            Fidelity::Schedule => state.sites.push(Vec::new()),
+        }
+        id
+    }
+
+    fn new_val(state: &mut RecState, len: usize) -> ValId {
+        let id = FIRST_RUNTIME_VAL + state.val_lens.len() as ValId;
+        state.val_lens.push(len);
+        id
+    }
+
+    /// Record `op` and hand the new value's fingerprint bytes back to the
+    /// algorithm.
+    fn define_val(&self, len: usize, make_op: impl FnOnce(ValId) -> RecOp) -> Vec<u8> {
+        let mut state = self.state.lock().unwrap();
+        let dst = Self::new_val(&mut state, len);
+        let op = make_op(dst);
+        state.ops.push(op);
+        drop(state);
+        let mut buf = vec![0u8; len];
+        if self.fidelity == Fidelity::Exec {
+            fill_fingerprints(self.pass, dst, &mut buf);
+        }
+        buf
+    }
+
+    fn push(&self, op: RecOp) {
+        self.state.lock().unwrap().ops.push(op);
+    }
+
+    fn push_with_site(&self, data: &[u8], make_op: impl FnOnce(SiteId) -> RecOp) {
+        let mut state = self.state.lock().unwrap();
+        let site = Self::capture(&mut state, data, self.fidelity);
+        let op = make_op(site);
+        state.ops.push(op);
+    }
+}
+
+impl Comm for PlanComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    fn send(&self, dest: usize, tag: u64, data: &[u8]) {
+        self.push_with_site(data, |site| RecOp::Send { dest, tag, site });
+    }
+
+    fn recv(&self, source: usize, tag: u64, len: usize) -> Vec<u8> {
+        self.define_val(len, |dst| RecOp::Recv {
+            source,
+            tag,
+            len,
+            dst,
+        })
+    }
+
+    fn shared_alloc(&self, name: &str, len: usize) {
+        self.push(RecOp::SharedAlloc {
+            name: name.to_string(),
+            len,
+        });
+    }
+
+    fn shared_publish(&self, name: &str, data: &[u8]) {
+        self.push_with_site(data, |site| RecOp::SharedPublish {
+            name: name.to_string(),
+            site,
+        });
+    }
+
+    fn shared_collect(&self, name: &str, len: usize) -> Vec<u8> {
+        self.define_val(len, |dst| RecOp::SharedCollect {
+            name: name.to_string(),
+            len,
+            dst,
+        })
+    }
+
+    fn shared_write(&self, owner_local: usize, name: &str, offset: usize, data: &[u8]) {
+        self.push_with_site(data, |site| RecOp::SharedWrite {
+            owner_local,
+            name: name.to_string(),
+            offset,
+            site,
+        });
+    }
+
+    fn shared_read(&self, owner_local: usize, name: &str, offset: usize, len: usize) -> Vec<u8> {
+        self.define_val(len, |dst| RecOp::SharedRead {
+            owner_local,
+            name: name.to_string(),
+            offset,
+            len,
+            dst,
+        })
+    }
+
+    fn send_from_shared(
+        &self,
+        owner_local: usize,
+        name: &str,
+        offset: usize,
+        len: usize,
+        dest: usize,
+        tag: u64,
+    ) {
+        self.push(RecOp::SendFromShared {
+            owner_local,
+            name: name.to_string(),
+            offset,
+            len,
+            dest,
+            tag,
+        });
+    }
+
+    fn recv_into_shared(
+        &self,
+        owner_local: usize,
+        name: &str,
+        offset: usize,
+        source: usize,
+        tag: u64,
+        len: usize,
+    ) {
+        self.push(RecOp::RecvIntoShared {
+            owner_local,
+            name: name.to_string(),
+            offset,
+            source,
+            tag,
+            len,
+        });
+    }
+
+    fn node_barrier(&self) {
+        self.push(RecOp::NodeBarrier);
+    }
+
+    fn charge_copy(&self, bytes: usize) {
+        self.push(RecOp::ChargeCopy { bytes });
+    }
+
+    fn charge_reduce(&self, bytes: usize) {
+        self.push(RecOp::ChargeReduce { bytes });
+    }
+
+    fn delay(&self, nanos: f64) {
+        self.push(RecOp::Delay { nanos });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-pass assembly: fingerprint inversion.
+// ---------------------------------------------------------------------------
+
+/// Inverts fingerprints: maps the 64-bit tuple of a byte position's
+/// fingerprints across all passes back to `(value, offset)`.
+struct Resolver {
+    map: HashMap<u64, (ValId, u32)>,
+    /// Rare genuine 64-bit collisions spill here.
+    overflow: HashMap<u64, Vec<(ValId, u32)>>,
+}
+
+impl Resolver {
+    fn build(val_lens: &[(ValId, usize)]) -> Self {
+        let total: usize = val_lens.iter().map(|(_, len)| len).sum();
+        let mut resolver = Resolver {
+            map: HashMap::with_capacity(total),
+            overflow: HashMap::new(),
+        };
+        for &(val, len) in val_lens {
+            for off in 0..len {
+                let key = Self::key_for(val, off);
+                if let Some(prev) = resolver.map.insert(key, (val, off as u32)) {
+                    resolver.overflow.entry(key).or_default().push(prev);
+                }
+            }
+        }
+        resolver
+    }
+
+    fn key_for(val: ValId, off: usize) -> u64 {
+        let mut key = 0u64;
+        for pass in 0..EXEC_PASSES as u32 {
+            key = (key << 8) | fingerprint(pass, val, off) as u64;
+        }
+        key
+    }
+
+    /// Resolve one byte position observed as `key` across the passes.
+    /// `hint` is the source the previous byte resolved to, used to keep runs
+    /// contiguous when a genuine collision offers multiple candidates.
+    fn lookup(&self, key: u64, hint: Option<(ValId, u32)>) -> Option<(ValId, u32)> {
+        let primary = self.map.get(&key).copied();
+        if let Some(hint) = hint {
+            let continues = |c: &(ValId, u32)| c.0 == hint.0 && c.1 == hint.1 + 1;
+            if let Some(c) = primary.filter(continues) {
+                return Some(c);
+            }
+            if let Some(spill) = self.overflow.get(&key) {
+                if let Some(c) = spill.iter().copied().find(|c| continues(c)) {
+                    return Some(c);
+                }
+            }
+        }
+        primary
+    }
+}
+
+/// Resolve a site (its bytes observed across all passes) into a [`Src`].
+fn resolve_site(passes: &[&[u8]], resolver: &Resolver) -> Result<Src, usize> {
+    let len = passes[0].len();
+    debug_assert!(passes.iter().all(|p| p.len() == len));
+    let mut segs: Vec<SrcSeg> = Vec::new();
+    let mut prev: Option<(ValId, u32)> = None;
+    for i in 0..len {
+        let first = passes[0][i];
+        if passes.iter().all(|p| p[i] == first) {
+            // Identical across all independent passes: a constant the
+            // algorithm wrote itself.
+            prev = None;
+            match segs.last_mut() {
+                Some(SrcSeg::Lit(bytes)) => bytes.push(first),
+                _ => segs.push(SrcSeg::Lit(vec![first])),
+            }
+            continue;
+        }
+        let mut key = 0u64;
+        for p in passes {
+            key = (key << 8) | p[i] as u64;
+        }
+        let (val, off) = resolver.lookup(key, prev).ok_or(i)?;
+        prev = Some((val, off));
+        let extended = match segs.last_mut() {
+            Some(SrcSeg::Val { id, offset, len })
+                if *id == val && *offset + *len == off as usize =>
+            {
+                *len += 1;
+                true
+            }
+            _ => false,
+        };
+        if !extended {
+            segs.push(SrcSeg::Val {
+                id: val,
+                offset: off as usize,
+                len: 1,
+            });
+        }
+    }
+    // Map the pseudo-values to their caller-buffer segments and shift
+    // runtime ids down to a dense 0-based numbering.
+    for seg in &mut segs {
+        if let SrcSeg::Val { id, offset, len } = *seg {
+            *seg = match id {
+                VAL_SENDBUF => SrcSeg::SendBuf { offset, len },
+                VAL_RECVINIT => SrcSeg::RecvInit { offset, len },
+                _ => SrcSeg::Val {
+                    id: id - FIRST_RUNTIME_VAL,
+                    offset,
+                    len,
+                },
+            };
+        }
+    }
+    Ok(Src { segs })
+}
+
+/// Fuse the recordings of all passes into a [`RankPlan`].
+///
+/// Panics if the passes recorded different op skeletons (which would mean an
+/// algorithm branched on payload contents, violating the `Comm` contract) or
+/// if a payload byte cannot be attributed to any source.
+pub fn assemble(
+    rank: usize,
+    topology: Topology,
+    fidelity: Fidelity,
+    io: IoShape,
+    passes: Vec<PassRecording>,
+) -> RankPlan {
+    let expected = match fidelity {
+        Fidelity::Exec => EXEC_PASSES,
+        Fidelity::Schedule => 1,
+    };
+    assert_eq!(passes.len(), expected, "wrong number of recording passes");
+    let first = &passes[0];
+    for pass in &passes[1..] {
+        assert_eq!(
+            pass.ops, first.ops,
+            "rank {rank}: op skeleton diverged between recording passes — \
+             an algorithm branched on payload contents"
+        );
+        assert_eq!(pass.val_lens, first.val_lens, "value table diverged");
+    }
+
+    let resolver = (fidelity == Fidelity::Exec).then(|| {
+        let mut vals: Vec<(ValId, usize)> = Vec::with_capacity(first.val_lens.len() + 2);
+        if let Some(len) = if io.inout { io.recvbuf } else { io.sendbuf } {
+            vals.push((VAL_SENDBUF, len));
+        }
+        if let Some(len) = io.recvbuf {
+            if !io.inout {
+                vals.push((VAL_RECVINIT, len));
+            }
+        }
+        for (i, &len) in first.val_lens.iter().enumerate() {
+            vals.push((FIRST_RUNTIME_VAL + i as ValId, len));
+        }
+        Resolver::build(&vals)
+    });
+
+    let resolve = |site: SiteId| -> Src {
+        let site = site as usize;
+        match &resolver {
+            Some(resolver) => {
+                let views: Vec<&[u8]> = passes.iter().map(|p| p.sites[site].as_slice()).collect();
+                resolve_site(&views, resolver).unwrap_or_else(|byte| {
+                    panic!(
+                        "rank {rank}: cannot attribute byte {byte} of payload site {site} \
+                         to any symbolic source"
+                    )
+                })
+            }
+            None => Src::opaque(first.site_lens[site]),
+        }
+    };
+
+    let mut names: Vec<String> = Vec::new();
+    let intern = |name: &str, names: &mut Vec<String>| -> NameId {
+        match names.iter().position(|n| n == name) {
+            Some(i) => i as NameId,
+            None => {
+                names.push(name.to_string());
+                (names.len() - 1) as NameId
+            }
+        }
+    };
+
+    let shift = |val: ValId| -> ValId { val - FIRST_RUNTIME_VAL };
+    let mut ops: Vec<PlanOp> = Vec::with_capacity(first.ops.len() + 2);
+    for op in &first.ops {
+        ops.push(match op {
+            RecOp::SharedAlloc { name, len } => PlanOp::SharedAlloc {
+                name: intern(name, &mut names),
+                len: *len,
+            },
+            RecOp::SharedPublish { name, site } => PlanOp::SharedPublish {
+                name: intern(name, &mut names),
+                src: resolve(*site),
+            },
+            RecOp::SharedCollect { name, len, dst } => PlanOp::SharedCollect {
+                name: intern(name, &mut names),
+                len: *len,
+                dst: shift(*dst),
+            },
+            RecOp::SharedWrite {
+                owner_local,
+                name,
+                offset,
+                site,
+            } => PlanOp::SharedWrite {
+                owner_local: *owner_local,
+                name: intern(name, &mut names),
+                offset: *offset,
+                src: resolve(*site),
+            },
+            RecOp::SharedRead {
+                owner_local,
+                name,
+                offset,
+                len,
+                dst,
+            } => PlanOp::SharedRead {
+                owner_local: *owner_local,
+                name: intern(name, &mut names),
+                offset: *offset,
+                len: *len,
+                dst: shift(*dst),
+            },
+            RecOp::Send { dest, tag, site } => PlanOp::Send {
+                dest: *dest,
+                tag: *tag,
+                src: resolve(*site),
+            },
+            RecOp::Recv {
+                source,
+                tag,
+                len,
+                dst,
+            } => PlanOp::Recv {
+                source: *source,
+                tag: *tag,
+                len: *len,
+                dst: shift(*dst),
+            },
+            RecOp::SendFromShared {
+                owner_local,
+                name,
+                offset,
+                len,
+                dest,
+                tag,
+            } => PlanOp::SendFromShared {
+                owner_local: *owner_local,
+                name: intern(name, &mut names),
+                offset: *offset,
+                len: *len,
+                dest: *dest,
+                tag: *tag,
+            },
+            RecOp::RecvIntoShared {
+                owner_local,
+                name,
+                offset,
+                source,
+                tag,
+                len,
+            } => PlanOp::RecvIntoShared {
+                owner_local: *owner_local,
+                name: intern(name, &mut names),
+                offset: *offset,
+                source: *source,
+                tag: *tag,
+                len: *len,
+            },
+            RecOp::NodeBarrier => PlanOp::NodeBarrier,
+            RecOp::Reduce { dst, acc, other } => PlanOp::Reduce {
+                dst: shift(*dst),
+                acc: resolve(*acc),
+                other: resolve(*other),
+            },
+            RecOp::ChargeCopy { bytes } => PlanOp::ChargeCopy { bytes: *bytes },
+            RecOp::ChargeReduce { bytes } => PlanOp::ChargeReduce { bytes: *bytes },
+            RecOp::Delay { nanos } => PlanOp::Delay { nanos: *nanos },
+        });
+    }
+
+    // Derive the trailing CopyOut ops from the final output buffer: resolve
+    // its contents and drop the identity pieces (bytes the algorithm left
+    // untouched, or — for in/out collectives — bytes that still hold the
+    // caller's own input at the same position).
+    if fidelity == Fidelity::Exec {
+        if let Some(resolver) = &resolver {
+            if first.out.is_some() {
+                let views: Vec<&[u8]> = passes
+                    .iter()
+                    .map(|p| p.out.as_deref().expect("out present in every pass"))
+                    .collect();
+                let src = resolve_site(&views, resolver).unwrap_or_else(|byte| {
+                    panic!("rank {rank}: cannot attribute output byte {byte} to any source")
+                });
+                let mut cursor = 0usize;
+                for seg in src.segs {
+                    let len = seg.len();
+                    let identity = match seg {
+                        SrcSeg::RecvInit { offset, .. } => offset == cursor,
+                        SrcSeg::SendBuf { offset, .. } => io.inout && offset == cursor,
+                        _ => false,
+                    };
+                    if !identity && len > 0 {
+                        ops.push(PlanOp::CopyOut {
+                            offset: cursor,
+                            src: Src { segs: vec![seg] },
+                        });
+                    }
+                    cursor += len;
+                }
+            }
+        }
+    }
+
+    let needs_reduce_op = first
+        .ops
+        .iter()
+        .any(|op| matches!(op, RecOp::Reduce { .. }));
+    let plan = RankPlan {
+        rank,
+        topology,
+        fidelity,
+        io: IoShape {
+            needs_reduce_op,
+            ..io
+        },
+        names,
+        val_lens: first.val_lens.clone(),
+        ops,
+    };
+    plan.validate().unwrap_or_else(|e| {
+        panic!("rank {rank}: compiled plan failed validation: {e}");
+    });
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_deterministic_and_pass_dependent() {
+        assert_eq!(fingerprint(0, 7, 13), fingerprint(0, 7, 13));
+        let mut distinct = std::collections::HashSet::new();
+        for pass in 0..8 {
+            distinct.insert(fingerprint(pass, 3, 5));
+        }
+        // Eight independent draws from 256 values are essentially never all
+        // identical; equality here would break literal detection.
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn fingerprint_keys_do_not_alias_across_values_at_large_offsets() {
+        // Regression: a bit-packed (pass, val, offset) key let offsets
+        // >= 2^24 spill into the value bits, so RecvInit byte 2^24+k
+        // collided with SendBuf byte k in *every* pass — invisible to the
+        // multi-pass resolver.  The hashed per-(pass, val) seed makes those
+        // resolver keys distinct.
+        for k in [0usize, 1, 77, 4096] {
+            let a = Resolver::key_for(VAL_SENDBUF, k);
+            let b = Resolver::key_for(VAL_RECVINIT, (1 << 24) + k);
+            assert_ne!(a, b, "aliased resolver keys at offset {k}");
+        }
+    }
+
+    #[test]
+    fn resolver_round_trips_value_bytes() {
+        let resolver = Resolver::build(&[(VAL_SENDBUF, 32), (FIRST_RUNTIME_VAL, 16)]);
+        // Simulate observing bytes of runtime value 0 at offsets 4..12.
+        let passes: Vec<Vec<u8>> = (0..EXEC_PASSES as u32)
+            .map(|pass| {
+                (4..12)
+                    .map(|off| fingerprint(pass, FIRST_RUNTIME_VAL, off))
+                    .collect()
+            })
+            .collect();
+        let views: Vec<&[u8]> = passes.iter().map(Vec::as_slice).collect();
+        let src = resolve_site(&views, &resolver).unwrap();
+        assert_eq!(
+            src.segs,
+            vec![SrcSeg::Val {
+                id: 0,
+                offset: 4,
+                len: 8
+            }]
+        );
+    }
+
+    #[test]
+    fn resolver_detects_literals_and_concatenations() {
+        let resolver = Resolver::build(&[(VAL_SENDBUF, 8)]);
+        let passes: Vec<Vec<u8>> = (0..EXEC_PASSES as u32)
+            .map(|pass| {
+                let mut bytes: Vec<u8> = (0..8)
+                    .map(|off| fingerprint(pass, VAL_SENDBUF, off))
+                    .collect();
+                bytes.extend_from_slice(&[0xAB, 0xCD]); // constants
+                bytes
+            })
+            .collect();
+        let views: Vec<&[u8]> = passes.iter().map(Vec::as_slice).collect();
+        let src = resolve_site(&views, &resolver).unwrap();
+        assert_eq!(
+            src.segs,
+            vec![
+                SrcSeg::SendBuf { offset: 0, len: 8 },
+                SrcSeg::Lit(vec![0xAB, 0xCD]),
+            ]
+        );
+    }
+
+    #[test]
+    fn plan_comm_records_a_simple_exchange() {
+        let topo = Topology::new(1, 2);
+        let passes: Vec<PassRecording> = (0..EXEC_PASSES as u32)
+            .map(|pass| {
+                let comm = PlanComm::new(0, topo, pass, Fidelity::Exec);
+                let mut sendbuf = vec![0u8; 4];
+                comm.fill_sendbuf(&mut sendbuf);
+                comm.send(1, 0, &sendbuf);
+                let data = comm.recv(1, 1, 4);
+                comm.node_barrier();
+                comm.finish(Some(data))
+            })
+            .collect();
+        let io = IoShape {
+            sendbuf: Some(4),
+            recvbuf: Some(4),
+            inout: false,
+            needs_reduce_op: false,
+        };
+        let plan = assemble(0, topo, Fidelity::Exec, io, passes);
+        assert_eq!(plan.ops.len(), 4);
+        assert!(matches!(
+            &plan.ops[0],
+            PlanOp::Send { dest: 1, tag: 0, src }
+                if src.segs == vec![SrcSeg::SendBuf { offset: 0, len: 4 }]
+        ));
+        assert!(matches!(
+            plan.ops[1],
+            PlanOp::Recv {
+                source: 1,
+                tag: 1,
+                len: 4,
+                dst: 0
+            }
+        ));
+        assert!(matches!(plan.ops[2], PlanOp::NodeBarrier));
+        assert!(matches!(
+            &plan.ops[3],
+            PlanOp::CopyOut { offset: 0, src }
+                if src.segs == vec![SrcSeg::Val { id: 0, offset: 0, len: 4 }]
+        ));
+    }
+
+    #[test]
+    fn schedule_fidelity_produces_opaque_payloads_in_one_pass() {
+        let topo = Topology::new(1, 2);
+        let comm = PlanComm::new(0, topo, 0, Fidelity::Schedule);
+        comm.send(1, 0, &[0u8; 16]);
+        let _ = comm.recv(1, 0, 16);
+        let passes = vec![comm.finish(None)];
+        let io = IoShape::default();
+        let plan = assemble(0, topo, Fidelity::Schedule, io, passes);
+        assert!(matches!(
+            &plan.ops[0],
+            PlanOp::Send { src, .. } if src.is_opaque() && src.len() == 16
+        ));
+    }
+
+    #[test]
+    fn reducer_interception_tracks_reduced_data() {
+        let topo = Topology::new(1, 1);
+        let passes: Vec<PassRecording> = (0..EXEC_PASSES as u32)
+            .map(|pass| {
+                let comm = PlanComm::new(0, topo, pass, Fidelity::Exec);
+                let mut buf = vec![0u8; 8];
+                comm.fill_sendbuf(&mut buf);
+                let other = comm.recv(0, 0, 8);
+                let op = comm.reducer();
+                op(&mut buf, &other);
+                comm.charge_reduce(8);
+                drop(op);
+                comm.send(0, 1, &buf);
+                comm.finish(Some(buf))
+            })
+            .collect();
+        let io = IoShape {
+            sendbuf: None,
+            recvbuf: Some(8),
+            inout: true,
+            needs_reduce_op: true,
+        };
+        let plan = assemble(0, topo, Fidelity::Exec, io, passes);
+        // Recv, Reduce, ChargeReduce, Send, CopyOut.
+        assert!(matches!(plan.ops[1], PlanOp::Reduce { dst: 1, .. }));
+        assert!(matches!(
+            &plan.ops[3],
+            PlanOp::Send { src, .. }
+                if src.segs == vec![SrcSeg::Val { id: 1, offset: 0, len: 8 }]
+        ));
+        assert!(matches!(
+            &plan.ops[4],
+            PlanOp::CopyOut { offset: 0, src }
+                if src.segs == vec![SrcSeg::Val { id: 1, offset: 0, len: 8 }]
+        ));
+        assert!(plan.io.needs_reduce_op);
+    }
+}

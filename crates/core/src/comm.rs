@@ -6,11 +6,18 @@
 //! hands out monotonically increasing collective sequence numbers so that
 //! concurrent and back-to-back collectives never collide on tags or shared
 //! buffer names.
+//!
+//! Every collective call goes through the communicator's **plan cache**: the
+//! first invocation of a `(collective, message size, root)` shape compiles
+//! the selected algorithm to a `pip_collectives::plan::RankPlan`; every
+//! repeat looks the compiled plan up and executes it directly — the
+//! persistent-collective fast path for production traffic that issues the
+//! same collectives over and over.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 
 use pip_collectives::comm::{Comm as _, ThreadComm};
-use pip_mpi_model::{dispatch, CollectiveRequest, LibraryProfile};
+use pip_mpi_model::{dispatch, CollectiveRequest, LibraryProfile, PlanCache};
 use pip_runtime::{TaskCtx, Topology};
 
 use crate::datatype::{from_bytes, to_bytes, Datatype, ReduceOp};
@@ -26,6 +33,7 @@ pub struct Communicator<'a> {
     inner: ThreadComm<'a>,
     profile: LibraryProfile,
     next_collective: Cell<u64>,
+    plans: RefCell<PlanCache>,
 }
 
 impl<'a> Communicator<'a> {
@@ -36,6 +44,7 @@ impl<'a> Communicator<'a> {
             inner: ThreadComm::new(ctx),
             profile,
             next_collective: Cell::new(1),
+            plans: RefCell::new(PlanCache::new()),
         }
     }
 
@@ -69,10 +78,27 @@ impl<'a> Communicator<'a> {
         &self.profile
     }
 
+    /// `(hits, misses)` of the per-communicator plan cache.
+    pub fn plan_stats(&self) -> (u64, u64) {
+        self.plans.borrow().stats()
+    }
+
     fn next_tag(&self) -> u64 {
         let seq = self.next_collective.get();
         self.next_collective.set(seq + 1);
         seq * COLLECTIVE_TAG_STRIDE
+    }
+
+    /// Dispatch a collective through the plan cache: lookup-or-compile, then
+    /// run the compiled plan.
+    fn collective(&self, request: CollectiveRequest<'_>) {
+        dispatch::execute_planned(
+            &self.profile,
+            &self.inner,
+            request,
+            self.next_tag(),
+            &mut self.plans.borrow_mut(),
+        );
     }
 
     // ------------------------------------------------------------------
@@ -117,15 +143,10 @@ impl<'a> Communicator<'a> {
     pub fn allgather<T: Datatype>(&self, send: &[T]) -> Vec<T> {
         let sendbuf = to_bytes(send);
         let mut recvbuf = vec![0u8; sendbuf.len() * self.size()];
-        dispatch::execute(
-            &self.profile,
-            &self.inner,
-            CollectiveRequest::Allgather {
-                sendbuf: &sendbuf,
-                recvbuf: &mut recvbuf,
-            },
-            self.next_tag(),
-        );
+        self.collective(CollectiveRequest::Allgather {
+            sendbuf: &sendbuf,
+            recvbuf: &mut recvbuf,
+        });
         from_bytes(&recvbuf)
     }
 
@@ -141,31 +162,21 @@ impl<'a> Communicator<'a> {
         }
         let sendbuf = send.map(to_bytes);
         let mut recvbuf = vec![0u8; count * T::SIZE];
-        dispatch::execute(
-            &self.profile,
-            &self.inner,
-            CollectiveRequest::Scatter {
-                sendbuf: sendbuf.as_deref(),
-                recvbuf: &mut recvbuf,
-                root,
-            },
-            self.next_tag(),
-        );
+        self.collective(CollectiveRequest::Scatter {
+            sendbuf: sendbuf.as_deref(),
+            recvbuf: &mut recvbuf,
+            root,
+        });
         from_bytes(&recvbuf)
     }
 
     /// MPI_Bcast: `buf` holds the root's data on return at every rank.
     pub fn bcast<T: Datatype>(&self, buf: &mut [T], root: usize) {
         let mut bytes = to_bytes(buf);
-        dispatch::execute(
-            &self.profile,
-            &self.inner,
-            CollectiveRequest::Bcast {
-                buf: &mut bytes,
-                root,
-            },
-            self.next_tag(),
-        );
+        self.collective(CollectiveRequest::Bcast {
+            buf: &mut bytes,
+            root,
+        });
         for (value, chunk) in buf.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
             *value = T::read_le(chunk);
         }
@@ -177,16 +188,11 @@ impl<'a> Communicator<'a> {
         let sendbuf = to_bytes(send);
         let mut recvbuf = vec![0u8; sendbuf.len() * self.size()];
         let is_root = self.rank() == root;
-        dispatch::execute(
-            &self.profile,
-            &self.inner,
-            CollectiveRequest::Gather {
-                sendbuf: &sendbuf,
-                recvbuf: is_root.then_some(recvbuf.as_mut_slice()),
-                root,
-            },
-            self.next_tag(),
-        );
+        self.collective(CollectiveRequest::Gather {
+            sendbuf: &sendbuf,
+            recvbuf: is_root.then_some(recvbuf.as_mut_slice()),
+            root,
+        });
         is_root.then(|| from_bytes(&recvbuf))
     }
 
@@ -195,16 +201,11 @@ impl<'a> Communicator<'a> {
     pub fn allreduce<T: Datatype>(&self, buf: &mut [T], op: ReduceOp) {
         let mut bytes = to_bytes(buf);
         let combine = move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other);
-        dispatch::execute(
-            &self.profile,
-            &self.inner,
-            CollectiveRequest::Allreduce {
-                buf: &mut bytes,
-                elem_size: T::SIZE,
-                op: &combine,
-            },
-            self.next_tag(),
-        );
+        self.collective(CollectiveRequest::Allreduce {
+            buf: &mut bytes,
+            elem_size: T::SIZE,
+            op: &combine,
+        });
         for (value, chunk) in buf.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
             *value = T::read_le(chunk);
         }
@@ -216,26 +217,16 @@ impl<'a> Communicator<'a> {
         assert_eq!(send.len(), count * self.size());
         let sendbuf = to_bytes(send);
         let mut recvbuf = vec![0u8; sendbuf.len()];
-        dispatch::execute(
-            &self.profile,
-            &self.inner,
-            CollectiveRequest::Alltoall {
-                sendbuf: &sendbuf,
-                recvbuf: &mut recvbuf,
-            },
-            self.next_tag(),
-        );
+        self.collective(CollectiveRequest::Alltoall {
+            sendbuf: &sendbuf,
+            recvbuf: &mut recvbuf,
+        });
         from_bytes(&recvbuf)
     }
 
     /// MPI_Barrier.
     pub fn barrier(&self) {
-        dispatch::execute(
-            &self.profile,
-            &self.inner,
-            CollectiveRequest::Barrier,
-            self.next_tag(),
-        );
+        self.collective(CollectiveRequest::Barrier);
     }
 }
 

@@ -143,7 +143,11 @@ pub fn to_bytes<T: Datatype>(values: &[T]) -> Vec<u8> {
 
 /// Deserialize a little-endian byte buffer into typed elements.
 pub fn from_bytes<T: Datatype>(bytes: &[u8]) -> Vec<T> {
-    assert_eq!(bytes.len() % T::SIZE, 0, "byte length must be a multiple of the element size");
+    assert_eq!(
+        bytes.len() % T::SIZE,
+        0,
+        "byte length must be a multiple of the element size"
+    );
     bytes.chunks_exact(T::SIZE).map(T::read_le).collect()
 }
 

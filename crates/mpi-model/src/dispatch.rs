@@ -76,7 +76,12 @@ pub enum CollectiveRequest<'a> {
 ///
 /// `tag` must be unique per outstanding collective on the communicator
 /// (callers typically use a per-communicator sequence number shifted left).
-pub fn execute<C: Comm>(profile: &LibraryProfile, comm: &C, request: CollectiveRequest<'_>, tag: u64) {
+pub fn execute<C: Comm>(
+    profile: &LibraryProfile,
+    comm: &C,
+    request: CollectiveRequest<'_>,
+    tag: u64,
+) {
     comm.delay(profile.per_collective_setup);
     let world = comm.world_size();
     match request {
@@ -147,6 +152,34 @@ pub fn execute<C: Comm>(profile: &LibraryProfile, comm: &C, request: CollectiveR
     }
 }
 
+/// Execute `request` through the per-communicator plan cache: look the
+/// invocation's shape up, compile the rank's plan on a miss, then run the
+/// compiled program — the hot path of repeated collectives never
+/// re-interprets the algorithm.
+///
+/// Shapes whose buffer footprint exceeds
+/// [`crate::plan::EXEC_PLAN_MAX_BYTES`] skip the plan path and execute the
+/// algorithm directly: the fingerprint compile's cost scales with buffer
+/// bytes, and large messages are bandwidth-bound, so compiling them buys
+/// nothing.
+pub fn execute_planned<C: Comm>(
+    profile: &LibraryProfile,
+    comm: &C,
+    request: CollectiveRequest<'_>,
+    tag: u64,
+    cache: &mut crate::plan::PlanCache,
+) {
+    let world = comm.world_size();
+    let shape = crate::plan::CollectiveShape::of(&request, world);
+    if shape.buffer_footprint(world) > crate::plan::EXEC_PLAN_MAX_BYTES {
+        cache.note_bypass();
+        execute(profile, comm, request, tag);
+        return;
+    }
+    let plan = cache.lookup_or_compile(profile, comm.topology(), comm.rank(), &shape);
+    crate::plan::run_planned(&plan, comm, request, tag);
+}
+
 fn elementwise_sum(acc: &mut [u8], other: &[u8]) {
     for (a, b) in acc.iter_mut().zip(other) {
         *a = a.wrapping_add(*b);
@@ -203,7 +236,15 @@ pub fn record_bcast(
 ) -> Trace {
     record_trace(topology, |comm| {
         let mut buf = vec![0u8; bytes];
-        execute(profile, comm, CollectiveRequest::Bcast { buf: &mut buf, root }, 1);
+        execute(
+            profile,
+            comm,
+            CollectiveRequest::Bcast {
+                buf: &mut buf,
+                root,
+            },
+            1,
+        );
     })
 }
 

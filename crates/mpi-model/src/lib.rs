@@ -21,6 +21,7 @@
 
 pub mod calibration;
 pub mod dispatch;
+pub mod plan;
 pub mod selection;
 
 use pip_netsim::params::SimParams;
@@ -28,6 +29,7 @@ use pip_transport::cost::{IntranodeMechanism, Nanos};
 use serde::{Deserialize, Serialize};
 
 pub use dispatch::CollectiveRequest;
+pub use plan::{ClusterPlanCache, CollectiveShape, PlanCache, PlanKey};
 pub use selection::{
     AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, GatherAlgo, ScatterAlgo, SelectionTable,
 };
@@ -181,7 +183,13 @@ mod tests {
         let names: Vec<_> = Library::ALL.iter().map(Library::name).collect();
         assert_eq!(
             names,
-            vec!["Open MPI", "Intel-MPI", "MVAPICH2", "PiP-MPICH", "PiP-MColl"]
+            vec![
+                "Open MPI",
+                "Intel-MPI",
+                "MVAPICH2",
+                "PiP-MPICH",
+                "PiP-MColl"
+            ]
         );
     }
 
@@ -220,7 +228,10 @@ mod tests {
 
     #[test]
     fn comparators_use_kernel_or_shm_transports() {
-        assert_eq!(Library::OpenMpi.profile().intranode, IntranodeMechanism::Cma);
+        assert_eq!(
+            Library::OpenMpi.profile().intranode,
+            IntranodeMechanism::Cma
+        );
         assert_eq!(
             Library::IntelMpi.profile().intranode,
             IntranodeMechanism::PosixShmem

@@ -1,0 +1,850 @@
+//! Compiling collectives to plans, and caching them.
+//!
+//! This is where the plan/execute split meets the library model: a
+//! [`CollectiveShape`] (collective kind, per-process block size, root,
+//! element size) plus a [`crate::LibraryProfile`] and a topology fully
+//! determine the schedule, so a compiled plan is cached under a [`PlanKey`]
+//! and reused for every later call with the same shape.
+//!
+//! Two cache granularities exist for the two consumers:
+//!
+//! * [`PlanCache`] holds **one rank's** plans (exec fidelity, 8-pass
+//!   fingerprint compile) — what a `Communicator` embeds so its dispatch hot
+//!   path becomes *lookup-or-compile, then run*.
+//! * [`ClusterPlanCache`] holds **whole-cluster** plans (schedule fidelity,
+//!   single pass) — what figure generation uses so repeated data points
+//!   lower a cached plan to a trace instead of replaying the algorithm once
+//!   per rank.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use pip_collectives::comm::Comm;
+use pip_collectives::plan::{
+    assemble, execute_rank_plan, Fidelity, IoShape, Plan, PlanComm, PlanIo, RankPlan, EXEC_PASSES,
+};
+use pip_collectives::CollectiveKind;
+use pip_runtime::Topology;
+
+use crate::dispatch::{self, CollectiveRequest};
+use crate::{Library, LibraryProfile};
+
+/// The tag base plans are compiled at; executions rebase by the invocation
+/// tag.  Zero keeps recorded tags equal to the algorithms' tag offsets.
+pub const COMPILE_TAG_BASE: u64 = 0;
+
+/// The shape of one collective invocation — everything besides library and
+/// topology that algorithm selection and scheduling depend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CollectiveShape {
+    /// Which collective.
+    pub kind: CollectiveKind,
+    /// Per-process block size in bytes (the paper's message size axis).
+    pub block: usize,
+    /// Root rank for rooted collectives; 0 otherwise.
+    pub root: usize,
+    /// Reduction element size in bytes (allreduce only; 1 otherwise).
+    pub elem_size: usize,
+}
+
+impl CollectiveShape {
+    /// The shape of `request` on a world of `world` ranks.
+    pub fn of(request: &CollectiveRequest<'_>, world: usize) -> Self {
+        match request {
+            CollectiveRequest::Allgather { sendbuf, .. } => Self {
+                kind: CollectiveKind::Allgather,
+                block: sendbuf.len(),
+                root: 0,
+                elem_size: 1,
+            },
+            CollectiveRequest::Scatter { recvbuf, root, .. } => Self {
+                kind: CollectiveKind::Scatter,
+                block: recvbuf.len(),
+                root: *root,
+                elem_size: 1,
+            },
+            CollectiveRequest::Bcast { buf, root } => Self {
+                kind: CollectiveKind::Bcast,
+                block: buf.len(),
+                root: *root,
+                elem_size: 1,
+            },
+            CollectiveRequest::Gather { sendbuf, root, .. } => Self {
+                kind: CollectiveKind::Gather,
+                block: sendbuf.len(),
+                root: *root,
+                elem_size: 1,
+            },
+            CollectiveRequest::Allreduce { buf, elem_size, .. } => Self {
+                kind: CollectiveKind::Allreduce,
+                block: buf.len(),
+                root: 0,
+                elem_size: *elem_size,
+            },
+            CollectiveRequest::Alltoall { sendbuf, .. } => Self {
+                kind: CollectiveKind::Alltoall,
+                block: sendbuf.len() / world.max(1),
+                root: 0,
+                elem_size: 1,
+            },
+            CollectiveRequest::Barrier => Self {
+                kind: CollectiveKind::Barrier,
+                block: 0,
+                root: 0,
+                elem_size: 1,
+            },
+        }
+    }
+
+    /// The largest single caller buffer this shape touches, in bytes — the
+    /// quantity the exec-fidelity compile's cost scales with (8 recording
+    /// passes plus a per-byte provenance table).
+    pub fn buffer_footprint(&self, world: usize) -> usize {
+        match self.kind {
+            CollectiveKind::Allgather
+            | CollectiveKind::Scatter
+            | CollectiveKind::Gather
+            | CollectiveKind::Alltoall => world * self.block,
+            CollectiveKind::Bcast | CollectiveKind::Allreduce => self.block,
+            CollectiveKind::Barrier | CollectiveKind::Reduce => 0,
+        }
+    }
+
+    /// The buffer shape rank `rank` presents to a plan of this shape.
+    fn io_for(&self, rank: usize, world: usize) -> IoShape {
+        let b = self.block;
+        match self.kind {
+            CollectiveKind::Allgather => IoShape {
+                sendbuf: Some(b),
+                recvbuf: Some(world * b),
+                inout: false,
+                needs_reduce_op: false,
+            },
+            CollectiveKind::Scatter => IoShape {
+                sendbuf: (rank == self.root).then_some(world * b),
+                recvbuf: Some(b),
+                inout: false,
+                needs_reduce_op: false,
+            },
+            CollectiveKind::Bcast => IoShape {
+                sendbuf: None,
+                recvbuf: Some(b),
+                inout: true,
+                needs_reduce_op: false,
+            },
+            CollectiveKind::Gather => IoShape {
+                sendbuf: Some(b),
+                recvbuf: (rank == self.root).then_some(world * b),
+                inout: false,
+                needs_reduce_op: false,
+            },
+            CollectiveKind::Allreduce => IoShape {
+                sendbuf: None,
+                recvbuf: Some(b),
+                inout: true,
+                needs_reduce_op: true,
+            },
+            CollectiveKind::Alltoall => IoShape {
+                sendbuf: Some(world * b),
+                recvbuf: Some(world * b),
+                inout: false,
+                needs_reduce_op: false,
+            },
+            CollectiveKind::Barrier | CollectiveKind::Reduce => IoShape::default(),
+        }
+    }
+}
+
+/// Cache key: the full functional determinant of a compiled plan.
+///
+/// The profile enters via a content fingerprint rather than just its
+/// [`Library`] tag: `LibraryProfile` fields are public, so a caller can run
+/// a customized profile (different selection table, different overheads)
+/// under the same library tag — those must not alias to one cached plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// The library whose selection tables chose the algorithm.
+    pub library: Library,
+    /// Fingerprint of the profile's full contents.
+    pub profile_fp: u64,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Processes per node.
+    pub ppn: usize,
+    /// The invocation shape.
+    pub shape: CollectiveShape,
+}
+
+impl PlanKey {
+    /// Build a key.
+    pub fn new(profile: &LibraryProfile, topology: Topology, shape: CollectiveShape) -> Self {
+        Self {
+            library: profile.library,
+            profile_fp: profile_fingerprint(profile),
+            nodes: topology.nodes(),
+            ppn: topology.ppn(),
+            shape,
+        }
+    }
+}
+
+/// Content fingerprint of a profile.  The `Debug` rendering covers every
+/// field (including the selection table and the float overheads, which
+/// format with round-trip precision), so distinct profiles get distinct
+/// fingerprints; the caches additionally memoize the last profile seen, so
+/// the rendering cost is only paid when the profile actually changes.
+fn profile_fingerprint(profile: &LibraryProfile) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    format!("{profile:?}").hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Memo of the last profile fingerprinted by a cache, so the hot path pays
+/// a field-wise equality check instead of a `Debug` rendering per call.
+#[derive(Debug, Default)]
+struct ProfileMemo {
+    last: Option<(LibraryProfile, u64)>,
+}
+
+impl ProfileMemo {
+    fn fingerprint(&mut self, profile: &LibraryProfile) -> u64 {
+        if let Some((memoized, fp)) = &self.last {
+            if memoized == profile {
+                return *fp;
+            }
+        }
+        let fp = profile_fingerprint(profile);
+        self.last = Some((profile.clone(), fp));
+        fp
+    }
+
+    fn key(
+        &mut self,
+        profile: &LibraryProfile,
+        topology: Topology,
+        shape: CollectiveShape,
+    ) -> PlanKey {
+        PlanKey {
+            library: profile.library,
+            profile_fp: self.fingerprint(profile),
+            nodes: topology.nodes(),
+            ppn: topology.ppn(),
+            shape,
+        }
+    }
+}
+
+/// Compile the plan of one rank by running the selected algorithm against
+/// the recording communicator — [`EXEC_PASSES`] fingerprint passes for exec
+/// fidelity, a single zero-filled pass for schedule fidelity.
+pub fn compile_rank(
+    profile: &LibraryProfile,
+    topology: Topology,
+    rank: usize,
+    shape: &CollectiveShape,
+    fidelity: Fidelity,
+) -> RankPlan {
+    let world = topology.world_size();
+    let io = shape.io_for(rank, world);
+    let npasses = match fidelity {
+        Fidelity::Exec => EXEC_PASSES,
+        Fidelity::Schedule => 1,
+    };
+    let passes = (0..npasses as u32)
+        .map(|pass| {
+            run_for_recording(
+                profile,
+                PlanComm::new(rank, topology, pass, fidelity),
+                shape,
+                io,
+            )
+        })
+        .collect();
+    assemble(rank, topology, fidelity, io, passes)
+}
+
+/// Compile the whole-cluster plan (every rank's program).
+pub fn compile_cluster(
+    profile: &LibraryProfile,
+    topology: Topology,
+    shape: &CollectiveShape,
+    fidelity: Fidelity,
+) -> Plan {
+    let ranks = (0..topology.world_size())
+        .map(|rank| compile_rank(profile, topology, rank, shape, fidelity))
+        .collect();
+    Plan { topology, ranks }
+}
+
+/// Run one recording pass: build the synthetic request for `shape` and push
+/// it through the ordinary dispatcher against the recorder.
+fn run_for_recording(
+    profile: &LibraryProfile,
+    comm: PlanComm,
+    shape: &CollectiveShape,
+    io: IoShape,
+) -> pip_collectives::plan::record::PassRecording {
+    let b = shape.block;
+    let world = comm.world_size();
+    match shape.kind {
+        CollectiveKind::Allgather => {
+            let mut sendbuf = vec![0u8; b];
+            comm.fill_sendbuf(&mut sendbuf);
+            let mut recvbuf = vec![0u8; world * b];
+            comm.fill_recvbuf(&mut recvbuf);
+            dispatch::execute(
+                profile,
+                &comm,
+                CollectiveRequest::Allgather {
+                    sendbuf: &sendbuf,
+                    recvbuf: &mut recvbuf,
+                },
+                COMPILE_TAG_BASE,
+            );
+            comm.finish(Some(recvbuf))
+        }
+        CollectiveKind::Scatter => {
+            let sendbuf = io.sendbuf.map(|len| {
+                let mut buf = vec![0u8; len];
+                comm.fill_sendbuf(&mut buf);
+                buf
+            });
+            let mut recvbuf = vec![0u8; b];
+            comm.fill_recvbuf(&mut recvbuf);
+            dispatch::execute(
+                profile,
+                &comm,
+                CollectiveRequest::Scatter {
+                    sendbuf: sendbuf.as_deref(),
+                    recvbuf: &mut recvbuf,
+                    root: shape.root,
+                },
+                COMPILE_TAG_BASE,
+            );
+            comm.finish(Some(recvbuf))
+        }
+        CollectiveKind::Bcast => {
+            let mut buf = vec![0u8; b];
+            comm.fill_sendbuf(&mut buf);
+            dispatch::execute(
+                profile,
+                &comm,
+                CollectiveRequest::Bcast {
+                    buf: &mut buf,
+                    root: shape.root,
+                },
+                COMPILE_TAG_BASE,
+            );
+            comm.finish(Some(buf))
+        }
+        CollectiveKind::Gather => {
+            let mut sendbuf = vec![0u8; b];
+            comm.fill_sendbuf(&mut sendbuf);
+            let mut recvbuf = io.recvbuf.map(|len| {
+                let mut buf = vec![0u8; len];
+                comm.fill_recvbuf(&mut buf);
+                buf
+            });
+            dispatch::execute(
+                profile,
+                &comm,
+                CollectiveRequest::Gather {
+                    sendbuf: &sendbuf,
+                    recvbuf: recvbuf.as_deref_mut(),
+                    root: shape.root,
+                },
+                COMPILE_TAG_BASE,
+            );
+            comm.finish(recvbuf)
+        }
+        CollectiveKind::Allreduce => {
+            let mut buf = vec![0u8; b];
+            comm.fill_sendbuf(&mut buf);
+            {
+                let op = comm.reducer();
+                dispatch::execute(
+                    profile,
+                    &comm,
+                    CollectiveRequest::Allreduce {
+                        buf: &mut buf,
+                        elem_size: shape.elem_size,
+                        op: &op,
+                    },
+                    COMPILE_TAG_BASE,
+                );
+            }
+            comm.finish(Some(buf))
+        }
+        CollectiveKind::Alltoall => {
+            let mut sendbuf = vec![0u8; world * b];
+            comm.fill_sendbuf(&mut sendbuf);
+            let mut recvbuf = vec![0u8; world * b];
+            comm.fill_recvbuf(&mut recvbuf);
+            dispatch::execute(
+                profile,
+                &comm,
+                CollectiveRequest::Alltoall {
+                    sendbuf: &sendbuf,
+                    recvbuf: &mut recvbuf,
+                },
+                COMPILE_TAG_BASE,
+            );
+            comm.finish(Some(recvbuf))
+        }
+        CollectiveKind::Barrier | CollectiveKind::Reduce => {
+            dispatch::execute(profile, &comm, CollectiveRequest::Barrier, COMPILE_TAG_BASE);
+            comm.finish(None)
+        }
+    }
+}
+
+/// Run `request` through a compiled rank plan.
+pub fn run_planned<C: Comm>(plan: &RankPlan, comm: &C, request: CollectiveRequest<'_>, tag: u64) {
+    match request {
+        CollectiveRequest::Allgather { sendbuf, recvbuf } => execute_rank_plan(
+            plan,
+            comm,
+            PlanIo {
+                sendbuf: Some(sendbuf),
+                recvbuf: Some(recvbuf),
+            },
+            None,
+            tag,
+        ),
+        CollectiveRequest::Scatter {
+            sendbuf, recvbuf, ..
+        } => execute_rank_plan(
+            plan,
+            comm,
+            PlanIo {
+                // MPI semantics: the send buffer is significant only at the
+                // root.  Non-root callers may still pass one; the plan has
+                // no use for it, so drop it rather than tripping the
+                // executor's shape check.
+                sendbuf: plan.io.sendbuf.is_some().then_some(sendbuf).flatten(),
+                recvbuf: Some(recvbuf),
+            },
+            None,
+            tag,
+        ),
+        CollectiveRequest::Bcast { buf, .. } => execute_rank_plan(
+            plan,
+            comm,
+            PlanIo {
+                sendbuf: None,
+                recvbuf: Some(buf),
+            },
+            None,
+            tag,
+        ),
+        CollectiveRequest::Gather {
+            sendbuf, recvbuf, ..
+        } => execute_rank_plan(
+            plan,
+            comm,
+            PlanIo {
+                sendbuf: Some(sendbuf),
+                // Significant only at the root, as with the scatter sendbuf.
+                recvbuf: plan.io.recvbuf.is_some().then_some(recvbuf).flatten(),
+            },
+            None,
+            tag,
+        ),
+        CollectiveRequest::Allreduce { buf, op, .. } => execute_rank_plan(
+            plan,
+            comm,
+            PlanIo {
+                sendbuf: None,
+                recvbuf: Some(buf),
+            },
+            Some(op),
+            tag,
+        ),
+        CollectiveRequest::Alltoall { sendbuf, recvbuf } => execute_rank_plan(
+            plan,
+            comm,
+            PlanIo {
+                sendbuf: Some(sendbuf),
+                recvbuf: Some(recvbuf),
+            },
+            None,
+            tag,
+        ),
+        CollectiveRequest::Barrier => execute_rank_plan(plan, comm, PlanIo::default(), None, tag),
+    }
+}
+
+/// Shapes whose [`CollectiveShape::buffer_footprint`] exceeds this are not
+/// compiled on the dispatch path; [`crate::dispatch::execute_planned`]
+/// falls back to direct algorithm execution instead.  The fingerprint
+/// compile pays 8 recording passes plus a ~16-byte provenance-table entry
+/// per buffer byte — a great trade for the small, endlessly repeated
+/// messages the paper targets, a poor one for a one-shot multi-megabyte
+/// collective (which is bandwidth-bound anyway, so schedule interpretation
+/// is noise there).
+pub const EXEC_PLAN_MAX_BYTES: usize = 4 << 20;
+
+/// Per-communicator cache of one rank's compiled plans (exec fidelity).
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: HashMap<PlanKey, Rc<RankPlan>>,
+    memo: ProfileMemo,
+    hits: u64,
+    misses: u64,
+    bypasses: u64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look the key up, compiling (and remembering) the rank's plan on a
+    /// miss.
+    pub fn lookup_or_compile(
+        &mut self,
+        profile: &LibraryProfile,
+        topology: Topology,
+        rank: usize,
+        shape: &CollectiveShape,
+    ) -> Rc<RankPlan> {
+        let key = self.memo.key(profile, topology, *shape);
+        if let Some(plan) = self.plans.get(&key) {
+            debug_assert_eq!(plan.rank, rank, "one cache serves one rank");
+            self.hits += 1;
+            return Rc::clone(plan);
+        }
+        self.misses += 1;
+        let plan = Rc::new(compile_rank(profile, topology, rank, shape, Fidelity::Exec));
+        self.plans.insert(key, Rc::clone(&plan));
+        plan
+    }
+
+    /// `(hits, misses)` since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Record that a request bypassed compilation (footprint over
+    /// [`EXEC_PLAN_MAX_BYTES`]).
+    pub fn note_bypass(&mut self) {
+        self.bypasses += 1;
+    }
+
+    /// Requests that skipped the plan path since creation.
+    pub fn bypasses(&self) -> u64 {
+        self.bypasses
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+}
+
+/// Cache of whole-cluster schedule-fidelity plans, shared by figure
+/// generation (thread-safe values so one cache can sit behind a lock).
+#[derive(Debug, Default)]
+pub struct ClusterPlanCache {
+    plans: HashMap<PlanKey, Arc<Plan>>,
+    memo: ProfileMemo,
+    hits: u64,
+    misses: u64,
+}
+
+impl ClusterPlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look the key up, compiling the whole-cluster plan on a miss.
+    ///
+    /// When the cache sits behind a lock shared by several threads, prefer
+    /// [`ClusterPlanCache::lookup`] + [`ClusterPlanCache::insert`] so the
+    /// (possibly multi-second, whole-cluster) compile runs outside the
+    /// critical section.
+    pub fn lookup_or_compile(
+        &mut self,
+        profile: &LibraryProfile,
+        topology: Topology,
+        shape: &CollectiveShape,
+    ) -> Arc<Plan> {
+        if let Some(plan) = self.lookup(profile, topology, shape) {
+            return plan;
+        }
+        let plan = Arc::new(compile_cluster(
+            profile,
+            topology,
+            shape,
+            Fidelity::Schedule,
+        ));
+        self.insert(profile, topology, shape, plan)
+    }
+
+    /// Look the key up without compiling; records a hit when found.
+    pub fn lookup(
+        &mut self,
+        profile: &LibraryProfile,
+        topology: Topology,
+        shape: &CollectiveShape,
+    ) -> Option<Arc<Plan>> {
+        let key = self.memo.key(profile, topology, *shape);
+        let plan = self.plans.get(&key).map(Arc::clone);
+        if plan.is_some() {
+            self.hits += 1;
+        }
+        plan
+    }
+
+    /// Insert a plan compiled outside the cache (records a miss).  If a
+    /// concurrent compile got there first, the existing entry wins and is
+    /// returned, so every caller shares one canonical plan per key.
+    pub fn insert(
+        &mut self,
+        profile: &LibraryProfile,
+        topology: Topology,
+        shape: &CollectiveShape,
+        plan: Arc<Plan>,
+    ) -> Arc<Plan> {
+        let key = self.memo.key(profile, topology, *shape);
+        self.misses += 1;
+        Arc::clone(self.plans.entry(key).or_insert(plan))
+    }
+
+    /// `(hits, misses)` since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pip_collectives::oracle;
+    use pip_collectives::ThreadComm;
+    use pip_runtime::Cluster;
+
+    #[test]
+    fn shape_of_extracts_block_and_root() {
+        let mut recvbuf = vec![0u8; 8];
+        let request = CollectiveRequest::Scatter {
+            sendbuf: None,
+            recvbuf: &mut recvbuf,
+            root: 3,
+        };
+        let shape = CollectiveShape::of(&request, 4);
+        assert_eq!(shape.kind, CollectiveKind::Scatter);
+        assert_eq!(shape.block, 8);
+        assert_eq!(shape.root, 3);
+    }
+
+    #[test]
+    fn customized_profiles_do_not_alias_in_the_cache() {
+        // Two profiles sharing a Library tag but differing in content must
+        // get distinct cached plans (the profile fingerprint is part of the
+        // key — the tag alone is not the functional determinant).
+        let stock = Library::OpenMpi.profile();
+        let mut custom = Library::OpenMpi.profile();
+        custom.selection = crate::selection::SelectionTable::pip_mcoll();
+        let topo = Topology::new(2, 2);
+        let shape = CollectiveShape {
+            kind: CollectiveKind::Allgather,
+            block: 16,
+            root: 0,
+            elem_size: 1,
+        };
+        let mut cache = PlanCache::new();
+        let a = cache.lookup_or_compile(&stock, topo, 0, &shape);
+        let b = cache.lookup_or_compile(&custom, topo, 0, &shape);
+        assert_eq!(cache.stats(), (0, 2), "distinct profiles must both compile");
+        assert_ne!(a.ops, b.ops, "different selection tables, different plans");
+        // And each profile still hits its own entry on repeat.
+        cache.lookup_or_compile(&stock, topo, 0, &shape);
+        assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn cache_hits_after_first_compile() {
+        let profile = Library::PipMColl.profile();
+        let topo = Topology::new(2, 2);
+        let shape = CollectiveShape {
+            kind: CollectiveKind::Allgather,
+            block: 16,
+            root: 0,
+            elem_size: 1,
+        };
+        let mut cache = PlanCache::new();
+        let a = cache.lookup_or_compile(&profile, topo, 0, &shape);
+        let b = cache.lookup_or_compile(&profile, topo, 0, &shape);
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_shapes_get_different_plans() {
+        let profile = Library::PipMColl.profile();
+        let topo = Topology::new(2, 2);
+        let mut cache = PlanCache::new();
+        for block in [16usize, 32, 64] {
+            let shape = CollectiveShape {
+                kind: CollectiveKind::Allgather,
+                block,
+                root: 0,
+                elem_size: 1,
+            };
+            cache.lookup_or_compile(&profile, topo, 0, &shape);
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats(), (0, 3));
+    }
+
+    /// Compile a multi-object allgather plan per rank and execute it on the
+    /// thread runtime: the output must equal the oracle.
+    #[test]
+    fn compiled_allgather_executes_correctly() {
+        let profile = Library::PipMColl.profile();
+        let topo = Topology::new(3, 2);
+        let world = topo.world_size();
+        let block = 8;
+        let shape = CollectiveShape {
+            kind: CollectiveKind::Allgather,
+            block,
+            root: 0,
+            elem_size: 1,
+        };
+        let plans: Vec<RankPlan> = (0..world)
+            .map(|rank| compile_rank(&profile, topo, rank, &shape, Fidelity::Exec))
+            .collect();
+        let contributions: Vec<Vec<u8>> =
+            (0..world).map(|r| oracle::rank_payload(r, block)).collect();
+        let expected = oracle::allgather(&contributions);
+        let plans_ref = &plans;
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            let sendbuf = oracle::rank_payload(comm.rank(), block);
+            let mut recvbuf = vec![0u8; world * block];
+            run_planned(
+                &plans_ref[comm.rank()],
+                &comm,
+                CollectiveRequest::Allgather {
+                    sendbuf: &sendbuf,
+                    recvbuf: &mut recvbuf,
+                },
+                1 << 16,
+            );
+            recvbuf
+        })
+        .unwrap();
+        for buf in &results {
+            assert_eq!(buf, &expected);
+        }
+    }
+
+    /// MPI semantics: the scatter send buffer is significant only at the
+    /// root.  Non-root ranks passing `Some` anyway (a common caller idiom)
+    /// must behave exactly as under the legacy dispatch path.
+    #[test]
+    fn scatter_sendbuf_at_non_root_is_ignored_like_legacy() {
+        let profile = Library::PipMColl.profile();
+        let topo = Topology::new(2, 2);
+        let world = topo.world_size();
+        let block = 8;
+        let sendbuf = oracle::rank_payload(0, world * block);
+        let expected = oracle::scatter(&sendbuf, world);
+        let sendbuf_ref = &sendbuf;
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            let mut cache = PlanCache::new();
+            let mut recvbuf = vec![0u8; block];
+            dispatch::execute_planned(
+                &profile,
+                &comm,
+                CollectiveRequest::Scatter {
+                    // Every rank supplies the buffer, not just the root.
+                    sendbuf: Some(sendbuf_ref.as_slice()),
+                    recvbuf: &mut recvbuf,
+                    root: 0,
+                },
+                1 << 16,
+                &mut cache,
+            );
+            recvbuf
+        })
+        .unwrap();
+        for (rank, buf) in results.iter().enumerate() {
+            assert_eq!(buf, &expected[rank]);
+        }
+    }
+
+    /// Collectives whose buffer footprint exceeds [`EXEC_PLAN_MAX_BYTES`]
+    /// skip compilation entirely and still produce correct results.
+    #[test]
+    fn oversized_collectives_bypass_the_plan_path() {
+        let profile = Library::PipMColl.profile();
+        let topo = Topology::new(1, 2);
+        let world = topo.world_size();
+        // world * block = 6 MiB > the 4 MiB compile ceiling.
+        let block = 3 << 20;
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            let mut cache = PlanCache::new();
+            let sendbuf = vec![comm.rank() as u8 + 1; block];
+            let mut recvbuf = vec![0u8; world * block];
+            dispatch::execute_planned(
+                &profile,
+                &comm,
+                CollectiveRequest::Allgather {
+                    sendbuf: &sendbuf,
+                    recvbuf: &mut recvbuf,
+                },
+                1 << 16,
+                &mut cache,
+            );
+            let stats = cache.stats();
+            (
+                recvbuf[0],
+                recvbuf[world * block - 1],
+                stats,
+                cache.bypasses(),
+            )
+        })
+        .unwrap();
+        for (first, last, stats, bypasses) in results {
+            assert_eq!(first, 1);
+            assert_eq!(last, 2);
+            assert_eq!(stats, (0, 0), "no compile must happen");
+            assert_eq!(bypasses, 1);
+        }
+    }
+
+    /// Schedule-fidelity cluster plans lower to exactly the trace the legacy
+    /// record path produces.
+    #[test]
+    fn cluster_plan_lowering_matches_record_trace() {
+        let topo = Topology::new(4, 3);
+        for library in Library::ALL {
+            let profile = library.profile();
+            let shape = CollectiveShape {
+                kind: CollectiveKind::Allgather,
+                block: 64,
+                root: 0,
+                elem_size: 1,
+            };
+            let plan = compile_cluster(&profile, topo, &shape, Fidelity::Schedule);
+            plan.validate().unwrap();
+            let lowered = plan.to_trace(1);
+            let legacy = dispatch::record_allgather(&profile, topo, 64);
+            assert_eq!(lowered, legacy, "{} lowering diverges", library.name());
+        }
+    }
+}

@@ -217,7 +217,10 @@ mod tests {
     fn pip_mcoll_always_selects_multi_object() {
         let table = SelectionTable::pip_mcoll();
         assert_eq!(table.allgather_for(64, 2304), AllgatherAlgo::MultiObject);
-        assert_eq!(table.allgather_for(1 << 20, 2304), AllgatherAlgo::MultiObject);
+        assert_eq!(
+            table.allgather_for(1 << 20, 2304),
+            AllgatherAlgo::MultiObject
+        );
         assert_eq!(table.allreduce_for(64), AllreduceAlgo::MultiObject);
         assert_eq!(table.scatter, ScatterAlgo::MultiObject);
     }
@@ -232,7 +235,10 @@ mod tests {
         ] {
             let algo = table.allgather_for(64, 2304);
             assert!(
-                matches!(algo, AllgatherAlgo::Bruck | AllgatherAlgo::RecursiveDoubling),
+                matches!(
+                    algo,
+                    AllgatherAlgo::Bruck | AllgatherAlgo::RecursiveDoubling
+                ),
                 "expected a flat algorithm, got {algo:?}"
             );
         }
@@ -241,7 +247,10 @@ mod tests {
     #[test]
     fn power_of_two_switches_bruck_to_recursive_doubling() {
         let table = SelectionTable::pip_mpich();
-        assert_eq!(table.allgather_for(64, 1024), AllgatherAlgo::RecursiveDoubling);
+        assert_eq!(
+            table.allgather_for(64, 1024),
+            AllgatherAlgo::RecursiveDoubling
+        );
         assert_eq!(table.allgather_for(64, 2304), AllgatherAlgo::Bruck);
         // Open MPI keeps Bruck regardless.
         assert_eq!(
@@ -253,7 +262,10 @@ mod tests {
     #[test]
     fn large_messages_switch_to_ring() {
         let table = SelectionTable::open_mpi();
-        assert_eq!(table.allgather_for(LARGE_MESSAGE_THRESHOLD, 100), AllgatherAlgo::Ring);
+        assert_eq!(
+            table.allgather_for(LARGE_MESSAGE_THRESHOLD, 100),
+            AllgatherAlgo::Ring
+        );
         assert_eq!(table.allreduce_for(1 << 20), AllreduceAlgo::Ring);
         assert_eq!(table.allreduce_for(256), AllreduceAlgo::RecursiveDoubling);
     }

@@ -179,9 +179,9 @@ impl SimEngine {
         let mut queue: BinaryHeap<Reverse<(TimeKey, u64, usize)>> = BinaryHeap::new();
         let mut seq = 0u64;
         let push_event = |queue: &mut BinaryHeap<Reverse<(TimeKey, u64, usize)>>,
-                              seq: &mut u64,
-                              time: Nanos,
-                              rank: usize| {
+                          seq: &mut u64,
+                          time: Nanos,
+                          rank: usize| {
             queue.push(Reverse((TimeKey(time), *seq, rank)));
             *seq += 1;
         };
@@ -218,8 +218,7 @@ impl SimEngine {
                         (done, done)
                     } else if src_node == dst_node {
                         stats.intranode_messages += 1;
-                        let cost = intranode
-                            .transfer_cost(bytes, !self.params.warm_buffers)
+                        let cost = intranode.transfer_cost(bytes, !self.params.warm_buffers)
                             + self.params.software_send_overhead;
                         let done = now + cost;
                         (done, done)
@@ -258,17 +257,14 @@ impl SimEngine {
                 }
                 TraceOp::Recv { source, bytes, tag } => {
                     let key = (source, rank, tag);
-                    let available = mailbox
-                        .get_mut(&key)
-                        .and_then(|queue| queue.pop_front());
+                    let available = mailbox.get_mut(&key).and_then(|queue| queue.pop_front());
                     match available {
                         Some(arrival) => {
                             let same_node = topology.same_node(source, rank);
                             let recv_cost = if same_node || source == rank {
                                 INTRA_RECV_FLAG_COST + self.params.software_recv_overhead
                             } else {
-                                nic.host_recv_overhead(bytes)
-                                    + self.params.software_recv_overhead
+                                nic.host_recv_overhead(bytes) + self.params.software_recv_overhead
                             };
                             let done = now.max(arrival) + recv_cost;
                             ranks[rank].pc += 1;
@@ -316,8 +312,7 @@ impl SimEngine {
                     episode.arrived += 1;
                     episode.latest_arrival = episode.latest_arrival.max(now);
                     if episode.arrived == ppn {
-                        let release =
-                            episode.latest_arrival + self.params.barrier_cost(ppn);
+                        let release = episode.latest_arrival + self.params.barrier_cost(ppn);
                         stats.barrier_episodes += 1;
                         let waiters: Vec<usize> = episode
                             .waiters
@@ -392,8 +387,22 @@ mod tests {
     #[test]
     fn single_internode_message_latency_matches_model() {
         let mut trace = Trace::empty(topo(2, 1));
-        trace.push(0, TraceOp::Send { dest: 1, bytes: 64, tag: 0 });
-        trace.push(1, TraceOp::Recv { source: 0, bytes: 64, tag: 0 });
+        trace.push(
+            0,
+            TraceOp::Send {
+                dest: 1,
+                bytes: 64,
+                tag: 0,
+            },
+        );
+        trace.push(
+            1,
+            TraceOp::Recv {
+                source: 0,
+                bytes: 64,
+                tag: 0,
+            },
+        );
         let engine = engine();
         let outcome = engine.run(&trace).unwrap();
         let nic = engine.params().nic_model();
@@ -409,8 +418,22 @@ mod tests {
     #[test]
     fn intranode_message_bypasses_the_nic() {
         let mut trace = Trace::empty(topo(1, 2));
-        trace.push(0, TraceOp::Send { dest: 1, bytes: 64, tag: 0 });
-        trace.push(1, TraceOp::Recv { source: 0, bytes: 64, tag: 0 });
+        trace.push(
+            0,
+            TraceOp::Send {
+                dest: 1,
+                bytes: 64,
+                tag: 0,
+            },
+        );
+        trace.push(
+            1,
+            TraceOp::Recv {
+                source: 0,
+                bytes: 64,
+                tag: 0,
+            },
+        );
         let outcome = engine().run(&trace).unwrap();
         assert_eq!(outcome.stats.internode_messages, 0);
         assert_eq!(outcome.stats.intranode_messages, 1);
@@ -423,9 +446,23 @@ mod tests {
     fn recv_posted_before_send_still_completes() {
         // Rank 1 (receiver) is scheduled first but must block and be woken.
         let mut trace = Trace::empty(topo(2, 1));
-        trace.push(1, TraceOp::Recv { source: 0, bytes: 8, tag: 9 });
+        trace.push(
+            1,
+            TraceOp::Recv {
+                source: 0,
+                bytes: 8,
+                tag: 9,
+            },
+        );
         trace.push(0, TraceOp::Delay { nanos: 5000.0 });
-        trace.push(0, TraceOp::Send { dest: 1, bytes: 8, tag: 9 });
+        trace.push(
+            0,
+            TraceOp::Send {
+                dest: 1,
+                bytes: 8,
+                tag: 9,
+            },
+        );
         let outcome = engine().run(&trace).unwrap();
         assert!(outcome.makespan > 5000.0);
         assert!(outcome.rank_finish[1] >= outcome.rank_finish[0]);
@@ -440,12 +477,26 @@ mod tests {
         let mut trace = Trace::empty(topo(2, 2));
         for sender in [0usize, 1] {
             for m in 0..messages {
-                trace.push(sender, TraceOp::Send { dest: 2 + sender, bytes: 16, tag: m });
+                trace.push(
+                    sender,
+                    TraceOp::Send {
+                        dest: 2 + sender,
+                        bytes: 16,
+                        tag: m,
+                    },
+                );
             }
         }
         for receiver in [2usize, 3] {
             for m in 0..messages {
-                trace.push(receiver, TraceOp::Recv { source: receiver - 2, bytes: 16, tag: m });
+                trace.push(
+                    receiver,
+                    TraceOp::Recv {
+                        source: receiver - 2,
+                        bytes: 16,
+                        tag: m,
+                    },
+                );
             }
         }
         let engine = engine();
@@ -468,8 +519,22 @@ mod tests {
         // Single sender.
         let mut single = Trace::empty(topo(nodes, 4));
         for m in 0..total_messages {
-            single.push(0, TraceOp::Send { dest: 4, bytes: 32, tag: m as u64 });
-            single.push(4, TraceOp::Recv { source: 0, bytes: 32, tag: m as u64 });
+            single.push(
+                0,
+                TraceOp::Send {
+                    dest: 4,
+                    bytes: 32,
+                    tag: m as u64,
+                },
+            );
+            single.push(
+                4,
+                TraceOp::Recv {
+                    source: 0,
+                    bytes: 32,
+                    tag: m as u64,
+                },
+            );
         }
 
         // Four senders, four receivers.
@@ -477,8 +542,22 @@ mod tests {
         for m in 0..total_messages {
             let sender = m % 4;
             let receiver = 4 + m % 4;
-            multi.push(sender, TraceOp::Send { dest: receiver, bytes: 32, tag: m as u64 });
-            multi.push(receiver, TraceOp::Recv { source: sender, bytes: 32, tag: m as u64 });
+            multi.push(
+                sender,
+                TraceOp::Send {
+                    dest: receiver,
+                    bytes: 32,
+                    tag: m as u64,
+                },
+            );
+            multi.push(
+                receiver,
+                TraceOp::Recv {
+                    source: sender,
+                    bytes: 32,
+                    tag: m as u64,
+                },
+            );
         }
 
         let engine = engine();
@@ -527,11 +606,41 @@ mod tests {
         let mut trace = Trace::empty(topo(1, 2));
         // Rank 0 waits for a message that is sent only after rank 1's own
         // receive from rank 0 — a classic circular wait.
-        trace.push(0, TraceOp::Recv { source: 1, bytes: 8, tag: 0 });
-        trace.push(0, TraceOp::Send { dest: 1, bytes: 8, tag: 0 });
-        trace.push(1, TraceOp::Recv { source: 0, bytes: 8, tag: 0 });
-        trace.push(1, TraceOp::Send { dest: 0, bytes: 8, tag: 0 });
-        let err = SimEngine::new(SimParams::default()).run(&trace).unwrap_err();
+        trace.push(
+            0,
+            TraceOp::Recv {
+                source: 1,
+                bytes: 8,
+                tag: 0,
+            },
+        );
+        trace.push(
+            0,
+            TraceOp::Send {
+                dest: 1,
+                bytes: 8,
+                tag: 0,
+            },
+        );
+        trace.push(
+            1,
+            TraceOp::Recv {
+                source: 0,
+                bytes: 8,
+                tag: 0,
+            },
+        );
+        trace.push(
+            1,
+            TraceOp::Send {
+                dest: 0,
+                bytes: 8,
+                tag: 0,
+            },
+        );
+        let err = SimEngine::new(SimParams::default())
+            .run(&trace)
+            .unwrap_err();
         match err {
             SimError::Deadlock { stuck_ranks } => {
                 assert_eq!(stuck_ranks, vec![0, 1]);
@@ -543,7 +652,14 @@ mod tests {
     #[test]
     fn invalid_trace_is_rejected_before_running() {
         let mut trace = Trace::empty(topo(1, 2));
-        trace.push(0, TraceOp::Send { dest: 1, bytes: 8, tag: 0 });
+        trace.push(
+            0,
+            TraceOp::Send {
+                dest: 1,
+                bytes: 8,
+                tag: 0,
+            },
+        );
         // No matching receive.
         assert!(matches!(
             engine().run(&trace).unwrap_err(),
@@ -555,8 +671,22 @@ mod tests {
     fn cma_intranode_transport_is_slower_than_pip_for_small_messages() {
         let mut trace = Trace::empty(topo(1, 2));
         for m in 0..16u64 {
-            trace.push(0, TraceOp::Send { dest: 1, bytes: 16, tag: m });
-            trace.push(1, TraceOp::Recv { source: 0, bytes: 16, tag: m });
+            trace.push(
+                0,
+                TraceOp::Send {
+                    dest: 1,
+                    bytes: 16,
+                    tag: m,
+                },
+            );
+            trace.push(
+                1,
+                TraceOp::Recv {
+                    source: 0,
+                    bytes: 16,
+                    tag: m,
+                },
+            );
         }
         let pip = SimEngine::new(SimParams::default()).run(&trace).unwrap();
         let cma = SimEngine::new(SimParams::default().with_intranode(IntranodeMechanism::Cma))
@@ -570,9 +700,23 @@ mod tests {
         let mut trace = Trace::empty(topo(4, 3));
         for rank in 0..12usize {
             let peer = (rank + 3) % 12;
-            trace.push(rank, TraceOp::Send { dest: peer, bytes: 128, tag: 7 });
+            trace.push(
+                rank,
+                TraceOp::Send {
+                    dest: peer,
+                    bytes: 128,
+                    tag: 7,
+                },
+            );
             let from = (rank + 12 - 3) % 12;
-            trace.push(rank, TraceOp::Recv { source: from, bytes: 128, tag: 7 });
+            trace.push(
+                rank,
+                TraceOp::Recv {
+                    source: from,
+                    bytes: 128,
+                    tag: 7,
+                },
+            );
             trace.push(rank, TraceOp::LocalBarrier);
         }
         let a = engine().run(&trace).unwrap();
@@ -583,8 +727,22 @@ mod tests {
     #[test]
     fn self_send_is_a_local_copy() {
         let mut trace = Trace::empty(topo(1, 1));
-        trace.push(0, TraceOp::Send { dest: 0, bytes: 1024, tag: 0 });
-        trace.push(0, TraceOp::Recv { source: 0, bytes: 1024, tag: 0 });
+        trace.push(
+            0,
+            TraceOp::Send {
+                dest: 0,
+                bytes: 1024,
+                tag: 0,
+            },
+        );
+        trace.push(
+            0,
+            TraceOp::Recv {
+                source: 0,
+                bytes: 1024,
+                tag: 0,
+            },
+        );
         let outcome = engine().run(&trace).unwrap();
         assert_eq!(outcome.stats.internode_messages, 0);
         assert!(outcome.makespan < 5000.0);
@@ -594,15 +752,27 @@ mod tests {
     fn software_overhead_increases_every_message_cost() {
         let mut trace = Trace::empty(topo(2, 1));
         for m in 0..4u64 {
-            trace.push(0, TraceOp::Send { dest: 1, bytes: 8, tag: m });
-            trace.push(1, TraceOp::Recv { source: 0, bytes: 8, tag: m });
+            trace.push(
+                0,
+                TraceOp::Send {
+                    dest: 1,
+                    bytes: 8,
+                    tag: m,
+                },
+            );
+            trace.push(
+                1,
+                TraceOp::Recv {
+                    source: 0,
+                    bytes: 8,
+                    tag: m,
+                },
+            );
         }
         let base = SimEngine::new(SimParams::default()).run(&trace).unwrap();
-        let taxed = SimEngine::new(
-            SimParams::default().with_software_overhead(500.0, 500.0),
-        )
-        .run(&trace)
-        .unwrap();
+        let taxed = SimEngine::new(SimParams::default().with_software_overhead(500.0, 500.0))
+            .run(&trace)
+            .unwrap();
         assert!(taxed.makespan > base.makespan + 4.0 * 500.0 - 1.0);
     }
 }

@@ -85,10 +85,38 @@ mod tests {
 
     fn ping_pong_trace() -> Trace {
         let mut trace = Trace::empty(Topology::new(2, 1));
-        trace.push(0, TraceOp::Send { dest: 1, bytes: 256, tag: 0 });
-        trace.push(1, TraceOp::Recv { source: 0, bytes: 256, tag: 0 });
-        trace.push(1, TraceOp::Send { dest: 0, bytes: 256, tag: 1 });
-        trace.push(0, TraceOp::Recv { source: 1, bytes: 256, tag: 1 });
+        trace.push(
+            0,
+            TraceOp::Send {
+                dest: 1,
+                bytes: 256,
+                tag: 0,
+            },
+        );
+        trace.push(
+            1,
+            TraceOp::Recv {
+                source: 0,
+                bytes: 256,
+                tag: 0,
+            },
+        );
+        trace.push(
+            1,
+            TraceOp::Send {
+                dest: 0,
+                bytes: 256,
+                tag: 1,
+            },
+        );
+        trace.push(
+            0,
+            TraceOp::Recv {
+                source: 1,
+                bytes: 256,
+                tag: 1,
+            },
+        );
         trace
     }
 

@@ -150,7 +150,10 @@ impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TraceError::WrongRankCount { expected, actual } => {
-                write!(f, "trace has {actual} rank entries, topology expects {expected}")
+                write!(
+                    f,
+                    "trace has {actual} rank entries, topology expects {expected}"
+                )
             }
             TraceError::RankOutOfRange { rank, op_rank } => {
                 write!(f, "rank {rank} references out-of-range rank {op_rank}")
@@ -237,7 +240,10 @@ impl Trace {
                 match *op {
                     TraceOp::Send { dest, tag, .. } => {
                         if dest >= world {
-                            return Err(TraceError::RankOutOfRange { rank, op_rank: dest });
+                            return Err(TraceError::RankOutOfRange {
+                                rank,
+                                op_rank: dest,
+                            });
                         }
                         *sent.entry((rank, dest, tag)).or_default() += 1;
                     }
@@ -309,8 +315,22 @@ mod tests {
     #[test]
     fn matched_send_recv_is_valid() {
         let mut trace = Trace::empty(tiny_topology());
-        trace.push(0, TraceOp::Send { dest: 2, bytes: 64, tag: 1 });
-        trace.push(2, TraceOp::Recv { source: 0, bytes: 64, tag: 1 });
+        trace.push(
+            0,
+            TraceOp::Send {
+                dest: 2,
+                bytes: 64,
+                tag: 1,
+            },
+        );
+        trace.push(
+            2,
+            TraceOp::Recv {
+                source: 0,
+                bytes: 64,
+                tag: 1,
+            },
+        );
         assert!(trace.validate().is_ok());
         assert_eq!(trace.total_messages(), 1);
         assert_eq!(trace.total_bytes(), 64);
@@ -320,15 +340,36 @@ mod tests {
     #[test]
     fn unmatched_send_is_detected() {
         let mut trace = Trace::empty(tiny_topology());
-        trace.push(0, TraceOp::Send { dest: 1, bytes: 8, tag: 0 });
+        trace.push(
+            0,
+            TraceOp::Send {
+                dest: 1,
+                bytes: 8,
+                tag: 0,
+            },
+        );
         let err = trace.validate().unwrap_err();
-        assert!(matches!(err, TraceError::UnmatchedMessages { sent: 1, received: 0, .. }));
+        assert!(matches!(
+            err,
+            TraceError::UnmatchedMessages {
+                sent: 1,
+                received: 0,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn out_of_range_peer_is_detected() {
         let mut trace = Trace::empty(tiny_topology());
-        trace.push(0, TraceOp::Send { dest: 9, bytes: 8, tag: 0 });
+        trace.push(
+            0,
+            TraceOp::Send {
+                dest: 9,
+                bytes: 8,
+                tag: 0,
+            },
+        );
         assert!(matches!(
             trace.validate().unwrap_err(),
             TraceError::RankOutOfRange { op_rank: 9, .. }
@@ -350,15 +391,32 @@ mod tests {
         trace.ranks.pop();
         assert!(matches!(
             trace.validate().unwrap_err(),
-            TraceError::WrongRankCount { expected: 4, actual: 3 }
+            TraceError::WrongRankCount {
+                expected: 4,
+                actual: 3
+            }
         ));
     }
 
     #[test]
     fn intra_node_messages_not_counted_as_internode() {
         let mut trace = Trace::empty(tiny_topology());
-        trace.push(0, TraceOp::Send { dest: 1, bytes: 8, tag: 0 });
-        trace.push(1, TraceOp::Recv { source: 0, bytes: 8, tag: 0 });
+        trace.push(
+            0,
+            TraceOp::Send {
+                dest: 1,
+                bytes: 8,
+                tag: 0,
+            },
+        );
+        trace.push(
+            1,
+            TraceOp::Recv {
+                source: 0,
+                bytes: 8,
+                tag: 0,
+            },
+        );
         assert_eq!(trace.internode_messages(), 0);
         assert!(trace.validate().is_ok());
     }
@@ -366,9 +424,21 @@ mod tests {
     #[test]
     fn rank_trace_counters() {
         let mut rt = RankTrace::default();
-        rt.ops.push(TraceOp::Send { dest: 1, bytes: 10, tag: 0 });
-        rt.ops.push(TraceOp::Send { dest: 2, bytes: 20, tag: 0 });
-        rt.ops.push(TraceOp::Recv { source: 1, bytes: 5, tag: 0 });
+        rt.ops.push(TraceOp::Send {
+            dest: 1,
+            bytes: 10,
+            tag: 0,
+        });
+        rt.ops.push(TraceOp::Send {
+            dest: 2,
+            bytes: 20,
+            tag: 0,
+        });
+        rt.ops.push(TraceOp::Recv {
+            source: 1,
+            bytes: 5,
+            tag: 0,
+        });
         rt.ops.push(TraceOp::LocalBarrier);
         assert_eq!(rt.send_count(), 2);
         assert_eq!(rt.recv_count(), 1);
@@ -378,7 +448,15 @@ mod tests {
 
     #[test]
     fn op_bytes_accessor() {
-        assert_eq!(TraceOp::Send { dest: 0, bytes: 7, tag: 0 }.bytes(), 7);
+        assert_eq!(
+            TraceOp::Send {
+                dest: 0,
+                bytes: 7,
+                tag: 0
+            }
+            .bytes(),
+            7
+        );
         assert_eq!(TraceOp::LocalBarrier.bytes(), 0);
         assert_eq!(TraceOp::Delay { nanos: 5.0 }.bytes(), 0);
         assert_eq!(TraceOp::Reduce { bytes: 12 }.bytes(), 12);

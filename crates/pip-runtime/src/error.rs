@@ -21,7 +21,10 @@ pub enum RuntimeError {
     LocalRankOutOfRange { local_rank: usize, ppn: usize },
     /// `attach` referenced a region name the peer never exposed (after the
     /// attach timeout expired).
-    RegionNotExposed { owner_local_rank: usize, name: String },
+    RegionNotExposed {
+        owner_local_rank: usize,
+        name: String,
+    },
     /// A region access was out of bounds.
     RegionOutOfBounds {
         name: String,

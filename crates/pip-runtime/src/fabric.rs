@@ -11,6 +11,7 @@
 //! the `pip-netsim` crate from traces, not by measuring this mailbox.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -50,8 +51,69 @@ impl MatchSpec {
     }
 
     fn matches(&self, message: &Message) -> bool {
-        self.source.is_none_or(|s| s == message.source)
-            && self.tag.is_none_or(|t| t == message.tag)
+        self.source.is_none_or(|s| s == message.source) && self.tag.is_none_or(|t| t == message.tag)
+    }
+}
+
+/// Reference-counted message payload.
+///
+/// A payload built from an owned `Vec<u8>` is a pointer move — the sender's
+/// allocation travels through the fabric and arrives at the receiver
+/// untouched, so an owned send is zero-copy end to end and a borrowed send
+/// ([`Fabric::send_bytes`]) is exactly one copy.  Cloning shares the
+/// allocation, which lets a single buffer back multiple in-flight messages.
+#[derive(Debug, Clone)]
+pub struct Payload(Arc<Vec<u8>>);
+
+impl Payload {
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Recover the owned byte vector.  Free when this handle is the only
+    /// one referencing the allocation (the common case: one sender, one
+    /// receiver); clones otherwise.
+    pub fn into_vec(self) -> Vec<u8> {
+        Arc::try_unwrap(self.0).unwrap_or_else(|shared| shared.as_ref().clone())
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(bytes: Vec<u8>) -> Self {
+        Payload(Arc::new(bytes))
+    }
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Payload {}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -63,7 +125,19 @@ pub struct Message {
     /// Tag attached by the sender.
     pub tag: Tag,
     /// Payload bytes.
-    pub payload: Vec<u8>,
+    pub payload: Payload,
+}
+
+/// Copy accounting for one fabric (see `tests/transport_copy_stats.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FabricStats {
+    /// Messages that entered the fabric.
+    pub sends: usize,
+    /// Payload copies the fabric performed to take ownership of borrowed
+    /// bytes ([`Fabric::send_bytes`]).  Owned sends contribute zero.
+    pub payload_copies: usize,
+    /// Bytes those copies moved.
+    pub bytes_copied: usize,
 }
 
 #[derive(Debug, Default)]
@@ -84,6 +158,9 @@ pub struct Fabric {
 struct FabricInner {
     inboxes: Vec<Inbox>,
     recv_timeout: Duration,
+    sends: AtomicUsize,
+    payload_copies: AtomicUsize,
+    bytes_copied: AtomicUsize,
 }
 
 /// Default receive timeout.  Collective schedules complete in milliseconds at
@@ -105,7 +182,19 @@ impl Fabric {
             inner: Arc::new(FabricInner {
                 inboxes,
                 recv_timeout,
+                sends: AtomicUsize::new(0),
+                payload_copies: AtomicUsize::new(0),
+                bytes_copied: AtomicUsize::new(0),
             }),
+        }
+    }
+
+    /// Copy accounting since the fabric was created.
+    pub fn stats(&self) -> FabricStats {
+        FabricStats {
+            sends: self.inner.sends.load(Ordering::Relaxed),
+            payload_copies: self.inner.payload_copies.load(Ordering::Relaxed),
+            bytes_copied: self.inner.bytes_copied.load(Ordering::Relaxed),
         }
     }
 
@@ -115,25 +204,49 @@ impl Fabric {
     }
 
     fn inbox(&self, rank: usize) -> Result<&Inbox> {
-        self.inner.inboxes.get(rank).ok_or(RuntimeError::RankOutOfRange {
-            rank,
-            world_size: self.world_size(),
-        })
+        self.inner
+            .inboxes
+            .get(rank)
+            .ok_or(RuntimeError::RankOutOfRange {
+                rank,
+                world_size: self.world_size(),
+            })
     }
 
     /// Deliver `payload` from `source` to `dest` with `tag`.
-    pub fn send(&self, source: usize, dest: usize, tag: Tag, payload: Vec<u8>) -> Result<()> {
+    ///
+    /// Taking any `Into<Payload>` means an owned `Vec<u8>` moves through the
+    /// fabric without being copied; use [`Fabric::send_bytes`] for borrowed
+    /// data (one accounted copy).
+    pub fn send(
+        &self,
+        source: usize,
+        dest: usize,
+        tag: Tag,
+        payload: impl Into<Payload>,
+    ) -> Result<()> {
         // Validate the source too so a typo'd rank id fails loudly.
         self.inbox(source)?;
         let inbox = self.inbox(dest)?;
+        self.inner.sends.fetch_add(1, Ordering::Relaxed);
         let mut queue = inbox.queue.lock();
         queue.push_back(Message {
             source,
             tag,
-            payload,
+            payload: payload.into(),
         });
         inbox.condvar.notify_all();
         Ok(())
+    }
+
+    /// As [`Fabric::send`] for borrowed bytes: performs (and accounts) the
+    /// single copy needed to take ownership.
+    pub fn send_bytes(&self, source: usize, dest: usize, tag: Tag, data: &[u8]) -> Result<()> {
+        self.inner.payload_copies.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .bytes_copied
+            .fetch_add(data.len(), Ordering::Relaxed);
+        self.send(source, dest, tag, data.to_vec())
     }
 
     /// Blocking matched receive for rank `receiver`.
@@ -255,6 +368,28 @@ mod tests {
     }
 
     #[test]
+    fn owned_sends_move_without_copy_and_are_accounted() {
+        let fabric = Fabric::new(2);
+        let payload = vec![1u8, 2, 3];
+        let ptr = payload.as_ptr();
+        fabric.send(0, 1, 9, payload).unwrap();
+        let msg = fabric.recv(1, MatchSpec::exact(0, 9)).unwrap();
+        assert_eq!(
+            msg.payload.as_ptr(),
+            ptr,
+            "owned payload must not be copied"
+        );
+        let recovered = msg.payload.into_vec();
+        assert_eq!(recovered.as_ptr(), ptr, "unique payload unwraps in place");
+        assert_eq!(fabric.stats().payload_copies, 0);
+        fabric.send_bytes(1, 0, 3, &[7, 8]).unwrap();
+        let stats = fabric.stats();
+        assert_eq!(stats.sends, 2);
+        assert_eq!(stats.payload_copies, 1);
+        assert_eq!(stats.bytes_copied, 2);
+    }
+
+    #[test]
     fn out_of_range_ranks_are_rejected() {
         let fabric = Fabric::new(2);
         assert!(fabric.send(0, 5, 0, vec![]).is_err());
@@ -271,9 +406,7 @@ mod tests {
                 let fabric = fabric.clone();
                 scope.spawn(move || {
                     for round in 0..8u64 {
-                        fabric
-                            .send(sender, 0, round, vec![sender as u8])
-                            .unwrap();
+                        fabric.send(sender, 0, round, vec![sender as u8]).unwrap();
                     }
                 });
             }

@@ -61,7 +61,7 @@ pub mod task;
 pub mod topology;
 
 pub use error::{Result, RuntimeError};
-pub use fabric::{Fabric, Message, Tag};
+pub use fabric::{Fabric, FabricStats, Message, Payload, Tag};
 pub use memory::{ExposedRegion, RegionKey};
 pub use node::NodeSpace;
 pub use task::{Cluster, TaskCtx};

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::error::{Result, RuntimeError};
-use crate::fabric::{Fabric, MatchSpec, Message, Tag};
+use crate::fabric::{Fabric, MatchSpec, Message, Payload, Tag};
 use crate::memory::ExposedRegion;
 use crate::node::NodeSpace;
 use crate::topology::Topology;
@@ -134,9 +134,16 @@ impl TaskCtx {
     // Fabric operations (inter-node, also usable intra-node).
     // ------------------------------------------------------------------
 
-    /// Send `payload` to `dest` with `tag`.
-    pub fn send(&self, dest: usize, tag: Tag, payload: Vec<u8>) -> Result<()> {
+    /// Send `payload` to `dest` with `tag`.  An owned `Vec<u8>` (or an
+    /// existing [`Payload`]) moves into the fabric without being copied.
+    pub fn send(&self, dest: usize, tag: Tag, payload: impl Into<Payload>) -> Result<()> {
         self.fabric.send(self.rank, dest, tag, payload)
+    }
+
+    /// Send borrowed bytes to `dest` with `tag`: exactly one copy, accounted
+    /// in [`Fabric::stats`].
+    pub fn send_bytes(&self, dest: usize, tag: Tag, data: &[u8]) -> Result<()> {
+        self.fabric.send_bytes(self.rank, dest, tag, data)
     }
 
     /// Blocking receive from `source` with `tag`.
@@ -155,7 +162,7 @@ impl TaskCtx {
         &self,
         dest: usize,
         send_tag: Tag,
-        payload: Vec<u8>,
+        payload: impl Into<Payload>,
         source: usize,
         recv_tag: Tag,
     ) -> Result<Message> {
@@ -224,9 +231,11 @@ impl Cluster {
                 }));
             }
             for (rank, handle) in handles.into_iter().enumerate() {
-                outcomes[rank] = Some(handle.join().unwrap_or_else(|_| {
-                    Err("task thread terminated abnormally".to_string())
-                }));
+                outcomes[rank] = Some(
+                    handle
+                        .join()
+                        .unwrap_or_else(|_| Err("task thread terminated abnormally".to_string())),
+                );
             }
         });
 
@@ -242,11 +251,7 @@ impl Cluster {
 
     /// Launch with a fabric whose receive timeout is `timeout` — convenience
     /// for tests that exercise deliberately broken schedules.
-    pub fn launch_with_timeout<T, F>(
-        topology: Topology,
-        timeout: Duration,
-        f: F,
-    ) -> Result<Vec<T>>
+    pub fn launch_with_timeout<T, F>(topology: Topology, timeout: Duration, f: F) -> Result<Vec<T>>
     where
         T: Send,
         F: Fn(&TaskCtx) -> T + Sync,

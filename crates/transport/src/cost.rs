@@ -187,8 +187,7 @@ impl IntranodeCost {
     /// Latency of a zero-byte synchronization through this mechanism
     /// (flag write + flag read).
     pub fn signal_cost(&self) -> Nanos {
-        self.per_transfer_overhead
-            + self.syscall_cost * self.syscalls_per_transfer as Nanos
+        self.per_transfer_overhead + self.syscall_cost * self.syscalls_per_transfer as Nanos
     }
 }
 
@@ -249,7 +248,10 @@ mod tests {
         for mechanism in IntranodeMechanism::ALL {
             let cost = IntranodeCost::defaults_for(mechanism);
             assert_eq!(cost.copies, mechanism.copies_per_transfer());
-            assert_eq!(cost.syscalls_per_transfer > 0, mechanism.syscall_per_transfer());
+            assert_eq!(
+                cost.syscalls_per_transfer > 0,
+                mechanism.syscall_per_transfer()
+            );
         }
     }
 

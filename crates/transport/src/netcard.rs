@@ -83,7 +83,9 @@ impl NicParams {
         ];
         for (name, value) in fields {
             if !value.is_finite() || value < 0.0 {
-                return Err(format!("{name} must be finite and non-negative, got {value}"));
+                return Err(format!(
+                    "{name} must be finite and non-negative, got {value}"
+                ));
             }
         }
         if !(self.bytes_per_ns.is_finite() && self.bytes_per_ns > 0.0) {
@@ -154,7 +156,9 @@ impl NicModel {
     /// Messages per second a single sending process can sustain (limited by
     /// its host overhead).
     pub fn single_process_message_rate(&self, bytes: usize) -> f64 {
-        1e9 / self.host_send_overhead(bytes).max(self.nic_occupancy(bytes))
+        1e9 / self
+            .host_send_overhead(bytes)
+            .max(self.nic_occupancy(bytes))
     }
 
     /// Messages per second `senders` concurrent processes on one node can

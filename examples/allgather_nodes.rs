@@ -15,7 +15,10 @@ use pip_mcoll::core::prelude::*;
 
 fn main() {
     println!("multi-object allgather, real execution on the thread runtime\n");
-    println!("{:<10} {:<6} {:<8} {:<10}", "nodes", "ppn", "ranks", "verified");
+    println!(
+        "{:<10} {:<6} {:<8} {:<10}",
+        "nodes", "ppn", "ranks", "verified"
+    );
     for (nodes, ppn) in [(2, 2), (3, 3), (4, 4), (6, 3), (8, 2)] {
         let results = World::builder()
             .nodes(nodes)

@@ -69,7 +69,10 @@ fn main() {
 
     let (residual, heat) = results[0];
     for &(r, h) in &results {
-        assert!((r - residual).abs() < 1e-9, "ranks disagree on the residual");
+        assert!(
+            (r - residual).abs() < 1e-9,
+            "ranks disagree on the residual"
+        );
         assert!((h - heat).abs() < 1e-9, "ranks disagree on the total heat");
     }
     println!("halo_exchange: {STEPS} steps on {} ranks", results.len());

@@ -16,8 +16,14 @@ use pip_mcoll::transport::netcard::NicModel;
 fn main() {
     let nic = NicModel::default();
     let bytes = 64;
-    println!("Omni-Path model: 100 Gb/s, {:.0} M msg/s aggregate\n", 1e9 / nic.nic_occupancy(bytes) / 1e6);
-    println!("{:<10} {:<22} {:<22}", "senders", "model rate (M msg/s)", "simulated (M msg/s)");
+    println!(
+        "Omni-Path model: 100 Gb/s, {:.0} M msg/s aggregate\n",
+        1e9 / nic.nic_occupancy(bytes) / 1e6
+    );
+    println!(
+        "{:<10} {:<22} {:<22}",
+        "senders", "model rate (M msg/s)", "simulated (M msg/s)"
+    );
     for senders in [1usize, 2, 4, 8, 12, 18] {
         let model = nic.node_message_rate(senders, bytes) / 1e6;
 
@@ -27,8 +33,22 @@ fn main() {
         for s in 0..senders {
             for m in 0..per_sender {
                 let dest = topo.rank_of(1, s);
-                trace.push(s, TraceOp::Send { dest, bytes, tag: m as u64 });
-                trace.push(dest, TraceOp::Recv { source: s, bytes, tag: m as u64 });
+                trace.push(
+                    s,
+                    TraceOp::Send {
+                        dest,
+                        bytes,
+                        tag: m as u64,
+                    },
+                );
+                trace.push(
+                    dest,
+                    TraceOp::Recv {
+                        source: s,
+                        bytes,
+                        tag: m as u64,
+                    },
+                );
             }
         }
         let outcome = SimEngine::new(SimParams::default()).run(&trace).unwrap();

@@ -75,7 +75,12 @@ fn bcast_matches_oracle_everywhere() {
             })
             .unwrap();
         for buf in results {
-            assert_eq!(buf, [13f32, -7.25, 0.5], "{} on {nodes}x{ppn}", library.name());
+            assert_eq!(
+                buf,
+                [13f32, -7.25, 0.5],
+                "{} on {nodes}x{ppn}",
+                library.name()
+            );
         }
     });
 }
@@ -180,7 +185,12 @@ fn allreduce_matches_oracle_on_nonpow2_topologies() {
                     "{} allreduce sum on {nodes}x{ppn}",
                     library.name()
                 );
-                assert_eq!(mins, [min], "{} allreduce min on {nodes}x{ppn}", library.name());
+                assert_eq!(
+                    mins,
+                    [min],
+                    "{} allreduce min on {nodes}x{ppn}",
+                    library.name()
+                );
             }
         }
     }
@@ -247,6 +257,100 @@ fn gather_matches_oracle_on_nonpow2_topologies_with_nonzero_root() {
 }
 
 #[test]
+fn bcast_matches_oracle_on_nonpow2_topologies_with_nonzero_roots() {
+    for library in Library::ALL {
+        for (nodes, ppn) in NONPOW2_TOPOLOGIES {
+            let world = nodes * ppn;
+            // Roots at the far end, mid-world (a non-leader on a middle
+            // node), and rank 0 exercise the rotated binomial tree, the
+            // representative selection of the hierarchical/multi-object
+            // paths, and the common special case.
+            for root in [world - 1, world / 2 + 1, 0] {
+                let results = World::builder()
+                    .nodes(nodes)
+                    .ppn(ppn)
+                    .library(library)
+                    .run(move |comm| {
+                        let mut buf = if comm.rank() == root {
+                            [root as u64 * 11 + 1, 42, root as u64]
+                        } else {
+                            [0; 3]
+                        };
+                        comm.bcast(&mut buf, root);
+                        buf
+                    })
+                    .unwrap();
+                for buf in results {
+                    assert_eq!(
+                        buf,
+                        [root as u64 * 11 + 1, 42, root as u64],
+                        "{} bcast root {root} on {nodes}x{ppn}",
+                        library.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn scatter_matches_oracle_on_nonpow2_topologies_with_nonzero_roots() {
+    for library in Library::ALL {
+        for (nodes, ppn) in NONPOW2_TOPOLOGIES {
+            let world = nodes * ppn;
+            for root in [world - 1, world / 2 + 1, 0] {
+                let block = 3usize; // odd-sized blocks on an odd-sized world
+                let payload: Vec<i32> = (0..(world * block) as i32).map(|v| v * 2 - 7).collect();
+                let payload_ref = &payload;
+                let results = World::builder()
+                    .nodes(nodes)
+                    .ppn(ppn)
+                    .library(library)
+                    .run(move |comm| {
+                        let send = (comm.rank() == root).then_some(payload_ref.as_slice());
+                        comm.scatter(send, block, root)
+                    })
+                    .unwrap();
+                for (rank, got) in results.iter().enumerate() {
+                    let expected = &payload[rank * block..(rank + 1) * block];
+                    assert_eq!(
+                        got.as_slice(),
+                        expected,
+                        "{} scatter root {root} on {nodes}x{ppn}",
+                        library.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_collectives_hit_the_plan_cache() {
+    // The production-traffic story: back-to-back identical collectives on
+    // one communicator compile once and then run from the cache — and still
+    // produce fresh, correct results every time.
+    let results = World::builder()
+        .nodes(2)
+        .ppn(3)
+        .library(Library::PipMColl)
+        .run(|comm| {
+            let mut gathered = Vec::new();
+            for round in 0..5u32 {
+                gathered = comm.allgather(&[comm.rank() as u32 + round * 100]);
+            }
+            let (hits, misses) = comm.plan_stats();
+            (gathered, hits, misses)
+        })
+        .unwrap();
+    for (gathered, hits, misses) in results {
+        assert_eq!(gathered, vec![400, 401, 402, 403, 404, 405]);
+        assert_eq!(misses, 1, "one compile for five identical calls");
+        assert_eq!(hits, 4, "every repeat must hit the cache");
+    }
+}
+
+#[test]
 fn byte_level_collectives_match_oracle_on_random_payloads() {
     // Exercise the raw byte-level algorithms (as the dispatcher uses them)
     // on payloads from the oracle's deterministic generator.
@@ -255,9 +359,8 @@ fn byte_level_collectives_match_oracle_on_random_payloads() {
         let ppn = 3;
         let world = nodes * ppn;
         let block = 37; // deliberately odd
-        let contributions: Vec<Vec<u8>> = (0..world)
-            .map(|r| oracle::rank_payload(r, block))
-            .collect();
+        let contributions: Vec<Vec<u8>> =
+            (0..world).map(|r| oracle::rank_payload(r, block)).collect();
         let expected = oracle::allgather(&contributions);
         let results = World::builder()
             .nodes(nodes)

@@ -1,0 +1,247 @@
+//! The plan/execute split is pinned both ways:
+//!
+//! 1. **Executor vs. oracle** — compiling every collective × library on a
+//!    topology grid (including non-power-of-two worlds) to exec-fidelity
+//!    plans and running them through `execute_planned` on the thread runtime
+//!    reproduces the sequential oracle exactly.
+//! 2. **Lowering vs. legacy recording** — lowering a schedule-fidelity plan
+//!    with `Plan::to_trace` is op-for-op identical to the legacy path that
+//!    replays the algorithm once per rank through `TraceComm`.
+
+use std::cell::RefCell;
+
+use pip_mcoll::collectives::oracle;
+use pip_mcoll::collectives::plan::Fidelity;
+use pip_mcoll::collectives::{CollectiveKind, ThreadComm};
+use pip_mcoll::model::plan::{compile_cluster, PlanCache};
+use pip_mcoll::model::{dispatch, CollectiveRequest, CollectiveShape, Library};
+use pip_mcoll::runtime::{Cluster, Topology};
+
+const TOPOLOGIES: [(usize, usize); 5] = [(1, 1), (1, 4), (2, 3), (3, 3), (5, 2)];
+
+/// Run every collective twice through the planned dispatcher on the thread
+/// runtime (second run must hit the cache) and compare against the oracle.
+#[test]
+fn plan_executor_matches_oracle_for_every_collective_and_library() {
+    for library in Library::ALL {
+        for (nodes, ppn) in TOPOLOGIES {
+            let topo = Topology::new(nodes, ppn);
+            let world = topo.world_size();
+            let block = 5; // odd block size to stress uneven partitions
+            let root = (world - 1) / 2;
+            let profile = library.profile();
+
+            let contributions: Vec<Vec<u8>> =
+                (0..world).map(|r| oracle::rank_payload(r, block)).collect();
+            let expected_allgather = oracle::allgather(&contributions);
+            let expected_gather = oracle::gather(&contributions);
+            let expected_allreduce = oracle::allreduce(&contributions, oracle::wrapping_add_u8);
+            let scatter_src = oracle::rank_payload(root, world * block);
+            let expected_scatter = oracle::scatter(&scatter_src, world);
+            let bcast_src = oracle::rank_payload(root, block);
+            let alltoall_inputs: Vec<Vec<u8>> = (0..world)
+                .map(|r| oracle::rank_payload(r, world * block))
+                .collect();
+            let expected_alltoall = oracle::alltoall(&alltoall_inputs, world);
+
+            let scatter_src_ref = &scatter_src;
+            let bcast_src_ref = &bcast_src;
+            let results = Cluster::launch(topo, |ctx| {
+                let comm = ThreadComm::new(ctx);
+                let rank = ctx.rank();
+                let cache = RefCell::new(PlanCache::new());
+                let mut tag = 0u64;
+                let mut run = |request: CollectiveRequest<'_>| {
+                    tag += 1 << 16;
+                    dispatch::execute_planned(
+                        &profile,
+                        &comm,
+                        request,
+                        tag,
+                        &mut cache.borrow_mut(),
+                    );
+                };
+
+                // Allgather, twice (the repeat must be served by the cache).
+                let sendbuf = oracle::rank_payload(rank, block);
+                let mut allgather_out = vec![0u8; world * block];
+                for _ in 0..2 {
+                    allgather_out.fill(0);
+                    run(CollectiveRequest::Allgather {
+                        sendbuf: &sendbuf,
+                        recvbuf: &mut allgather_out,
+                    });
+                }
+
+                // Scatter from a mid-world root.
+                let mut scatter_out = vec![0u8; block];
+                run(CollectiveRequest::Scatter {
+                    sendbuf: (rank == root).then_some(scatter_src_ref.as_slice()),
+                    recvbuf: &mut scatter_out,
+                    root,
+                });
+
+                // Bcast from the same root.
+                let mut bcast_out = if rank == root {
+                    bcast_src_ref.clone()
+                } else {
+                    vec![0u8; block]
+                };
+                run(CollectiveRequest::Bcast {
+                    buf: &mut bcast_out,
+                    root,
+                });
+
+                // Gather to the root.
+                let mut gather_out = vec![0u8; world * block];
+                run(CollectiveRequest::Gather {
+                    sendbuf: &sendbuf,
+                    recvbuf: (rank == root).then_some(gather_out.as_mut_slice()),
+                    root,
+                });
+
+                // Allreduce (byte-wise wrapping sum).
+                let mut allreduce_out = oracle::rank_payload(rank, block);
+                run(CollectiveRequest::Allreduce {
+                    buf: &mut allreduce_out,
+                    elem_size: 1,
+                    op: &oracle::wrapping_add_u8,
+                });
+
+                // Alltoall.
+                let alltoall_in = oracle::rank_payload(rank, world * block);
+                let mut alltoall_out = vec![0u8; world * block];
+                run(CollectiveRequest::Alltoall {
+                    sendbuf: &alltoall_in,
+                    recvbuf: &mut alltoall_out,
+                });
+
+                // Barrier.
+                run(CollectiveRequest::Barrier);
+
+                let (hits, misses) = cache.borrow().stats();
+                (
+                    allgather_out,
+                    scatter_out,
+                    bcast_out,
+                    gather_out,
+                    allreduce_out,
+                    alltoall_out,
+                    hits,
+                    misses,
+                )
+            })
+            .unwrap();
+
+            for (rank, result) in results.iter().enumerate() {
+                let ctx = format!("{} on {nodes}x{ppn} rank {rank}", library.name());
+                let (allgather, scatter, bcast, gather, allreduce, alltoall, hits, misses) = result;
+                assert_eq!(allgather, &expected_allgather, "allgather {ctx}");
+                assert_eq!(scatter, &expected_scatter[rank], "scatter {ctx}");
+                assert_eq!(bcast, &bcast_src, "bcast {ctx}");
+                if rank == root {
+                    assert_eq!(gather, &expected_gather, "gather {ctx}");
+                }
+                assert_eq!(allreduce, &expected_allreduce, "allreduce {ctx}");
+                assert_eq!(alltoall, &expected_alltoall[rank], "alltoall {ctx}");
+                assert_eq!(*hits, 1, "repeated allgather must hit the cache ({ctx})");
+                assert_eq!(
+                    *misses, 7,
+                    "seven distinct shapes compile once each ({ctx})"
+                );
+            }
+        }
+    }
+}
+
+/// Every collective's schedule-fidelity plan lowers to exactly the trace the
+/// legacy per-rank replay produces, for every library on a topology grid.
+#[test]
+fn plan_lowering_is_op_for_op_identical_to_legacy_recording() {
+    for library in Library::ALL {
+        for (nodes, ppn) in [(2, 3), (3, 3), (4, 3), (5, 2)] {
+            let topo = Topology::new(nodes, ppn);
+            let profile = library.profile();
+            let bytes = 64;
+            let root = topo.world_size() - 1;
+            let cases: Vec<(CollectiveShape, pip_mcoll::netsim::trace::Trace)> = vec![
+                (
+                    shape(CollectiveKind::Allgather, bytes, 0),
+                    dispatch::record_allgather(&profile, topo, bytes),
+                ),
+                (
+                    shape(CollectiveKind::Scatter, bytes, root),
+                    dispatch::record_scatter(&profile, topo, bytes, root),
+                ),
+                (
+                    shape(CollectiveKind::Bcast, bytes, root),
+                    dispatch::record_bcast(&profile, topo, bytes, root),
+                ),
+                (
+                    shape(CollectiveKind::Gather, bytes, root),
+                    dispatch::record_gather(&profile, topo, bytes, root),
+                ),
+                (
+                    shape(CollectiveKind::Allreduce, bytes, 0),
+                    dispatch::record_allreduce(&profile, topo, bytes),
+                ),
+                (
+                    shape(CollectiveKind::Alltoall, bytes, 0),
+                    dispatch::record_alltoall(&profile, topo, bytes),
+                ),
+                (
+                    shape(CollectiveKind::Barrier, 0, 0),
+                    dispatch::record_barrier(&profile, topo),
+                ),
+            ];
+            for (case, legacy) in cases {
+                let plan = compile_cluster(&profile, topo, &case, Fidelity::Schedule);
+                plan.validate().unwrap_or_else(|e| {
+                    panic!("{} {:?} plan invalid: {e}", library.name(), case.kind)
+                });
+                let lowered = plan.to_trace(1);
+                assert_eq!(
+                    lowered,
+                    legacy,
+                    "{} {:?} on {nodes}x{ppn}: lowering diverges from legacy recording",
+                    library.name(),
+                    case.kind
+                );
+            }
+        }
+    }
+}
+
+/// Exec-fidelity plans carry the same schedule as schedule-fidelity ones —
+/// the extra passes and payload resolution must not perturb the op stream.
+#[test]
+fn exec_and_schedule_fidelity_agree_on_the_schedule() {
+    let topo = Topology::new(3, 2);
+    for library in [Library::PipMColl, Library::OpenMpi, Library::PipMpich] {
+        let profile = library.profile();
+        for kind in [
+            CollectiveKind::Allgather,
+            CollectiveKind::Allreduce,
+            CollectiveKind::Alltoall,
+        ] {
+            let case = shape(kind, 24, 0);
+            let schedule = compile_cluster(&profile, topo, &case, Fidelity::Schedule);
+            let exec = compile_cluster(&profile, topo, &case, Fidelity::Exec);
+            assert_eq!(
+                exec.to_trace(1),
+                schedule.to_trace(1),
+                "{} {kind:?}: fidelities disagree on the schedule",
+                library.name()
+            );
+        }
+    }
+}
+
+fn shape(kind: CollectiveKind, block: usize, root: usize) -> CollectiveShape {
+    CollectiveShape {
+        kind,
+        block,
+        root,
+        elem_size: 1,
+    }
+}

@@ -4,11 +4,11 @@
 
 use std::time::Duration;
 
+use pip_mcoll::core::prelude::*;
 use pip_mcoll::netsim::engine::{SimEngine, SimError};
 use pip_mcoll::netsim::params::SimParams;
 use pip_mcoll::netsim::trace::{Trace, TraceOp};
 use pip_mcoll::runtime::{Cluster, RuntimeError, Topology};
-use pip_mcoll::core::prelude::*;
 
 #[test]
 fn task_panic_is_attributed_to_the_failing_rank() {
@@ -30,19 +30,16 @@ fn task_panic_is_attributed_to_the_failing_rank() {
 
 #[test]
 fn mismatched_point_to_point_times_out_instead_of_hanging() {
-    let results = Cluster::launch_with_timeout(
-        Topology::new(1, 2),
-        Duration::from_millis(50),
-        |ctx| {
+    let results =
+        Cluster::launch_with_timeout(Topology::new(1, 2), Duration::from_millis(50), |ctx| {
             if ctx.rank() == 0 {
                 // Waits for a message that is never sent.
                 ctx.recv(1, 99).map(|_| ())
             } else {
                 Ok(())
             }
-        },
-    )
-    .unwrap();
+        })
+        .unwrap();
     assert!(matches!(results[0], Err(RuntimeError::RecvTimeout { .. })));
     assert!(results[1].is_ok());
 }
@@ -69,20 +66,59 @@ fn wrong_sized_region_access_is_reported() {
 #[test]
 fn simulator_rejects_unmatched_schedules() {
     let mut trace = Trace::empty(Topology::new(2, 1));
-    trace.push(0, TraceOp::Send { dest: 1, bytes: 64, tag: 0 });
+    trace.push(
+        0,
+        TraceOp::Send {
+            dest: 1,
+            bytes: 64,
+            tag: 0,
+        },
+    );
     // Receive never posted on rank 1.
-    let err = SimEngine::new(SimParams::default()).run(&trace).unwrap_err();
+    let err = SimEngine::new(SimParams::default())
+        .run(&trace)
+        .unwrap_err();
     assert!(matches!(err, SimError::InvalidTrace(_)));
 }
 
 #[test]
 fn simulator_reports_circular_waits_as_deadlock() {
     let mut trace = Trace::empty(Topology::new(2, 1));
-    trace.push(0, TraceOp::Recv { source: 1, bytes: 8, tag: 0 });
-    trace.push(0, TraceOp::Send { dest: 1, bytes: 8, tag: 0 });
-    trace.push(1, TraceOp::Recv { source: 0, bytes: 8, tag: 0 });
-    trace.push(1, TraceOp::Send { dest: 0, bytes: 8, tag: 0 });
-    let err = SimEngine::new(SimParams::default()).run(&trace).unwrap_err();
+    trace.push(
+        0,
+        TraceOp::Recv {
+            source: 1,
+            bytes: 8,
+            tag: 0,
+        },
+    );
+    trace.push(
+        0,
+        TraceOp::Send {
+            dest: 1,
+            bytes: 8,
+            tag: 0,
+        },
+    );
+    trace.push(
+        1,
+        TraceOp::Recv {
+            source: 0,
+            bytes: 8,
+            tag: 0,
+        },
+    );
+    trace.push(
+        1,
+        TraceOp::Send {
+            dest: 0,
+            bytes: 8,
+            tag: 0,
+        },
+    );
+    let err = SimEngine::new(SimParams::default())
+        .run(&trace)
+        .unwrap_err();
     match err {
         SimError::Deadlock { stuck_ranks } => assert_eq!(stuck_ranks, vec![0, 1]),
         other => panic!("unexpected: {other:?}"),

@@ -13,10 +13,7 @@ fn pip_mcoll_wins_small_message_allgather_and_scatter() {
     let cluster = ClusterSpec::new(12, 6);
     for kind in [CollectiveKind::Allgather, CollectiveKind::Scatter] {
         let table = collective_comparison(kind, cluster, &[16, 64, 256]);
-        assert!(
-            table.pip_mcoll_fastest_everywhere(),
-            "{kind:?}: {table:?}"
-        );
+        assert!(table.pip_mcoll_fastest_everywhere(), "{kind:?}: {table:?}");
     }
 }
 
@@ -50,7 +47,8 @@ fn multi_object_beats_single_leader_for_every_collective_kind() {
     let mvapich = Library::Mvapich2.profile();
     let bytes = 128;
 
-    type Recorder = Box<dyn Fn(&pip_mcoll::model::LibraryProfile) -> pip_mcoll::netsim::trace::Trace>;
+    type Recorder =
+        Box<dyn Fn(&pip_mcoll::model::LibraryProfile) -> pip_mcoll::netsim::trace::Trace>;
     let cases: Vec<(&str, Recorder)> = vec![
         (
             "allgather",
@@ -81,9 +79,13 @@ fn multi_object_beats_single_leader_for_every_collective_kind() {
         let t_mcoll = simulate("mcoll", &record(&mcoll), &mcoll.sim_params(cluster.nic))
             .unwrap()
             .makespan_ns;
-        let t_mvapich = simulate("mvapich", &record(&mvapich), &mvapich.sim_params(cluster.nic))
-            .unwrap()
-            .makespan_ns;
+        let t_mvapich = simulate(
+            "mvapich",
+            &record(&mvapich),
+            &mvapich.sim_params(cluster.nic),
+        )
+        .unwrap()
+        .makespan_ns;
         assert!(
             t_mcoll < t_mvapich,
             "{name}: PiP-MColl {t_mcoll:.0} ns should beat MVAPICH2 {t_mvapich:.0} ns"

@@ -10,6 +10,8 @@
 //!   paid once per buffer and amortized by the registration cache
 //!   (Hashmi et al., IPDPS '18).
 
+use pip_mcoll::collectives::{Comm as _, ThreadComm};
+use pip_mcoll::runtime::{Cluster, Fabric, Topology};
 use pip_mcoll::transport::cma::{CmaEngine, MAX_BYTES_PER_SYSCALL};
 use pip_mcoll::transport::pip::PipCopyEngine;
 use pip_mcoll::transport::posix_shmem::{PosixShmemEngine, DEFAULT_SEGMENT_BYTES};
@@ -132,6 +134,87 @@ fn xpmem_pays_attach_once_and_faults_once_per_page() {
     assert_eq!(other.page_faults, pages);
 }
 
+// ---------------------------------------------------------------------------
+// Fabric payload accounting: a message through the thread runtime is at most
+// ONE transport-level copy.
+// ---------------------------------------------------------------------------
+
+/// `ThreadComm::send` borrows the caller's bytes, so exactly one copy (into
+/// the fabric payload) is allowed; the allocation must then travel to the
+/// receiver untouched.
+#[test]
+fn thread_comm_send_is_exactly_one_copy() {
+    let topo = Topology::new(1, 2);
+    let fabric = Fabric::new(topo.world_size());
+    let sends = 16usize;
+    Cluster::launch_with_fabric(topo, fabric.clone(), |ctx| {
+        let comm = ThreadComm::new(ctx);
+        if comm.rank() == 0 {
+            for round in 0..sends as u64 {
+                comm.send(1, round, &[7u8; PAYLOAD]);
+            }
+        } else {
+            for round in 0..sends as u64 {
+                assert_eq!(comm.recv(0, round, PAYLOAD), vec![7u8; PAYLOAD]);
+            }
+        }
+    })
+    .unwrap();
+    let stats = fabric.stats();
+    assert_eq!(stats.sends, sends);
+    assert_eq!(stats.payload_copies, sends, "one copy per borrowed send");
+    assert_eq!(stats.bytes_copied, sends * PAYLOAD);
+}
+
+/// `Comm::send_owned` hands an owned buffer to the fabric: zero
+/// transport-level copies end to end.
+#[test]
+fn owned_sends_cross_the_fabric_with_zero_copies() {
+    let topo = Topology::new(1, 2);
+    let fabric = Fabric::new(topo.world_size());
+    let sends = 16usize;
+    Cluster::launch_with_fabric(topo, fabric.clone(), |ctx| {
+        let comm = ThreadComm::new(ctx);
+        if comm.rank() == 0 {
+            for round in 0..sends as u64 {
+                comm.send_owned(1, round, vec![9u8; PAYLOAD]);
+            }
+        } else {
+            for round in 0..sends as u64 {
+                assert_eq!(comm.recv(0, round, PAYLOAD), vec![9u8; PAYLOAD]);
+            }
+        }
+    })
+    .unwrap();
+    let stats = fabric.stats();
+    assert_eq!(stats.sends, sends);
+    assert_eq!(
+        stats.payload_copies, 0,
+        "owned payloads must move, not copy"
+    );
+    assert_eq!(stats.bytes_copied, 0);
+}
+
+/// The zero-copy shared-buffer path (`send_from_shared`) reads the shared
+/// region once and moves that allocation into the fabric — no second copy.
+#[test]
+fn send_from_shared_adds_no_fabric_copy() {
+    let topo = Topology::new(2, 1);
+    let fabric = Fabric::new(topo.world_size());
+    Cluster::launch_with_fabric(topo, fabric.clone(), |ctx| {
+        let comm = ThreadComm::new(ctx);
+        if comm.rank() == 0 {
+            comm.shared_alloc("src", PAYLOAD);
+            comm.shared_write(0, "src", 0, &vec![3u8; PAYLOAD]);
+            comm.send_from_shared(0, "src", 0, PAYLOAD, 1, 5);
+        } else {
+            assert_eq!(comm.recv(0, 5, PAYLOAD), vec![3u8; PAYLOAD]);
+        }
+    })
+    .unwrap();
+    assert_eq!(fabric.stats().payload_copies, 0);
+}
+
 #[test]
 fn engine_factory_matches_mechanism_attribution() {
     let src = payload();
@@ -157,7 +240,11 @@ fn engine_factory_matches_mechanism_attribution() {
             PAYLOAD * mechanism.copies_per_transfer(),
             "{mechanism:?} bytes moved"
         );
-        let expected_syscalls = if mechanism.syscall_per_transfer() { 1 } else { 0 };
+        let expected_syscalls = if mechanism.syscall_per_transfer() {
+            1
+        } else {
+            0
+        };
         assert_eq!(stats.syscalls, expected_syscalls, "{mechanism:?} syscalls");
 
         // The cost model the simulator charges must agree with what the

@@ -110,7 +110,10 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
 
     let rate = match throughput {
         Some(Throughput::Bytes(bytes)) | Some(Throughput::BytesDecimal(bytes)) => {
-            format!(" ({:.2} MiB/s)", bytes as f64 / median * 1e9 / (1 << 20) as f64)
+            format!(
+                " ({:.2} MiB/s)",
+                bytes as f64 / median * 1e9 / (1 << 20) as f64
+            )
         }
         Some(Throughput::Elements(elements)) => {
             format!(" ({:.2} Melem/s)", elements as f64 / median * 1e9 / 1e6)
