@@ -17,7 +17,9 @@
 //! every experiment end to end.
 
 pub mod figures;
+pub mod overlap;
 pub mod report;
 
 pub use figures::{collective_comparison, ComparisonTable, LibrarySeries};
+pub use overlap::{allreduce_overlap, allreduce_overlap_sweep, OverlapPoint};
 pub use report::render_scaled_table;

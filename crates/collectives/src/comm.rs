@@ -191,6 +191,31 @@ pub trait Comm {
     fn delay(&self, nanos: f64);
 }
 
+/// A [`Comm`] that can additionally *poll* for message completion instead of
+/// blocking — the primitive the plan cursor and the request-based
+/// non-blocking collectives are built on.
+///
+/// Only live communicators implement this: recording communicators
+/// ([`TraceComm`], `plan::PlanComm`) materialize receives immediately and so
+/// never need to poll.
+pub trait NonBlockingComm: Comm {
+    /// Non-blocking matched receive: returns the payload when a message from
+    /// `source` with `tag` has arrived, `None` otherwise.
+    ///
+    /// When a message is returned its length must equal `len`
+    /// (implementations assert this — a mismatch is a schedule bug, not a
+    /// data-dependent failure).
+    fn try_recv(&self, source: usize, tag: u64, len: usize) -> Option<Vec<u8>>;
+
+    /// How long a caller polling via [`NonBlockingComm::try_recv`] should
+    /// wait without observing any progress before declaring the schedule
+    /// broken.  Mirrors the blocking receive timeout so deadlocks surface as
+    /// failures either way.
+    fn progress_timeout(&self) -> std::time::Duration {
+        std::time::Duration::from_secs(30)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Real execution on the PiP thread runtime.
 // ---------------------------------------------------------------------------
@@ -314,6 +339,27 @@ impl Comm for ThreadComm<'_> {
     fn charge_reduce(&self, _bytes: usize) {}
 
     fn delay(&self, _nanos: f64) {}
+}
+
+impl NonBlockingComm for ThreadComm<'_> {
+    fn try_recv(&self, source: usize, tag: u64, len: usize) -> Option<Vec<u8>> {
+        let msg = self.ctx.try_recv(source, tag).expect("try_recv failed")?;
+        assert_eq!(
+            msg.payload.len(),
+            len,
+            "rank {} expected {} bytes from {} (tag {}), got {}",
+            self.rank(),
+            len,
+            source,
+            tag,
+            msg.payload.len()
+        );
+        Some(msg.payload.into_vec())
+    }
+
+    fn progress_timeout(&self) -> std::time::Duration {
+        self.ctx.fabric().recv_timeout()
+    }
 }
 
 // ---------------------------------------------------------------------------

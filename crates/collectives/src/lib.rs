@@ -33,6 +33,16 @@
 //!   write the node leader's buffers directly (HPDC '23, §2).
 //!
 //! [`oracle`] holds sequential reference implementations used by the tests.
+//!
+//! ## Execution models
+//!
+//! Compiled plans run two ways: [`plan::execute_rank_plan`] walks a plan in
+//! one blocking sweep, while [`plan::PlanCursor`] walks it *resumably* —
+//! advancing only as completions become available — which is what the
+//! [`request::ProgressEngine`] drives to give MPI-style non-blocking and
+//! persistent collectives.
+
+#![warn(missing_docs)]
 
 pub mod binomial;
 pub mod bruck;
@@ -42,9 +52,11 @@ pub mod multi_object;
 pub mod oracle;
 pub mod plan;
 pub mod recursive_doubling;
+pub mod request;
 pub mod ring;
 
-pub use comm::{Comm, ReduceFn, ThreadComm, TraceComm};
+pub use comm::{Comm, NonBlockingComm, ReduceFn, ThreadComm, TraceComm};
+pub use request::{ProgressEngine, ReqId, SharedReduceOp};
 
 /// Identifies a collective operation (used by the library presets and the
 /// benchmark harness to name what they are measuring).

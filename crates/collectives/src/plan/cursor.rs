@@ -1,0 +1,560 @@
+//! The resumable plan stepper behind non-blocking and persistent
+//! collectives.
+//!
+//! [`execute_rank_plan`](crate::plan::exec::execute_rank_plan) walks a
+//! compiled [`RankPlan`] in one blocking sweep.  A [`PlanCursor`] walks the
+//! *same* program incrementally: every call to [`PlanCursor::step`] executes
+//! ops until it reaches one whose completion is not yet available (a receive
+//! whose message has not arrived, a node barrier a peer has not reached) and
+//! then returns [`StepOutcome::Blocked`] instead of waiting.  A progress
+//! engine (see [`crate::request`]) can therefore drive many outstanding
+//! collectives on one communicator, advancing each as its messages land —
+//! the MPI `MPI_I*` / persistent-collective execution model.
+//!
+//! Two things differ from the blocking executor, both forced by resumability:
+//!
+//! * **Buffers are owned.**  A blocked cursor outlives the call frame that
+//!   created it, so it owns its send/receive buffers and hands them back
+//!   through [`PlanCursor::into_output`] once finished.  Persistent handles
+//!   reuse exactly this: the same buffers travel into a fresh cursor on
+//!   every `start()`.
+//! * **Node barriers go through the fabric.**  The runtime's node barrier
+//!   blocks the calling thread and is shared by all collectives on a node,
+//!   so out-of-order progress of interleaved collectives could pair
+//!   arrivals from *different* collectives.  The cursor instead runs each
+//!   [`PlanOp::NodeBarrier`] as a centralized message barrier in the
+//!   invocation's own tag space (non-leaders send an arrival to the node
+//!   leader, the leader answers with releases), which is pollable and
+//!   isolated per invocation exactly like message tags and shared-region
+//!   names.
+
+use std::rc::Rc;
+
+use crate::comm::{NonBlockingComm, ReduceFn};
+use crate::plan::ir::{Fidelity, PlanOp, RankPlan, Src, SrcSeg};
+
+/// Tag offset (within one invocation's tag space) where the cursor's
+/// node-barrier messages live: arrival at `BARRIER_TAG_OFFSET + 2 * episode`,
+/// release one above it.  Collective algorithms encode rounds and phases as
+/// small offsets, far below this; [`PlanCursor::new`] asserts the plan
+/// respects the split.
+pub const BARRIER_TAG_OFFSET: u64 = 1 << 14;
+
+/// What one [`PlanCursor::step`] call achieved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// At least one operation (or barrier arrival) completed; more work may
+    /// remain.
+    Advanced,
+    /// The cursor is waiting on a peer (unarrived message or barrier); no
+    /// state changed.
+    Blocked,
+    /// The whole program has executed and the output buffer holds the
+    /// collective's result.
+    Done,
+}
+
+/// Sub-state of an in-progress [`PlanOp::NodeBarrier`].
+#[derive(Debug)]
+enum BarrierPhase {
+    /// Not currently inside a barrier.
+    Idle,
+    /// Leader: collecting arrivals; `arrived[l]` records local rank `l`.
+    Collecting { arrived: Vec<bool> },
+    /// Non-leader: arrival sent, waiting for the leader's release.
+    AwaitingRelease,
+}
+
+/// A resumable execution of one rank's compiled plan.
+///
+/// Created from a cached plan plus *owned* caller buffers and the invocation
+/// tag; driven by [`PlanCursor::step`] until [`StepOutcome::Done`]; consumed
+/// by [`PlanCursor::into_output`], which returns the buffers (the receive
+/// buffer then holds the collective's result).
+///
+/// Like the blocking executor, output writes ([`PlanOp::CopyOut`]) are
+/// deferred until the program finishes so `SendBuf`/`RecvInit` reads always
+/// observe the caller's pre-execution bytes, even for in/out collectives
+/// where input and output are the same buffer.
+#[derive(Debug)]
+pub struct PlanCursor {
+    plan: Rc<RankPlan>,
+    tag: u64,
+    /// Shared-region names, pre-namespaced for this invocation.
+    names: Vec<String>,
+    pc: usize,
+    vals: Vec<Option<Vec<u8>>>,
+    pending_out: Vec<(usize, Vec<u8>)>,
+    sendbuf: Option<Vec<u8>>,
+    recvbuf: Option<Vec<u8>>,
+    barrier: BarrierPhase,
+    barriers_done: u64,
+    checked_coords: bool,
+    finished: bool,
+}
+
+/// The buffers a finished cursor hands back (see
+/// [`PlanCursor::into_output`]).
+#[derive(Debug)]
+pub struct CursorOutput {
+    /// The send buffer the cursor was created with, unchanged.
+    pub sendbuf: Option<Vec<u8>>,
+    /// The receive (or in/out) buffer, now holding the collective's result.
+    pub recvbuf: Option<Vec<u8>>,
+}
+
+impl PlanCursor {
+    /// Wrap `plan` with owned caller buffers for one invocation tagged
+    /// `tag`.
+    ///
+    /// For in/out collectives (bcast, allreduce) pass the single caller
+    /// buffer as `recvbuf` and `None` for `sendbuf`, as with
+    /// [`crate::plan::exec::PlanIo`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan is schedule-fidelity, the buffer lengths
+    /// disagree with the plan's [`crate::plan::ir::IoShape`], or the plan
+    /// uses tag offsets that would collide with the cursor's barrier
+    /// messages — all caller bugs, not data-dependent failures.
+    pub fn new(
+        plan: Rc<RankPlan>,
+        sendbuf: Option<Vec<u8>>,
+        recvbuf: Option<Vec<u8>>,
+        tag: u64,
+    ) -> Self {
+        assert_eq!(
+            plan.fidelity,
+            Fidelity::Exec,
+            "schedule-fidelity plans cannot be executed"
+        );
+        assert_eq!(
+            sendbuf.as_ref().map(Vec::len),
+            if plan.io.inout { None } else { plan.io.sendbuf },
+            "send buffer does not match the plan's shape"
+        );
+        assert_eq!(
+            recvbuf.as_ref().map(Vec::len),
+            plan.io.recvbuf,
+            "receive buffer does not match the plan's shape"
+        );
+        // The tag-range split is a property of the *plan*, fixed when the
+        // algorithm was compiled — not of this invocation — so the O(ops)
+        // scan guards debug builds only and stays off the per-start hot
+        // path persistent handles exist for.
+        #[cfg(debug_assertions)]
+        {
+            let max_tag = plan
+                .ops
+                .iter()
+                .filter_map(|op| match op {
+                    PlanOp::Send { tag, .. }
+                    | PlanOp::Recv { tag, .. }
+                    | PlanOp::SendFromShared { tag, .. }
+                    | PlanOp::RecvIntoShared { tag, .. } => Some(*tag),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0);
+            assert!(
+                max_tag < BARRIER_TAG_OFFSET,
+                "plan tag offset {max_tag} collides with the barrier tag range"
+            );
+        }
+        let names = plan.names.iter().map(|n| format!("pl{tag}.{n}")).collect();
+        let vals = vec![None; plan.val_lens.len()];
+        Self {
+            plan,
+            tag,
+            names,
+            pc: 0,
+            vals,
+            pending_out: Vec::new(),
+            sendbuf,
+            recvbuf,
+            barrier: BarrierPhase::Idle,
+            barriers_done: 0,
+            checked_coords: false,
+            finished: false,
+        }
+    }
+
+    /// The invocation tag this cursor executes under.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Whether the program has fully executed.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Whether the plan requires a reduction operator at step time.
+    pub fn needs_reduce_op(&self) -> bool {
+        self.plan.io.needs_reduce_op
+    }
+
+    /// Recover the buffers after the program finished; the receive buffer
+    /// holds the collective's result.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cursor has not reached [`StepOutcome::Done`].
+    pub fn into_output(self) -> CursorOutput {
+        assert!(self.finished, "cursor has not finished executing its plan");
+        CursorOutput {
+            sendbuf: self.sendbuf,
+            recvbuf: self.recvbuf,
+        }
+    }
+
+    /// Execute ops until the next one would block, the program ends, or
+    /// nothing can be done.  `op` must be `Some` whenever the plan contains
+    /// reductions ([`PlanCursor::needs_reduce_op`]).
+    ///
+    /// Returns [`StepOutcome::Advanced`] when any forward progress happened
+    /// (including consuming barrier arrivals without passing the barrier),
+    /// [`StepOutcome::Blocked`] when the cursor is waiting on peers, and
+    /// [`StepOutcome::Done`] once the output buffer holds the result.
+    pub fn step<C: NonBlockingComm>(&mut self, comm: &C, op: Option<&ReduceFn<'_>>) -> StepOutcome {
+        if self.finished {
+            return StepOutcome::Done;
+        }
+        if !self.checked_coords {
+            assert_eq!(
+                comm.rank(),
+                self.plan.rank,
+                "plan compiled for a different rank"
+            );
+            assert_eq!(
+                comm.topology(),
+                self.plan.topology,
+                "plan compiled for a different topology"
+            );
+            self.checked_coords = true;
+        }
+        let mut advanced = false;
+        while self.pc < self.plan.ops.len() {
+            match self.step_one(comm, op) {
+                StepOutcome::Advanced => advanced = true,
+                StepOutcome::Blocked => {
+                    return if advanced {
+                        StepOutcome::Advanced
+                    } else {
+                        StepOutcome::Blocked
+                    };
+                }
+                StepOutcome::Done => unreachable!("step_one never reports Done"),
+            }
+        }
+        // Program drained: flush the deferred output writes.
+        if let Some(out) = self.recvbuf.as_mut() {
+            for (offset, data) in self.pending_out.drain(..) {
+                out[offset..offset + data.len()].copy_from_slice(&data);
+            }
+        } else {
+            assert!(self.pending_out.is_empty(), "output writes need a buffer");
+        }
+        self.finished = true;
+        StepOutcome::Done
+    }
+
+    /// Attempt exactly the op at `pc`; advances `pc` on completion.
+    fn step_one<C: NonBlockingComm>(&mut self, comm: &C, op: Option<&ReduceFn<'_>>) -> StepOutcome {
+        match &self.plan.ops[self.pc] {
+            PlanOp::SharedAlloc { name, len } => {
+                comm.shared_alloc(&self.names[*name as usize], *len);
+            }
+            PlanOp::SharedPublish { name, src } => {
+                let data = self.materialize(src);
+                comm.shared_publish(&self.names[*name as usize], &data);
+            }
+            PlanOp::SharedCollect { name, len, dst } => {
+                let data = comm.shared_collect(&self.names[*name as usize], *len);
+                self.vals[*dst as usize] = Some(data);
+            }
+            PlanOp::SharedWrite {
+                owner_local,
+                name,
+                offset,
+                src,
+            } => {
+                let data = self.materialize(src);
+                comm.shared_write(*owner_local, &self.names[*name as usize], *offset, &data);
+            }
+            PlanOp::SharedRead {
+                owner_local,
+                name,
+                offset,
+                len,
+                dst,
+            } => {
+                let data =
+                    comm.shared_read(*owner_local, &self.names[*name as usize], *offset, *len);
+                self.vals[*dst as usize] = Some(data);
+            }
+            PlanOp::Send { dest, tag: t, src } => {
+                let data = self.materialize(src);
+                comm.send_owned(*dest, self.tag + t, data);
+            }
+            PlanOp::Recv {
+                source,
+                tag: t,
+                len,
+                dst,
+            } => match comm.try_recv(*source, self.tag + t, *len) {
+                Some(data) => self.vals[*dst as usize] = Some(data),
+                None => return StepOutcome::Blocked,
+            },
+            PlanOp::SendFromShared {
+                owner_local,
+                name,
+                offset,
+                len,
+                dest,
+                tag: t,
+            } => {
+                comm.send_from_shared(
+                    *owner_local,
+                    &self.names[*name as usize],
+                    *offset,
+                    *len,
+                    *dest,
+                    self.tag + t,
+                );
+            }
+            PlanOp::RecvIntoShared {
+                owner_local,
+                name,
+                offset,
+                source,
+                tag: t,
+                len,
+            } => match comm.try_recv(*source, self.tag + t, *len) {
+                // The message is in hand, so depositing it in the peer's
+                // region is the same single write `recv_into_shared` does.
+                Some(data) => {
+                    comm.shared_write(*owner_local, &self.names[*name as usize], *offset, &data)
+                }
+                None => return StepOutcome::Blocked,
+            },
+            PlanOp::NodeBarrier => return self.step_barrier(comm),
+            PlanOp::Reduce { dst, acc, other } => {
+                let mut acc_bytes = self.materialize(acc);
+                let other_bytes = self.materialize(other);
+                let op = op.expect("plan requires a reduction operator");
+                op(&mut acc_bytes, &other_bytes);
+                self.vals[*dst as usize] = Some(acc_bytes);
+            }
+            PlanOp::CopyOut { offset, src } => {
+                let data = self.materialize(src);
+                self.pending_out.push((*offset, data));
+            }
+            PlanOp::ChargeCopy { bytes } => comm.charge_copy(*bytes),
+            PlanOp::ChargeReduce { bytes } => comm.charge_reduce(*bytes),
+            PlanOp::Delay { nanos } => comm.delay(*nanos),
+        }
+        self.pc += 1;
+        StepOutcome::Advanced
+    }
+
+    /// Drive the pollable message barrier replacing [`PlanOp::NodeBarrier`].
+    fn step_barrier<C: NonBlockingComm>(&mut self, comm: &C) -> StepOutcome {
+        let ppn = comm.ppn();
+        if ppn == 1 {
+            return self.barrier_passed();
+        }
+        let leader = comm.rank() - comm.local_rank();
+        let arrive_tag = self.tag + BARRIER_TAG_OFFSET + 2 * self.barriers_done;
+        let release_tag = arrive_tag + 1;
+        if comm.is_node_root() {
+            if matches!(self.barrier, BarrierPhase::Idle) {
+                self.barrier = BarrierPhase::Collecting {
+                    arrived: vec![false; ppn],
+                };
+            }
+            let BarrierPhase::Collecting { arrived } = &mut self.barrier else {
+                unreachable!("leader barriers only collect");
+            };
+            let mut progressed = false;
+            for (local, seen) in arrived.iter_mut().enumerate().skip(1) {
+                if !*seen && comm.try_recv(leader + local, arrive_tag, 0).is_some() {
+                    *seen = true;
+                    progressed = true;
+                }
+            }
+            if arrived[1..].iter().all(|&a| a) {
+                for local in 1..ppn {
+                    comm.send_owned(leader + local, release_tag, Vec::new());
+                }
+                return self.barrier_passed();
+            }
+            if progressed {
+                StepOutcome::Advanced
+            } else {
+                StepOutcome::Blocked
+            }
+        } else {
+            if matches!(self.barrier, BarrierPhase::Idle) {
+                comm.send_owned(leader, arrive_tag, Vec::new());
+                self.barrier = BarrierPhase::AwaitingRelease;
+            }
+            if comm.try_recv(leader, release_tag, 0).is_some() {
+                self.barrier_passed()
+            } else {
+                StepOutcome::Blocked
+            }
+        }
+    }
+
+    fn barrier_passed(&mut self) -> StepOutcome {
+        self.barrier = BarrierPhase::Idle;
+        self.barriers_done += 1;
+        self.pc += 1;
+        StepOutcome::Advanced
+    }
+
+    /// Resolve a symbolic source against the owned buffers and runtime
+    /// values (the cursor-side twin of the blocking executor's
+    /// `materialize`).
+    fn materialize(&self, src: &Src) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(src.len());
+        for seg in &src.segs {
+            match seg {
+                SrcSeg::SendBuf { offset, len } => {
+                    let buf: &[u8] = if self.plan.io.inout {
+                        self.recvbuf.as_deref().expect("in/out buffer present")
+                    } else {
+                        self.sendbuf.as_deref().expect("send buffer present")
+                    };
+                    bytes.extend_from_slice(&buf[*offset..*offset + *len]);
+                }
+                SrcSeg::RecvInit { offset, len } => {
+                    let buf = self.recvbuf.as_deref().expect("receive buffer present");
+                    bytes.extend_from_slice(&buf[*offset..*offset + *len]);
+                }
+                SrcSeg::Val { id, offset, len } => {
+                    let val = self.vals[*id as usize]
+                        .as_deref()
+                        .expect("value defined before use");
+                    bytes.extend_from_slice(&val[*offset..*offset + *len]);
+                }
+                SrcSeg::Lit(data) => bytes.extend_from_slice(data),
+                SrcSeg::Opaque { .. } => unreachable!("exec-fidelity plans have no opaque bytes"),
+            }
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{Comm, ThreadComm};
+    use crate::plan::ir::IoShape;
+    use crate::plan::record::{assemble, PlanComm, EXEC_PASSES};
+    use pip_runtime::{Cluster, Topology};
+
+    fn compile_exchange(rank: usize, topo: Topology) -> RankPlan {
+        let passes = (0..EXEC_PASSES as u32)
+            .map(|pass| {
+                let comm = PlanComm::new(rank, topo, pass, Fidelity::Exec);
+                let mut sendbuf = vec![0u8; 4];
+                comm.fill_sendbuf(&mut sendbuf);
+                let peer = 1 - rank;
+                comm.send(peer, 0, &sendbuf);
+                let got = comm.recv(peer, 0, 4);
+                comm.node_barrier();
+                comm.finish(Some(got))
+            })
+            .collect();
+        assemble(
+            rank,
+            topo,
+            Fidelity::Exec,
+            IoShape {
+                sendbuf: Some(4),
+                recvbuf: Some(4),
+                inout: false,
+                needs_reduce_op: false,
+            },
+            passes,
+        )
+    }
+
+    /// A cursor-driven exchange (send, recv, node barrier) completes with
+    /// real bytes and returns the buffers.
+    #[test]
+    fn cursor_completes_an_exchange_incrementally() {
+        let topo = Topology::new(1, 2);
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            // Compiling is deterministic, so each task building its own plan
+            // (Rc is not shareable across the task threads) changes nothing.
+            let plan = Rc::new(compile_exchange(comm.rank(), topo));
+            let sendbuf = vec![10 + comm.rank() as u8; 4];
+            let mut cursor = PlanCursor::new(plan, Some(sendbuf), Some(vec![0u8; 4]), 7 << 16);
+            let mut spins = 0u32;
+            loop {
+                match cursor.step(&comm, None) {
+                    StepOutcome::Done => break,
+                    StepOutcome::Advanced => {}
+                    StepOutcome::Blocked => {
+                        spins += 1;
+                        assert!(spins < 1_000_000, "cursor spun without progress");
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            cursor.into_output().recvbuf.unwrap()
+        })
+        .unwrap();
+        assert_eq!(results[0], vec![11; 4]);
+        assert_eq!(results[1], vec![10; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule-fidelity")]
+    fn cursor_refuses_schedule_fidelity_plans() {
+        let topo = Topology::new(1, 1);
+        let comm = PlanComm::new(0, topo, 0, Fidelity::Schedule);
+        comm.node_barrier();
+        let plan = assemble(
+            0,
+            topo,
+            Fidelity::Schedule,
+            IoShape::default(),
+            vec![comm.finish(None)],
+        );
+        let _ = PlanCursor::new(Rc::new(plan), None, None, 1 << 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the plan's shape")]
+    fn cursor_rejects_wrong_buffer_lengths() {
+        let topo = Topology::new(1, 2);
+        let plan = Rc::new(compile_exchange(0, topo));
+        let _ = PlanCursor::new(plan, Some(vec![0u8; 2]), Some(vec![0u8; 4]), 1 << 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "collides with the barrier tag range")]
+    fn cursor_rejects_plans_using_barrier_tag_offsets() {
+        let topo = Topology::new(1, 1);
+        let plan = RankPlan {
+            rank: 0,
+            topology: topo,
+            fidelity: Fidelity::Exec,
+            io: IoShape::default(),
+            names: Vec::new(),
+            val_lens: vec![1],
+            ops: vec![PlanOp::Recv {
+                source: 0,
+                tag: BARRIER_TAG_OFFSET,
+                len: 1,
+                dst: 0,
+            }],
+        };
+        let _ = PlanCursor::new(Rc::new(plan), None, None, 1 << 16);
+    }
+}

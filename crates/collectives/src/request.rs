@@ -1,0 +1,224 @@
+//! Request bookkeeping for non-blocking and persistent collectives: the
+//! progress engine that drives every outstanding [`PlanCursor`] on a
+//! communicator.
+//!
+//! MPI's completion calls (`MPI_Wait`, `MPI_Test`, `MPI_Waitall`) are
+//! allowed in *any* order relative to submission, which means waiting on one
+//! request must still advance the others — otherwise two ranks waiting on
+//! different requests of the same pair of collectives would deadlock.  The
+//! [`ProgressEngine`] therefore owns the cursors of **all** outstanding
+//! collectives of one communicator, and every [`ProgressEngine::progress`]
+//! call steps every one of them.  Completion is observed per request id;
+//! completed outputs are parked until the owner collects them with
+//! [`ProgressEngine::take_output`].
+//!
+//! The engine is deliberately single-threaded (one engine per communicator,
+//! one communicator per rank thread): progress happens inside the caller's
+//! `wait`/`test`, exactly like an MPI implementation progressing from within
+//! completion calls.
+
+use std::rc::Rc;
+
+use crate::comm::{NonBlockingComm, ReduceFn};
+use crate::plan::cursor::{CursorOutput, PlanCursor, StepOutcome};
+
+/// Identifier of one submitted collective within its engine.
+pub type ReqId = u64;
+
+/// An owned, shareable reduction operator (the `Rc` lets a persistent
+/// handle keep the operator across repeated starts while the engine holds
+/// it for the active execution).
+pub type SharedReduceOp = Rc<ReduceFn<'static>>;
+
+/// One submitted collective: either still executing or finished with its
+/// output parked.
+enum Slot {
+    Running {
+        cursor: PlanCursor,
+        op: Option<SharedReduceOp>,
+    },
+    Finished(CursorOutput),
+}
+
+/// Drives all outstanding non-blocking collectives of one communicator.
+#[derive(Default)]
+pub struct ProgressEngine {
+    slots: Vec<(ReqId, Slot)>,
+    next_id: ReqId,
+}
+
+impl std::fmt::Debug for ProgressEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressEngine")
+            .field("outstanding", &self.outstanding())
+            .field("next_id", &self.next_id)
+            .finish()
+    }
+}
+
+impl ProgressEngine {
+    /// An engine with no outstanding requests.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a cursor (with its reduction operator, when the plan needs
+    /// one) and return the id its completion will be reported under.
+    pub fn submit(&mut self, cursor: PlanCursor, op: Option<SharedReduceOp>) -> ReqId {
+        assert!(
+            !cursor.needs_reduce_op() || op.is_some(),
+            "plan requires a reduction operator"
+        );
+        let id = self.next_id;
+        self.next_id += 1;
+        self.slots.push((id, Slot::Running { cursor, op }));
+        id
+    }
+
+    /// Step every outstanding cursor once; returns whether *any* of them
+    /// made forward progress.  Callers loop on this from `wait`, yielding
+    /// between fruitless rounds.
+    pub fn progress<C: NonBlockingComm>(&mut self, comm: &C) -> bool {
+        let mut advanced = false;
+        for (_, slot) in self.slots.iter_mut() {
+            if let Slot::Running { cursor, op } = slot {
+                match cursor.step(comm, op.as_deref()) {
+                    StepOutcome::Advanced | StepOutcome::Done => advanced = true,
+                    StepOutcome::Blocked => {}
+                }
+                if cursor.is_finished() {
+                    let finished = match std::mem::replace(
+                        slot,
+                        Slot::Finished(CursorOutput {
+                            sendbuf: None,
+                            recvbuf: None,
+                        }),
+                    ) {
+                        Slot::Running { cursor, .. } => cursor.into_output(),
+                        Slot::Finished(_) => unreachable!("slot was running"),
+                    };
+                    *slot = Slot::Finished(finished);
+                }
+            }
+        }
+        advanced
+    }
+
+    /// Whether request `id` has finished executing (its output is parked and
+    /// [`ProgressEngine::take_output`] will succeed).
+    pub fn is_complete(&self, id: ReqId) -> bool {
+        self.slots
+            .iter()
+            .any(|(slot_id, slot)| *slot_id == id && matches!(slot, Slot::Finished(_)))
+    }
+
+    /// Remove a completed request and return its buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is unknown (already taken) or still running.
+    pub fn take_output(&mut self, id: ReqId) -> CursorOutput {
+        let index = self
+            .slots
+            .iter()
+            .position(|(slot_id, _)| *slot_id == id)
+            .expect("request id is outstanding");
+        match self.slots.remove(index).1 {
+            Slot::Finished(output) => output,
+            Slot::Running { .. } => panic!("request {id} has not completed"),
+        }
+    }
+
+    /// Number of submitted requests not yet taken (running or parked).
+    pub fn outstanding(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of requests still executing.
+    pub fn running(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|(_, slot)| matches!(slot, Slot::Running { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{Comm, ThreadComm};
+    use crate::plan::ir::{Fidelity, IoShape};
+    use crate::plan::record::{assemble, PlanComm, EXEC_PASSES};
+    use pip_runtime::{Cluster, Topology};
+
+    /// Compile a two-rank ping with a per-invocation distinct tag space.
+    fn compile_exchange(rank: usize, topo: Topology) -> Rc<crate::plan::RankPlan> {
+        let passes = (0..EXEC_PASSES as u32)
+            .map(|pass| {
+                let comm = PlanComm::new(rank, topo, pass, Fidelity::Exec);
+                let mut sendbuf = vec![0u8; 2];
+                comm.fill_sendbuf(&mut sendbuf);
+                let peer = 1 - rank;
+                comm.send(peer, 0, &sendbuf);
+                let got = comm.recv(peer, 0, 2);
+                comm.finish(Some(got))
+            })
+            .collect();
+        Rc::new(assemble(
+            rank,
+            topo,
+            Fidelity::Exec,
+            IoShape {
+                sendbuf: Some(2),
+                recvbuf: Some(2),
+                inout: false,
+                needs_reduce_op: false,
+            },
+            passes,
+        ))
+    }
+
+    /// Several outstanding executions of the same plan complete out of
+    /// submission order through one engine.
+    #[test]
+    fn engine_completes_interleaved_requests_out_of_order() {
+        let topo = Topology::new(1, 2);
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            let plan = compile_exchange(comm.rank(), topo);
+            let mut engine = ProgressEngine::new();
+            let ids: Vec<ReqId> = (0..4u8)
+                .map(|call| {
+                    let cursor = PlanCursor::new(
+                        Rc::clone(&plan),
+                        Some(vec![call * 10 + comm.rank() as u8; 2]),
+                        Some(vec![0u8; 2]),
+                        (call as u64 + 1) << 16,
+                    );
+                    engine.submit(cursor, None)
+                })
+                .collect();
+            assert_eq!(engine.outstanding(), 4);
+            // Collect in reverse order of submission.
+            let mut outputs = vec![Vec::new(); 4];
+            for (call, &id) in ids.iter().enumerate().rev() {
+                let mut spins = 0u32;
+                while !engine.is_complete(id) {
+                    if !engine.progress(&comm) {
+                        spins += 1;
+                        assert!(spins < 1_000_000, "no progress");
+                        std::thread::yield_now();
+                    }
+                }
+                outputs[call] = engine.take_output(id).recvbuf.unwrap();
+            }
+            assert_eq!(engine.outstanding(), 0);
+            outputs
+        })
+        .unwrap();
+        for call in 0..4u8 {
+            assert_eq!(results[0][call as usize], vec![call * 10 + 1; 2]);
+            assert_eq!(results[1][call as usize], vec![call * 10; 2]);
+        }
+    }
+}

@@ -15,9 +15,13 @@
 //! same collectives over and over.
 
 use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::time::Instant;
 
-use pip_collectives::comm::{Comm as _, ThreadComm};
-use pip_mpi_model::{dispatch, CollectiveRequest, LibraryProfile, PlanCache};
+use pip_collectives::comm::{Comm as _, NonBlockingComm as _, ThreadComm};
+use pip_collectives::plan::{PlanCursor, RankPlan};
+use pip_collectives::request::{ProgressEngine, ReqId, SharedReduceOp};
+use pip_mpi_model::{dispatch, CollectiveRequest, LibraryProfile, OwnedCollective, PlanCache};
 use pip_runtime::{TaskCtx, Topology};
 
 use crate::datatype::{from_bytes, to_bytes, Datatype, ReduceOp};
@@ -25,6 +29,14 @@ use crate::datatype::{from_bytes, to_bytes, Datatype, ReduceOp};
 /// Tag space reserved for each collective invocation (rounds and phases are
 /// encoded in the low bits).
 const COLLECTIVE_TAG_STRIDE: u64 = 1 << 16;
+
+/// Completion mapping of a one-shot request: consumes the receive buffer
+/// (`None` where this rank binds none, e.g. off-root gather).
+type RequestFinish<'c, O> = Box<dyn FnOnce(Option<Vec<u8>>) -> O + 'c>;
+
+/// Completion mapping of a persistent handle: borrows the pinned receive
+/// buffer, reusable across starts.
+type PersistentFinish<'c, O> = Box<dyn Fn(Option<&[u8]>) -> O + 'c>;
 /// Tag space where point-to-point tags live, above all collective tags.
 const P2P_TAG_BASE: u64 = 1 << 48;
 
@@ -34,6 +46,7 @@ pub struct Communicator<'a> {
     profile: LibraryProfile,
     next_collective: Cell<u64>,
     plans: RefCell<PlanCache>,
+    engine: RefCell<ProgressEngine>,
 }
 
 impl<'a> Communicator<'a> {
@@ -45,6 +58,7 @@ impl<'a> Communicator<'a> {
             profile,
             next_collective: Cell::new(1),
             plans: RefCell::new(PlanCache::new()),
+            engine: RefCell::new(ProgressEngine::new()),
         }
     }
 
@@ -227,6 +241,477 @@ impl<'a> Communicator<'a> {
     /// MPI_Barrier.
     pub fn barrier(&self) {
         self.collective(CollectiveRequest::Barrier);
+    }
+
+    // ------------------------------------------------------------------
+    // Non-blocking collectives (MPI_I*)
+    // ------------------------------------------------------------------
+    //
+    // Every `i*` call compiles (or looks up) the collective's plan, wraps it
+    // in a resumable cursor, registers it with the communicator's progress
+    // engine and kicks it once (so the leading posts go out at call time,
+    // as a real MPI_I* does); the returned request completes it.
+    //
+    // **Ordering contract.**  Non-blocking collectives are *collective*
+    // operations: every rank must issue the matching call, in the same
+    // order relative to all other collectives on the communicator.
+    // Completion calls may then happen in any order — any `wait`/`test`
+    // advances every outstanding request.  One restriction follows from
+    // progress living inside completion calls (there is no background
+    // progress thread): *blocking* operations do not advance outstanding
+    // requests, so all ranks must also order their blocking operations
+    // identically relative to their completion calls.  Ranks that disagree
+    // — one rank entering a blocking collective while its peer waits on a
+    // request whose progress needs that rank — surface as a receive/
+    // progress timeout rather than a hang.
+
+    /// Register a cursor for `owned` with the progress engine and kick it
+    /// to its first blocking point.
+    fn submit_owned(&self, owned: OwnedCollective, op: Option<SharedReduceOp>) -> ReqId {
+        let cursor = dispatch::begin_planned(
+            &self.profile,
+            &self.inner,
+            owned,
+            self.next_tag(),
+            &mut self.plans.borrow_mut(),
+        );
+        let id = self.engine.borrow_mut().submit(cursor, op);
+        self.progress();
+        id
+    }
+
+    fn submit_request<'s, O>(
+        &'s self,
+        owned: OwnedCollective,
+        op: Option<SharedReduceOp>,
+        finish: RequestFinish<'s, O>,
+    ) -> CollRequest<'s, O> {
+        CollRequest {
+            comm: self,
+            id: self.submit_owned(owned, op),
+            finish,
+        }
+    }
+
+    /// Step every outstanding request once; returns whether any advanced.
+    fn progress(&self) -> bool {
+        self.engine.borrow_mut().progress(&self.inner)
+    }
+
+    /// Drive the progress engine until request `id` completes, yielding
+    /// between fruitless polls.  Panics (surfacing as a launch error) when
+    /// no outstanding request advances for the fabric's receive-timeout
+    /// grace period — the non-blocking equivalent of a receive timeout.
+    fn drive_to_completion(&self, id: ReqId) -> pip_collectives::plan::CursorOutput {
+        let timeout = self.inner.progress_timeout();
+        let mut last_progress = Instant::now();
+        loop {
+            let advanced = self.progress();
+            if self.engine.borrow().is_complete(id) {
+                return self.engine.borrow_mut().take_output(id);
+            }
+            if advanced {
+                last_progress = Instant::now();
+            } else {
+                assert!(
+                    last_progress.elapsed() < timeout,
+                    "rank {}: no outstanding collective progressed for {timeout:?} — \
+                     peers must issue the matching non-blocking collectives",
+                    self.rank()
+                );
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Requests submitted but not yet completed-and-collected.
+    pub fn outstanding_requests(&self) -> usize {
+        self.engine.borrow().outstanding()
+    }
+
+    /// Non-blocking [`Communicator::allgather`]: returns immediately; the
+    /// request's `wait` yields the concatenation of all contributions.
+    pub fn iallgather<T: Datatype>(&self, send: &[T]) -> CollRequest<'_, Vec<T>> {
+        self.submit_request(
+            OwnedCollective::Allgather {
+                sendbuf: to_bytes(send),
+            },
+            None,
+            Box::new(|recv| from_bytes(&recv.expect("allgather binds a receive buffer"))),
+        )
+    }
+
+    /// Non-blocking [`Communicator::scatter`]: the root supplies one block
+    /// of `count` elements per rank; `wait` yields this rank's block.
+    pub fn iscatter<T: Datatype>(
+        &self,
+        send: Option<&[T]>,
+        count: usize,
+        root: usize,
+    ) -> CollRequest<'_, Vec<T>> {
+        if let Some(send) = send {
+            assert_eq!(
+                send.len(),
+                count * self.size(),
+                "root must supply count * size elements"
+            );
+        }
+        self.submit_request(
+            OwnedCollective::Scatter {
+                sendbuf: send.map(to_bytes),
+                block: count * T::SIZE,
+                root,
+            },
+            None,
+            Box::new(|recv| from_bytes(&recv.expect("scatter binds a receive buffer"))),
+        )
+    }
+
+    /// Non-blocking [`Communicator::bcast`]: `buf` supplies the root's data;
+    /// `wait` yields the broadcast vector at every rank.
+    pub fn ibcast<T: Datatype>(&self, buf: &[T], root: usize) -> CollRequest<'_, Vec<T>> {
+        self.submit_request(
+            OwnedCollective::Bcast {
+                buf: to_bytes(buf),
+                root,
+            },
+            None,
+            Box::new(|recv| from_bytes(&recv.expect("bcast binds an in/out buffer"))),
+        )
+    }
+
+    /// Non-blocking [`Communicator::gather`]: `wait` yields `Some` of the
+    /// rank-ordered concatenation at the root, `None` elsewhere.
+    pub fn igather<T: Datatype>(&self, send: &[T], root: usize) -> CollRequest<'_, Option<Vec<T>>> {
+        self.submit_request(
+            OwnedCollective::Gather {
+                sendbuf: to_bytes(send),
+                root,
+            },
+            None,
+            Box::new(|recv| recv.map(|bytes| from_bytes(&bytes))),
+        )
+    }
+
+    /// Non-blocking [`Communicator::allreduce`]: `wait` yields the reduced
+    /// vector at every rank.
+    pub fn iallreduce<T: Datatype>(&self, buf: &[T], op: ReduceOp) -> CollRequest<'_, Vec<T>> {
+        let combine: SharedReduceOp =
+            Rc::new(move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other));
+        self.submit_request(
+            OwnedCollective::Allreduce {
+                buf: to_bytes(buf),
+                elem_size: T::SIZE,
+            },
+            Some(combine),
+            Box::new(|recv| from_bytes(&recv.expect("allreduce binds an in/out buffer"))),
+        )
+    }
+
+    /// Non-blocking [`Communicator::alltoall`]: `send` holds one block of
+    /// `count` elements per destination; `wait` yields one block per source.
+    pub fn ialltoall<T: Datatype>(&self, send: &[T], count: usize) -> CollRequest<'_, Vec<T>> {
+        assert_eq!(send.len(), count * self.size());
+        self.submit_request(
+            OwnedCollective::Alltoall {
+                sendbuf: to_bytes(send),
+            },
+            None,
+            Box::new(|recv| from_bytes(&recv.expect("alltoall binds a receive buffer"))),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Persistent collectives (MPI_*_init / MPI_Start)
+    // ------------------------------------------------------------------
+
+    fn init_persistent<'s, O>(
+        &'s self,
+        owned: OwnedCollective,
+        op: Option<SharedReduceOp>,
+        finish: PersistentFinish<'s, O>,
+    ) -> PersistentColl<'s, O> {
+        // Same shape → lookup-or-compile → buffer-split sequence as the
+        // one-shot request path, so both share cache entries.
+        let (plan, sendbuf, recvbuf) = dispatch::plan_owned(
+            &self.profile,
+            &self.inner,
+            owned,
+            &mut self.plans.borrow_mut(),
+        );
+        PersistentColl {
+            comm: self,
+            plan,
+            sendbuf,
+            recvbuf,
+            op,
+            active: None,
+            finish,
+        }
+    }
+
+    /// Persistent [`Communicator::allgather`]: compile once, then
+    /// `start()`/`wait()` any number of times with the pinned buffers.
+    pub fn allgather_init<T: Datatype>(&self, send: &[T]) -> PersistentColl<'_, Vec<T>> {
+        self.init_persistent(
+            OwnedCollective::Allgather {
+                sendbuf: to_bytes(send),
+            },
+            None,
+            Box::new(|recv| from_bytes(recv.expect("allgather binds a receive buffer"))),
+        )
+    }
+
+    /// Persistent [`Communicator::scatter`] from `root` (the root pins one
+    /// block of `count` elements per rank).
+    pub fn scatter_init<T: Datatype>(
+        &self,
+        send: Option<&[T]>,
+        count: usize,
+        root: usize,
+    ) -> PersistentColl<'_, Vec<T>> {
+        if let Some(send) = send {
+            assert_eq!(
+                send.len(),
+                count * self.size(),
+                "root must supply count * size elements"
+            );
+        }
+        self.init_persistent(
+            OwnedCollective::Scatter {
+                sendbuf: send.map(to_bytes),
+                block: count * T::SIZE,
+                root,
+            },
+            None,
+            Box::new(|recv| from_bytes(recv.expect("scatter binds a receive buffer"))),
+        )
+    }
+
+    /// Persistent [`Communicator::bcast`] from `root`; update the root's
+    /// payload between starts with [`PersistentColl::write_send`].
+    pub fn bcast_init<T: Datatype>(&self, buf: &[T], root: usize) -> PersistentColl<'_, Vec<T>> {
+        self.init_persistent(
+            OwnedCollective::Bcast {
+                buf: to_bytes(buf),
+                root,
+            },
+            None,
+            Box::new(|recv| from_bytes(recv.expect("bcast binds an in/out buffer"))),
+        )
+    }
+
+    /// Persistent [`Communicator::gather`] to `root`; `wait` yields `Some`
+    /// at the root, `None` elsewhere.
+    pub fn gather_init<T: Datatype>(
+        &self,
+        send: &[T],
+        root: usize,
+    ) -> PersistentColl<'_, Option<Vec<T>>> {
+        self.init_persistent(
+            OwnedCollective::Gather {
+                sendbuf: to_bytes(send),
+                root,
+            },
+            None,
+            Box::new(|recv| recv.map(from_bytes)),
+        )
+    }
+
+    /// Persistent [`Communicator::allreduce`] with a built-in operator.
+    pub fn allreduce_init<T: Datatype>(
+        &self,
+        buf: &[T],
+        op: ReduceOp,
+    ) -> PersistentColl<'_, Vec<T>> {
+        let combine: SharedReduceOp =
+            Rc::new(move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other));
+        self.init_persistent(
+            OwnedCollective::Allreduce {
+                buf: to_bytes(buf),
+                elem_size: T::SIZE,
+            },
+            Some(combine),
+            Box::new(|recv| from_bytes(recv.expect("allreduce binds an in/out buffer"))),
+        )
+    }
+
+    /// Persistent [`Communicator::alltoall`] (one pinned block of `count`
+    /// elements per destination rank).
+    pub fn alltoall_init<T: Datatype>(
+        &self,
+        send: &[T],
+        count: usize,
+    ) -> PersistentColl<'_, Vec<T>> {
+        assert_eq!(send.len(), count * self.size());
+        self.init_persistent(
+            OwnedCollective::Alltoall {
+                sendbuf: to_bytes(send),
+            },
+            None,
+            Box::new(|recv| from_bytes(recv.expect("alltoall binds a receive buffer"))),
+        )
+    }
+}
+
+/// Handle to one outstanding non-blocking collective (the MPI request
+/// object).  Obtained from the `Communicator::i*` methods; completed with
+/// [`CollRequest::wait`] (or polled with [`CollRequest::test`]), in any
+/// order relative to other requests.
+///
+/// Dropping a request without completing it leaves the collective
+/// outstanding; peers waiting on it will only complete while *some*
+/// completion call on this communicator keeps the progress engine turning.
+/// Complete every request, as MPI requires.
+pub struct CollRequest<'c, O> {
+    comm: &'c Communicator<'c>,
+    id: ReqId,
+    finish: RequestFinish<'c, O>,
+}
+
+impl<O> CollRequest<'_, O> {
+    /// Poll for completion without blocking: advances every outstanding
+    /// request on the communicator once and reports whether *this* one has
+    /// finished (after which [`CollRequest::wait`] returns immediately).
+    pub fn test(&mut self) -> bool {
+        self.comm.progress();
+        self.comm.engine.borrow().is_complete(self.id)
+    }
+
+    /// Block until the collective completes and return its result.
+    pub fn wait(self) -> O {
+        let output = self.comm.drive_to_completion(self.id);
+        (self.finish)(output.recvbuf)
+    }
+}
+
+impl<O> std::fmt::Debug for CollRequest<'_, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CollRequest").field("id", &self.id).finish()
+    }
+}
+
+/// Complete a batch of requests (MPI_Waitall) and return their results in
+/// the order the requests were passed — completion itself may happen in any
+/// order, since every `wait` advances all outstanding requests.
+pub fn wait_all<'c, O>(requests: impl IntoIterator<Item = CollRequest<'c, O>>) -> Vec<O> {
+    requests.into_iter().map(CollRequest::wait).collect()
+}
+
+/// A persistent collective (MPI_*_init): the compiled plan pinned to a set
+/// of caller buffers, startable any number of times.
+///
+/// The cycle is `write_send` (optional, to refresh the input) → [`start`] →
+/// [`wait`], repeated; the plan is compiled at most once (and shared with
+/// every other invocation of the same shape through the communicator's plan
+/// cache).  As with non-blocking collectives, every rank must `start` its
+/// handle in the same order relative to the communicator's other
+/// collectives.
+///
+/// [`start`]: PersistentColl::start
+/// [`wait`]: PersistentColl::wait
+pub struct PersistentColl<'c, O> {
+    comm: &'c Communicator<'c>,
+    plan: Rc<RankPlan>,
+    sendbuf: Option<Vec<u8>>,
+    recvbuf: Option<Vec<u8>>,
+    op: Option<SharedReduceOp>,
+    active: Option<ReqId>,
+    finish: PersistentFinish<'c, O>,
+}
+
+impl<O> PersistentColl<'_, O> {
+    /// Begin one execution of the pinned collective.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the previous execution has not been completed with
+    /// [`PersistentColl::wait`].
+    pub fn start(&mut self) {
+        assert!(
+            self.active.is_none(),
+            "persistent collective already started"
+        );
+        let cursor = PlanCursor::new(
+            Rc::clone(&self.plan),
+            self.sendbuf.take(),
+            self.recvbuf.take(),
+            self.comm.next_tag(),
+        );
+        let id = self
+            .comm
+            .engine
+            .borrow_mut()
+            .submit(cursor, self.op.clone());
+        self.active = Some(id);
+        // Kick to the first blocking point so the leading posts go out at
+        // start time, as with the one-shot `i*` calls.
+        self.comm.progress();
+    }
+
+    /// Whether an execution is in flight (started but not waited).
+    pub fn is_active(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Poll the in-flight execution; `true` once it can be waited without
+    /// blocking.
+    pub fn test(&mut self) -> bool {
+        let id = self.active.expect("persistent collective not started");
+        self.comm.progress();
+        self.comm.engine.borrow().is_complete(id)
+    }
+
+    /// Complete the in-flight execution and return its result; the pinned
+    /// buffers return to the handle for the next [`PersistentColl::start`].
+    pub fn wait(&mut self) -> O {
+        let id = self
+            .active
+            .take()
+            .expect("persistent collective not started");
+        let output = self.comm.drive_to_completion(id);
+        self.sendbuf = output.sendbuf;
+        self.recvbuf = output.recvbuf;
+        (self.finish)(self.recvbuf.as_deref())
+    }
+
+    /// Overwrite the pinned input buffer with `data` (the persistent
+    /// equivalent of passing a fresh send buffer): the next
+    /// [`PersistentColl::start`] transmits the new bytes.  For in/out
+    /// collectives (bcast, allreduce) this writes the single pinned buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics while an execution is active, when this rank binds no input
+    /// buffer (e.g. a non-root scatter rank), or when `data`'s byte length
+    /// differs from the pinned buffer's.
+    pub fn write_send<T: Datatype>(&mut self, data: &[T]) {
+        assert!(
+            self.active.is_none(),
+            "cannot rebind input while the collective is active"
+        );
+        let target = if self.plan.io.inout {
+            self.recvbuf.as_mut()
+        } else {
+            self.sendbuf.as_mut()
+        };
+        let target = target.expect("this rank binds no input buffer");
+        assert_eq!(
+            data.len() * T::SIZE,
+            target.len(),
+            "input length must match the pinned buffer"
+        );
+        for (value, chunk) in data.iter().zip(target.chunks_exact_mut(T::SIZE)) {
+            value.write_le(chunk);
+        }
+    }
+}
+
+impl<O> std::fmt::Debug for PersistentColl<'_, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistentColl")
+            .field("active", &self.active)
+            .finish()
     }
 }
 

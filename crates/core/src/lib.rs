@@ -29,6 +29,14 @@
 //!     .unwrap();
 //! assert!(sums.iter().all(|&s| s == 15));
 //! ```
+//!
+//! Beyond the blocking calls, [`comm::Communicator`] offers request-based
+//! **non-blocking** collectives (`iallgather`, `iallreduce`, …) returning a
+//! [`comm::CollRequest`], and **persistent** handles (`allgather_init`,
+//! `allreduce_init`, …) that pin a compiled plan to pre-bound buffers and
+//! can be started any number of times ([`comm::PersistentColl`]).
+
+#![warn(missing_docs)]
 
 pub mod comm;
 pub mod datatype;
@@ -36,13 +44,13 @@ pub mod world;
 
 /// Convenient re-exports for application code.
 pub mod prelude {
-    pub use crate::comm::Communicator;
+    pub use crate::comm::{wait_all, CollRequest, Communicator, PersistentColl};
     pub use crate::datatype::{Datatype, ReduceOp};
     pub use crate::world::{World, WorldBuilder};
     pub use pip_mpi_model::Library;
     pub use pip_runtime::Topology;
 }
 
-pub use comm::Communicator;
+pub use comm::{wait_all, CollRequest, Communicator, PersistentColl};
 pub use datatype::{Datatype, ReduceOp};
 pub use world::{World, WorldBuilder};

@@ -7,9 +7,12 @@
 //! traces, which is what the figure binaries and Criterion benches consume.
 
 use pip_collectives::comm::{record_trace, Comm, ReduceFn};
+use pip_collectives::plan::{PlanCursor, RankPlan};
 use pip_collectives::{binomial, bruck, hierarchical, multi_object, recursive_doubling, ring};
 use pip_netsim::trace::Trace;
 use pip_runtime::Topology;
+
+use pip_collectives::CollectiveKind;
 
 use crate::selection::{
     AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, GatherAlgo, ScatterAlgo,
@@ -178,6 +181,161 @@ pub fn execute_planned<C: Comm>(
     }
     let plan = cache.lookup_or_compile(profile, comm.topology(), comm.rank(), &shape);
     crate::plan::run_planned(&plan, comm, request, tag);
+}
+
+/// A collective invocation over **owned** byte buffers — the form the
+/// non-blocking and persistent APIs need, since a request outlives the call
+/// frame that created it.
+///
+/// The variants mirror [`CollectiveRequest`] minus the receive buffers:
+/// output buffers are allocated by [`OwnedCollective::into_io`] to match the
+/// compiled plan's shape (so non-root scatter/gather ranks allocate
+/// nothing).
+#[derive(Debug)]
+pub enum OwnedCollective {
+    /// MPI_Iallgather / MPI_Allgather_init.
+    Allgather {
+        /// Contribution of the calling rank.
+        sendbuf: Vec<u8>,
+    },
+    /// MPI_Iscatter / MPI_Scatter_init from `root`.
+    Scatter {
+        /// Root's send buffer (one block per rank); `None` on other ranks.
+        sendbuf: Option<Vec<u8>>,
+        /// Per-rank block size in bytes.
+        block: usize,
+        /// Root rank.
+        root: usize,
+    },
+    /// MPI_Ibcast / MPI_Bcast_init from `root`.
+    Bcast {
+        /// In/out payload; significant at the root on entry.
+        buf: Vec<u8>,
+        /// Root rank.
+        root: usize,
+    },
+    /// MPI_Igather / MPI_Gather_init to `root`.
+    Gather {
+        /// Contribution of the calling rank.
+        sendbuf: Vec<u8>,
+        /// Root rank.
+        root: usize,
+    },
+    /// MPI_Iallreduce / MPI_Allreduce_init (operator supplied separately to
+    /// the progress engine).
+    Allreduce {
+        /// In/out contribution.
+        buf: Vec<u8>,
+        /// Size of one reduction element in bytes.
+        elem_size: usize,
+    },
+    /// MPI_Ialltoall / MPI_Alltoall_init.
+    Alltoall {
+        /// One block per destination rank.
+        sendbuf: Vec<u8>,
+    },
+}
+
+impl OwnedCollective {
+    /// The [`crate::plan::CollectiveShape`] of this invocation on a world
+    /// of `world` ranks — the plan-cache key component, identical to what
+    /// the blocking path derives via [`crate::plan::CollectiveShape::of`].
+    pub fn shape(&self, world: usize) -> crate::plan::CollectiveShape {
+        let (kind, block, root, elem_size) = match self {
+            OwnedCollective::Allgather { sendbuf } => {
+                (CollectiveKind::Allgather, sendbuf.len(), 0, 1)
+            }
+            OwnedCollective::Scatter { block, root, .. } => {
+                (CollectiveKind::Scatter, *block, *root, 1)
+            }
+            OwnedCollective::Bcast { buf, root } => (CollectiveKind::Bcast, buf.len(), *root, 1),
+            OwnedCollective::Gather { sendbuf, root } => {
+                (CollectiveKind::Gather, sendbuf.len(), *root, 1)
+            }
+            OwnedCollective::Allreduce { buf, elem_size } => {
+                (CollectiveKind::Allreduce, buf.len(), 0, *elem_size)
+            }
+            OwnedCollective::Alltoall { sendbuf } => {
+                (CollectiveKind::Alltoall, sendbuf.len() / world.max(1), 0, 1)
+            }
+        };
+        crate::plan::CollectiveShape {
+            kind,
+            block,
+            root,
+            elem_size,
+        }
+    }
+
+    /// Split into the `(sendbuf, recvbuf)` pair a [`PlanCursor`] takes,
+    /// allocating the receive buffer to the shape `plan` declares.  In/out
+    /// collectives (bcast, allreduce) travel in the receive slot, and
+    /// buffers that are insignificant at this rank (non-root scatter send,
+    /// non-root gather receive) come out as `None`.
+    pub fn into_io(self, plan: &RankPlan) -> (Option<Vec<u8>>, Option<Vec<u8>>) {
+        match self {
+            OwnedCollective::Allgather { sendbuf } | OwnedCollective::Alltoall { sendbuf } => {
+                let recvbuf = plan.io.recvbuf.map(|len| vec![0u8; len]);
+                (Some(sendbuf), recvbuf)
+            }
+            OwnedCollective::Scatter { sendbuf, .. } => {
+                // MPI semantics: significant only at the root; drop a buffer
+                // a non-root caller supplied anyway.
+                let sendbuf = if plan.io.sendbuf.is_some() {
+                    sendbuf
+                } else {
+                    None
+                };
+                let recvbuf = plan.io.recvbuf.map(|len| vec![0u8; len]);
+                (sendbuf, recvbuf)
+            }
+            OwnedCollective::Bcast { buf, .. } | OwnedCollective::Allreduce { buf, .. } => {
+                (None, Some(buf))
+            }
+            OwnedCollective::Gather { sendbuf, .. } => {
+                let recvbuf = plan.io.recvbuf.map(|len| vec![0u8; len]);
+                (Some(sendbuf), recvbuf)
+            }
+        }
+    }
+}
+
+/// Resolve `request` against the plan cache: the compiled plan plus the
+/// owned `(sendbuf, recvbuf)` pair split to its shape.  The single source
+/// of the shape → lookup-or-compile → buffer-split sequence, shared by the
+/// one-shot request path ([`begin_planned`]) and persistent-handle
+/// initialization, so the two execution models can never populate
+/// different cache entries or split buffers differently.
+#[allow(clippy::type_complexity)]
+pub fn plan_owned<C: Comm>(
+    profile: &LibraryProfile,
+    comm: &C,
+    request: OwnedCollective,
+    cache: &mut crate::plan::PlanCache,
+) -> (std::rc::Rc<RankPlan>, Option<Vec<u8>>, Option<Vec<u8>>) {
+    let shape = request.shape(comm.world_size());
+    let plan = cache.lookup_or_compile(profile, comm.topology(), comm.rank(), &shape);
+    let (sendbuf, recvbuf) = request.into_io(&plan);
+    (plan, sendbuf, recvbuf)
+}
+
+/// Begin a non-blocking collective: look the shape up in the plan cache
+/// (compiling on a miss, exactly like [`execute_planned`]) and wrap the
+/// compiled plan plus the owned buffers into a resumable [`PlanCursor`]
+/// ready to be driven by a `pip_collectives::request::ProgressEngine`.
+///
+/// Unlike the blocking path there is no large-message bypass: a request
+/// *requires* a compiled program to be resumable, so oversized shapes pay
+/// the compile (once — persistent handles and repeats reuse the cache).
+pub fn begin_planned<C: Comm>(
+    profile: &LibraryProfile,
+    comm: &C,
+    request: OwnedCollective,
+    tag: u64,
+    cache: &mut crate::plan::PlanCache,
+) -> PlanCursor {
+    let (plan, sendbuf, recvbuf) = plan_owned(profile, comm, request, cache);
+    PlanCursor::new(plan, sendbuf, recvbuf, tag)
 }
 
 fn elementwise_sum(acc: &mut [u8], other: &[u8]) {
@@ -441,6 +599,87 @@ mod tests {
                     .unwrap_or_else(|e| panic!("{}: invalid trace: {e}", library.name()));
             }
         }
+    }
+
+    /// The owned (non-blocking) request form derives exactly the shape the
+    /// borrowed (blocking) form does — they must share plan-cache entries.
+    #[test]
+    fn owned_collective_shapes_agree_with_borrowed_requests() {
+        let world = 4;
+        let block = 8;
+        let mut recvbuf = vec![0u8; block];
+
+        let owned = OwnedCollective::Allgather {
+            sendbuf: vec![0u8; block],
+        };
+        let sendbuf = vec![0u8; block];
+        let mut allgather_recv = vec![0u8; block * world];
+        let borrowed = CollectiveRequest::Allgather {
+            sendbuf: &sendbuf,
+            recvbuf: &mut allgather_recv,
+        };
+        assert_eq!(
+            owned.shape(world),
+            crate::plan::CollectiveShape::of(&borrowed, world)
+        );
+
+        let owned = OwnedCollective::Scatter {
+            sendbuf: None,
+            block,
+            root: 3,
+        };
+        let borrowed = CollectiveRequest::Scatter {
+            sendbuf: None,
+            recvbuf: &mut recvbuf,
+            root: 3,
+        };
+        assert_eq!(
+            owned.shape(world),
+            crate::plan::CollectiveShape::of(&borrowed, world)
+        );
+
+        let owned = OwnedCollective::Alltoall {
+            sendbuf: vec![0u8; block * world],
+        };
+        let sendbuf = vec![0u8; block * world];
+        let mut alltoall_recv = vec![0u8; block * world];
+        let borrowed = CollectiveRequest::Alltoall {
+            sendbuf: &sendbuf,
+            recvbuf: &mut alltoall_recv,
+        };
+        assert_eq!(
+            owned.shape(world),
+            crate::plan::CollectiveShape::of(&borrowed, world)
+        );
+    }
+
+    /// `begin_planned` populates the same cache entry the blocking path
+    /// hits afterwards: one compile serves both execution models.
+    #[test]
+    fn begin_planned_shares_the_plan_cache_with_blocking_dispatch() {
+        let profile = Library::PipMColl.profile();
+        let topo = Topology::new(2, 2);
+        let mut cache = crate::plan::PlanCache::new();
+        let cursor = begin_planned(
+            &profile,
+            &pip_collectives::TraceComm::new(0, topo),
+            OwnedCollective::Allgather {
+                sendbuf: vec![0u8; 16],
+            },
+            1 << 16,
+            &mut cache,
+        );
+        assert!(!cursor.is_finished());
+        assert_eq!(cache.stats(), (0, 1));
+        // The blocking path's lookup for the same shape is a hit.
+        let shape = crate::plan::CollectiveShape {
+            kind: CollectiveKind::Allgather,
+            block: 16,
+            root: 0,
+            elem_size: 1,
+        };
+        cache.lookup_or_compile(&profile, topo, 0, &shape);
+        assert_eq!(cache.stats(), (1, 1));
     }
 
     #[test]

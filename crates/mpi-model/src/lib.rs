@@ -28,7 +28,7 @@ use pip_netsim::params::SimParams;
 use pip_transport::cost::{IntranodeMechanism, Nanos};
 use serde::{Deserialize, Serialize};
 
-pub use dispatch::CollectiveRequest;
+pub use dispatch::{CollectiveRequest, OwnedCollective};
 pub use plan::{ClusterPlanCache, CollectiveShape, PlanCache, PlanKey};
 pub use selection::{
     AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, GatherAlgo, ScatterAlgo, SelectionTable,

@@ -89,6 +89,9 @@ pub struct SimStats {
     pub nic_busy_max: Nanos,
     /// Number of node-local barrier episodes completed.
     pub barrier_episodes: usize,
+    /// Total application compute time ([`TraceOp::Compute`]) summed over
+    /// ranks.
+    pub compute_total: Nanos,
 }
 
 /// The outcome of replaying one trace.
@@ -300,6 +303,16 @@ impl SimEngine {
                 }
                 TraceOp::Delay { nanos } => {
                     let done = now + nanos.max(0.0);
+                    ranks[rank].pc += 1;
+                    ranks[rank].ready_time = done;
+                    push_event(&mut queue, &mut seq, done, rank);
+                }
+                TraceOp::Compute { nanos } => {
+                    // Same timeline effect as a delay; accounted separately
+                    // so overlap efficiency can be derived from the stats.
+                    let busy = nanos.max(0.0);
+                    stats.compute_total += busy;
+                    let done = now + busy;
                     ranks[rank].pc += 1;
                     ranks[rank].ready_time = done;
                     push_event(&mut queue, &mut seq, done, rank);

@@ -40,6 +40,14 @@ pub enum TraceOp {
     /// Generic local work of a fixed duration (software bookkeeping the
     /// algorithm performs, e.g. PiP-MPICH's size synchronization).
     Delay { nanos: Nanos },
+    /// An **application compute interval**: work the caller performs between
+    /// posting a non-blocking collective and completing it.  Costs the same
+    /// as [`TraceOp::Delay`] on the executing rank's timeline but is
+    /// accounted separately, so overlap studies can tell communication time
+    /// from compute time — while a rank computes, messages already posted
+    /// keep flowing through the NIC and the wire, which is exactly the
+    /// communication/computation overlap the async-leader design exposes.
+    Compute { nanos: Nanos },
     /// Node-wide barrier: all ranks of the executing rank's node must reach
     /// their matching barrier before any of them proceeds.
     LocalBarrier,
@@ -53,7 +61,7 @@ impl TraceOp {
             | TraceOp::Recv { bytes, .. }
             | TraceOp::CopyIntra { bytes, .. }
             | TraceOp::Reduce { bytes } => *bytes,
-            TraceOp::Delay { .. } | TraceOp::LocalBarrier => 0,
+            TraceOp::Delay { .. } | TraceOp::Compute { .. } | TraceOp::LocalBarrier => 0,
         }
     }
 }

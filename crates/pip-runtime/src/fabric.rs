@@ -189,6 +189,14 @@ impl Fabric {
         }
     }
 
+    /// The receive timeout this fabric was configured with.  Pollers (the
+    /// non-blocking progress engine) use it as their no-progress deadline so
+    /// a broken schedule fails after the same grace period whether it is
+    /// driven by blocking receives or by completion polling.
+    pub fn recv_timeout(&self) -> Duration {
+        self.inner.recv_timeout
+    }
+
     /// Copy accounting since the fabric was created.
     pub fn stats(&self) -> FabricStats {
         FabricStats {

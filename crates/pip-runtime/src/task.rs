@@ -156,6 +156,14 @@ impl TaskCtx {
         self.fabric.recv(self.rank, spec)
     }
 
+    /// Non-blocking receive from `source` with `tag`: returns `Ok(None)`
+    /// when no matching message has arrived yet.  This is the completion
+    /// primitive the request-based collectives poll on.
+    pub fn try_recv(&self, source: usize, tag: Tag) -> Result<Option<Message>> {
+        self.fabric
+            .try_recv(self.rank, MatchSpec::exact(source, tag))
+    }
+
     /// Combined send + receive (both directions proceed concurrently because
     /// sends never block in the mailbox fabric).
     pub fn sendrecv(

@@ -1,0 +1,324 @@
+//! Non-blocking and persistent collectives vs. the sequential oracle.
+//!
+//! Three invariants are pinned here:
+//!
+//! 1. **Every `i*` collective × library × topology** (including
+//!    non-power-of-two worlds) equals the oracle after `wait` — with all
+//!    six collectives submitted *before* any of them is waited, so six
+//!    requests are interleaved-outstanding on one communicator, and with
+//!    the wait order rotated per rank so completion happens out of
+//!    submission order (and in a different order on every rank).
+//! 2. **Every persistent `*_init`/`start` collective × library × topology**
+//!    equals the oracle on repeated starts with refreshed inputs, and the
+//!    repeats reuse the communicator's plan cache instead of recompiling.
+//! 3. A **stress mix** of eight outstanding requests (duplicate shapes
+//!    included) completes out of order against the oracle.
+
+use pip_mcoll::collectives::oracle;
+use pip_mcoll::core::prelude::*;
+use pip_mcoll::core::wait_all;
+
+const TOPOLOGIES: [(usize, usize); 5] = [(1, 1), (1, 4), (2, 3), (3, 3), (5, 2)];
+
+/// Oracle expectations for block size `block` and root `root` with the
+/// iteration-dependent payloads `payload(rank, len, round)`.
+fn payload(rank: usize, len: usize, round: usize) -> Vec<u8> {
+    let mut bytes = oracle::rank_payload(rank + round * 31, len);
+    for b in &mut bytes {
+        *b = b.wrapping_add(round as u8);
+    }
+    bytes
+}
+
+#[test]
+fn nonblocking_collectives_match_oracle_with_interleaved_requests() {
+    for library in Library::ALL {
+        for (nodes, ppn) in TOPOLOGIES {
+            let topo = Topology::new(nodes, ppn);
+            let world = topo.world_size();
+            let block = 5; // odd block size to stress uneven partitions
+            let root = (world - 1) / 2;
+
+            let contributions: Vec<Vec<u8>> = (0..world).map(|r| payload(r, block, 0)).collect();
+            let expected_allgather = oracle::allgather(&contributions);
+            let expected_gather = oracle::gather(&contributions);
+            let expected_allreduce = oracle::allreduce(&contributions, oracle::wrapping_add_u8);
+            let scatter_src = payload(root, world * block, 0);
+            let expected_scatter = oracle::scatter(&scatter_src, world);
+            let bcast_src = payload(root, block, 0);
+            let alltoall_inputs: Vec<Vec<u8>> =
+                (0..world).map(|r| payload(r, world * block, 0)).collect();
+            let expected_alltoall = oracle::alltoall(&alltoall_inputs, world);
+
+            let scatter_src_ref = &scatter_src;
+            let bcast_src_ref = &bcast_src;
+            let results = World::run_with_profile(topo, library.profile(), |comm| {
+                let rank = comm.rank();
+                let mine = payload(rank, block, 0);
+                let alltoall_in = payload(rank, world * block, 0);
+
+                // Submit all six before completing any: six interleaved
+                // outstanding requests on one communicator.
+                let r_allgather = comm.iallgather(&mine);
+                let r_scatter = comm.iscatter(
+                    (rank == root).then_some(scatter_src_ref.as_slice()),
+                    block,
+                    root,
+                );
+                let bcast_in = if rank == root {
+                    bcast_src_ref.clone()
+                } else {
+                    vec![0u8; block]
+                };
+                let r_bcast = comm.ibcast(&bcast_in, root);
+                let r_gather = comm.igather(&mine, root);
+                let r_allreduce = comm.iallreduce(&mine, ReduceOp::Sum);
+                let r_alltoall = comm.ialltoall(&alltoall_in, block);
+                assert_eq!(comm.outstanding_requests(), 6);
+
+                // Complete out of submission order, rotated per rank so
+                // different ranks wait in different orders.
+                let mut outputs: [Option<Vec<u8>>; 6] = [None, None, None, None, None, None];
+                let mut gathered: Option<Option<Vec<u8>>> = None;
+                let mut order: Vec<usize> = (0..6).collect();
+                order.rotate_left(rank % 6);
+                order.reverse();
+                let mut r_allgather = Some(r_allgather);
+                let mut r_scatter = Some(r_scatter);
+                let mut r_bcast = Some(r_bcast);
+                let mut r_gather = Some(r_gather);
+                let mut r_allreduce = Some(r_allreduce);
+                let mut r_alltoall = Some(r_alltoall);
+                for slot in order {
+                    match slot {
+                        0 => outputs[0] = Some(r_allgather.take().unwrap().wait()),
+                        1 => outputs[1] = Some(r_scatter.take().unwrap().wait()),
+                        2 => outputs[2] = Some(r_bcast.take().unwrap().wait()),
+                        3 => gathered = Some(r_gather.take().unwrap().wait()),
+                        4 => outputs[4] = Some(r_allreduce.take().unwrap().wait()),
+                        5 => outputs[5] = Some(r_alltoall.take().unwrap().wait()),
+                        _ => unreachable!(),
+                    }
+                }
+                assert_eq!(comm.outstanding_requests(), 0);
+                (outputs, gathered.unwrap())
+            })
+            .unwrap();
+
+            for (rank, (outputs, gathered)) in results.iter().enumerate() {
+                let ctx = format!("{} on {nodes}x{ppn} rank {rank}", library.name());
+                assert_eq!(
+                    outputs[0].as_ref().unwrap(),
+                    &expected_allgather,
+                    "iallgather {ctx}"
+                );
+                assert_eq!(
+                    outputs[1].as_ref().unwrap(),
+                    &expected_scatter[rank],
+                    "iscatter {ctx}"
+                );
+                assert_eq!(outputs[2].as_ref().unwrap(), &bcast_src, "ibcast {ctx}");
+                assert_eq!(
+                    outputs[4].as_ref().unwrap(),
+                    &expected_allreduce,
+                    "iallreduce {ctx}"
+                );
+                assert_eq!(
+                    outputs[5].as_ref().unwrap(),
+                    &expected_alltoall[rank],
+                    "ialltoall {ctx}"
+                );
+                if rank == root {
+                    assert_eq!(
+                        gathered.as_ref().unwrap(),
+                        &expected_gather,
+                        "igather {ctx}"
+                    );
+                } else {
+                    assert!(
+                        gathered.is_none(),
+                        "igather must yield None off-root ({ctx})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn persistent_collectives_match_oracle_across_repeated_starts() {
+    const ROUNDS: usize = 3;
+    for library in Library::ALL {
+        for (nodes, ppn) in TOPOLOGIES {
+            let topo = Topology::new(nodes, ppn);
+            let world = topo.world_size();
+            let block = 5;
+            let root = (world - 1) / 2;
+
+            let results = World::run_with_profile(topo, library.profile(), |comm| {
+                let rank = comm.rank();
+                let mut allgather = comm.allgather_init(&payload(rank, block, 0));
+                let mut scatter = comm.scatter_init(
+                    (rank == root)
+                        .then_some(payload(root, world * block, 0))
+                        .as_deref(),
+                    block,
+                    root,
+                );
+                let mut bcast = comm.bcast_init(
+                    &if rank == root {
+                        payload(root, block, 0)
+                    } else {
+                        vec![0u8; block]
+                    },
+                    root,
+                );
+                let mut gather = comm.gather_init(&payload(rank, block, 0), root);
+                let mut allreduce = comm.allreduce_init(&payload(rank, block, 0), ReduceOp::Sum);
+                let mut alltoall = comm.alltoall_init(&payload(rank, world * block, 0), block);
+                let (_, misses_after_init) = comm.plan_stats();
+
+                let mut rounds_out = Vec::new();
+                for round in 0..ROUNDS {
+                    if round > 0 {
+                        // Refresh the pinned inputs: the handles transmit the
+                        // new bytes without recompiling anything.
+                        allgather.write_send(&payload(rank, block, round));
+                        if rank == root {
+                            scatter.write_send(&payload(root, world * block, round));
+                            bcast.write_send(&payload(root, block, round));
+                        }
+                        gather.write_send(&payload(rank, block, round));
+                        allreduce.write_send(&payload(rank, block, round));
+                        alltoall.write_send(&payload(rank, world * block, round));
+                    }
+                    // Start all six, then wait in reverse order.
+                    allgather.start();
+                    scatter.start();
+                    bcast.start();
+                    gather.start();
+                    allreduce.start();
+                    alltoall.start();
+                    let a2a = alltoall.wait();
+                    let ar = allreduce.wait();
+                    let g = gather.wait();
+                    let b = bcast.wait();
+                    let s = scatter.wait();
+                    let ag = allgather.wait();
+                    rounds_out.push((ag, s, b, g, ar, a2a));
+                }
+                let (_, misses_after_rounds) = comm.plan_stats();
+                assert_eq!(
+                    misses_after_init, misses_after_rounds,
+                    "starts must never recompile"
+                );
+                rounds_out
+            })
+            .unwrap();
+
+            for round in 0..ROUNDS {
+                let contributions: Vec<Vec<u8>> =
+                    (0..world).map(|r| payload(r, block, round)).collect();
+                let expected_allgather = oracle::allgather(&contributions);
+                let expected_gather = oracle::gather(&contributions);
+                let expected_allreduce = oracle::allreduce(&contributions, oracle::wrapping_add_u8);
+                let scatter_src = payload(root, world * block, round);
+                let expected_scatter = oracle::scatter(&scatter_src, world);
+                let bcast_src = payload(root, block, round);
+                let alltoall_inputs: Vec<Vec<u8>> = (0..world)
+                    .map(|r| payload(r, world * block, round))
+                    .collect();
+                let expected_alltoall = oracle::alltoall(&alltoall_inputs, world);
+
+                for (rank, rounds_out) in results.iter().enumerate() {
+                    let ctx = format!(
+                        "{} on {nodes}x{ppn} rank {rank} round {round}",
+                        library.name()
+                    );
+                    let (ag, s, b, g, ar, a2a) = &rounds_out[round];
+                    assert_eq!(ag, &expected_allgather, "allgather_init {ctx}");
+                    assert_eq!(s, &expected_scatter[rank], "scatter_init {ctx}");
+                    assert_eq!(b, &bcast_src, "bcast_init {ctx}");
+                    if rank == root {
+                        assert_eq!(g.as_ref().unwrap(), &expected_gather, "gather_init {ctx}");
+                    } else {
+                        assert!(g.is_none(), "gather_init off-root ({ctx})");
+                    }
+                    assert_eq!(ar, &expected_allreduce, "allreduce_init {ctx}");
+                    assert_eq!(a2a, &expected_alltoall[rank], "alltoall_init {ctx}");
+                }
+            }
+        }
+    }
+}
+
+/// Eight outstanding requests — duplicate shapes included — on one
+/// communicator, completed in reverse submission order.
+#[test]
+fn interleaved_request_stress_completes_out_of_order() {
+    for library in [Library::PipMColl, Library::OpenMpi, Library::PipMpich] {
+        let topo = Topology::new(2, 3);
+        let world = topo.world_size();
+        let block = 7;
+
+        let results = World::run_with_profile(topo, library.profile(), |comm| {
+            let rank = comm.rank();
+            // Eight requests: four allgathers of the same shape (same cached
+            // plan, four live cursors), two allreduces, two bcasts.
+            let allgathers: Vec<_> = (0..4)
+                .map(|i| comm.iallgather(&payload(rank, block, i)))
+                .collect();
+            let allreduces: Vec<_> = (4..6)
+                .map(|i| comm.iallreduce(&payload(rank, block, i), ReduceOp::Sum))
+                .collect();
+            let bcasts: Vec<_> = (6..8)
+                .map(|i| {
+                    comm.ibcast(
+                        &if rank == 0 {
+                            payload(0, block, i)
+                        } else {
+                            vec![0u8; block]
+                        },
+                        0,
+                    )
+                })
+                .collect();
+            assert_eq!(comm.outstanding_requests(), 8);
+            // Reverse order: bcasts, then allreduces, then allgathers — and
+            // wait_all itself walks its batch front to back.
+            let bcast_out = wait_all(bcasts);
+            let allreduce_out = wait_all(allreduces);
+            let allgather_out = wait_all(allgathers);
+            assert_eq!(comm.outstanding_requests(), 0);
+            (allgather_out, allreduce_out, bcast_out)
+        })
+        .unwrap();
+
+        for (rank, (allgather_out, allreduce_out, bcast_out)) in results.iter().enumerate() {
+            let ctx = format!("{} rank {rank}", library.name());
+            for (i, out) in allgather_out.iter().enumerate() {
+                let contributions: Vec<Vec<u8>> =
+                    (0..world).map(|r| payload(r, block, i)).collect();
+                assert_eq!(
+                    out,
+                    &oracle::allgather(&contributions),
+                    "stress allgather {i} {ctx}"
+                );
+            }
+            for (slot, out) in allreduce_out.iter().enumerate() {
+                let round = slot + 4;
+                let contributions: Vec<Vec<u8>> =
+                    (0..world).map(|r| payload(r, block, round)).collect();
+                assert_eq!(
+                    out,
+                    &oracle::allreduce(&contributions, oracle::wrapping_add_u8),
+                    "stress allreduce {round} {ctx}"
+                );
+            }
+            for (slot, out) in bcast_out.iter().enumerate() {
+                let round = slot + 6;
+                assert_eq!(out, &payload(0, block, round), "stress bcast {round} {ctx}");
+            }
+        }
+    }
+}
