@@ -170,13 +170,8 @@ fn record_for(
     bytes: usize,
 ) -> Trace {
     let shape = CollectiveShape {
-        kind: match collective {
-            // The barrier workload stands in for MPI_Reduce until a
-            // dedicated reduce path exists (as in the legacy record path).
-            CollectiveKind::Reduce => CollectiveKind::Barrier,
-            kind => kind,
-        },
-        block: if collective == CollectiveKind::Barrier || collective == CollectiveKind::Reduce {
+        kind: collective,
+        block: if collective == CollectiveKind::Barrier {
             0
         } else {
             bytes
@@ -265,6 +260,38 @@ mod tests {
                 "{:?} not monotone: {:?}",
                 series.library,
                 series.time_us
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_table_covers_every_library() {
+        let table = small_cluster_table(CollectiveKind::ReduceScatter);
+        assert_eq!(table.series.len(), 5);
+        assert!(table
+            .series
+            .iter()
+            .all(|s| s.time_us.len() == 3 && s.time_us.iter().all(|&t| t > 0.0)));
+    }
+
+    #[test]
+    fn reduce_table_uses_the_real_reduce_schedule() {
+        // Regression: MPI_Reduce used to lower to the barrier workload as a
+        // stand-in.  The barrier moves zero payload bytes, so its time is
+        // flat across the size axis; a real reduce moves the vector and must
+        // get more expensive as it grows.
+        let reduce = small_cluster_table(CollectiveKind::Reduce);
+        let barrier = small_cluster_table(CollectiveKind::Barrier);
+        for library in Library::ALL {
+            let r = reduce.series_for(library);
+            let b = barrier.series_for(library);
+            assert_eq!(
+                b.time_us[0], b.time_us[2],
+                "{library:?}: the barrier is size-independent"
+            );
+            assert!(
+                r.time_us[2] > r.time_us[0],
+                "{library:?}: reduce must scale with the message size"
             );
         }
     }

@@ -1,13 +1,14 @@
-//! Binomial-tree broadcast, scatter and gather — the classic small-message
-//! algorithms of MPICH-derived libraries (and therefore of the Open MPI /
-//! Intel MPI / MVAPICH2 comparators at the message sizes the paper studies).
+//! Binomial-tree broadcast, scatter, gather and reduce — the classic
+//! small-message algorithms of MPICH-derived libraries (and therefore of the
+//! Open MPI / Intel MPI / MVAPICH2 comparators at the message sizes the
+//! paper studies).
 //!
 //! All three operate on a *virtual rank* `vrank = (rank - root) mod p` so
 //! that the tree is always rooted at virtual rank 0, and they handle
 //! non-power-of-two process counts the way MPICH does (subtree sizes are
 //! clipped at the world size).
 
-use crate::comm::Comm;
+use crate::comm::{Comm, ReduceFn};
 
 fn vrank_of(rank: usize, root: usize, p: usize) -> usize {
     (rank + p - root) % p
@@ -181,6 +182,56 @@ pub fn gather_binomial<C: Comm>(
     }
 }
 
+/// Binomial-tree reduce for a commutative `op`: every rank contributes
+/// `sendbuf`; the root's `recvbuf` receives the element-wise combination of
+/// all contributions.  Leaves send their contribution up the tree; interior
+/// ranks combine every child subtree into a private accumulator before
+/// forwarding it.
+///
+/// `recvbuf` must be `Some` at the root and is ignored elsewhere.
+pub fn reduce_binomial<C: Comm>(
+    comm: &C,
+    sendbuf: &[u8],
+    recvbuf: Option<&mut [u8]>,
+    op: &ReduceFn<'_>,
+    root: usize,
+    tag: u64,
+) {
+    let p = comm.world_size();
+    let rank = comm.rank();
+    let bytes = sendbuf.len();
+    if p == 1 {
+        let recvbuf = recvbuf.expect("root must supply recvbuf");
+        recvbuf.copy_from_slice(sendbuf);
+        return;
+    }
+    let vrank = vrank_of(rank, root, p);
+
+    let mut acc = sendbuf.to_vec();
+    let mut mask = 1usize;
+    while mask < p {
+        if vrank & mask == 0 {
+            // Combine the child subtree hanging off this bit, if it exists.
+            if vrank + mask < p {
+                let src = rank_of(vrank + mask, root, p);
+                let data = comm.recv(src, tag, bytes);
+                op(&mut acc, &data);
+                comm.charge_reduce(bytes);
+            }
+        } else {
+            let dst = rank_of(vrank - mask, root, p);
+            comm.send(dst, tag, &acc);
+            break;
+        }
+        mask <<= 1;
+    }
+
+    if rank == root {
+        let recvbuf = recvbuf.expect("root must supply recvbuf");
+        recvbuf.copy_from_slice(&acc);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +358,80 @@ mod tests {
     #[test]
     fn gather_single_rank() {
         run_gather(1, 1, 0, 8);
+    }
+
+    fn run_reduce(nodes: usize, ppn: usize, root: usize, len: usize) {
+        let topo = Topology::new(nodes, ppn);
+        let world = topo.world_size();
+        let contributions: Vec<Vec<u8>> =
+            (0..world).map(|r| oracle::rank_payload(r, len)).collect();
+        let expected = oracle::reduce(&contributions, oracle::wrapping_add_u8);
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            let sendbuf = oracle::rank_payload(comm.rank(), len);
+            let mut recvbuf = vec![0u8; len];
+            let recv = (comm.rank() == root).then_some(recvbuf.as_mut_slice());
+            reduce_binomial(&comm, &sendbuf, recv, &oracle::wrapping_add_u8, root, 400);
+            recvbuf
+        })
+        .unwrap();
+        assert_eq!(results[root], expected, "reduce mismatch at root {root}");
+    }
+
+    #[test]
+    fn reduce_power_of_two_world() {
+        run_reduce(2, 4, 0, 16);
+    }
+
+    #[test]
+    fn reduce_non_power_of_two_world_and_nonzero_root() {
+        run_reduce(3, 3, 4, 33);
+    }
+
+    #[test]
+    fn reduce_prime_world_size() {
+        run_reduce(7, 1, 3, 8);
+    }
+
+    #[test]
+    fn reduce_single_rank() {
+        run_reduce(1, 1, 0, 8);
+    }
+
+    #[test]
+    fn reduce_min_operator_keeps_elementwise_minimum() {
+        let topo = Topology::new(2, 3);
+        let world = topo.world_size();
+        let len = 9;
+        let contributions: Vec<Vec<u8>> =
+            (0..world).map(|r| oracle::rank_payload(r, len)).collect();
+        let expected = oracle::reduce(&contributions, oracle::min_u8);
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            let sendbuf = oracle::rank_payload(comm.rank(), len);
+            let mut recvbuf = vec![0u8; len];
+            let recv = (comm.rank() == 2).then_some(recvbuf.as_mut_slice());
+            reduce_binomial(&comm, &sendbuf, recv, &oracle::min_u8, 2, 410);
+            recvbuf
+        })
+        .unwrap();
+        assert_eq!(results[2], expected);
+    }
+
+    #[test]
+    fn reduce_trace_sends_exactly_p_minus_1_messages() {
+        let topo = Topology::new(8, 1);
+        let trace = record_trace(topo, |comm| {
+            let sendbuf = vec![0u8; 32];
+            let mut recvbuf = vec![0u8; 32];
+            let recv = (comm.rank() == 0).then_some(recvbuf.as_mut_slice());
+            reduce_binomial(comm, &sendbuf, recv, &oracle::wrapping_add_u8, 0, 1);
+        });
+        trace.validate().unwrap();
+        // A binomial reduce over p ranks moves exactly p-1 messages; the
+        // root sends none and receives log2(p).
+        assert_eq!(trace.total_messages(), 7);
+        assert_eq!(trace.ranks[0].send_count(), 0);
     }
 
     #[test]

@@ -22,8 +22,12 @@
 //!   messages).
 //! * [`recursive_doubling`] — recursive-doubling allgather and allreduce and
 //!   the dissemination barrier.
-//! * [`ring`] — ring allgather and ring (reduce-scatter + allgather)
-//!   allreduce, the large-message baselines.
+//! * [`ring`] — ring allgather, ring reduce_scatter and ring
+//!   (reduce-scatter + allgather) allreduce, the large-message baselines.
+//! * [`recursive_halving`] — recursive-halving reduce_scatter, the MPICH
+//!   small/medium-message default for commutative operators.
+//! * [`scan`] — inclusive and exclusive prefix reductions (recursive
+//!   doubling and the linear pipeline Open MPI defaults to).
 //! * [`hierarchical`] — classic *single-leader* two-level collectives: the
 //!   node leader is the only process that talks to the network, everything
 //!   else moves through node-local shared memory.  This is the
@@ -52,8 +56,10 @@ pub mod multi_object;
 pub mod oracle;
 pub mod plan;
 pub mod recursive_doubling;
+pub mod recursive_halving;
 pub mod request;
 pub mod ring;
+pub mod scan;
 
 pub use comm::{Comm, NonBlockingComm, ReduceFn, ThreadComm, TraceComm};
 pub use request::{ProgressEngine, ReqId, SharedReduceOp};
@@ -74,6 +80,12 @@ pub enum CollectiveKind {
     Reduce,
     /// MPI_Allreduce.
     Allreduce,
+    /// MPI_Reduce_scatter_block.
+    ReduceScatter,
+    /// MPI_Scan.
+    Scan,
+    /// MPI_Exscan.
+    Exscan,
     /// MPI_Alltoall.
     Alltoall,
     /// MPI_Barrier.
@@ -90,19 +102,25 @@ impl CollectiveKind {
             CollectiveKind::Allgather => "MPI_Allgather",
             CollectiveKind::Reduce => "MPI_Reduce",
             CollectiveKind::Allreduce => "MPI_Allreduce",
+            CollectiveKind::ReduceScatter => "MPI_Reduce_scatter",
+            CollectiveKind::Scan => "MPI_Scan",
+            CollectiveKind::Exscan => "MPI_Exscan",
             CollectiveKind::Alltoall => "MPI_Alltoall",
             CollectiveKind::Barrier => "MPI_Barrier",
         }
     }
 
     /// All collectives implemented in this crate.
-    pub const ALL: [CollectiveKind; 8] = [
+    pub const ALL: [CollectiveKind; 11] = [
         CollectiveKind::Bcast,
         CollectiveKind::Scatter,
         CollectiveKind::Gather,
         CollectiveKind::Allgather,
         CollectiveKind::Reduce,
         CollectiveKind::Allreduce,
+        CollectiveKind::ReduceScatter,
+        CollectiveKind::Scan,
+        CollectiveKind::Exscan,
         CollectiveKind::Alltoall,
         CollectiveKind::Barrier,
     ];

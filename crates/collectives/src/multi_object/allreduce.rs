@@ -4,10 +4,17 @@
 //! allreduce restricted to the processes with the same local rank.  The node
 //! therefore runs `P` concurrent inter-node reductions (one per chunk)
 //! instead of funnelling the whole vector through its leader.
+//!
+//! Structurally the algorithm is **reduce_scatter followed by allgather**:
+//! the chunk-ownership reduce phase
+//! ([`crate::multi_object::reduce_scatter::reduce_owned_chunk`], shared
+//! verbatim with the standalone multi-object reduce_scatter and reduce) and
+//! then the intra-node allgather of the reduced chunks through the shared
+//! address space.  The decomposition preserves the pre-refactor schedule
+//! op-for-op — pinned by `monolithic_and_decomposed_schedules_agree` below.
 
 use crate::comm::{Comm, ReduceFn};
-use crate::multi_object::schedule::chunk_bounds;
-use crate::recursive_doubling::largest_pow2_leq;
+use crate::multi_object::reduce_scatter::{elem_chunk_bounds, reduce_owned_chunk};
 
 /// Multi-object allreduce for a commutative `op`; `buf` holds this rank's
 /// contribution on entry and the fully reduced vector on return.
@@ -22,93 +29,25 @@ pub fn allreduce_multi_object<C: Comm>(
     tag: u64,
 ) {
     let len = buf.len();
-    assert!(elem_size > 0, "element size must be positive");
-    assert_eq!(len % elem_size, 0, "buffer must hold whole elements");
     let ppn = comm.ppn();
-    let nodes = comm.num_nodes();
-    let node = comm.node_id();
     let local = comm.local_rank();
-    let topo = comm.topology();
-    let in_name = format!("mo_ar_in_{tag}");
     let out_name = format!("mo_ar_out_{tag}");
 
-    // Every process publishes its contribution (free under PiP).
-    comm.shared_publish(&in_name, buf);
-    comm.node_barrier();
+    // Phase 1 — reduce_scatter: the chunk-ownership reduce (intra-node
+    // reduction of the owned chunk plus the restricted inter-node exchange).
+    let chunk = reduce_owned_chunk(comm, buf, elem_size, op, "mo_ar", tag);
 
-    // Intra-node reduction of this process's chunk across all local peers.
-    // Chunks are expressed in elements, then converted back to bytes.
-    let elements = len / elem_size;
-    let elem_chunk = |index: usize| {
-        let (s, e) = chunk_bounds(elements, ppn, index);
-        (s * elem_size, e * elem_size)
-    };
-    let (start, end) = elem_chunk(local);
-    let mut chunk = buf[start..end].to_vec();
-    for peer in 0..ppn {
-        if peer == local || chunk.is_empty() {
-            continue;
-        }
-        let contribution = comm.shared_read(peer, &in_name, start, end - start);
-        op(&mut chunk, &contribution);
-        comm.charge_reduce(end - start);
-    }
-
-    // Inter-node recursive doubling among the processes with the same local
-    // rank (one independent allreduce per chunk).
-    if nodes > 1 && !chunk.is_empty() {
-        let peer_rank = |n: usize| topo.rank_of(n, local);
-        let pof2 = largest_pow2_leq(nodes);
-        let rem = nodes - pof2;
-        let bytes = chunk.len();
-        let newnode: isize = if node < 2 * rem {
-            if node.is_multiple_of(2) {
-                comm.send(peer_rank(node + 1), tag, &chunk);
-                -1
-            } else {
-                let data = comm.recv(peer_rank(node - 1), tag, bytes);
-                op(&mut chunk, &data);
-                comm.charge_reduce(bytes);
-                (node / 2) as isize
-            }
-        } else {
-            (node - rem) as isize
-        };
-        if newnode >= 0 {
-            let newnode = newnode as usize;
-            let to_node = |nn: usize| if nn < rem { nn * 2 + 1 } else { nn + rem };
-            let mut mask = 1usize;
-            let mut round = 1u64;
-            while mask < pof2 {
-                let partner = peer_rank(to_node(newnode ^ mask));
-                let received =
-                    comm.sendrecv(partner, tag + round, &chunk, partner, tag + round, bytes);
-                op(&mut chunk, &received);
-                comm.charge_reduce(bytes);
-                mask <<= 1;
-                round += 1;
-            }
-        }
-        if node < 2 * rem {
-            if node.is_multiple_of(2) {
-                let data = comm.recv(peer_rank(node + 1), tag + 63, bytes);
-                chunk.copy_from_slice(&data);
-            } else {
-                comm.send(peer_rank(node - 1), tag + 63, &chunk);
-            }
-        }
-    }
-
-    // Publish the globally reduced chunk and assemble the full vector.
-    comm.shared_publish(&out_name, &chunk);
+    // Phase 2 — allgather: publish the globally reduced chunk and assemble
+    // the full vector from the node's local owners.
+    comm.shared_publish(&out_name, &chunk.bytes);
     comm.node_barrier();
     for owner in 0..ppn {
-        let (s, e) = elem_chunk(owner);
+        let (s, e) = elem_chunk_bounds(len, elem_size, ppn, owner);
         if s == e {
             continue;
         }
         if owner == local {
-            buf[s..e].copy_from_slice(&chunk);
+            buf[s..e].copy_from_slice(&chunk.bytes);
         } else {
             let data = comm.shared_read(owner, &out_name, 0, e - s);
             buf[s..e].copy_from_slice(&data);
@@ -121,7 +60,9 @@ pub fn allreduce_multi_object<C: Comm>(
 mod tests {
     use super::*;
     use crate::comm::{record_trace, ThreadComm};
+    use crate::multi_object::schedule::chunk_bounds;
     use crate::oracle;
+    use crate::recursive_doubling::largest_pow2_leq;
     use pip_runtime::{Cluster, Topology};
 
     fn run(nodes: usize, ppn: usize, len: usize) {
@@ -224,6 +165,137 @@ mod tests {
             assert_eq!(trace.ranks[local].send_count(), 3);
             // Each round carries one quarter of the vector.
             assert_eq!(trace.ranks[local].bytes_sent(), 3 * 1024);
+        }
+    }
+
+    /// A verbatim copy of the pre-refactor monolithic multi-object allreduce
+    /// — the schedule the decomposed reduce_scatter + allgather form must
+    /// reproduce op for op.
+    fn allreduce_multi_object_monolithic<C: Comm>(
+        comm: &C,
+        buf: &mut [u8],
+        elem_size: usize,
+        op: &ReduceFn<'_>,
+        tag: u64,
+    ) {
+        let len = buf.len();
+        assert!(elem_size > 0, "element size must be positive");
+        assert_eq!(len % elem_size, 0, "buffer must hold whole elements");
+        let ppn = comm.ppn();
+        let nodes = comm.num_nodes();
+        let node = comm.node_id();
+        let local = comm.local_rank();
+        let topo = comm.topology();
+        let in_name = format!("mo_ar_in_{tag}");
+        let out_name = format!("mo_ar_out_{tag}");
+
+        comm.shared_publish(&in_name, buf);
+        comm.node_barrier();
+
+        let elements = len / elem_size;
+        let elem_chunk = |index: usize| {
+            let (s, e) = chunk_bounds(elements, ppn, index);
+            (s * elem_size, e * elem_size)
+        };
+        let (start, end) = elem_chunk(local);
+        let mut chunk = buf[start..end].to_vec();
+        for peer in 0..ppn {
+            if peer == local || chunk.is_empty() {
+                continue;
+            }
+            let contribution = comm.shared_read(peer, &in_name, start, end - start);
+            op(&mut chunk, &contribution);
+            comm.charge_reduce(end - start);
+        }
+
+        if nodes > 1 && !chunk.is_empty() {
+            let peer_rank = |n: usize| topo.rank_of(n, local);
+            let pof2 = largest_pow2_leq(nodes);
+            let rem = nodes - pof2;
+            let bytes = chunk.len();
+            let newnode: isize = if node < 2 * rem {
+                if node.is_multiple_of(2) {
+                    comm.send(peer_rank(node + 1), tag, &chunk);
+                    -1
+                } else {
+                    let data = comm.recv(peer_rank(node - 1), tag, bytes);
+                    op(&mut chunk, &data);
+                    comm.charge_reduce(bytes);
+                    (node / 2) as isize
+                }
+            } else {
+                (node - rem) as isize
+            };
+            if newnode >= 0 {
+                let newnode = newnode as usize;
+                let to_node = |nn: usize| if nn < rem { nn * 2 + 1 } else { nn + rem };
+                let mut mask = 1usize;
+                let mut round = 1u64;
+                while mask < pof2 {
+                    let partner = peer_rank(to_node(newnode ^ mask));
+                    let received =
+                        comm.sendrecv(partner, tag + round, &chunk, partner, tag + round, bytes);
+                    op(&mut chunk, &received);
+                    comm.charge_reduce(bytes);
+                    mask <<= 1;
+                    round += 1;
+                }
+            }
+            if node < 2 * rem {
+                if node.is_multiple_of(2) {
+                    let data = comm.recv(peer_rank(node + 1), tag + 63, bytes);
+                    chunk.copy_from_slice(&data);
+                } else {
+                    comm.send(peer_rank(node - 1), tag + 63, &chunk);
+                }
+            }
+        }
+
+        comm.shared_publish(&out_name, &chunk);
+        comm.node_barrier();
+        for owner in 0..ppn {
+            let (s, e) = elem_chunk(owner);
+            if s == e {
+                continue;
+            }
+            if owner == local {
+                buf[s..e].copy_from_slice(&chunk);
+            } else {
+                let data = comm.shared_read(owner, &out_name, 0, e - s);
+                buf[s..e].copy_from_slice(&data);
+            }
+        }
+        comm.node_barrier();
+    }
+
+    /// The decomposition pin: the reduce_scatter + allgather form records
+    /// exactly the schedule of the pre-refactor monolith, op for op, on a
+    /// topology grid including non-power-of-two node counts and empty
+    /// chunks.
+    #[test]
+    fn monolithic_and_decomposed_schedules_agree() {
+        for (nodes, ppn, len) in [
+            (1, 1, 8),
+            (1, 4, 32),
+            (2, 4, 64),
+            (3, 3, 35),
+            (5, 2, 16),
+            (2, 6, 3),
+            (8, 4, 4096),
+        ] {
+            let topo = Topology::new(nodes, ppn);
+            let decomposed = record_trace(topo, |comm| {
+                let mut buf = vec![0u8; len];
+                allreduce_multi_object(comm, &mut buf, 1, &oracle::wrapping_add_u8, 77);
+            });
+            let monolithic = record_trace(topo, |comm| {
+                let mut buf = vec![0u8; len];
+                allreduce_multi_object_monolithic(comm, &mut buf, 1, &oracle::wrapping_add_u8, 77);
+            });
+            assert_eq!(
+                decomposed, monolithic,
+                "decomposed allreduce schedule diverges on {nodes}x{ppn} len {len}"
+            );
         }
     }
 }

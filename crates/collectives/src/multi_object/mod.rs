@@ -21,6 +21,12 @@
 //!   rank `R_l` owns chunk `R_l`, reduces it across the node through shared
 //!   memory and runs an inter-node recursive doubling restricted to the
 //!   processes with the same local rank, giving `P` concurrent allreduces.
+//!   Expressed as reduce_scatter (the chunk-ownership phase) followed by
+//!   the intra-node allgather of the chunks.
+//! * [`reduce_scatter`] — the chunk-ownership phase as a collective of its
+//!   own: rank `r` extracts its reduced block from its node's chunk owners.
+//! * [`reduce`] — the chunk-ownership phase followed by a node-local
+//!   assembly at the root.
 //! * [`alltoall`] — node-aware pairwise exchange where each local rank
 //!   handles a disjoint subset of the partner nodes.
 
@@ -29,6 +35,8 @@ pub mod allreduce;
 pub mod alltoall;
 pub mod bcast;
 pub mod gather;
+pub mod reduce;
+pub mod reduce_scatter;
 pub mod scatter;
 pub mod schedule;
 
@@ -37,4 +45,6 @@ pub use allreduce::allreduce_multi_object;
 pub use alltoall::alltoall_multi_object;
 pub use bcast::bcast_multi_object;
 pub use gather::gather_multi_object;
+pub use reduce::reduce_multi_object;
+pub use reduce_scatter::reduce_scatter_multi_object;
 pub use scatter::scatter_multi_object;

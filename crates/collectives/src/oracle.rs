@@ -45,6 +45,54 @@ pub fn allreduce(contributions: &[Vec<u8>], combine: impl Fn(&mut [u8], &[u8])) 
     acc
 }
 
+/// Expected reduce result at the root: every rank's contribution combined
+/// element-wise (other ranks receive nothing).
+pub fn reduce(contributions: &[Vec<u8>], combine: impl Fn(&mut [u8], &[u8])) -> Vec<u8> {
+    allreduce(contributions, combine)
+}
+
+/// Expected reduce_scatter result for each rank: the full reduction split
+/// into `world` equal blocks, rank `i` receiving block `i`.
+///
+/// Every contribution must hold `world` blocks (MPI_Reduce_scatter_block
+/// semantics).
+pub fn reduce_scatter(
+    contributions: &[Vec<u8>],
+    world: usize,
+    combine: impl Fn(&mut [u8], &[u8]),
+) -> Vec<Vec<u8>> {
+    let reduced = allreduce(contributions, combine);
+    scatter(&reduced, world)
+}
+
+/// Expected inclusive scan result for each rank: rank `i` receives the
+/// combination of contributions `0..=i`.
+pub fn scan(contributions: &[Vec<u8>], combine: impl Fn(&mut [u8], &[u8])) -> Vec<Vec<u8>> {
+    let mut acc = contributions[0].clone();
+    let mut out = vec![acc.clone()];
+    for contribution in &contributions[1..] {
+        combine(&mut acc, contribution);
+        out.push(acc.clone());
+    }
+    out
+}
+
+/// Expected exclusive scan result for each rank: rank `i > 0` receives the
+/// combination of contributions `0..i`.
+///
+/// MPI leaves rank 0's receive buffer undefined; this implementation pins it
+/// to rank 0's own input (the buffer is left untouched), and the oracle
+/// mirrors that.
+pub fn exscan(contributions: &[Vec<u8>], combine: impl Fn(&mut [u8], &[u8])) -> Vec<Vec<u8>> {
+    let mut acc = contributions[0].clone();
+    let mut out = vec![contributions[0].clone()];
+    for contribution in &contributions[1..] {
+        out.push(acc.clone());
+        combine(&mut acc, contribution);
+    }
+    out
+}
+
 /// Expected alltoall result for each rank: rank `i`'s output block `j` is
 /// rank `j`'s input block `i`.
 pub fn alltoall(inputs: &[Vec<u8>], world: usize) -> Vec<Vec<u8>> {
@@ -65,6 +113,22 @@ pub fn alltoall(inputs: &[Vec<u8>], world: usize) -> Vec<Vec<u8>> {
 pub fn wrapping_add_u8(acc: &mut [u8], other: &[u8]) {
     for (a, b) in acc.iter_mut().zip(other) {
         *a = a.wrapping_add(*b);
+    }
+}
+
+/// Element-wise maximum over `u8` payloads.  Not invertible, so a wrong
+/// *subset* of contributions (not merely a wrong combination order) shows up
+/// in the result — the property the differential reduction tests lean on.
+pub fn max_u8(acc: &mut [u8], other: &[u8]) {
+    for (a, b) in acc.iter_mut().zip(other) {
+        *a = (*a).max(*b);
+    }
+}
+
+/// Element-wise minimum over `u8` payloads (see [`max_u8`]).
+pub fn min_u8(acc: &mut [u8], other: &[u8]) {
+    for (a, b) in acc.iter_mut().zip(other) {
+        *a = (*a).min(*b);
     }
 }
 
@@ -120,6 +184,37 @@ mod tests {
         let out = alltoall(&inputs, 2);
         assert_eq!(out[0], vec![10, 20]);
         assert_eq!(out[1], vec![11, 21]);
+    }
+
+    #[test]
+    fn reduce_scatter_splits_the_full_reduction() {
+        let contributions = vec![vec![1u8, 2, 3, 4], vec![10, 20, 30, 40]];
+        let out = reduce_scatter(&contributions, 2, wrapping_add_u8);
+        assert_eq!(out[0], vec![11, 22]);
+        assert_eq!(out[1], vec![33, 44]);
+    }
+
+    #[test]
+    fn scan_is_an_inclusive_prefix() {
+        let contributions = vec![vec![1u8], vec![2], vec![4]];
+        let out = scan(&contributions, wrapping_add_u8);
+        assert_eq!(out, vec![vec![1], vec![3], vec![7]]);
+    }
+
+    #[test]
+    fn exscan_is_an_exclusive_prefix_with_rank0_pinned_to_its_input() {
+        let contributions = vec![vec![1u8], vec![2], vec![4]];
+        let out = exscan(&contributions, wrapping_add_u8);
+        assert_eq!(out, vec![vec![1], vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn min_and_max_are_elementwise() {
+        let mut acc = vec![3u8, 200];
+        max_u8(&mut acc, &[7, 100]);
+        assert_eq!(acc, vec![7, 200]);
+        min_u8(&mut acc, &[5, 150]);
+        assert_eq!(acc, vec![5, 150]);
     }
 
     #[test]

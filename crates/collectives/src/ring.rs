@@ -1,5 +1,6 @@
 //! Ring algorithms: the bandwidth-optimal large-message baselines — ring
-//! allgather and ring allreduce (reduce-scatter followed by allgather).
+//! allgather, ring reduce_scatter and ring allreduce (reduce-scatter
+//! followed by allgather).
 
 use crate::comm::{Comm, ReduceFn};
 
@@ -93,6 +94,58 @@ pub fn allreduce_ring<C: Comm>(comm: &C, buf: &mut [u8], op: &ReduceFn<'_>, tag:
         );
         buf[rs..re].copy_from_slice(&incoming);
     }
+}
+
+/// Ring reduce_scatter for a commutative `op`: `p - 1` steps in which every
+/// rank forwards a partially reduced block to its right neighbour, folding
+/// its own contribution in as the block passes through.  Bandwidth-optimal:
+/// each rank moves `(p - 1) / p` of the vector once.
+///
+/// `sendbuf` holds one block per rank (`world * recvbuf.len()` bytes);
+/// `recvbuf` receives this rank's fully reduced block.
+pub fn reduce_scatter_ring<C: Comm>(
+    comm: &C,
+    sendbuf: &[u8],
+    recvbuf: &mut [u8],
+    op: &ReduceFn<'_>,
+    tag: u64,
+) {
+    let p = comm.world_size();
+    let rank = comm.rank();
+    let block = recvbuf.len();
+    assert_eq!(
+        sendbuf.len(),
+        p * block,
+        "sendbuf must hold one block per rank"
+    );
+    if p == 1 {
+        recvbuf.copy_from_slice(sendbuf);
+        return;
+    }
+    let mut buf = sendbuf.to_vec();
+    let right = (rank + 1) % p;
+    let left = (rank + p - 1) % p;
+    // Block indices are chosen so that after p-1 steps rank r has folded
+    // every contribution into block r.
+    for step in 0..p - 1 {
+        let send_block = (rank + p - step - 1) % p;
+        let recv_block = (rank + p - step - 2) % p;
+        let outgoing = buf[send_block * block..(send_block + 1) * block].to_vec();
+        let incoming = comm.sendrecv(
+            right,
+            tag + step as u64,
+            &outgoing,
+            left,
+            tag + step as u64,
+            block,
+        );
+        op(
+            &mut buf[recv_block * block..(recv_block + 1) * block],
+            &incoming,
+        );
+        comm.charge_reduce(block);
+    }
+    recvbuf.copy_from_slice(&buf[rank * block..(rank + 1) * block]);
 }
 
 #[cfg(test)]

@@ -97,6 +97,12 @@ impl<'a> Communicator<'a> {
         self.plans.borrow().stats()
     }
 
+    /// Number of distinct compiled plans held by the per-communicator cache
+    /// (one per [`pip_mpi_model::CollectiveShape`] ever dispatched).
+    pub fn plan_entries(&self) -> usize {
+        self.plans.borrow().len()
+    }
+
     fn next_tag(&self) -> u64 {
         let seq = self.next_collective.get();
         self.next_collective.set(seq + 1);
@@ -216,6 +222,76 @@ impl<'a> Communicator<'a> {
         let mut bytes = to_bytes(buf);
         let combine = move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other);
         self.collective(CollectiveRequest::Allreduce {
+            buf: &mut bytes,
+            elem_size: T::SIZE,
+            op: &combine,
+        });
+        for (value, chunk) in buf.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
+            *value = T::read_le(chunk);
+        }
+    }
+
+    /// MPI_Reduce with a built-in operator: every rank contributes `send`;
+    /// returns `Some` of the element-wise combination at the root, `None`
+    /// elsewhere.
+    pub fn reduce<T: Datatype>(&self, send: &[T], op: ReduceOp, root: usize) -> Option<Vec<T>> {
+        let sendbuf = to_bytes(send);
+        let is_root = self.rank() == root;
+        let mut recvbuf = is_root.then(|| vec![0u8; sendbuf.len()]);
+        let combine = move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other);
+        self.collective(CollectiveRequest::Reduce {
+            sendbuf: &sendbuf,
+            recvbuf: recvbuf.as_deref_mut(),
+            root,
+            elem_size: T::SIZE,
+            op: &combine,
+        });
+        recvbuf.map(|bytes| from_bytes(&bytes))
+    }
+
+    /// MPI_Reduce_scatter_block with a built-in operator: `send` holds one
+    /// block of `count` elements per rank; returns this rank's fully
+    /// reduced block.
+    pub fn reduce_scatter<T: Datatype>(&self, send: &[T], count: usize, op: ReduceOp) -> Vec<T> {
+        assert_eq!(
+            send.len(),
+            count * self.size(),
+            "sendbuf must hold count * size elements"
+        );
+        let sendbuf = to_bytes(send);
+        let mut recvbuf = vec![0u8; count * T::SIZE];
+        let combine = move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other);
+        self.collective(CollectiveRequest::ReduceScatter {
+            sendbuf: &sendbuf,
+            recvbuf: &mut recvbuf,
+            elem_size: T::SIZE,
+            op: &combine,
+        });
+        from_bytes(&recvbuf)
+    }
+
+    /// MPI_Scan with a built-in operator; `buf` holds the inclusive prefix
+    /// (ranks `0..=rank`) on return.
+    pub fn scan<T: Datatype>(&self, buf: &mut [T], op: ReduceOp) {
+        let mut bytes = to_bytes(buf);
+        let combine = move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other);
+        self.collective(CollectiveRequest::Scan {
+            buf: &mut bytes,
+            elem_size: T::SIZE,
+            op: &combine,
+        });
+        for (value, chunk) in buf.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
+            *value = T::read_le(chunk);
+        }
+    }
+
+    /// MPI_Exscan with a built-in operator; `buf` holds the exclusive
+    /// prefix (ranks `0..rank`) on return.  Rank 0's buffer is left
+    /// untouched (MPI leaves it undefined).
+    pub fn exscan<T: Datatype>(&self, buf: &mut [T], op: ReduceOp) {
+        let mut bytes = to_bytes(buf);
+        let combine = move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other);
+        self.collective(CollectiveRequest::Exscan {
             buf: &mut bytes,
             elem_size: T::SIZE,
             op: &combine,
@@ -408,6 +484,83 @@ impl<'a> Communicator<'a> {
         )
     }
 
+    /// Non-blocking [`Communicator::reduce`]: `wait` yields `Some` of the
+    /// combination at the root, `None` elsewhere.
+    pub fn ireduce<T: Datatype>(
+        &self,
+        send: &[T],
+        op: ReduceOp,
+        root: usize,
+    ) -> CollRequest<'_, Option<Vec<T>>> {
+        let combine: SharedReduceOp =
+            Rc::new(move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other));
+        self.submit_request(
+            OwnedCollective::Reduce {
+                sendbuf: to_bytes(send),
+                root,
+                elem_size: T::SIZE,
+            },
+            Some(combine),
+            Box::new(|recv| recv.map(|bytes| from_bytes(&bytes))),
+        )
+    }
+
+    /// Non-blocking [`Communicator::reduce_scatter`]: `send` holds one
+    /// block of `count` elements per rank; `wait` yields this rank's fully
+    /// reduced block.
+    pub fn ireduce_scatter<T: Datatype>(
+        &self,
+        send: &[T],
+        count: usize,
+        op: ReduceOp,
+    ) -> CollRequest<'_, Vec<T>> {
+        assert_eq!(
+            send.len(),
+            count * self.size(),
+            "sendbuf must hold count * size elements"
+        );
+        let combine: SharedReduceOp =
+            Rc::new(move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other));
+        self.submit_request(
+            OwnedCollective::ReduceScatter {
+                sendbuf: to_bytes(send),
+                elem_size: T::SIZE,
+            },
+            Some(combine),
+            Box::new(|recv| from_bytes(&recv.expect("reduce_scatter binds a receive buffer"))),
+        )
+    }
+
+    /// Non-blocking [`Communicator::scan`]: `wait` yields the inclusive
+    /// prefix at every rank.
+    pub fn iscan<T: Datatype>(&self, buf: &[T], op: ReduceOp) -> CollRequest<'_, Vec<T>> {
+        let combine: SharedReduceOp =
+            Rc::new(move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other));
+        self.submit_request(
+            OwnedCollective::Scan {
+                buf: to_bytes(buf),
+                elem_size: T::SIZE,
+            },
+            Some(combine),
+            Box::new(|recv| from_bytes(&recv.expect("scan binds an in/out buffer"))),
+        )
+    }
+
+    /// Non-blocking [`Communicator::exscan`]: `wait` yields the exclusive
+    /// prefix (rank 0 gets its input back, see [`Communicator::exscan`]).
+    pub fn iexscan<T: Datatype>(&self, buf: &[T], op: ReduceOp) -> CollRequest<'_, Vec<T>> {
+        let combine: SharedReduceOp =
+            Rc::new(move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other));
+        self.submit_request(
+            OwnedCollective::Exscan {
+                buf: to_bytes(buf),
+                elem_size: T::SIZE,
+            },
+            Some(combine),
+            Box::new(|recv| from_bytes(&recv.expect("exscan binds an in/out buffer"))),
+        )
+    }
+
     /// Non-blocking [`Communicator::alltoall`]: `send` holds one block of
     /// `count` elements per destination; `wait` yields one block per source.
     pub fn ialltoall<T: Datatype>(&self, send: &[T], count: usize) -> CollRequest<'_, Vec<T>> {
@@ -533,6 +686,81 @@ impl<'a> Communicator<'a> {
             },
             Some(combine),
             Box::new(|recv| from_bytes(recv.expect("allreduce binds an in/out buffer"))),
+        )
+    }
+
+    /// Persistent [`Communicator::reduce`] to `root` with a built-in
+    /// operator; `wait` yields `Some` at the root, `None` elsewhere.
+    pub fn reduce_init<T: Datatype>(
+        &self,
+        send: &[T],
+        op: ReduceOp,
+        root: usize,
+    ) -> PersistentColl<'_, Option<Vec<T>>> {
+        let combine: SharedReduceOp =
+            Rc::new(move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other));
+        self.init_persistent(
+            OwnedCollective::Reduce {
+                sendbuf: to_bytes(send),
+                root,
+                elem_size: T::SIZE,
+            },
+            Some(combine),
+            Box::new(|recv| recv.map(from_bytes)),
+        )
+    }
+
+    /// Persistent [`Communicator::reduce_scatter`] with a built-in operator
+    /// (one pinned block of `count` elements per rank).
+    pub fn reduce_scatter_init<T: Datatype>(
+        &self,
+        send: &[T],
+        count: usize,
+        op: ReduceOp,
+    ) -> PersistentColl<'_, Vec<T>> {
+        assert_eq!(
+            send.len(),
+            count * self.size(),
+            "sendbuf must hold count * size elements"
+        );
+        let combine: SharedReduceOp =
+            Rc::new(move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other));
+        self.init_persistent(
+            OwnedCollective::ReduceScatter {
+                sendbuf: to_bytes(send),
+                elem_size: T::SIZE,
+            },
+            Some(combine),
+            Box::new(|recv| from_bytes(recv.expect("reduce_scatter binds a receive buffer"))),
+        )
+    }
+
+    /// Persistent [`Communicator::scan`] with a built-in operator.
+    pub fn scan_init<T: Datatype>(&self, buf: &[T], op: ReduceOp) -> PersistentColl<'_, Vec<T>> {
+        let combine: SharedReduceOp =
+            Rc::new(move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other));
+        self.init_persistent(
+            OwnedCollective::Scan {
+                buf: to_bytes(buf),
+                elem_size: T::SIZE,
+            },
+            Some(combine),
+            Box::new(|recv| from_bytes(recv.expect("scan binds an in/out buffer"))),
+        )
+    }
+
+    /// Persistent [`Communicator::exscan`] with a built-in operator (rank 0
+    /// gets its pinned input back on every `wait`).
+    pub fn exscan_init<T: Datatype>(&self, buf: &[T], op: ReduceOp) -> PersistentColl<'_, Vec<T>> {
+        let combine: SharedReduceOp =
+            Rc::new(move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other));
+        self.init_persistent(
+            OwnedCollective::Exscan {
+                buf: to_bytes(buf),
+                elem_size: T::SIZE,
+            },
+            Some(combine),
+            Box::new(|recv| from_bytes(recv.expect("exscan binds an in/out buffer"))),
         )
     }
 
@@ -777,6 +1005,77 @@ mod tests {
         for (maxes, mins) in results {
             assert_eq!(maxes, [5, 0]);
             assert_eq!(mins, [0.0]);
+        }
+    }
+
+    /// Regression pin for the plan-cache routing of MPI_Barrier: the first
+    /// barrier compiles a `CollectiveShape { kind: Barrier, .. }` entry,
+    /// every later barrier is a cache hit — the barrier must never bypass
+    /// the plan cache the way oversized payload collectives do.
+    #[test]
+    fn barrier_is_served_from_the_plan_cache() {
+        let results = World::builder()
+            .nodes(2)
+            .ppn(2)
+            .library(Library::PipMColl)
+            .run(|comm| {
+                comm.barrier();
+                let after_first = (comm.plan_stats(), comm.plan_entries());
+                comm.barrier();
+                comm.barrier();
+                let after_third = (comm.plan_stats(), comm.plan_entries());
+                (after_first, after_third)
+            })
+            .unwrap();
+        for (after_first, after_third) in results {
+            assert_eq!(after_first, ((0, 1), 1), "first barrier must compile");
+            assert_eq!(
+                after_third,
+                ((2, 1), 1),
+                "repeated barriers must hit the cached plan"
+            );
+        }
+    }
+
+    #[test]
+    fn typed_reduction_family_round_trips() {
+        let results = World::builder()
+            .nodes(2)
+            .ppn(3)
+            .library(Library::PipMColl)
+            .run(|comm| {
+                let world = comm.size();
+                let rank = comm.rank() as i64;
+                let reduced = comm.reduce(&[rank, 10 * rank], ReduceOp::Sum, 1);
+                let scattered = comm.reduce_scatter(
+                    &(0..world as i64).map(|i| rank + i).collect::<Vec<_>>(),
+                    1,
+                    ReduceOp::Sum,
+                );
+                let mut prefix = [rank];
+                comm.scan(&mut prefix, ReduceOp::Sum);
+                let mut exclusive = [rank];
+                comm.exscan(&mut exclusive, ReduceOp::Sum);
+                (reduced, scattered, prefix[0], exclusive[0])
+            })
+            .unwrap();
+        let world = 6i64;
+        let rank_sum: i64 = (0..world).sum();
+        for (rank, (reduced, scattered, prefix, exclusive)) in results.iter().enumerate() {
+            let rank = rank as i64;
+            if rank == 1 {
+                assert_eq!(reduced.as_ref().unwrap(), &vec![rank_sum, 10 * rank_sum]);
+            } else {
+                assert!(reduced.is_none());
+            }
+            // Block r of the reduced vector: sum over ranks of (rank + r).
+            assert_eq!(scattered, &vec![rank_sum + world * rank]);
+            assert_eq!(*prefix, (0..=rank).sum::<i64>());
+            if rank == 0 {
+                assert_eq!(*exclusive, 0, "rank 0 exscan keeps its input");
+            } else {
+                assert_eq!(*exclusive, (0..rank).sum::<i64>());
+            }
         }
     }
 

@@ -31,10 +31,13 @@
 //! ```
 //!
 //! Beyond the blocking calls, [`comm::Communicator`] offers request-based
-//! **non-blocking** collectives (`iallgather`, `iallreduce`, …) returning a
-//! [`comm::CollRequest`], and **persistent** handles (`allgather_init`,
-//! `allreduce_init`, …) that pin a compiled plan to pre-bound buffers and
-//! can be started any number of times ([`comm::PersistentColl`]).
+//! **non-blocking** collectives (`iallgather`, `iallreduce`, `ireduce`,
+//! `ireduce_scatter`, `iscan`, …) returning a [`comm::CollRequest`], and
+//! **persistent** handles (`allgather_init`, `allreduce_init`,
+//! `reduce_scatter_init`, …) that pin a compiled plan to pre-bound buffers
+//! and can be started any number of times ([`comm::PersistentColl`]).
+//! The reduction family — `reduce`, `reduce_scatter`, `scan`, `exscan` —
+//! shares all three entry styles with the original six collectives.
 
 #![warn(missing_docs)]
 

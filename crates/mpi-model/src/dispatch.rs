@@ -8,14 +8,17 @@
 
 use pip_collectives::comm::{record_trace, Comm, ReduceFn};
 use pip_collectives::plan::{PlanCursor, RankPlan};
-use pip_collectives::{binomial, bruck, hierarchical, multi_object, recursive_doubling, ring};
+use pip_collectives::{
+    binomial, bruck, hierarchical, multi_object, recursive_doubling, recursive_halving, ring, scan,
+};
 use pip_netsim::trace::Trace;
 use pip_runtime::Topology;
 
 use pip_collectives::CollectiveKind;
 
 use crate::selection::{
-    AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, GatherAlgo, ScatterAlgo,
+    AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, GatherAlgo, ReduceAlgo,
+    ReduceScatterAlgo, ScanAlgo, ScatterAlgo,
 };
 use crate::LibraryProfile;
 
@@ -58,6 +61,50 @@ pub enum CollectiveRequest<'a> {
     /// MPI_Allreduce with a commutative operator.
     Allreduce {
         /// Contribution on entry, reduced vector on return.
+        buf: &'a mut [u8],
+        /// Size of one reduction element in bytes.
+        elem_size: usize,
+        /// The reduction operator.
+        op: &'a ReduceFn<'a>,
+    },
+    /// MPI_Reduce to `root` with a commutative operator.
+    Reduce {
+        /// Contribution of the calling rank.
+        sendbuf: &'a [u8],
+        /// Root's receive buffer (same length as `sendbuf`); `None`
+        /// elsewhere.
+        recvbuf: Option<&'a mut [u8]>,
+        /// Root rank.
+        root: usize,
+        /// Size of one reduction element in bytes.
+        elem_size: usize,
+        /// The reduction operator.
+        op: &'a ReduceFn<'a>,
+    },
+    /// MPI_Reduce_scatter_block with a commutative operator.
+    ReduceScatter {
+        /// One block per rank (`world * recvbuf.len()` bytes).
+        sendbuf: &'a [u8],
+        /// Receives this rank's fully reduced block.
+        recvbuf: &'a mut [u8],
+        /// Size of one reduction element in bytes.
+        elem_size: usize,
+        /// The reduction operator.
+        op: &'a ReduceFn<'a>,
+    },
+    /// MPI_Scan (inclusive prefix) with a commutative operator.
+    Scan {
+        /// Contribution on entry; combination of ranks `0..=rank` on return.
+        buf: &'a mut [u8],
+        /// Size of one reduction element in bytes.
+        elem_size: usize,
+        /// The reduction operator.
+        op: &'a ReduceFn<'a>,
+    },
+    /// MPI_Exscan (exclusive prefix) with a commutative operator.  Rank 0's
+    /// buffer is left untouched (MPI leaves it undefined).
+    Exscan {
+        /// Contribution on entry; combination of ranks `0..rank` on return.
         buf: &'a mut [u8],
         /// Size of one reduction element in bytes.
         elem_size: usize,
@@ -145,6 +192,42 @@ pub fn execute<C: Comm>(
                 }
             }
         }
+        CollectiveRequest::Reduce {
+            sendbuf,
+            recvbuf,
+            root,
+            elem_size,
+            op,
+        } => match profile.selection.reduce {
+            ReduceAlgo::Binomial => {
+                binomial::reduce_binomial(comm, sendbuf, recvbuf, op, root, tag)
+            }
+            ReduceAlgo::MultiObject => {
+                multi_object::reduce_multi_object(comm, sendbuf, recvbuf, elem_size, op, root, tag)
+            }
+        },
+        CollectiveRequest::ReduceScatter {
+            sendbuf,
+            recvbuf,
+            elem_size,
+            op,
+        } => match profile.selection.reduce_scatter_for(recvbuf.len()) {
+            ReduceScatterAlgo::RecursiveHalving => {
+                recursive_halving::reduce_scatter_recursive_halving(comm, sendbuf, recvbuf, op, tag)
+            }
+            ReduceScatterAlgo::Ring => ring::reduce_scatter_ring(comm, sendbuf, recvbuf, op, tag),
+            ReduceScatterAlgo::MultiObject => multi_object::reduce_scatter_multi_object(
+                comm, sendbuf, recvbuf, elem_size, op, tag,
+            ),
+        },
+        CollectiveRequest::Scan { buf, op, .. } => match profile.selection.scan {
+            ScanAlgo::RecursiveDoubling => scan::scan_recursive_doubling(comm, buf, op, tag),
+            ScanAlgo::Linear => scan::scan_linear(comm, buf, op, tag),
+        },
+        CollectiveRequest::Exscan { buf, op, .. } => match profile.selection.scan {
+            ScanAlgo::RecursiveDoubling => scan::exscan_recursive_doubling(comm, buf, op, tag),
+            ScanAlgo::Linear => scan::exscan_linear(comm, buf, op, tag),
+        },
         CollectiveRequest::Alltoall { sendbuf, recvbuf } => match profile.selection.alltoall {
             AlltoallAlgo::Bruck => bruck::alltoall_bruck(comm, sendbuf, recvbuf, tag),
             AlltoallAlgo::MultiObject => {
@@ -229,6 +312,38 @@ pub enum OwnedCollective {
         /// Size of one reduction element in bytes.
         elem_size: usize,
     },
+    /// MPI_Ireduce / MPI_Reduce_init to `root` (operator supplied separately
+    /// to the progress engine).
+    Reduce {
+        /// Contribution of the calling rank.
+        sendbuf: Vec<u8>,
+        /// Root rank.
+        root: usize,
+        /// Size of one reduction element in bytes.
+        elem_size: usize,
+    },
+    /// MPI_Ireduce_scatter / MPI_Reduce_scatter_init (operator supplied
+    /// separately).
+    ReduceScatter {
+        /// One block per rank (`world * block` bytes).
+        sendbuf: Vec<u8>,
+        /// Size of one reduction element in bytes.
+        elem_size: usize,
+    },
+    /// MPI_Iscan / MPI_Scan_init (operator supplied separately).
+    Scan {
+        /// In/out contribution.
+        buf: Vec<u8>,
+        /// Size of one reduction element in bytes.
+        elem_size: usize,
+    },
+    /// MPI_Iexscan / MPI_Exscan_init (operator supplied separately).
+    Exscan {
+        /// In/out contribution.
+        buf: Vec<u8>,
+        /// Size of one reduction element in bytes.
+        elem_size: usize,
+    },
     /// MPI_Ialltoall / MPI_Alltoall_init.
     Alltoall {
         /// One block per destination rank.
@@ -254,6 +369,23 @@ impl OwnedCollective {
             }
             OwnedCollective::Allreduce { buf, elem_size } => {
                 (CollectiveKind::Allreduce, buf.len(), 0, *elem_size)
+            }
+            OwnedCollective::Reduce {
+                sendbuf,
+                root,
+                elem_size,
+            } => (CollectiveKind::Reduce, sendbuf.len(), *root, *elem_size),
+            OwnedCollective::ReduceScatter { sendbuf, elem_size } => (
+                CollectiveKind::ReduceScatter,
+                sendbuf.len() / world.max(1),
+                0,
+                *elem_size,
+            ),
+            OwnedCollective::Scan { buf, elem_size } => {
+                (CollectiveKind::Scan, buf.len(), 0, *elem_size)
+            }
+            OwnedCollective::Exscan { buf, elem_size } => {
+                (CollectiveKind::Exscan, buf.len(), 0, *elem_size)
             }
             OwnedCollective::Alltoall { sendbuf } => {
                 (CollectiveKind::Alltoall, sendbuf.len() / world.max(1), 0, 1)
@@ -289,10 +421,13 @@ impl OwnedCollective {
                 let recvbuf = plan.io.recvbuf.map(|len| vec![0u8; len]);
                 (sendbuf, recvbuf)
             }
-            OwnedCollective::Bcast { buf, .. } | OwnedCollective::Allreduce { buf, .. } => {
-                (None, Some(buf))
-            }
-            OwnedCollective::Gather { sendbuf, .. } => {
+            OwnedCollective::Bcast { buf, .. }
+            | OwnedCollective::Allreduce { buf, .. }
+            | OwnedCollective::Scan { buf, .. }
+            | OwnedCollective::Exscan { buf, .. } => (None, Some(buf)),
+            OwnedCollective::Gather { sendbuf, .. }
+            | OwnedCollective::Reduce { sendbuf, .. }
+            | OwnedCollective::ReduceScatter { sendbuf, .. } => {
                 let recvbuf = plan.io.recvbuf.map(|len| vec![0u8; len]);
                 (Some(sendbuf), recvbuf)
             }
@@ -439,6 +574,89 @@ pub fn record_allreduce(profile: &LibraryProfile, topology: Topology, bytes: usi
             profile,
             comm,
             CollectiveRequest::Allreduce {
+                buf: &mut buf,
+                elem_size: 1,
+                op: &elementwise_sum,
+            },
+            1,
+        );
+    })
+}
+
+/// Record the trace of a reduce over a vector of `bytes` bytes to `root`
+/// (byte-wise sum operator, element size 1).
+pub fn record_reduce(
+    profile: &LibraryProfile,
+    topology: Topology,
+    bytes: usize,
+    root: usize,
+) -> Trace {
+    record_trace(topology, |comm| {
+        let sendbuf = vec![0u8; bytes];
+        let mut recvbuf = vec![0u8; bytes];
+        let recv = (comm.rank() == root).then_some(recvbuf.as_mut_slice());
+        execute(
+            profile,
+            comm,
+            CollectiveRequest::Reduce {
+                sendbuf: &sendbuf,
+                recvbuf: recv,
+                root,
+                elem_size: 1,
+                op: &elementwise_sum,
+            },
+            1,
+        );
+    })
+}
+
+/// Record the trace of a reduce_scatter of `bytes` bytes per process
+/// (byte-wise sum operator, element size 1).
+pub fn record_reduce_scatter(profile: &LibraryProfile, topology: Topology, bytes: usize) -> Trace {
+    record_trace(topology, |comm| {
+        let sendbuf = vec![0u8; bytes * topology.world_size()];
+        let mut recvbuf = vec![0u8; bytes];
+        execute(
+            profile,
+            comm,
+            CollectiveRequest::ReduceScatter {
+                sendbuf: &sendbuf,
+                recvbuf: &mut recvbuf,
+                elem_size: 1,
+                op: &elementwise_sum,
+            },
+            1,
+        );
+    })
+}
+
+/// Record the trace of an inclusive scan over a vector of `bytes` bytes
+/// (byte-wise sum operator, element size 1).
+pub fn record_scan(profile: &LibraryProfile, topology: Topology, bytes: usize) -> Trace {
+    record_trace(topology, |comm| {
+        let mut buf = vec![0u8; bytes];
+        execute(
+            profile,
+            comm,
+            CollectiveRequest::Scan {
+                buf: &mut buf,
+                elem_size: 1,
+                op: &elementwise_sum,
+            },
+            1,
+        );
+    })
+}
+
+/// Record the trace of an exclusive scan over a vector of `bytes` bytes
+/// (byte-wise sum operator, element size 1).
+pub fn record_exscan(profile: &LibraryProfile, topology: Topology, bytes: usize) -> Trace {
+    record_trace(topology, |comm| {
+        let mut buf = vec![0u8; bytes];
+        execute(
+            profile,
+            comm,
+            CollectiveRequest::Exscan {
                 buf: &mut buf,
                 elem_size: 1,
                 op: &elementwise_sum,

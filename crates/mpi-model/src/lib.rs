@@ -31,7 +31,8 @@ use serde::{Deserialize, Serialize};
 pub use dispatch::{CollectiveRequest, OwnedCollective};
 pub use plan::{ClusterPlanCache, CollectiveShape, PlanCache, PlanKey};
 pub use selection::{
-    AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, GatherAlgo, ScatterAlgo, SelectionTable,
+    AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, GatherAlgo, ReduceAlgo,
+    ReduceScatterAlgo, ScanAlgo, ScatterAlgo, SelectionTable,
 };
 
 /// The five MPI implementations evaluated in the paper's figures.

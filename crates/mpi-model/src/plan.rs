@@ -82,6 +82,37 @@ impl CollectiveShape {
                 root: 0,
                 elem_size: *elem_size,
             },
+            CollectiveRequest::Reduce {
+                sendbuf,
+                root,
+                elem_size,
+                ..
+            } => Self {
+                kind: CollectiveKind::Reduce,
+                block: sendbuf.len(),
+                root: *root,
+                elem_size: *elem_size,
+            },
+            CollectiveRequest::ReduceScatter {
+                recvbuf, elem_size, ..
+            } => Self {
+                kind: CollectiveKind::ReduceScatter,
+                block: recvbuf.len(),
+                root: 0,
+                elem_size: *elem_size,
+            },
+            CollectiveRequest::Scan { buf, elem_size, .. } => Self {
+                kind: CollectiveKind::Scan,
+                block: buf.len(),
+                root: 0,
+                elem_size: *elem_size,
+            },
+            CollectiveRequest::Exscan { buf, elem_size, .. } => Self {
+                kind: CollectiveKind::Exscan,
+                block: buf.len(),
+                root: 0,
+                elem_size: *elem_size,
+            },
             CollectiveRequest::Alltoall { sendbuf, .. } => Self {
                 kind: CollectiveKind::Alltoall,
                 block: sendbuf.len() / world.max(1),
@@ -105,9 +136,14 @@ impl CollectiveShape {
             CollectiveKind::Allgather
             | CollectiveKind::Scatter
             | CollectiveKind::Gather
+            | CollectiveKind::ReduceScatter
             | CollectiveKind::Alltoall => world * self.block,
-            CollectiveKind::Bcast | CollectiveKind::Allreduce => self.block,
-            CollectiveKind::Barrier | CollectiveKind::Reduce => 0,
+            CollectiveKind::Bcast
+            | CollectiveKind::Allreduce
+            | CollectiveKind::Reduce
+            | CollectiveKind::Scan
+            | CollectiveKind::Exscan => self.block,
+            CollectiveKind::Barrier => 0,
         }
     }
 
@@ -145,13 +181,31 @@ impl CollectiveShape {
                 inout: true,
                 needs_reduce_op: true,
             },
+            CollectiveKind::Reduce => IoShape {
+                sendbuf: Some(b),
+                recvbuf: (rank == self.root).then_some(b),
+                inout: false,
+                needs_reduce_op: true,
+            },
+            CollectiveKind::ReduceScatter => IoShape {
+                sendbuf: Some(world * b),
+                recvbuf: Some(b),
+                inout: false,
+                needs_reduce_op: true,
+            },
+            CollectiveKind::Scan | CollectiveKind::Exscan => IoShape {
+                sendbuf: None,
+                recvbuf: Some(b),
+                inout: true,
+                needs_reduce_op: true,
+            },
             CollectiveKind::Alltoall => IoShape {
                 sendbuf: Some(world * b),
                 recvbuf: Some(world * b),
                 inout: false,
                 needs_reduce_op: false,
             },
-            CollectiveKind::Barrier | CollectiveKind::Reduce => IoShape::default(),
+            CollectiveKind::Barrier => IoShape::default(),
         }
     }
 }
@@ -377,6 +431,74 @@ fn run_for_recording(
             }
             comm.finish(Some(buf))
         }
+        CollectiveKind::Reduce => {
+            let mut sendbuf = vec![0u8; b];
+            comm.fill_sendbuf(&mut sendbuf);
+            let mut recvbuf = io.recvbuf.map(|len| {
+                let mut buf = vec![0u8; len];
+                comm.fill_recvbuf(&mut buf);
+                buf
+            });
+            {
+                let op = comm.reducer();
+                dispatch::execute(
+                    profile,
+                    &comm,
+                    CollectiveRequest::Reduce {
+                        sendbuf: &sendbuf,
+                        recvbuf: recvbuf.as_deref_mut(),
+                        root: shape.root,
+                        elem_size: shape.elem_size,
+                        op: &op,
+                    },
+                    COMPILE_TAG_BASE,
+                );
+            }
+            comm.finish(recvbuf)
+        }
+        CollectiveKind::ReduceScatter => {
+            let mut sendbuf = vec![0u8; world * b];
+            comm.fill_sendbuf(&mut sendbuf);
+            let mut recvbuf = vec![0u8; b];
+            comm.fill_recvbuf(&mut recvbuf);
+            {
+                let op = comm.reducer();
+                dispatch::execute(
+                    profile,
+                    &comm,
+                    CollectiveRequest::ReduceScatter {
+                        sendbuf: &sendbuf,
+                        recvbuf: &mut recvbuf,
+                        elem_size: shape.elem_size,
+                        op: &op,
+                    },
+                    COMPILE_TAG_BASE,
+                );
+            }
+            comm.finish(Some(recvbuf))
+        }
+        CollectiveKind::Scan | CollectiveKind::Exscan => {
+            let mut buf = vec![0u8; b];
+            comm.fill_sendbuf(&mut buf);
+            {
+                let op = comm.reducer();
+                let request = if shape.kind == CollectiveKind::Scan {
+                    CollectiveRequest::Scan {
+                        buf: &mut buf,
+                        elem_size: shape.elem_size,
+                        op: &op,
+                    }
+                } else {
+                    CollectiveRequest::Exscan {
+                        buf: &mut buf,
+                        elem_size: shape.elem_size,
+                        op: &op,
+                    }
+                };
+                dispatch::execute(profile, &comm, request, COMPILE_TAG_BASE);
+            }
+            comm.finish(Some(buf))
+        }
         CollectiveKind::Alltoall => {
             let mut sendbuf = vec![0u8; world * b];
             comm.fill_sendbuf(&mut sendbuf);
@@ -393,7 +515,7 @@ fn run_for_recording(
             );
             comm.finish(Some(recvbuf))
         }
-        CollectiveKind::Barrier | CollectiveKind::Reduce => {
+        CollectiveKind::Barrier => {
             dispatch::execute(profile, &comm, CollectiveRequest::Barrier, COMPILE_TAG_BASE);
             comm.finish(None)
         }
@@ -462,6 +584,49 @@ pub fn run_planned<C: Comm>(plan: &RankPlan, comm: &C, request: CollectiveReques
             Some(op),
             tag,
         ),
+        CollectiveRequest::Reduce {
+            sendbuf,
+            recvbuf,
+            op,
+            ..
+        } => execute_rank_plan(
+            plan,
+            comm,
+            PlanIo {
+                sendbuf: Some(sendbuf),
+                // Significant only at the root, as with the gather recvbuf.
+                recvbuf: plan.io.recvbuf.is_some().then_some(recvbuf).flatten(),
+            },
+            Some(op),
+            tag,
+        ),
+        CollectiveRequest::ReduceScatter {
+            sendbuf,
+            recvbuf,
+            op,
+            ..
+        } => execute_rank_plan(
+            plan,
+            comm,
+            PlanIo {
+                sendbuf: Some(sendbuf),
+                recvbuf: Some(recvbuf),
+            },
+            Some(op),
+            tag,
+        ),
+        CollectiveRequest::Scan { buf, op, .. } | CollectiveRequest::Exscan { buf, op, .. } => {
+            execute_rank_plan(
+                plan,
+                comm,
+                PlanIo {
+                    sendbuf: None,
+                    recvbuf: Some(buf),
+                },
+                Some(op),
+                tag,
+            )
+        }
         CollectiveRequest::Alltoall { sendbuf, recvbuf } => execute_rank_plan(
             plan,
             comm,

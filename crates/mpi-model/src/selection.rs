@@ -77,6 +77,37 @@ pub enum AlltoallAlgo {
     MultiObject,
 }
 
+/// Reduce algorithm choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReduceAlgo {
+    /// Binomial tree over all ranks (MPICH-derived small-message default).
+    Binomial,
+    /// PiP-MColl multi-object chunk-ownership reduce.
+    MultiObject,
+}
+
+/// Reduce_scatter algorithm choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReduceScatterAlgo {
+    /// Recursive halving (MPICH default for commutative operators at small
+    /// and medium sizes).
+    RecursiveHalving,
+    /// Ring pipeline (bandwidth-optimal large-message choice).
+    Ring,
+    /// PiP-MColl multi-object chunk-ownership reduce_scatter.
+    MultiObject,
+}
+
+/// Scan / exscan algorithm choices (the prefix collectives share one
+/// switch, as the real libraries do).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScanAlgo {
+    /// Recursive doubling (MPICH default).
+    RecursiveDoubling,
+    /// Linear pipeline (Open MPI's base implementation).
+    Linear,
+}
+
 /// The byte threshold (per-process message size) above which libraries
 /// switch from latency-oriented to bandwidth-oriented algorithms.
 pub const LARGE_MESSAGE_THRESHOLD: usize = 32 * 1024;
@@ -100,6 +131,15 @@ pub struct SelectionTable {
     pub allreduce_large: AllreduceAlgo,
     /// Alltoall.
     pub alltoall: AlltoallAlgo,
+    /// Reduce (same algorithm across the sizes studied).
+    pub reduce: ReduceAlgo,
+    /// Reduce_scatter for small messages (per-rank block below
+    /// [`LARGE_MESSAGE_THRESHOLD`]).
+    pub reduce_scatter_small: ReduceScatterAlgo,
+    /// Reduce_scatter for large messages.
+    pub reduce_scatter_large: ReduceScatterAlgo,
+    /// Scan and exscan.
+    pub scan: ScanAlgo,
     /// Whether recursive doubling replaces Bruck when the rank count is a
     /// power of two (MPICH-derived behaviour).
     pub prefer_recursive_doubling_pow2: bool,
@@ -117,6 +157,10 @@ impl SelectionTable {
             allreduce_small: AllreduceAlgo::RecursiveDoubling,
             allreduce_large: AllreduceAlgo::Ring,
             alltoall: AlltoallAlgo::Bruck,
+            reduce: ReduceAlgo::Binomial,
+            reduce_scatter_small: ReduceScatterAlgo::RecursiveHalving,
+            reduce_scatter_large: ReduceScatterAlgo::Ring,
+            scan: ScanAlgo::Linear,
             prefer_recursive_doubling_pow2: false,
         }
     }
@@ -132,6 +176,10 @@ impl SelectionTable {
             allreduce_small: AllreduceAlgo::RecursiveDoubling,
             allreduce_large: AllreduceAlgo::Ring,
             alltoall: AlltoallAlgo::Bruck,
+            reduce: ReduceAlgo::Binomial,
+            reduce_scatter_small: ReduceScatterAlgo::RecursiveHalving,
+            reduce_scatter_large: ReduceScatterAlgo::Ring,
+            scan: ScanAlgo::RecursiveDoubling,
             prefer_recursive_doubling_pow2: true,
         }
     }
@@ -147,6 +195,10 @@ impl SelectionTable {
             allreduce_small: AllreduceAlgo::Hierarchical,
             allreduce_large: AllreduceAlgo::Ring,
             alltoall: AlltoallAlgo::Bruck,
+            reduce: ReduceAlgo::Binomial,
+            reduce_scatter_small: ReduceScatterAlgo::RecursiveHalving,
+            reduce_scatter_large: ReduceScatterAlgo::Ring,
+            scan: ScanAlgo::RecursiveDoubling,
             prefer_recursive_doubling_pow2: true,
         }
     }
@@ -162,6 +214,10 @@ impl SelectionTable {
             allreduce_small: AllreduceAlgo::RecursiveDoubling,
             allreduce_large: AllreduceAlgo::Ring,
             alltoall: AlltoallAlgo::Bruck,
+            reduce: ReduceAlgo::Binomial,
+            reduce_scatter_small: ReduceScatterAlgo::RecursiveHalving,
+            reduce_scatter_large: ReduceScatterAlgo::Ring,
+            scan: ScanAlgo::RecursiveDoubling,
             prefer_recursive_doubling_pow2: true,
         }
     }
@@ -177,6 +233,10 @@ impl SelectionTable {
             allreduce_small: AllreduceAlgo::MultiObject,
             allreduce_large: AllreduceAlgo::MultiObject,
             alltoall: AlltoallAlgo::MultiObject,
+            reduce: ReduceAlgo::MultiObject,
+            reduce_scatter_small: ReduceScatterAlgo::MultiObject,
+            reduce_scatter_large: ReduceScatterAlgo::MultiObject,
+            scan: ScanAlgo::RecursiveDoubling,
             prefer_recursive_doubling_pow2: false,
         }
     }
@@ -205,6 +265,18 @@ impl SelectionTable {
             self.allreduce_large
         } else {
             self.allreduce_small
+        }
+    }
+
+    /// The reduce_scatter algorithm for a per-rank output block of `bytes`
+    /// bytes (the same per-process message-size axis the other collectives
+    /// switch on; the ring's `p - 1` rounds only pay off once each block is
+    /// bandwidth-bound).
+    pub fn reduce_scatter_for(&self, bytes: usize) -> ReduceScatterAlgo {
+        if bytes >= LARGE_MESSAGE_THRESHOLD {
+            self.reduce_scatter_large
+        } else {
+            self.reduce_scatter_small
         }
     }
 }
@@ -275,5 +347,45 @@ mod tests {
         let table = SelectionTable::mvapich2();
         assert_eq!(table.scatter, ScatterAlgo::Hierarchical);
         assert_eq!(table.bcast, BcastAlgo::Hierarchical);
+    }
+
+    #[test]
+    fn pip_mcoll_selects_multi_object_for_the_reduction_family() {
+        let table = SelectionTable::pip_mcoll();
+        assert_eq!(table.reduce, ReduceAlgo::MultiObject);
+        assert_eq!(table.reduce_scatter_for(64), ReduceScatterAlgo::MultiObject);
+        assert_eq!(
+            table.reduce_scatter_for(1 << 20),
+            ReduceScatterAlgo::MultiObject
+        );
+    }
+
+    #[test]
+    fn comparators_switch_reduce_scatter_to_ring_for_large_vectors() {
+        for table in [
+            SelectionTable::open_mpi(),
+            SelectionTable::intel_mpi(),
+            SelectionTable::mvapich2(),
+            SelectionTable::pip_mpich(),
+        ] {
+            assert_eq!(
+                table.reduce_scatter_for(256),
+                ReduceScatterAlgo::RecursiveHalving
+            );
+            assert_eq!(
+                table.reduce_scatter_for(LARGE_MESSAGE_THRESHOLD),
+                ReduceScatterAlgo::Ring
+            );
+            assert_eq!(table.reduce, ReduceAlgo::Binomial);
+        }
+    }
+
+    #[test]
+    fn open_mpi_uses_the_linear_scan_pipeline() {
+        assert_eq!(SelectionTable::open_mpi().scan, ScanAlgo::Linear);
+        assert_eq!(
+            SelectionTable::pip_mpich().scan,
+            ScanAlgo::RecursiveDoubling
+        );
     }
 }

@@ -252,6 +252,198 @@ fn persistent_collectives_match_oracle_across_repeated_starts() {
     }
 }
 
+/// Nine outstanding requests mingling the reduction family with the
+/// original six collectives — `ireduce`/`ireduce_scatter`/`iscan` in flight
+/// alongside iallgather/iscatter/ibcast/igather/iallreduce/ialltoall — and
+/// waits in per-rank rotated order so completion happens out of submission
+/// order and differently on every rank.
+#[test]
+fn reduction_requests_interleave_with_the_original_six() {
+    for library in [Library::PipMColl, Library::OpenMpi, Library::PipMpich] {
+        for (nodes, ppn) in [(2, 3), (3, 3)] {
+            let topo = Topology::new(nodes, ppn);
+            let world = topo.world_size();
+            let block = 5;
+            let root = (world - 1) / 2;
+
+            let contributions: Vec<Vec<u8>> = (0..world).map(|r| payload(r, block, 0)).collect();
+            let expected_allgather = oracle::allgather(&contributions);
+            let expected_gather = oracle::gather(&contributions);
+            let expected_allreduce = oracle::allreduce(&contributions, oracle::wrapping_add_u8);
+            let expected_reduce = oracle::reduce(&contributions, oracle::wrapping_add_u8);
+            let expected_scan = oracle::scan(&contributions, oracle::wrapping_add_u8);
+            let scatter_src = payload(root, world * block, 0);
+            let expected_scatter = oracle::scatter(&scatter_src, world);
+            let bcast_src = payload(root, block, 0);
+            let alltoall_inputs: Vec<Vec<u8>> =
+                (0..world).map(|r| payload(r, world * block, 1)).collect();
+            let expected_alltoall = oracle::alltoall(&alltoall_inputs, world);
+            let rs_inputs: Vec<Vec<u8>> =
+                (0..world).map(|r| payload(r, world * block, 2)).collect();
+            let expected_rs = oracle::reduce_scatter(&rs_inputs, world, oracle::wrapping_add_u8);
+
+            let scatter_src_ref = &scatter_src;
+            let bcast_src_ref = &bcast_src;
+            let results = World::run_with_profile(topo, library.profile(), |comm| {
+                let rank = comm.rank();
+                let mine = payload(rank, block, 0);
+
+                // Submit all nine before completing any.
+                let r_allgather = comm.iallgather(&mine);
+                let r_reduce = comm.ireduce(&mine, ReduceOp::Sum, root);
+                let r_scatter = comm.iscatter(
+                    (rank == root).then_some(scatter_src_ref.as_slice()),
+                    block,
+                    root,
+                );
+                let r_rs =
+                    comm.ireduce_scatter(&payload(rank, world * block, 2), block, ReduceOp::Sum);
+                let bcast_in = if rank == root {
+                    bcast_src_ref.clone()
+                } else {
+                    vec![0u8; block]
+                };
+                let r_bcast = comm.ibcast(&bcast_in, root);
+                let r_scan = comm.iscan(&mine, ReduceOp::Sum);
+                let r_gather = comm.igather(&mine, root);
+                let r_allreduce = comm.iallreduce(&mine, ReduceOp::Sum);
+                let r_alltoall = comm.ialltoall(&payload(rank, world * block, 1), block);
+                assert_eq!(comm.outstanding_requests(), 9);
+
+                // Complete in per-rank rotated order.
+                let mut outputs: Vec<Option<Vec<u8>>> = vec![None; 9];
+                let mut gathered: Option<Option<Vec<u8>>> = None;
+                let mut reduced: Option<Option<Vec<u8>>> = None;
+                let mut r_allgather = Some(r_allgather);
+                let mut r_reduce = Some(r_reduce);
+                let mut r_scatter = Some(r_scatter);
+                let mut r_rs = Some(r_rs);
+                let mut r_bcast = Some(r_bcast);
+                let mut r_scan = Some(r_scan);
+                let mut r_gather = Some(r_gather);
+                let mut r_allreduce = Some(r_allreduce);
+                let mut r_alltoall = Some(r_alltoall);
+                let mut order: Vec<usize> = (0..9).collect();
+                order.rotate_left(rank % 9);
+                for slot in order {
+                    match slot {
+                        0 => outputs[0] = Some(r_allgather.take().unwrap().wait()),
+                        1 => reduced = Some(r_reduce.take().unwrap().wait()),
+                        2 => outputs[2] = Some(r_scatter.take().unwrap().wait()),
+                        3 => outputs[3] = Some(r_rs.take().unwrap().wait()),
+                        4 => outputs[4] = Some(r_bcast.take().unwrap().wait()),
+                        5 => outputs[5] = Some(r_scan.take().unwrap().wait()),
+                        6 => gathered = Some(r_gather.take().unwrap().wait()),
+                        7 => outputs[7] = Some(r_allreduce.take().unwrap().wait()),
+                        8 => outputs[8] = Some(r_alltoall.take().unwrap().wait()),
+                        _ => unreachable!(),
+                    }
+                }
+                assert_eq!(comm.outstanding_requests(), 0);
+                (outputs, gathered.unwrap(), reduced.unwrap())
+            })
+            .unwrap();
+
+            for (rank, (outputs, gathered, reduced)) in results.iter().enumerate() {
+                let ctx = format!("{} on {nodes}x{ppn} rank {rank}", library.name());
+                assert_eq!(
+                    outputs[0].as_ref().unwrap(),
+                    &expected_allgather,
+                    "iallgather {ctx}"
+                );
+                assert_eq!(
+                    outputs[2].as_ref().unwrap(),
+                    &expected_scatter[rank],
+                    "iscatter {ctx}"
+                );
+                assert_eq!(
+                    outputs[3].as_ref().unwrap(),
+                    &expected_rs[rank],
+                    "ireduce_scatter {ctx}"
+                );
+                assert_eq!(outputs[4].as_ref().unwrap(), &bcast_src, "ibcast {ctx}");
+                assert_eq!(
+                    outputs[5].as_ref().unwrap(),
+                    &expected_scan[rank],
+                    "iscan {ctx}"
+                );
+                assert_eq!(
+                    outputs[7].as_ref().unwrap(),
+                    &expected_allreduce,
+                    "iallreduce {ctx}"
+                );
+                assert_eq!(
+                    outputs[8].as_ref().unwrap(),
+                    &expected_alltoall[rank],
+                    "ialltoall {ctx}"
+                );
+                if rank == root {
+                    assert_eq!(
+                        gathered.as_ref().unwrap(),
+                        &expected_gather,
+                        "igather {ctx}"
+                    );
+                    assert_eq!(reduced.as_ref().unwrap(), &expected_reduce, "ireduce {ctx}");
+                } else {
+                    assert!(gathered.is_none(), "igather off-root ({ctx})");
+                    assert!(reduced.is_none(), "ireduce off-root ({ctx})");
+                }
+            }
+        }
+    }
+}
+
+/// Persistent reduction starts are pure cache traffic: after init, every
+/// start is a plan-cache *hit* path with zero additional compiles, pinned
+/// via both counters across repeated rounds.
+#[test]
+fn persistent_reduction_starts_never_recompile() {
+    let topo = Topology::new(2, 3);
+    let world = topo.world_size();
+    let block = 6;
+    let results = World::run_with_profile(topo, Library::PipMColl.profile(), |comm| {
+        let rank = comm.rank();
+        let mut rs =
+            comm.reduce_scatter_init(&payload(rank, world * block, 0), block, ReduceOp::Sum);
+        let mut scan = comm.scan_init(&payload(rank, block, 0), ReduceOp::Sum);
+        let mut reduce = comm.reduce_init(&payload(rank, block, 0), ReduceOp::Sum, 0);
+        let (hits_init, misses_init) = comm.plan_stats();
+        let entries_init = comm.plan_entries();
+        for round in 0..4 {
+            rs.write_send(&payload(rank, world * block, round));
+            scan.write_send(&payload(rank, block, round));
+            reduce.write_send(&payload(rank, block, round));
+            rs.start();
+            scan.start();
+            reduce.start();
+            let _ = reduce.wait();
+            let _ = scan.wait();
+            let _ = rs.wait();
+        }
+        let (hits, misses) = comm.plan_stats();
+        (
+            hits_init,
+            misses_init,
+            entries_init,
+            hits,
+            misses,
+            comm.plan_entries(),
+        )
+    })
+    .unwrap();
+    for (hits_init, misses_init, entries_init, hits, misses, entries) in results {
+        assert_eq!(misses_init, 3, "three distinct shapes compile at init");
+        assert_eq!(entries_init, 3);
+        assert_eq!(hits_init, 0);
+        assert_eq!(misses, misses_init, "starts must never recompile");
+        assert_eq!(entries, entries_init, "starts must never add cache entries");
+        assert_eq!(
+            hits, hits_init,
+            "persistent starts reuse the pinned plan without lookups"
+        );
+    }
+}
+
 /// Eight outstanding requests — duplicate shapes included — on one
 /// communicator, completed in reverse submission order.
 #[test]

@@ -1,0 +1,438 @@
+//! Differential property harness for the reduction family — reduce,
+//! reduce_scatter, scan and exscan are pinned against the sequential oracle
+//! for every library × topology (including non-power-of-two worlds and
+//! blocks that do not divide into the per-node chunk partition), via all
+//! four entry styles:
+//!
+//! 1. **blocking** (`Communicator::{reduce, reduce_scatter, scan, exscan}`),
+//! 2. **non-blocking** (`i*`, submitted interleaved and waited in per-rank
+//!    rotated order),
+//! 3. **persistent** (`*_init` with refreshed inputs, starts never
+//!    recompile),
+//! 4. **lowered plan** (schedule-fidelity cluster plans lower op-for-op to
+//!    the legacy per-rank recording).
+//!
+//! Proptest drives randomized sizes (non-power-of-two, non-divisible),
+//! roots and operators — including the non-invertible Min/Max, where a
+//! wrong contribution *subset* (not merely a wrong combination order) is
+//! visible in the result.  A plan-cache key regression pins that distinct
+//! reduction shapes never alias one cache entry.
+
+use proptest::prelude::*;
+
+use pip_mcoll::collectives::oracle;
+use pip_mcoll::collectives::plan::Fidelity;
+use pip_mcoll::collectives::CollectiveKind;
+use pip_mcoll::core::prelude::*;
+use pip_mcoll::model::plan::{compile_cluster, PlanCache, PlanKey};
+use pip_mcoll::model::{dispatch, CollectiveShape};
+
+const TOPOLOGIES: [(usize, usize); 5] = [(1, 1), (1, 4), (2, 3), (3, 3), (5, 2)];
+
+/// Deterministic per-rank payload, varied per round.
+fn payload(rank: usize, len: usize, round: usize) -> Vec<u8> {
+    let mut bytes = oracle::rank_payload(rank + round * 31, len);
+    for b in &mut bytes {
+        *b = b.wrapping_add(round as u8);
+    }
+    bytes
+}
+
+/// The byte-level combine matching a typed `ReduceOp` over `u8` elements.
+fn combine_for(op: ReduceOp) -> fn(&mut [u8], &[u8]) {
+    match op {
+        ReduceOp::Sum => oracle::wrapping_add_u8,
+        ReduceOp::Max => oracle::max_u8,
+        ReduceOp::Min => oracle::min_u8,
+        ReduceOp::Prod => |acc: &mut [u8], other: &[u8]| {
+            for (a, b) in acc.iter_mut().zip(other) {
+                *a = a.wrapping_mul(*b);
+            }
+        },
+    }
+}
+
+/// Expected results for every rank: (reduce@root, reduce_scatter block,
+/// scan prefix, exscan prefix).
+struct Expected {
+    reduce: Vec<u8>,
+    reduce_scatter: Vec<Vec<u8>>,
+    scan: Vec<Vec<u8>>,
+    exscan: Vec<Vec<u8>>,
+}
+
+fn expected(world: usize, block: usize, op: ReduceOp, round: usize) -> Expected {
+    let combine = combine_for(op);
+    let vectors: Vec<Vec<u8>> = (0..world)
+        .map(|r| payload(r, world * block, round))
+        .collect();
+    let blocks: Vec<Vec<u8>> = (0..world).map(|r| payload(r, block, round)).collect();
+    Expected {
+        reduce: oracle::reduce(&blocks, combine),
+        reduce_scatter: oracle::reduce_scatter(&vectors, world, combine),
+        scan: oracle::scan(&blocks, combine),
+        exscan: oracle::exscan(&blocks, combine),
+    }
+}
+
+/// Run all four blocking reduction collectives on every rank and return the
+/// per-rank observations.
+#[allow(clippy::type_complexity)]
+fn run_blocking(
+    library: Library,
+    nodes: usize,
+    ppn: usize,
+    block: usize,
+    root: usize,
+    op: ReduceOp,
+) -> Vec<(Option<Vec<u8>>, Vec<u8>, Vec<u8>, Vec<u8>)> {
+    let topo = Topology::new(nodes, ppn);
+    let world = topo.world_size();
+    World::run_with_profile(topo, library.profile(), |comm| {
+        let rank = comm.rank();
+        let reduced = comm.reduce(&payload(rank, block, 0), op, root);
+        let scattered = comm.reduce_scatter(&payload(rank, world * block, 0), block, op);
+        let mut prefix = payload(rank, block, 0);
+        comm.scan(&mut prefix, op);
+        let mut exclusive = payload(rank, block, 0);
+        comm.exscan(&mut exclusive, op);
+        (reduced, scattered, prefix, exclusive)
+    })
+    .unwrap()
+}
+
+fn check_case(library: Library, nodes: usize, ppn: usize, block: usize, root: usize, op: ReduceOp) {
+    let world = nodes * ppn;
+    let root = root % world;
+    let want = expected(world, block, op, 0);
+    let results = run_blocking(library, nodes, ppn, block, root, op);
+    for (rank, (reduced, scattered, prefix, exclusive)) in results.iter().enumerate() {
+        let ctx = format!(
+            "{} on {nodes}x{ppn} rank {rank} block {block} root {root} {op:?}",
+            library.name()
+        );
+        if rank == root {
+            assert_eq!(reduced.as_ref().unwrap(), &want.reduce, "reduce {ctx}");
+        } else {
+            assert!(reduced.is_none(), "reduce off-root must be None ({ctx})");
+        }
+        assert_eq!(
+            scattered, &want.reduce_scatter[rank],
+            "reduce_scatter {ctx}"
+        );
+        assert_eq!(prefix, &want.scan[rank], "scan {ctx}");
+        assert_eq!(exclusive, &want.exscan[rank], "exscan {ctx}");
+    }
+}
+
+/// Entry style 1 — blocking, every library × topology on a fixed odd block.
+#[test]
+fn blocking_reduction_family_matches_oracle_everywhere() {
+    for library in Library::ALL {
+        for (nodes, ppn) in TOPOLOGIES {
+            let world = nodes * ppn;
+            check_case(library, nodes, ppn, 5, (world - 1) / 2, ReduceOp::Sum);
+        }
+    }
+}
+
+/// Large blocks cross the reduce_scatter Ring switch point for the
+/// comparators (per-rank block >= LARGE_MESSAGE_THRESHOLD) while PiP-MColl
+/// stays multi-object — both must still match the oracle.
+#[test]
+fn large_block_reduce_scatter_crosses_the_ring_switch() {
+    let (nodes, ppn) = (2, 3);
+    for library in [Library::OpenMpi, Library::PipMpich, Library::PipMColl] {
+        let block = pip_mcoll::model::selection::LARGE_MESSAGE_THRESHOLD;
+        let world = nodes * ppn;
+        assert_eq!(
+            library.profile().selection.reduce_scatter_for(block),
+            if library == Library::PipMColl {
+                pip_mcoll::model::ReduceScatterAlgo::MultiObject
+            } else {
+                pip_mcoll::model::ReduceScatterAlgo::Ring
+            }
+        );
+        let topo = Topology::new(nodes, ppn);
+        let want = expected(world, block, ReduceOp::Sum, 0);
+        let results = World::run_with_profile(topo, library.profile(), |comm| {
+            comm.reduce_scatter(
+                &payload(comm.rank(), world * block, 0),
+                block,
+                ReduceOp::Sum,
+            )
+        })
+        .unwrap();
+        for (rank, scattered) in results.iter().enumerate() {
+            assert_eq!(
+                scattered,
+                &want.reduce_scatter[rank],
+                "{} large-block reduce_scatter rank {rank}",
+                library.name()
+            );
+        }
+    }
+}
+
+/// Entry style 2 — non-blocking: all four submitted before any wait, waited
+/// in per-rank rotated order, for every library × topology.
+#[test]
+fn nonblocking_reduction_family_matches_oracle_with_rotated_waits() {
+    for library in Library::ALL {
+        for (nodes, ppn) in TOPOLOGIES {
+            let topo = Topology::new(nodes, ppn);
+            let world = topo.world_size();
+            let block = 5;
+            let root = (world - 1) / 2;
+            let want = expected(world, block, ReduceOp::Sum, 0);
+
+            let results = World::run_with_profile(topo, library.profile(), |comm| {
+                let rank = comm.rank();
+                let r_reduce = comm.ireduce(&payload(rank, block, 0), ReduceOp::Sum, root);
+                let r_rs =
+                    comm.ireduce_scatter(&payload(rank, world * block, 0), block, ReduceOp::Sum);
+                let r_scan = comm.iscan(&payload(rank, block, 0), ReduceOp::Sum);
+                let r_exscan = comm.iexscan(&payload(rank, block, 0), ReduceOp::Sum);
+                assert_eq!(comm.outstanding_requests(), 4);
+
+                let mut reduce_out = None;
+                let mut outputs: [Option<Vec<u8>>; 3] = [None, None, None];
+                let mut r_reduce = Some(r_reduce);
+                let mut r_rs = Some(r_rs);
+                let mut r_scan = Some(r_scan);
+                let mut r_exscan = Some(r_exscan);
+                let mut order: Vec<usize> = (0..4).collect();
+                order.rotate_left(rank % 4);
+                for slot in order {
+                    match slot {
+                        0 => reduce_out = Some(r_reduce.take().unwrap().wait()),
+                        1 => outputs[0] = Some(r_rs.take().unwrap().wait()),
+                        2 => outputs[1] = Some(r_scan.take().unwrap().wait()),
+                        3 => outputs[2] = Some(r_exscan.take().unwrap().wait()),
+                        _ => unreachable!(),
+                    }
+                }
+                assert_eq!(comm.outstanding_requests(), 0);
+                (reduce_out.unwrap(), outputs)
+            })
+            .unwrap();
+
+            for (rank, (reduced, outputs)) in results.iter().enumerate() {
+                let ctx = format!("{} on {nodes}x{ppn} rank {rank}", library.name());
+                if rank == root {
+                    assert_eq!(reduced.as_ref().unwrap(), &want.reduce, "ireduce {ctx}");
+                } else {
+                    assert!(reduced.is_none(), "ireduce off-root ({ctx})");
+                }
+                assert_eq!(
+                    outputs[0].as_ref().unwrap(),
+                    &want.reduce_scatter[rank],
+                    "ireduce_scatter {ctx}"
+                );
+                assert_eq!(
+                    outputs[1].as_ref().unwrap(),
+                    &want.scan[rank],
+                    "iscan {ctx}"
+                );
+                assert_eq!(
+                    outputs[2].as_ref().unwrap(),
+                    &want.exscan[rank],
+                    "iexscan {ctx}"
+                );
+            }
+        }
+    }
+}
+
+/// Entry style 3 — persistent: repeated starts with refreshed inputs, and
+/// the starts never recompile (plan-cache miss counter pinned), for every
+/// library × topology.
+#[test]
+fn persistent_reduction_family_matches_oracle_across_repeated_starts() {
+    const ROUNDS: usize = 3;
+    for library in Library::ALL {
+        for (nodes, ppn) in TOPOLOGIES {
+            let topo = Topology::new(nodes, ppn);
+            let world = topo.world_size();
+            let block = 5;
+            let root = (world - 1) / 2;
+
+            let results = World::run_with_profile(topo, library.profile(), |comm| {
+                let rank = comm.rank();
+                let mut reduce = comm.reduce_init(&payload(rank, block, 0), ReduceOp::Sum, root);
+                let mut rs = comm.reduce_scatter_init(
+                    &payload(rank, world * block, 0),
+                    block,
+                    ReduceOp::Sum,
+                );
+                let mut scan = comm.scan_init(&payload(rank, block, 0), ReduceOp::Sum);
+                let mut exscan = comm.exscan_init(&payload(rank, block, 0), ReduceOp::Sum);
+                let (_, misses_after_init) = comm.plan_stats();
+
+                let mut rounds_out = Vec::new();
+                for round in 0..ROUNDS {
+                    if round > 0 {
+                        reduce.write_send(&payload(rank, block, round));
+                        rs.write_send(&payload(rank, world * block, round));
+                        scan.write_send(&payload(rank, block, round));
+                        exscan.write_send(&payload(rank, block, round));
+                    }
+                    reduce.start();
+                    rs.start();
+                    scan.start();
+                    exscan.start();
+                    // Wait in reverse start order.
+                    let e = exscan.wait();
+                    let s = scan.wait();
+                    let r = rs.wait();
+                    let d = reduce.wait();
+                    rounds_out.push((d, r, s, e));
+                }
+                let (_, misses_after_rounds) = comm.plan_stats();
+                assert_eq!(
+                    misses_after_init, misses_after_rounds,
+                    "persistent reduction starts must never recompile"
+                );
+                rounds_out
+            })
+            .unwrap();
+
+            for round in 0..ROUNDS {
+                let want = expected(world, block, ReduceOp::Sum, round);
+                for (rank, rounds_out) in results.iter().enumerate() {
+                    let ctx = format!(
+                        "{} on {nodes}x{ppn} rank {rank} round {round}",
+                        library.name()
+                    );
+                    let (d, r, s, e) = &rounds_out[round];
+                    if rank == root {
+                        assert_eq!(d.as_ref().unwrap(), &want.reduce, "reduce_init {ctx}");
+                    } else {
+                        assert!(d.is_none(), "reduce_init off-root ({ctx})");
+                    }
+                    assert_eq!(r, &want.reduce_scatter[rank], "reduce_scatter_init {ctx}");
+                    assert_eq!(s, &want.scan[rank], "scan_init {ctx}");
+                    assert_eq!(e, &want.exscan[rank], "exscan_init {ctx}");
+                }
+            }
+        }
+    }
+}
+
+fn shape(kind: CollectiveKind, block: usize, root: usize) -> CollectiveShape {
+    CollectiveShape {
+        kind,
+        block,
+        root,
+        elem_size: 1,
+    }
+}
+
+/// Entry style 4 — lowered plans: every reduction collective's schedule-
+/// fidelity cluster plan validates and lowers op-for-op to the legacy
+/// per-rank recording, for every library × topology.
+#[test]
+fn reduction_plan_lowering_matches_legacy_recording() {
+    for library in Library::ALL {
+        for (nodes, ppn) in [(2, 3), (3, 3), (5, 2)] {
+            let topo = Topology::new(nodes, ppn);
+            let profile = library.profile();
+            let bytes = 64;
+            let root = topo.world_size() - 1;
+            let cases: Vec<(CollectiveShape, pip_mcoll::netsim::trace::Trace)> = vec![
+                (
+                    shape(CollectiveKind::Reduce, bytes, root),
+                    dispatch::record_reduce(&profile, topo, bytes, root),
+                ),
+                (
+                    shape(CollectiveKind::ReduceScatter, bytes, 0),
+                    dispatch::record_reduce_scatter(&profile, topo, bytes),
+                ),
+                (
+                    shape(CollectiveKind::Scan, bytes, 0),
+                    dispatch::record_scan(&profile, topo, bytes),
+                ),
+                (
+                    shape(CollectiveKind::Exscan, bytes, 0),
+                    dispatch::record_exscan(&profile, topo, bytes),
+                ),
+            ];
+            for (case, legacy) in cases {
+                let plan = compile_cluster(&profile, topo, &case, Fidelity::Schedule);
+                plan.validate().unwrap_or_else(|e| {
+                    panic!("{} {:?} plan invalid: {e}", library.name(), case.kind)
+                });
+                let lowered = plan.to_trace(1);
+                assert_eq!(
+                    lowered,
+                    legacy,
+                    "{} {:?} on {nodes}x{ppn}: lowering diverges from legacy recording",
+                    library.name(),
+                    case.kind
+                );
+            }
+        }
+    }
+}
+
+/// Plan-cache key regression: distinct reduction shapes (different roots,
+/// reduce_scatter vs allreduce of the same size) must never collide in
+/// `PlanKey` or share a cache entry.
+#[test]
+fn distinct_reduction_shapes_never_collide_in_the_plan_cache() {
+    let profile = Library::PipMColl.profile();
+    let topo = Topology::new(2, 2);
+    let shapes = [
+        shape(CollectiveKind::Reduce, 8, 0),
+        shape(CollectiveKind::Reduce, 8, 1),
+        shape(CollectiveKind::ReduceScatter, 8, 0),
+        shape(CollectiveKind::Allreduce, 8, 0),
+        shape(CollectiveKind::Scan, 8, 0),
+        shape(CollectiveKind::Exscan, 8, 0),
+    ];
+    // The keys themselves are pairwise distinct...
+    for (i, a) in shapes.iter().enumerate() {
+        for b in &shapes[i + 1..] {
+            assert_ne!(
+                PlanKey::new(&profile, topo, *a),
+                PlanKey::new(&profile, topo, *b),
+                "{a:?} and {b:?} alias one plan key"
+            );
+        }
+    }
+    // ...and a live cache keeps one entry per shape: all compiles are
+    // misses, every repeat is a hit, and the entry count never merges.
+    let mut cache = PlanCache::new();
+    for s in &shapes {
+        cache.lookup_or_compile(&profile, topo, 0, s);
+    }
+    assert_eq!(cache.len(), shapes.len());
+    assert_eq!(cache.stats(), (0, shapes.len() as u64));
+    for s in &shapes {
+        cache.lookup_or_compile(&profile, topo, 0, s);
+    }
+    assert_eq!(cache.len(), shapes.len());
+    assert_eq!(cache.stats(), (shapes.len() as u64, shapes.len() as u64));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized differential check: arbitrary block sizes (including
+    /// non-power-of-two and sizes that do not divide across ppn chunks),
+    /// arbitrary roots, Sum plus the non-invertible Min/Max, across every
+    /// library on a randomly drawn topology.
+    #[test]
+    fn prop_reduction_family_matches_oracle(
+        topo_idx in 0usize..TOPOLOGIES.len(),
+        block in 1usize..24,
+        root_seed in 0usize..64,
+        op_idx in 0usize..3,
+    ) {
+        let (nodes, ppn) = TOPOLOGIES[topo_idx];
+        let op = [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max][op_idx];
+        for library in Library::ALL {
+            check_case(library, nodes, ppn, block, root_seed, op);
+        }
+    }
+}
