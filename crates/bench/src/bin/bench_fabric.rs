@@ -1,0 +1,178 @@
+//! **BENCH-FABRIC**: the multi-object mailbox and zero-allocation execute
+//! plane, measured (§3–4 of the paper, applied to our simulated substrate).
+//!
+//! Two measurements, one JSON artifact (`BENCH_fabric.json`):
+//!
+//! 1. **Mailbox grid** — the mixed-tag exchange of
+//!    `pip_mcoll_bench::fabric_bench` swept over ranks × outstanding
+//!    messages × mailbox layout (single-queue baseline and 1/2/4/8 shards).
+//!    The headline number is the throughput ratio of the sharded layout
+//!    over the single-queue baseline at ≥ 8 ranks — the paper's
+//!    multi-object win reproduced as a wall-clock curve, not an assertion.
+//! 2. **Persistent starts** — a PiP-MColl world runs `allreduce_init` /
+//!    `reduce_scatter_init` and starts them repeatedly; the communicator's
+//!    buffer-arena counters must show **zero further misses after the first
+//!    invocation** (asserted here and pinned again in
+//!    `tests/arena_steady_state.rs`): the steady state of the execute plane
+//!    is allocation-free.
+//!
+//! ```text
+//! cargo run --release -p pip-mcoll-bench --bin bench_fabric
+//! ```
+
+use pip_mcoll_bench::fabric_bench::{
+    layout_name, rounds_for_budget, run_mailbox_workload, sweep_layouts, MailboxPoint,
+    MAILBOX_PAYLOAD_BYTES,
+};
+use pip_mcoll_core::datatype::ReduceOp;
+use pip_mcoll_core::world::World;
+use pip_mpi_model::Library;
+use pip_runtime::MailboxLayout;
+
+/// Messages per grid point (split into rounds as needed): long enough to
+/// time, short enough for a CI smoke run.
+const MESSAGE_BUDGET: usize = 30_000;
+
+const RANK_AXIS: [usize; 4] = [2, 4, 8, 16];
+const OUTSTANDING_AXIS: [usize; 2] = [128, 1024];
+
+/// The persistent-start arena measurement: start each handle once (filling
+/// the pool), snapshot, start `extra_starts` more times, snapshot again.
+/// Returns per-rank `(misses_after_first, misses_after_last,
+/// hits_after_last)` — the first two must be equal on every rank.
+fn persistent_start_counts(extra_starts: usize) -> Vec<(u64, u64, u64)> {
+    World::builder()
+        .nodes(2)
+        .ppn(4)
+        .library(Library::PipMColl)
+        .run(|comm| {
+            let world = comm.size();
+            let mut allreduce = comm.allreduce_init(&vec![1.0f64; 128], ReduceOp::Sum);
+            let rs_input: Vec<i64> = (0..(world * 16) as i64).collect();
+            let mut reduce_scatter = comm.reduce_scatter_init(&rs_input, 16, ReduceOp::Sum);
+            allreduce.start();
+            let _ = allreduce.wait();
+            reduce_scatter.start();
+            let _ = reduce_scatter.wait();
+            let first = comm.arena_stats();
+            for _ in 0..extra_starts {
+                allreduce.start();
+                let _ = allreduce.wait();
+                reduce_scatter.start();
+                let _ = reduce_scatter.wait();
+            }
+            let last = comm.arena_stats();
+            (first.misses, last.misses, last.hits)
+        })
+        .expect("persistent-start world")
+}
+
+fn main() {
+    println!("=== BENCH-FABRIC: multi-object mailboxes + zero-allocation execute plane ===\n");
+    println!(
+        "Mixed-tag exchange, {MAILBOX_PAYLOAD_BYTES} B payloads, ~{MESSAGE_BUDGET} messages per point.\n"
+    );
+    println!("| Ranks | Outstanding | Layout | M msg/s | Lock contentions | Scanned/msg |");
+    println!("|---|---|---|---|---|---|");
+
+    let mut grid: Vec<MailboxPoint> = Vec::new();
+    let mut speedups: Vec<(usize, usize, f64)> = Vec::new();
+    for ranks in RANK_AXIS {
+        for outstanding in OUTSTANDING_AXIS {
+            let rounds = rounds_for_budget(ranks, outstanding, MESSAGE_BUDGET);
+            let mut single_rate = None;
+            let mut default_sharded_rate = None;
+            for layout in sweep_layouts() {
+                let point = run_mailbox_workload(ranks, outstanding, rounds, layout);
+                println!(
+                    "| {} | {} | {} | {:.2} | {} | {:.1} |",
+                    point.ranks,
+                    point.outstanding,
+                    layout_name(point.layout),
+                    point.msgs_per_sec / 1e6,
+                    point.lock_contentions,
+                    point.messages_scanned as f64 / point.messages as f64
+                );
+                match point.layout {
+                    MailboxLayout::SingleQueue => single_rate = Some(point.msgs_per_sec),
+                    MailboxLayout::Sharded { shards: 8 } => {
+                        default_sharded_rate = Some(point.msgs_per_sec)
+                    }
+                    MailboxLayout::Sharded { .. } => {}
+                }
+                grid.push(point);
+            }
+            let speedup = default_sharded_rate.unwrap() / single_rate.unwrap();
+            speedups.push((ranks, outstanding, speedup));
+        }
+    }
+
+    println!("\nSharded (8) over single-queue throughput:");
+    for (ranks, outstanding, speedup) in &speedups {
+        println!("  {ranks} ranks x {outstanding} outstanding: {speedup:.2}x");
+    }
+    // The headline is the contended operating point the multi-object
+    // argument is about: many ranks, deep mixed-tag backlog.  At shallow
+    // backlogs matching is cheap under any layout and the two layouts tie —
+    // the per-cell speedups above keep that crossover visible.
+    let deep = *OUTSTANDING_AXIS.last().expect("axis non-empty");
+    let headline = speedups
+        .iter()
+        .filter(|(ranks, outstanding, _)| *ranks >= 8 && *outstanding == deep)
+        .map(|&(_, _, s)| s)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nHeadline: sharded mailboxes are >= {headline:.2}x the single-queue baseline at \
+         8+ ranks with {deep} outstanding mixed-tag messages per peer."
+    );
+
+    let extra_starts = 9;
+    let counts = persistent_start_counts(extra_starts);
+    let (first_misses, last_misses, last_hits) = counts[0];
+    for (rank, &(first, last, _)) in counts.iter().enumerate() {
+        assert_eq!(
+            first, last,
+            "rank {rank}: persistent starts allocated after the first invocation"
+        );
+    }
+    println!(
+        "\nPersistent starts: {} extra allreduce_init + reduce_scatter_init starts performed \
+         {} arena misses (all {} misses happened on the first invocation; {} steady-state hits).",
+        extra_starts,
+        last_misses - first_misses,
+        first_misses,
+        last_hits
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"fabric_mailboxes\",\n  \"schema\": 1,\n");
+    json.push_str(&format!(
+        "  \"payload_bytes\": {MAILBOX_PAYLOAD_BYTES},\n  \"message_budget\": {MESSAGE_BUDGET},\n"
+    ));
+    json.push_str("  \"grid\": [\n");
+    for (idx, point) in grid.iter().enumerate() {
+        let comma = if idx + 1 == grid.len() { "" } else { "," };
+        json.push_str(&format!("    {}{comma}\n", point.to_json()));
+    }
+    json.push_str("  ],\n  \"speedups_sharded8_vs_single\": [\n");
+    for (idx, (ranks, outstanding, speedup)) in speedups.iter().enumerate() {
+        let comma = if idx + 1 == speedups.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"ranks\":{ranks},\"outstanding\":{outstanding},\"speedup\":{speedup:.3}}}{comma}\n"
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"headline\": {{\"speedup\": {headline:.3}, \"ranks\": \"8+\", \
+         \"outstanding\": {deep}, \"baseline\": \"single_queue\"}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"persistent_start\": {{\"collectives\": \"allreduce_init+reduce_scatter_init\", \
+         \"extra_starts\": {extra_starts}, \"misses_after_first\": {first_misses}, \
+         \"misses_after_last\": {last_misses}, \"steady_state_hits\": {last_hits}, \
+         \"steady_state_allocation_free\": {}}}\n",
+        first_misses == last_misses
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_fabric.json", &json).expect("write BENCH_fabric.json");
+    println!("\nWrote BENCH_fabric.json ({} grid points).", grid.len());
+}

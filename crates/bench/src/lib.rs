@@ -16,10 +16,12 @@
 //! thread-runtime collectives at laptop scale) so `cargo bench` exercises
 //! every experiment end to end.
 
+pub mod fabric_bench;
 pub mod figures;
 pub mod overlap;
 pub mod report;
 
+pub use fabric_bench::{run_mailbox_workload, MailboxPoint};
 pub use figures::{collective_comparison, ComparisonTable, LibrarySeries};
 pub use overlap::{allreduce_overlap, allreduce_overlap_sweep, OverlapPoint};
 pub use report::render_scaled_table;

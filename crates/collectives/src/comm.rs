@@ -141,6 +141,17 @@ pub trait Comm {
     /// under PiP no additional copy is needed to "collect" it.
     fn shared_collect(&self, name: &str, len: usize) -> Vec<u8>;
 
+    /// As [`Comm::shared_collect`] but depositing the bytes into `out`
+    /// (cleared and filled to `len`), so callers holding a reusable buffer —
+    /// the plan executor's arena — avoid the allocation.  The default
+    /// forwards to [`Comm::shared_collect`] and copies; live implementations
+    /// override it to read in place.
+    fn shared_collect_into(&self, name: &str, len: usize, out: &mut Vec<u8>) {
+        let data = self.shared_collect(name, len);
+        out.clear();
+        out.extend_from_slice(&data);
+    }
+
     /// Store `data` into the buffer `name` owned by local rank
     /// `owner_local`, starting at `offset` (one copy, performed by the
     /// caller).
@@ -150,6 +161,23 @@ pub trait Comm {
     /// `owner_local`, starting at `offset` (one copy, performed by the
     /// caller).
     fn shared_read(&self, owner_local: usize, name: &str, offset: usize, len: usize) -> Vec<u8>;
+
+    /// As [`Comm::shared_read`] but depositing the bytes into `out` (cleared
+    /// and filled to `len`) — the allocation-free twin used by the plan
+    /// executor's arena.  The default forwards to [`Comm::shared_read`] and
+    /// copies; live implementations override it to read in place.
+    fn shared_read_into(
+        &self,
+        owner_local: usize,
+        name: &str,
+        offset: usize,
+        len: usize,
+        out: &mut Vec<u8>,
+    ) {
+        let data = self.shared_read(owner_local, name, offset, len);
+        out.clear();
+        out.extend_from_slice(&data);
+    }
 
     /// Send `len` bytes straight out of a peer's exposed buffer (zero-copy:
     /// only the message itself is charged).
@@ -287,6 +315,11 @@ impl Comm for ThreadComm<'_> {
         region.read_vec(0, len).expect("shared_collect in bounds")
     }
 
+    fn shared_collect_into(&self, name: &str, len: usize, out: &mut Vec<u8>) {
+        let region = self.ctx.attach(self.local_rank(), name);
+        region.read_into_vec(0, len, out);
+    }
+
     fn shared_write(&self, owner_local: usize, name: &str, offset: usize, data: &[u8]) {
         let region = self.ctx.attach(owner_local, name);
         region.write(offset, data);
@@ -295,6 +328,18 @@ impl Comm for ThreadComm<'_> {
     fn shared_read(&self, owner_local: usize, name: &str, offset: usize, len: usize) -> Vec<u8> {
         let region = self.ctx.attach(owner_local, name);
         region.read_vec(offset, len).expect("shared_read in bounds")
+    }
+
+    fn shared_read_into(
+        &self,
+        owner_local: usize,
+        name: &str,
+        offset: usize,
+        len: usize,
+        out: &mut Vec<u8>,
+    ) {
+        let region = self.ctx.attach(owner_local, name);
+        region.read_into_vec(offset, len, out);
     }
 
     fn send_from_shared(

@@ -31,7 +31,9 @@
 use std::rc::Rc;
 
 use crate::comm::{NonBlockingComm, ReduceFn};
-use crate::plan::ir::{Fidelity, PlanOp, RankPlan, Src, SrcSeg};
+use crate::plan::arena::{shared_arena, SharedArena};
+use crate::plan::exec::{materialize_into, store_val};
+use crate::plan::ir::{Fidelity, PlanOp, RankPlan, Src};
 
 /// Tag offset (within one invocation's tag space) where the cursor's
 /// node-barrier messages live: arrival at `BARRIER_TAG_OFFSET + 2 * episode`,
@@ -87,6 +89,11 @@ pub struct PlanCursor {
     pending_out: Vec<(usize, Vec<u8>)>,
     sendbuf: Option<Vec<u8>>,
     recvbuf: Option<Vec<u8>>,
+    /// Scratch-buffer pool; shared with the communicator (and hence every
+    /// other cursor and the blocking executor of the same rank), so repeat
+    /// invocations reuse each other's buffers — see
+    /// [`crate::plan::arena::BufferArena`].
+    arena: SharedArena,
     barrier: BarrierPhase,
     barriers_done: u64,
     checked_coords: bool,
@@ -122,6 +129,21 @@ impl PlanCursor {
         sendbuf: Option<Vec<u8>>,
         recvbuf: Option<Vec<u8>>,
         tag: u64,
+    ) -> Self {
+        Self::with_arena(plan, sendbuf, recvbuf, tag, shared_arena())
+    }
+
+    /// As [`PlanCursor::new`] with a caller-provided scratch-buffer arena.
+    ///
+    /// Persistent collectives and per-communicator dispatch pass the
+    /// communicator's shared arena here, so every `start()` after the first
+    /// runs without allocating (`tests/arena_steady_state.rs` pins this).
+    pub fn with_arena(
+        plan: Rc<RankPlan>,
+        sendbuf: Option<Vec<u8>>,
+        recvbuf: Option<Vec<u8>>,
+        tag: u64,
+        arena: SharedArena,
     ) -> Self {
         assert_eq!(
             plan.fidelity,
@@ -172,6 +194,7 @@ impl PlanCursor {
             pending_out: Vec::new(),
             sendbuf,
             recvbuf,
+            arena,
             barrier: BarrierPhase::Idle,
             barriers_done: 0,
             checked_coords: false,
@@ -247,14 +270,23 @@ impl PlanCursor {
                 StepOutcome::Done => unreachable!("step_one never reports Done"),
             }
         }
-        // Program drained: flush the deferred output writes.
+        // Program drained: flush the deferred output writes and return every
+        // scratch buffer to the arena for the next invocation.
+        let mut arena = self.arena.borrow_mut();
         if let Some(out) = self.recvbuf.as_mut() {
             for (offset, data) in self.pending_out.drain(..) {
                 out[offset..offset + data.len()].copy_from_slice(&data);
+                arena.release(data);
             }
         } else {
             assert!(self.pending_out.is_empty(), "output writes need a buffer");
         }
+        for slot in &mut self.vals {
+            if let Some(buf) = slot.take() {
+                arena.release(buf);
+            }
+        }
+        drop(arena);
         self.finished = true;
         StepOutcome::Done
     }
@@ -268,10 +300,12 @@ impl PlanCursor {
             PlanOp::SharedPublish { name, src } => {
                 let data = self.materialize(src);
                 comm.shared_publish(&self.names[*name as usize], &data);
+                self.arena.borrow_mut().release(data);
             }
             PlanOp::SharedCollect { name, len, dst } => {
-                let data = comm.shared_collect(&self.names[*name as usize], *len);
-                self.vals[*dst as usize] = Some(data);
+                let mut data = self.arena.borrow_mut().acquire(*len);
+                comm.shared_collect_into(&self.names[*name as usize], *len, &mut data);
+                self.store_val(*dst, data);
             }
             PlanOp::SharedWrite {
                 owner_local,
@@ -281,6 +315,7 @@ impl PlanCursor {
             } => {
                 let data = self.materialize(src);
                 comm.shared_write(*owner_local, &self.names[*name as usize], *offset, &data);
+                self.arena.borrow_mut().release(data);
             }
             PlanOp::SharedRead {
                 owner_local,
@@ -289,9 +324,15 @@ impl PlanCursor {
                 len,
                 dst,
             } => {
-                let data =
-                    comm.shared_read(*owner_local, &self.names[*name as usize], *offset, *len);
-                self.vals[*dst as usize] = Some(data);
+                let mut data = self.arena.borrow_mut().acquire(*len);
+                comm.shared_read_into(
+                    *owner_local,
+                    &self.names[*name as usize],
+                    *offset,
+                    *len,
+                    &mut data,
+                );
+                self.store_val(*dst, data);
             }
             PlanOp::Send { dest, tag: t, src } => {
                 let data = self.materialize(src);
@@ -303,7 +344,7 @@ impl PlanCursor {
                 len,
                 dst,
             } => match comm.try_recv(*source, self.tag + t, *len) {
-                Some(data) => self.vals[*dst as usize] = Some(data),
+                Some(data) => self.store_val(*dst, data),
                 None => return StepOutcome::Blocked,
             },
             PlanOp::SendFromShared {
@@ -334,7 +375,8 @@ impl PlanCursor {
                 // The message is in hand, so depositing it in the peer's
                 // region is the same single write `recv_into_shared` does.
                 Some(data) => {
-                    comm.shared_write(*owner_local, &self.names[*name as usize], *offset, &data)
+                    comm.shared_write(*owner_local, &self.names[*name as usize], *offset, &data);
+                    self.arena.borrow_mut().release(data);
                 }
                 None => return StepOutcome::Blocked,
             },
@@ -344,7 +386,8 @@ impl PlanCursor {
                 let other_bytes = self.materialize(other);
                 let op = op.expect("plan requires a reduction operator");
                 op(&mut acc_bytes, &other_bytes);
-                self.vals[*dst as usize] = Some(acc_bytes);
+                self.arena.borrow_mut().release(other_bytes);
+                self.store_val(*dst, acc_bytes);
             }
             PlanOp::CopyOut { offset, src } => {
                 let data = self.materialize(src);
@@ -356,6 +399,11 @@ impl PlanCursor {
         }
         self.pc += 1;
         StepOutcome::Advanced
+    }
+
+    /// Store `data` into value slot `dst`, releasing any previous buffer.
+    fn store_val(&mut self, dst: u32, data: Vec<u8>) {
+        store_val(&mut self.vals, &mut self.arena.borrow_mut(), dst, data);
     }
 
     /// Drive the pollable message barrier replacing [`PlanOp::NodeBarrier`].
@@ -415,34 +463,18 @@ impl PlanCursor {
     }
 
     /// Resolve a symbolic source against the owned buffers and runtime
-    /// values (the cursor-side twin of the blocking executor's
-    /// `materialize`).
+    /// values into an arena-backed buffer (the cursor-side twin of the
+    /// blocking executor's `materialize_into`).
     fn materialize(&self, src: &Src) -> Vec<u8> {
-        let mut bytes = Vec::with_capacity(src.len());
-        for seg in &src.segs {
-            match seg {
-                SrcSeg::SendBuf { offset, len } => {
-                    let buf: &[u8] = if self.plan.io.inout {
-                        self.recvbuf.as_deref().expect("in/out buffer present")
-                    } else {
-                        self.sendbuf.as_deref().expect("send buffer present")
-                    };
-                    bytes.extend_from_slice(&buf[*offset..*offset + *len]);
-                }
-                SrcSeg::RecvInit { offset, len } => {
-                    let buf = self.recvbuf.as_deref().expect("receive buffer present");
-                    bytes.extend_from_slice(&buf[*offset..*offset + *len]);
-                }
-                SrcSeg::Val { id, offset, len } => {
-                    let val = self.vals[*id as usize]
-                        .as_deref()
-                        .expect("value defined before use");
-                    bytes.extend_from_slice(&val[*offset..*offset + *len]);
-                }
-                SrcSeg::Lit(data) => bytes.extend_from_slice(data),
-                SrcSeg::Opaque { .. } => unreachable!("exec-fidelity plans have no opaque bytes"),
-            }
-        }
+        let mut bytes = self.arena.borrow_mut().acquire(src.len());
+        materialize_into(
+            &mut bytes,
+            src,
+            &self.plan.io,
+            self.sendbuf.as_deref(),
+            self.recvbuf.as_deref(),
+            &self.vals,
+        );
         bytes
     }
 }

@@ -6,9 +6,15 @@
 //! by the invocation tag and shared-region names are namespaced per
 //! invocation, so one cached plan can be executed any number of times on the
 //! same communicator without collisions.
+//!
+//! Scratch buffers (materialized payloads, value slots, deferred output
+//! writes) come from a [`BufferArena`]: pass one that outlives the call
+//! ([`execute_rank_plan_reusing`]) and repeat executions of the same shape
+//! stop allocating entirely — the persistent-collective steady state.
 
 use crate::comm::{Comm, ReduceFn};
-use crate::plan::ir::{Fidelity, PlanOp, RankPlan, Src, SrcSeg};
+use crate::plan::arena::BufferArena;
+use crate::plan::ir::{Fidelity, IoShape, PlanOp, RankPlan, Src, SrcSeg};
 
 /// The caller buffers a plan execution operates on.
 ///
@@ -43,6 +49,75 @@ pub fn execute_rank_plan<C: Comm>(
     io: PlanIo<'_>,
     op: Option<&ReduceFn<'_>>,
     tag: u64,
+) {
+    let mut arena = BufferArena::new();
+    execute_rank_plan_reusing(plan, comm, io, op, tag, &mut arena);
+}
+
+/// Resolve a symbolic source into `out` (cleared first) against the caller
+/// buffers and the runtime values — shared by the blocking executor and the
+/// cursor.
+pub(crate) fn materialize_into(
+    out: &mut Vec<u8>,
+    src: &Src,
+    io: &IoShape,
+    sendbuf: Option<&[u8]>,
+    recvbuf: Option<&[u8]>,
+    vals: &[Option<Vec<u8>>],
+) {
+    out.clear();
+    for seg in &src.segs {
+        match seg {
+            SrcSeg::SendBuf { offset, len } => {
+                let buf: &[u8] = if io.inout {
+                    recvbuf.expect("in/out buffer present")
+                } else {
+                    sendbuf.expect("send buffer present")
+                };
+                out.extend_from_slice(&buf[*offset..*offset + *len]);
+            }
+            SrcSeg::RecvInit { offset, len } => {
+                let buf = recvbuf.expect("receive buffer present");
+                out.extend_from_slice(&buf[*offset..*offset + *len]);
+            }
+            SrcSeg::Val { id, offset, len } => {
+                let val = vals[*id as usize]
+                    .as_deref()
+                    .expect("value defined before use");
+                out.extend_from_slice(&val[*offset..*offset + *len]);
+            }
+            SrcSeg::Lit(data) => out.extend_from_slice(data),
+            SrcSeg::Opaque { .. } => unreachable!("exec-fidelity plans have no opaque bytes"),
+        }
+    }
+}
+
+/// Store `data` into value slot `dst`, releasing any buffer the slot held.
+pub(crate) fn store_val(
+    vals: &mut [Option<Vec<u8>>],
+    arena: &mut BufferArena,
+    dst: u32,
+    data: Vec<u8>,
+) {
+    if let Some(old) = vals[dst as usize].replace(data) {
+        arena.release(old);
+    }
+}
+
+/// As [`execute_rank_plan`], drawing every scratch buffer from `arena`.
+///
+/// Passing the same arena across invocations makes the steady state
+/// allocation-free: buffers released at the end of one run (value slots,
+/// deferred output writes, received payloads) are reacquired by the next.
+/// Buffers a run sends away through the fabric are balanced, for symmetric
+/// collectives, by the received payloads it releases.
+pub fn execute_rank_plan_reusing<C: Comm>(
+    plan: &RankPlan,
+    comm: &C,
+    io: PlanIo<'_>,
+    op: Option<&ReduceFn<'_>>,
+    tag: u64,
+    arena: &mut BufferArena,
 ) {
     assert_eq!(
         plan.fidelity,
@@ -80,50 +155,21 @@ pub fn execute_rank_plan<C: Comm>(
     // the caller's pre-execution bytes, even when input and output alias.
     let mut pending_out: Vec<(usize, Vec<u8>)> = Vec::new();
 
-    let materialize = |src: &Src,
-                       vals: &[Option<Vec<u8>>],
-                       recvbuf: &Option<&mut [u8]>|
-     -> Vec<u8> {
-        let mut bytes = Vec::with_capacity(src.len());
-        for seg in &src.segs {
-            match seg {
-                SrcSeg::SendBuf { offset, len } => {
-                    let buf: &[u8] = if plan.io.inout {
-                        recvbuf.as_deref().expect("in/out buffer present")
-                    } else {
-                        sendbuf.expect("send buffer present")
-                    };
-                    bytes.extend_from_slice(&buf[*offset..*offset + *len]);
-                }
-                SrcSeg::RecvInit { offset, len } => {
-                    let buf = recvbuf.as_deref().expect("receive buffer present");
-                    bytes.extend_from_slice(&buf[*offset..*offset + *len]);
-                }
-                SrcSeg::Val { id, offset, len } => {
-                    let val = vals[*id as usize]
-                        .as_deref()
-                        .expect("value defined before use");
-                    bytes.extend_from_slice(&val[*offset..*offset + *len]);
-                }
-                SrcSeg::Lit(data) => bytes.extend_from_slice(data),
-                SrcSeg::Opaque { .. } => unreachable!("exec-fidelity plans have no opaque bytes"),
-            }
-        }
-        bytes
-    };
-
     for plan_op in &plan.ops {
         match plan_op {
             PlanOp::SharedAlloc { name, len } => {
                 comm.shared_alloc(&names[*name as usize], *len);
             }
             PlanOp::SharedPublish { name, src } => {
-                let data = materialize(src, &vals, &recvbuf);
+                let mut data = arena.acquire(src.len());
+                materialize_into(&mut data, src, &plan.io, sendbuf, recvbuf.as_deref(), &vals);
                 comm.shared_publish(&names[*name as usize], &data);
+                arena.release(data);
             }
             PlanOp::SharedCollect { name, len, dst } => {
-                let data = comm.shared_collect(&names[*name as usize], *len);
-                vals[*dst as usize] = Some(data);
+                let mut data = arena.acquire(*len);
+                comm.shared_collect_into(&names[*name as usize], *len, &mut data);
+                store_val(&mut vals, arena, *dst, data);
             }
             PlanOp::SharedWrite {
                 owner_local,
@@ -131,8 +177,10 @@ pub fn execute_rank_plan<C: Comm>(
                 offset,
                 src,
             } => {
-                let data = materialize(src, &vals, &recvbuf);
+                let mut data = arena.acquire(src.len());
+                materialize_into(&mut data, src, &plan.io, sendbuf, recvbuf.as_deref(), &vals);
                 comm.shared_write(*owner_local, &names[*name as usize], *offset, &data);
+                arena.release(data);
             }
             PlanOp::SharedRead {
                 owner_local,
@@ -141,11 +189,21 @@ pub fn execute_rank_plan<C: Comm>(
                 len,
                 dst,
             } => {
-                let data = comm.shared_read(*owner_local, &names[*name as usize], *offset, *len);
-                vals[*dst as usize] = Some(data);
+                let mut data = arena.acquire(*len);
+                comm.shared_read_into(
+                    *owner_local,
+                    &names[*name as usize],
+                    *offset,
+                    *len,
+                    &mut data,
+                );
+                store_val(&mut vals, arena, *dst, data);
             }
             PlanOp::Send { dest, tag: t, src } => {
-                let data = materialize(src, &vals, &recvbuf);
+                let mut data = arena.acquire(src.len());
+                materialize_into(&mut data, src, &plan.io, sendbuf, recvbuf.as_deref(), &vals);
+                // The buffer moves into the fabric and on to the peer, whose
+                // receive will feed it into *its* arena.
                 comm.send_owned(*dest, tag + t, data);
             }
             PlanOp::Recv {
@@ -155,7 +213,7 @@ pub fn execute_rank_plan<C: Comm>(
                 dst,
             } => {
                 let data = comm.recv(*source, tag + t, *len);
-                vals[*dst as usize] = Some(data);
+                store_val(&mut vals, arena, *dst, data);
             }
             PlanOp::SendFromShared {
                 owner_local,
@@ -193,14 +251,32 @@ pub fn execute_rank_plan<C: Comm>(
             }
             PlanOp::NodeBarrier => comm.node_barrier(),
             PlanOp::Reduce { dst, acc, other } => {
-                let mut acc_bytes = materialize(acc, &vals, &recvbuf);
-                let other_bytes = materialize(other, &vals, &recvbuf);
+                let mut acc_bytes = arena.acquire(acc.len());
+                materialize_into(
+                    &mut acc_bytes,
+                    acc,
+                    &plan.io,
+                    sendbuf,
+                    recvbuf.as_deref(),
+                    &vals,
+                );
+                let mut other_bytes = arena.acquire(other.len());
+                materialize_into(
+                    &mut other_bytes,
+                    other,
+                    &plan.io,
+                    sendbuf,
+                    recvbuf.as_deref(),
+                    &vals,
+                );
                 let op = op.expect("plan requires a reduction operator");
                 op(&mut acc_bytes, &other_bytes);
-                vals[*dst as usize] = Some(acc_bytes);
+                arena.release(other_bytes);
+                store_val(&mut vals, arena, *dst, acc_bytes);
             }
             PlanOp::CopyOut { offset, src } => {
-                let data = materialize(src, &vals, &recvbuf);
+                let mut data = arena.acquire(src.len());
+                materialize_into(&mut data, src, &plan.io, sendbuf, recvbuf.as_deref(), &vals);
                 pending_out.push((*offset, data));
             }
             PlanOp::ChargeCopy { bytes } => comm.charge_copy(*bytes),
@@ -213,6 +289,12 @@ pub fn execute_rank_plan<C: Comm>(
         let out = recvbuf.expect("receive buffer present");
         for (offset, data) in pending_out {
             out[offset..offset + data.len()].copy_from_slice(&data);
+            arena.release(data);
+        }
+    }
+    for slot in &mut vals {
+        if let Some(buf) = slot.take() {
+            arena.release(buf);
         }
     }
 }
@@ -337,6 +419,74 @@ mod tests {
         .unwrap();
         assert_eq!(results[0][0], vec![10, 10, 11, 11]);
         assert_eq!(results[0][1], vec![20, 20, 22, 22]);
+    }
+
+    /// Repeat executions of one plan with a long-lived arena stop touching
+    /// the allocator: every buffer the second run needs was released by the
+    /// first (value slots and output writes locally, sent payloads by the
+    /// peer's symmetric receive).
+    #[test]
+    fn reused_arena_makes_repeat_executions_allocation_free() {
+        let topo = Topology::new(1, 2);
+        let compile = |rank: usize| {
+            let passes = (0..EXEC_PASSES as u32)
+                .map(|pass| {
+                    let comm = PlanComm::new(rank, topo, pass, crate::plan::ir::Fidelity::Exec);
+                    let mut sendbuf = vec![0u8; 8];
+                    comm.fill_sendbuf(&mut sendbuf);
+                    let peer = 1 - rank;
+                    comm.send(peer, 0, &sendbuf);
+                    let got = comm.recv(peer, 0, 8);
+                    comm.finish(Some(got))
+                })
+                .collect();
+            assemble(
+                rank,
+                topo,
+                crate::plan::ir::Fidelity::Exec,
+                IoShape {
+                    sendbuf: Some(8),
+                    recvbuf: Some(8),
+                    inout: false,
+                    needs_reduce_op: false,
+                },
+                passes,
+            )
+        };
+        let plans = [compile(0), compile(1)];
+        let plans_ref = &plans;
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            let mut arena = BufferArena::new();
+            let mut misses_after = Vec::new();
+            for call in 0..4u64 {
+                let sendbuf = vec![call as u8 + 1; 8];
+                let mut recvbuf = vec![0u8; 8];
+                execute_rank_plan_reusing(
+                    &plans_ref[comm.rank()],
+                    &comm,
+                    PlanIo {
+                        sendbuf: Some(&sendbuf),
+                        recvbuf: Some(&mut recvbuf),
+                    },
+                    None,
+                    (call + 1) << 16,
+                    &mut arena,
+                );
+                assert_eq!(recvbuf, vec![call as u8 + 1; 8]);
+                misses_after.push(arena.stats().misses);
+            }
+            misses_after
+        })
+        .unwrap();
+        for misses_after in &results {
+            assert!(misses_after[0] > 0, "the first run must fill the pool");
+            assert_eq!(
+                misses_after[1..],
+                [misses_after[0]; 3],
+                "repeat runs must be served entirely from the arena"
+            );
+        }
     }
 
     #[test]

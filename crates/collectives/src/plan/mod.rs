@@ -19,12 +19,14 @@
 //! `PlanCache`) turns the dispatch hot path into *lookup-or-compile, then
 //! run*.
 
+pub mod arena;
 pub mod cursor;
 pub mod exec;
 pub mod ir;
 pub mod record;
 
+pub use arena::{shared_arena, ArenaStats, BufferArena, SharedArena};
 pub use cursor::{CursorOutput, PlanCursor, StepOutcome};
-pub use exec::{execute_rank_plan, PlanIo};
+pub use exec::{execute_rank_plan, execute_rank_plan_reusing, PlanIo};
 pub use ir::{Fidelity, IoShape, Plan, PlanError, PlanOp, RankPlan, Src, SrcSeg, ValId};
 pub use record::{assemble, PlanComm, EXEC_PASSES};

@@ -19,7 +19,7 @@ use std::rc::Rc;
 use std::time::Instant;
 
 use pip_collectives::comm::{Comm as _, NonBlockingComm as _, ThreadComm};
-use pip_collectives::plan::{PlanCursor, RankPlan};
+use pip_collectives::plan::{ArenaStats, PlanCursor, RankPlan, SharedArena};
 use pip_collectives::request::{ProgressEngine, ReqId, SharedReduceOp};
 use pip_mpi_model::{dispatch, CollectiveRequest, LibraryProfile, OwnedCollective, PlanCache};
 use pip_runtime::{TaskCtx, Topology};
@@ -101,6 +101,14 @@ impl<'a> Communicator<'a> {
     /// (one per [`pip_mpi_model::CollectiveShape`] ever dispatched).
     pub fn plan_entries(&self) -> usize {
         self.plans.borrow().len()
+    }
+
+    /// Scratch-buffer arena accounting for every collective this
+    /// communicator dispatched (blocking, non-blocking and persistent): in
+    /// the persistent steady state (`*_init` → repeated `start()`) the miss
+    /// counter stops moving after the first invocation of each shape.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.plans.borrow().arena_stats()
     }
 
     fn next_tag(&self) -> u64 {
@@ -586,17 +594,17 @@ impl<'a> Communicator<'a> {
     ) -> PersistentColl<'s, O> {
         // Same shape → lookup-or-compile → buffer-split sequence as the
         // one-shot request path, so both share cache entries.
-        let (plan, sendbuf, recvbuf) = dispatch::plan_owned(
-            &self.profile,
-            &self.inner,
-            owned,
-            &mut self.plans.borrow_mut(),
-        );
+        let mut plans = self.plans.borrow_mut();
+        let (plan, sendbuf, recvbuf) =
+            dispatch::plan_owned(&self.profile, &self.inner, owned, &mut plans);
+        let arena = plans.arena();
+        drop(plans);
         PersistentColl {
             comm: self,
             plan,
             sendbuf,
             recvbuf,
+            arena,
             op,
             active: None,
             finish,
@@ -843,6 +851,9 @@ pub struct PersistentColl<'c, O> {
     plan: Rc<RankPlan>,
     sendbuf: Option<Vec<u8>>,
     recvbuf: Option<Vec<u8>>,
+    /// The communicator's shared scratch arena: every start after the first
+    /// reacquires the buffers the previous execution released.
+    arena: SharedArena,
     op: Option<SharedReduceOp>,
     active: Option<ReqId>,
     finish: PersistentFinish<'c, O>,
@@ -860,11 +871,12 @@ impl<O> PersistentColl<'_, O> {
             self.active.is_none(),
             "persistent collective already started"
         );
-        let cursor = PlanCursor::new(
+        let cursor = PlanCursor::with_arena(
             Rc::clone(&self.plan),
             self.sendbuf.take(),
             self.recvbuf.take(),
             self.comm.next_tag(),
+            Rc::clone(&self.arena),
         );
         let id = self
             .comm

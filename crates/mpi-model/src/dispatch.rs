@@ -263,7 +263,8 @@ pub fn execute_planned<C: Comm>(
         return;
     }
     let plan = cache.lookup_or_compile(profile, comm.topology(), comm.rank(), &shape);
-    crate::plan::run_planned(&plan, comm, request, tag);
+    let arena = cache.arena();
+    crate::plan::run_planned_reusing(&plan, comm, request, tag, &mut arena.borrow_mut());
 }
 
 /// A collective invocation over **owned** byte buffers — the form the
@@ -470,7 +471,7 @@ pub fn begin_planned<C: Comm>(
     cache: &mut crate::plan::PlanCache,
 ) -> PlanCursor {
     let (plan, sendbuf, recvbuf) = plan_owned(profile, comm, request, cache);
-    PlanCursor::new(plan, sendbuf, recvbuf, tag)
+    PlanCursor::with_arena(plan, sendbuf, recvbuf, tag, cache.arena())
 }
 
 fn elementwise_sum(acc: &mut [u8], other: &[u8]) {

@@ -22,7 +22,8 @@ use std::sync::Arc;
 
 use pip_collectives::comm::Comm;
 use pip_collectives::plan::{
-    assemble, execute_rank_plan, Fidelity, IoShape, Plan, PlanComm, PlanIo, RankPlan, EXEC_PASSES,
+    assemble, execute_rank_plan_reusing, shared_arena, ArenaStats, BufferArena, Fidelity, IoShape,
+    Plan, PlanComm, PlanIo, RankPlan, SharedArena, EXEC_PASSES,
 };
 use pip_collectives::CollectiveKind;
 use pip_runtime::Topology;
@@ -522,10 +523,25 @@ fn run_for_recording(
     }
 }
 
-/// Run `request` through a compiled rank plan.
+/// Run `request` through a compiled rank plan (scratch buffers come from a
+/// throwaway arena; use [`run_planned_reusing`] on repeated paths).
 pub fn run_planned<C: Comm>(plan: &RankPlan, comm: &C, request: CollectiveRequest<'_>, tag: u64) {
+    let mut arena = BufferArena::new();
+    run_planned_reusing(plan, comm, request, tag, &mut arena);
+}
+
+/// Run `request` through a compiled rank plan, drawing scratch buffers from
+/// `arena` — the allocation-free repeat path the per-communicator
+/// [`PlanCache`] wires into dispatch.
+pub fn run_planned_reusing<C: Comm>(
+    plan: &RankPlan,
+    comm: &C,
+    request: CollectiveRequest<'_>,
+    tag: u64,
+    arena: &mut BufferArena,
+) {
     match request {
-        CollectiveRequest::Allgather { sendbuf, recvbuf } => execute_rank_plan(
+        CollectiveRequest::Allgather { sendbuf, recvbuf } => execute_rank_plan_reusing(
             plan,
             comm,
             PlanIo {
@@ -534,10 +550,11 @@ pub fn run_planned<C: Comm>(plan: &RankPlan, comm: &C, request: CollectiveReques
             },
             None,
             tag,
+            arena,
         ),
         CollectiveRequest::Scatter {
             sendbuf, recvbuf, ..
-        } => execute_rank_plan(
+        } => execute_rank_plan_reusing(
             plan,
             comm,
             PlanIo {
@@ -550,8 +567,9 @@ pub fn run_planned<C: Comm>(plan: &RankPlan, comm: &C, request: CollectiveReques
             },
             None,
             tag,
+            arena,
         ),
-        CollectiveRequest::Bcast { buf, .. } => execute_rank_plan(
+        CollectiveRequest::Bcast { buf, .. } => execute_rank_plan_reusing(
             plan,
             comm,
             PlanIo {
@@ -560,10 +578,11 @@ pub fn run_planned<C: Comm>(plan: &RankPlan, comm: &C, request: CollectiveReques
             },
             None,
             tag,
+            arena,
         ),
         CollectiveRequest::Gather {
             sendbuf, recvbuf, ..
-        } => execute_rank_plan(
+        } => execute_rank_plan_reusing(
             plan,
             comm,
             PlanIo {
@@ -573,8 +592,9 @@ pub fn run_planned<C: Comm>(plan: &RankPlan, comm: &C, request: CollectiveReques
             },
             None,
             tag,
+            arena,
         ),
-        CollectiveRequest::Allreduce { buf, op, .. } => execute_rank_plan(
+        CollectiveRequest::Allreduce { buf, op, .. } => execute_rank_plan_reusing(
             plan,
             comm,
             PlanIo {
@@ -583,13 +603,14 @@ pub fn run_planned<C: Comm>(plan: &RankPlan, comm: &C, request: CollectiveReques
             },
             Some(op),
             tag,
+            arena,
         ),
         CollectiveRequest::Reduce {
             sendbuf,
             recvbuf,
             op,
             ..
-        } => execute_rank_plan(
+        } => execute_rank_plan_reusing(
             plan,
             comm,
             PlanIo {
@@ -599,13 +620,14 @@ pub fn run_planned<C: Comm>(plan: &RankPlan, comm: &C, request: CollectiveReques
             },
             Some(op),
             tag,
+            arena,
         ),
         CollectiveRequest::ReduceScatter {
             sendbuf,
             recvbuf,
             op,
             ..
-        } => execute_rank_plan(
+        } => execute_rank_plan_reusing(
             plan,
             comm,
             PlanIo {
@@ -614,9 +636,10 @@ pub fn run_planned<C: Comm>(plan: &RankPlan, comm: &C, request: CollectiveReques
             },
             Some(op),
             tag,
+            arena,
         ),
         CollectiveRequest::Scan { buf, op, .. } | CollectiveRequest::Exscan { buf, op, .. } => {
-            execute_rank_plan(
+            execute_rank_plan_reusing(
                 plan,
                 comm,
                 PlanIo {
@@ -625,9 +648,10 @@ pub fn run_planned<C: Comm>(plan: &RankPlan, comm: &C, request: CollectiveReques
                 },
                 Some(op),
                 tag,
+                arena,
             )
         }
-        CollectiveRequest::Alltoall { sendbuf, recvbuf } => execute_rank_plan(
+        CollectiveRequest::Alltoall { sendbuf, recvbuf } => execute_rank_plan_reusing(
             plan,
             comm,
             PlanIo {
@@ -636,8 +660,11 @@ pub fn run_planned<C: Comm>(plan: &RankPlan, comm: &C, request: CollectiveReques
             },
             None,
             tag,
+            arena,
         ),
-        CollectiveRequest::Barrier => execute_rank_plan(plan, comm, PlanIo::default(), None, tag),
+        CollectiveRequest::Barrier => {
+            execute_rank_plan_reusing(plan, comm, PlanIo::default(), None, tag, arena)
+        }
     }
 }
 
@@ -651,20 +678,48 @@ pub fn run_planned<C: Comm>(plan: &RankPlan, comm: &C, request: CollectiveReques
 /// is noise there).
 pub const EXEC_PLAN_MAX_BYTES: usize = 4 << 20;
 
-/// Per-communicator cache of one rank's compiled plans (exec fidelity).
-#[derive(Debug, Default)]
+/// Per-communicator cache of one rank's compiled plans (exec fidelity),
+/// plus the rank's shared scratch-buffer arena — together they make the
+/// repeat-dispatch hot path both compile-free and allocation-free.
+#[derive(Debug)]
 pub struct PlanCache {
     plans: HashMap<PlanKey, Rc<RankPlan>>,
     memo: ProfileMemo,
+    arena: SharedArena,
     hits: u64,
     misses: u64,
     bypasses: u64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self {
+            plans: HashMap::new(),
+            memo: ProfileMemo::default(),
+            arena: shared_arena(),
+            hits: 0,
+            misses: 0,
+            bypasses: 0,
+        }
+    }
 }
 
 impl PlanCache {
     /// An empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The scratch-buffer arena shared by every execution dispatched through
+    /// this cache (blocking runs, cursors, persistent handles).
+    pub fn arena(&self) -> SharedArena {
+        Rc::clone(&self.arena)
+    }
+
+    /// Arena accounting: in the persistent-collective steady state the miss
+    /// counter stops moving after the first invocation of each shape.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.borrow().stats()
     }
 
     /// Look the key up, compiling (and remembering) the rank's plan on a

@@ -61,7 +61,9 @@ pub mod task;
 pub mod topology;
 
 pub use error::{Result, RuntimeError};
-pub use fabric::{Fabric, FabricStats, Message, Payload, Tag};
+pub use fabric::{
+    Fabric, FabricStats, MailboxLayout, Message, Payload, Tag, DEFAULT_MAILBOX_SHARDS,
+};
 pub use memory::{ExposedRegion, RegionKey};
 pub use node::NodeSpace;
 pub use task::{Cluster, TaskCtx};

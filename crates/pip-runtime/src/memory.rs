@@ -135,6 +135,24 @@ impl ExposedRegion {
         Ok(guard[offset..offset + len].to_vec())
     }
 
+    /// Copy a sub-range into `out` (cleared first), reusing its allocation —
+    /// the single copy, with no zero-fill and no allocation when `out` has
+    /// capacity (the plan executor's arena-backed shared reads).
+    pub fn try_read_into_vec(&self, offset: usize, len: usize, out: &mut Vec<u8>) -> Result<()> {
+        self.check_bounds(offset, len)?;
+        let guard = self.inner.data.read();
+        out.clear();
+        out.extend_from_slice(&guard[offset..offset + len]);
+        Ok(())
+    }
+
+    /// As [`ExposedRegion::try_read_into_vec`], panicking on out-of-bounds
+    /// access.
+    pub fn read_into_vec(&self, offset: usize, len: usize, out: &mut Vec<u8>) {
+        self.try_read_into_vec(offset, len, out)
+            .expect("exposed-region read out of bounds");
+    }
+
     /// Snapshot the full contents.
     pub fn to_vec(&self) -> Vec<u8> {
         self.inner.data.read().to_vec()

@@ -146,6 +146,13 @@ impl TaskCtx {
         self.fabric.send_bytes(self.rank, dest, tag, data)
     }
 
+    /// Forward an existing [`Payload`] to `dest` with `tag` without copying:
+    /// the receiver shares the allocation (see [`Fabric::send_payload`]).
+    /// Clone a received message's payload handle to relay or fan it out.
+    pub fn send_payload(&self, dest: usize, tag: Tag, payload: Payload) -> Result<()> {
+        self.fabric.send_payload(self.rank, dest, tag, payload)
+    }
+
     /// Blocking receive from `source` with `tag`.
     pub fn recv(&self, source: usize, tag: Tag) -> Result<Message> {
         self.fabric.recv(self.rank, MatchSpec::exact(source, tag))

@@ -1,0 +1,123 @@
+//! Integration test: the execute plane's steady state is allocation-free.
+//!
+//! Persistent collectives (`*_init` → repeated `start()`) are the paper's
+//! repeated-small-collective workload in API form.  With the plan cache the
+//! repeats never recompile; with the buffer arena they must also never
+//! allocate: every scratch buffer the second and later invocations need was
+//! released into the communicator's arena by the first (value slots and
+//! output writes locally, sent payloads replaced by the peers' symmetric
+//! receives).  The pin is on the arena's miss counter — it stops moving
+//! after the first invocation of each shape, on every rank.
+
+use pip_mcoll::core::datatype::ReduceOp;
+use pip_mcoll::core::world::World;
+use pip_mcoll::model::Library;
+
+/// Arena misses must stop after the first invocation of each persistent
+/// shape; the collectives must stay correct across repeats with refreshed
+/// inputs while not allocating.
+fn assert_persistent_starts_are_allocation_free(library: Library, nodes: usize, ppn: usize) {
+    let starts = 8usize;
+    let results = World::builder()
+        .nodes(nodes)
+        .ppn(ppn)
+        .library(library)
+        .run(|comm| {
+            let world = comm.size();
+            let rank = comm.rank() as i64;
+            let count = 16usize;
+
+            let mut allreduce = comm.allreduce_init(&vec![0i64; count], ReduceOp::Sum);
+            let rs_zero = vec![0i64; count * world];
+            let mut reduce_scatter = comm.reduce_scatter_init(&rs_zero, count, ReduceOp::Sum);
+
+            let mut misses_per_start = Vec::new();
+            for round in 0..starts as i64 {
+                // Refresh both inputs so every start moves distinct bytes.
+                allreduce.write_send(&vec![rank + round; count]);
+                allreduce.start();
+                let reduced = allreduce.wait();
+                let rank_sum: i64 = (0..world as i64).sum();
+                assert_eq!(
+                    reduced,
+                    vec![rank_sum + world as i64 * round; count],
+                    "round {round} allreduce wrong under {library:?}"
+                );
+
+                let rs_input: Vec<i64> = (0..world)
+                    .flat_map(|block| vec![rank + block as i64 + round; count])
+                    .collect();
+                reduce_scatter.write_send(&rs_input);
+                reduce_scatter.start();
+                let block = reduce_scatter.wait();
+                let expected = rank_sum + world as i64 * (rank + round);
+                assert_eq!(
+                    block,
+                    vec![expected; count],
+                    "round {round} reduce_scatter wrong under {library:?}"
+                );
+
+                misses_per_start.push(comm.arena_stats().misses);
+            }
+            (misses_per_start, comm.arena_stats())
+        })
+        .unwrap();
+
+    for (rank, (misses_per_start, stats)) in results.iter().enumerate() {
+        let after_first = misses_per_start[0];
+        assert!(
+            after_first > 0,
+            "rank {rank}: the first invocation must fill the pool"
+        );
+        assert_eq!(
+            misses_per_start[1..],
+            vec![after_first; starts - 1][..],
+            "rank {rank} under {library:?}: persistent starts allocated after the first \
+             invocation (misses per start: {misses_per_start:?})"
+        );
+        assert!(
+            stats.hits > stats.misses,
+            "rank {rank}: the steady state must be dominated by pool hits ({stats:?})"
+        );
+    }
+}
+
+#[test]
+fn pip_mcoll_persistent_starts_perform_zero_arena_misses_after_the_first() {
+    assert_persistent_starts_are_allocation_free(Library::PipMColl, 2, 4);
+}
+
+#[test]
+fn open_mpi_persistent_starts_perform_zero_arena_misses_after_the_first() {
+    assert_persistent_starts_are_allocation_free(Library::OpenMpi, 2, 4);
+}
+
+/// The blocking dispatch path shares the same arena: back-to-back blocking
+/// allreduces on a communicator stop allocating once the first call of the
+/// shape has filled the pool.
+#[test]
+fn repeated_blocking_collectives_reuse_the_arena() {
+    let results = World::builder()
+        .nodes(2)
+        .ppn(2)
+        .library(Library::PipMColl)
+        .run(|comm| {
+            let mut misses_per_call = Vec::new();
+            for round in 0..6i64 {
+                let mut buf = [comm.rank() as i64 + round; 8];
+                comm.allreduce(&mut buf, ReduceOp::Sum);
+                assert_eq!(buf[0], 6 + 4 * round);
+                misses_per_call.push(comm.arena_stats().misses);
+            }
+            misses_per_call
+        })
+        .unwrap();
+    for (rank, misses_per_call) in results.iter().enumerate() {
+        assert_eq!(
+            misses_per_call[1..],
+            vec![misses_per_call[0]; 5][..],
+            "rank {rank}: repeated blocking allreduces must be served from the arena \
+             ({misses_per_call:?})"
+        );
+    }
+}

@@ -195,6 +195,43 @@ fn owned_sends_cross_the_fabric_with_zero_copies() {
     assert_eq!(stats.bytes_copied, 0);
 }
 
+/// Relaying a received message by forwarding its `Payload` handle
+/// (`TaskCtx::send_payload`) shares the original allocation: zero
+/// additional accounted copies, even when one buffer fans out to several
+/// destinations.  This pins the fix for the old borrow-and-recopy relay
+/// path (`send_bytes` on a payload the rank already owned).
+#[test]
+fn forwarded_payloads_cost_zero_extra_copies() {
+    let topo = Topology::new(1, 3);
+    let fabric = Fabric::new(topo.world_size());
+    Cluster::launch_with_fabric(topo, fabric.clone(), |ctx| match ctx.rank() {
+        0 => {
+            // The only allocation in the whole relay: the original owned send.
+            ctx.send(1, 1, vec![7u8; PAYLOAD]).unwrap();
+        }
+        1 => {
+            let msg = ctx.recv(0, 1).unwrap();
+            // Fan the received payload out twice without copying it.
+            ctx.send_payload(2, 2, msg.payload.clone()).unwrap();
+            ctx.send_payload(2, 3, msg.payload).unwrap();
+        }
+        _ => {
+            for tag in [2u64, 3] {
+                let msg = ctx.recv(1, tag).unwrap();
+                assert_eq!(msg.payload.as_slice(), &[7u8; PAYLOAD]);
+            }
+        }
+    })
+    .unwrap();
+    let stats = fabric.stats();
+    assert_eq!(stats.sends, 3);
+    assert_eq!(
+        stats.payload_copies, 0,
+        "forwarded payloads must share the allocation, not copy it"
+    );
+    assert_eq!(stats.bytes_copied, 0);
+}
+
 /// The zero-copy shared-buffer path (`send_from_shared`) reads the shared
 /// region once and moves that allocation into the fabric — no second copy.
 #[test]
