@@ -24,6 +24,7 @@ fn allgather_shape() -> CollectiveShape {
         block: 64,
         root: 0,
         elem_size: 1,
+        reduce: None,
     }
 }
 

@@ -1,0 +1,239 @@
+//! **BENCH-REDUCE-KERNELS**: the typed reduction kernels, measured.
+//!
+//! Sweeps datatype × operator × buffer size and times the two byte-level
+//! reduction paths against each other on identical buffers:
+//!
+//! - **scalar** — `ReduceOp::apply_bytes_scalar`, the per-element
+//!   decode/combine/encode reference loop;
+//! - **chunked** — `ReduceOp::apply_bytes`, the production kernel that
+//!   reduces `LANES`-element groups as typed slices (auto-vectorizable,
+//!   with an explicitly unrolled f32/f64 Sum path).
+//!
+//! The headline assertion pins the point of the optimisation: the chunked
+//! f32 Sum kernel must be at least 2x the scalar path at 64 KiB and above.
+//! Everything lands in `BENCH_reduce_kernels.json` (schema 1), uploaded as
+//! a CI artifact next to the fabric numbers.
+//!
+//! ```text
+//! cargo run --release -p pip-mcoll-bench --bin bench_reduce_kernels
+//! ```
+
+use std::time::Instant;
+
+use pip_mcoll_core::datatype::{Datatype, ReduceOp};
+
+/// Buffer sizes under test, in bytes: cache-resident, the 64 KiB headline
+/// point, and a memory-bound megabyte.
+const SIZES: [usize; 3] = [4 * 1024, 64 * 1024, 1024 * 1024];
+
+/// Bytes each timing sample chews through (split into repeat applications
+/// of the buffer-sized kernel): large enough to time reliably, small enough
+/// for a CI smoke run.
+const WORK_BYTES: usize = 16 * 1024 * 1024;
+
+/// Timing samples per cell; the median is reported.
+const SAMPLES: usize = 3;
+
+/// One measured cell of the type × op × size grid.
+struct KernelPoint {
+    dtype: &'static str,
+    op: ReduceOp,
+    bytes: usize,
+    scalar_gbs: f64,
+    chunked_gbs: f64,
+    speedup: f64,
+}
+
+impl KernelPoint {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"dtype\":\"{}\",\"op\":\"{}\",\"bytes\":{},\"scalar_gbs\":{:.3},\
+             \"chunked_gbs\":{:.3},\"speedup\":{:.3}}}",
+            self.dtype,
+            self.op.name(),
+            self.bytes,
+            self.scalar_gbs,
+            self.chunked_gbs,
+            self.speedup
+        )
+    }
+}
+
+/// Deterministic non-degenerate inputs: small positive values so Prod stays
+/// finite over thousands of repeat applications and floats never hit NaN or
+/// infinity (which would put the comparison on a different hardware path).
+trait BenchValue: Datatype {
+    const NAME: &'static str;
+    fn gen(i: usize) -> Self;
+}
+
+impl BenchValue for f32 {
+    const NAME: &'static str = "f32";
+    fn gen(i: usize) -> Self {
+        1.0 + ((i % 64) as f32) * (1.0 / 128.0)
+    }
+}
+
+impl BenchValue for f64 {
+    const NAME: &'static str = "f64";
+    fn gen(i: usize) -> Self {
+        1.0 + ((i % 64) as f64) * (1.0 / 128.0)
+    }
+}
+
+impl BenchValue for i32 {
+    const NAME: &'static str = "i32";
+    fn gen(i: usize) -> Self {
+        (i % 251) as i32 - 125
+    }
+}
+
+impl BenchValue for u64 {
+    const NAME: &'static str = "u64";
+    fn gen(i: usize) -> Self {
+        (i % 251) as u64 + 1
+    }
+}
+
+/// Median of a handful of throughput samples, each timing `iters` repeat
+/// applications of `kernel` over the same pair of buffers.
+fn median_gbs(
+    kernel: impl Fn(&mut [u8], &[u8]),
+    acc_proto: &[u8],
+    other: &[u8],
+    iters: usize,
+) -> f64 {
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            // Fresh accumulator per sample so float magnitudes stay bounded
+            // across samples (Sum/Prod drift within one sample is fine).
+            let mut acc = acc_proto.to_vec();
+            let start = Instant::now();
+            for _ in 0..iters {
+                kernel(&mut acc, other);
+            }
+            let secs = start.elapsed().as_secs_f64();
+            std::hint::black_box(&acc);
+            // Each application reads both buffers and writes one.
+            (iters * acc.len()) as f64 / secs / 1e9
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[SAMPLES / 2]
+}
+
+fn bench_cell<T: BenchValue>(op: ReduceOp, bytes: usize) -> KernelPoint {
+    let count = bytes / T::SIZE;
+    let mut acc = vec![0u8; count * T::SIZE];
+    let mut other = vec![0u8; count * T::SIZE];
+    for i in 0..count {
+        T::gen(i).write_le(&mut acc[i * T::SIZE..(i + 1) * T::SIZE]);
+        T::gen(i + 17).write_le(&mut other[i * T::SIZE..(i + 1) * T::SIZE]);
+    }
+    let iters = (WORK_BYTES / bytes).max(1);
+
+    // Warm both paths (page in the buffers, settle the branch predictors).
+    {
+        let mut warm = acc.clone();
+        op.apply_bytes_scalar::<T>(&mut warm, &other);
+        op.apply_bytes::<T>(&mut warm, &other);
+    }
+
+    let scalar_gbs = median_gbs(|a, b| op.apply_bytes_scalar::<T>(a, b), &acc, &other, iters);
+    let chunked_gbs = median_gbs(|a, b| op.apply_bytes::<T>(a, b), &acc, &other, iters);
+
+    // Sanity: the two paths must produce identical bytes (the differential
+    // tests pin this exhaustively; here it guards the benchmark itself
+    // against measuring two different computations).
+    let mut via_scalar = acc.clone();
+    let mut via_chunked = acc;
+    op.apply_bytes_scalar::<T>(&mut via_scalar, &other);
+    op.apply_bytes::<T>(&mut via_chunked, &other);
+    assert_eq!(
+        via_scalar,
+        via_chunked,
+        "{} {} {} B: scalar and chunked kernels disagree",
+        T::NAME,
+        op.name(),
+        bytes
+    );
+
+    KernelPoint {
+        dtype: T::NAME,
+        op,
+        bytes,
+        scalar_gbs,
+        chunked_gbs,
+        speedup: chunked_gbs / scalar_gbs,
+    }
+}
+
+fn bench_type<T: BenchValue>(grid: &mut Vec<KernelPoint>) {
+    for op in ReduceOp::ALL {
+        for bytes in SIZES {
+            let point = bench_cell::<T>(op, bytes);
+            println!(
+                "| {} | {} | {} | {:.2} | {:.2} | {:.2}x |",
+                point.dtype,
+                point.op.name(),
+                point.bytes,
+                point.scalar_gbs,
+                point.chunked_gbs,
+                point.speedup
+            );
+            grid.push(point);
+        }
+    }
+}
+
+fn main() {
+    println!("=== BENCH-REDUCE-KERNELS: chunked typed reduction vs per-element scalar ===\n");
+    println!(
+        "{} samples per cell, ~{} MiB per sample, median reported.\n",
+        SAMPLES,
+        WORK_BYTES / (1024 * 1024)
+    );
+    println!("| Type | Op | Bytes | Scalar GB/s | Chunked GB/s | Speedup |");
+    println!("|---|---|---|---|---|---|");
+
+    let mut grid: Vec<KernelPoint> = Vec::new();
+    bench_type::<f32>(&mut grid);
+    bench_type::<f64>(&mut grid);
+    bench_type::<i32>(&mut grid);
+    bench_type::<u64>(&mut grid);
+
+    // Headline: the optimisation the chunked path exists for — f32 Sum at
+    // 64 KiB and above must be at least 2x the scalar reference.
+    let headline = grid
+        .iter()
+        .filter(|p| p.dtype == "f32" && p.op == ReduceOp::Sum && p.bytes >= 64 * 1024)
+        .map(|p| p.speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!("\nHeadline: chunked f32 Sum is >= {headline:.2}x the scalar path at 64 KiB+.");
+    assert!(
+        headline >= 2.0,
+        "chunked f32 Sum kernel regressed below 2x the scalar path ({headline:.2}x)"
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"reduce_kernels\",\n  \"schema\": 1,\n");
+    json.push_str(&format!(
+        "  \"samples\": {SAMPLES},\n  \"work_bytes_per_sample\": {WORK_BYTES},\n"
+    ));
+    json.push_str("  \"grid\": [\n");
+    for (idx, point) in grid.iter().enumerate() {
+        let comma = if idx + 1 == grid.len() { "" } else { "," };
+        json.push_str(&format!("    {}{comma}\n", point.to_json()));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"headline\": {{\"dtype\": \"f32\", \"op\": \"MPI_SUM\", \
+         \"min_bytes\": 65536, \"speedup\": {headline:.3}, \
+         \"baseline\": \"apply_bytes_scalar\"}}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_reduce_kernels.json", &json).expect("write BENCH_reduce_kernels.json");
+    println!(
+        "\nWrote BENCH_reduce_kernels.json ({} grid points).",
+        grid.len()
+    );
+}

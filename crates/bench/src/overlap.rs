@@ -131,6 +131,7 @@ fn overlap_point(
         block: bytes,
         root: 0,
         elem_size: 1,
+        reduce: None,
     };
     let plan = compile_cluster(&profile, cluster.topology(), &shape, Fidelity::Schedule);
     let trace = plan.to_trace(1);
@@ -227,6 +228,7 @@ mod tests {
             block: 128,
             root: 0,
             elem_size: 1,
+            reduce: None,
         };
         let plan = compile_cluster(&profile, cluster.topology(), &shape, Fidelity::Schedule);
         let trace = plan.to_trace(1);

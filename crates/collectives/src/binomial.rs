@@ -419,6 +419,30 @@ mod tests {
     }
 
     #[test]
+    fn reduce_typed_u64_prod_matches_the_typed_oracle() {
+        use crate::datatype::{from_bytes, to_bytes, ReduceKernel, ReduceOp};
+        let topo = Topology::new(3, 2);
+        let world = topo.world_size();
+        let root = 1;
+        let contributions: Vec<Vec<u64>> = (0..world)
+            .map(|r| (0..5).map(|i| (r as u64 + 2) * 10 + i).collect())
+            .collect();
+        let expected = oracle::allreduce_t(&contributions, ReduceOp::Prod);
+        let inputs = &contributions;
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            let sendbuf = to_bytes(&inputs[comm.rank()]);
+            let mut recvbuf = vec![0u8; sendbuf.len()];
+            let recv = (comm.rank() == root).then_some(recvbuf.as_mut_slice());
+            let kernel = ReduceKernel::of::<u64>(ReduceOp::Prod);
+            reduce_binomial(&comm, &sendbuf, recv, kernel.as_fn(), root, 420);
+            from_bytes::<u64>(&recvbuf)
+        })
+        .unwrap();
+        assert_eq!(results[root], expected);
+    }
+
+    #[test]
     fn reduce_trace_sends_exactly_p_minus_1_messages() {
         let topo = Topology::new(8, 1);
         let trace = record_trace(topo, |comm| {

@@ -1,0 +1,816 @@
+//! Typed elements, reduction operators and the erased reduction kernels the
+//! collective algorithms consume.
+//!
+//! MPI expresses a buffer as `(pointer, count, datatype, op)`; the Rust
+//! equivalent used here is a slice of a type implementing [`Datatype`], which
+//! knows how to serialize itself to the little-endian byte representation the
+//! communication layer moves around, and how the built-in [`ReduceOp`]s
+//! combine two values.
+//!
+//! The collective algorithms themselves stay byte-oriented (they move and
+//! combine `[u8]` runs); the bridge between the two worlds is
+//! [`ReduceKernel`]: a `Copy` handle around a **monomorphized** `(type, op)`
+//! byte kernel (`fn(&mut [u8], &[u8])`) together with its
+//! [`ReduceIdent`] identity. The identity travels with every reduction
+//! request so compiled plans can be keyed by `(collective, type, op)` —
+//! an `f32`-Sum plan never serves an `i32`-Max call — while the kernel
+//! pointer coerces to the `&ReduceFn` the algorithms already accept.
+//!
+//! ## Kernel performance
+//!
+//! [`ReduceOp::apply_bytes`] no longer round-trips every element through
+//! `read_le`/`write_le` with a per-element operator dispatch. The operator
+//! match is hoisted out of the loop (one monomorphized fold per `(type,
+//! op)`), and each fold walks the buffers in [`LANES`]-element groups that
+//! decode, combine and re-encode as straight-line code — a shape LLVM
+//! auto-vectorizes — with an explicitly unrolled path for the `f32`/`f64`
+//! Sum kernels that dominate gradient workloads. The historical per-element
+//! path survives as [`ReduceOp::apply_bytes_scalar`], the baseline for
+//! `bench_reduce_kernels` and the differential tests.
+//!
+//! ## Float semantics
+//!
+//! `Max`/`Min` over floats are **NaN-propagating**: if either input is NaN
+//! the result is the canonical `NAN` of the type, so the outcome does not
+//! depend on which rank contributed the NaN or on the algorithm's combine
+//! order (Rust's `f32::max` would silently drop the NaN instead). Signed
+//! zeros are ordered like [`f32::total_cmp`]: `max(-0.0, +0.0) == +0.0` and
+//! `min(-0.0, +0.0) == -0.0`, again independent of combine order.
+
+use std::rc::Rc;
+
+use crate::comm::ReduceFn;
+use crate::request::SharedReduceOp;
+
+/// Elements per group in the chunked reduction kernels.
+///
+/// Eight elements is wide enough to fill a 256-bit vector with `f32` and to
+/// give the compiler independent lanes to schedule for the 8-byte types.
+pub const LANES: usize = 8;
+
+/// Wire identity of a [`Datatype`] implementation.
+///
+/// This is what travels inside [`ReduceIdent`] into plan-cache keys, so two
+/// datatypes with the same byte width (`f32` vs `i32`) still produce
+/// distinct plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DtypeId {
+    /// `u8`
+    U8,
+    /// `i8`
+    I8,
+    /// `u16`
+    U16,
+    /// `i16`
+    I16,
+    /// `u32`
+    U32,
+    /// `i32`
+    I32,
+    /// `u64`
+    U64,
+    /// `i64`
+    I64,
+    /// `f32`
+    F32,
+    /// `f64`
+    F64,
+}
+
+impl DtypeId {
+    /// Wire size of one element in bytes.
+    pub fn size(self) -> usize {
+        match self {
+            DtypeId::U8 | DtypeId::I8 => 1,
+            DtypeId::U16 | DtypeId::I16 => 2,
+            DtypeId::U32 | DtypeId::I32 | DtypeId::F32 => 4,
+            DtypeId::U64 | DtypeId::I64 | DtypeId::F64 => 8,
+        }
+    }
+
+    /// Display name (the Rust type name).
+    pub fn name(self) -> &'static str {
+        match self {
+            DtypeId::U8 => "u8",
+            DtypeId::I8 => "i8",
+            DtypeId::U16 => "u16",
+            DtypeId::I16 => "i16",
+            DtypeId::U32 => "u32",
+            DtypeId::I32 => "i32",
+            DtypeId::U64 => "u64",
+            DtypeId::I64 => "i64",
+            DtypeId::F32 => "f32",
+            DtypeId::F64 => "f64",
+        }
+    }
+}
+
+/// A fixed-size element that can travel through the communication layer.
+///
+/// # Wire-format stability
+///
+/// The serialized form is part of the cross-rank protocol, so every
+/// implementation must guarantee:
+///
+/// * [`Datatype::SIZE`] is a **platform-independent** constant (this is why
+///   `usize`/`isize` deliberately have no impl — their width differs between
+///   32- and 64-bit targets, so a serialized buffer would not be portable);
+/// * the encoding is little-endian and exactly `SIZE` bytes, regardless of
+///   host endianness;
+/// * `read_le(write_le(x)) == x` bit-for-bit (floats round-trip NaN
+///   payloads unchanged).
+pub trait Datatype: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static {
+    /// Size of one element in bytes.
+    const SIZE: usize;
+
+    /// Stable wire identity of this type.
+    const ID: DtypeId;
+
+    /// Serialize into exactly [`Datatype::SIZE`] bytes.
+    fn write_le(&self, out: &mut [u8]);
+
+    /// Deserialize from exactly [`Datatype::SIZE`] bytes.
+    fn read_le(src: &[u8]) -> Self;
+
+    /// `a + b` for the SUM operator.
+    fn op_sum(a: Self, b: Self) -> Self;
+    /// `a * b` for the PROD operator.
+    fn op_prod(a: Self, b: Self) -> Self;
+    /// `max(a, b)` for the MAX operator (NaN-propagating for floats).
+    fn op_max(a: Self, b: Self) -> Self;
+    /// `min(a, b)` for the MIN operator (NaN-propagating for floats).
+    fn op_min(a: Self, b: Self) -> Self;
+
+    /// Chunked `acc[i] += other[i]` over serialized buffers.
+    ///
+    /// The default walks [`LANES`]-element groups with the operator fixed at
+    /// monomorphization time; the float impls override it with an explicitly
+    /// unrolled version. Callers go through [`ReduceOp::apply_bytes`], which
+    /// validates lengths first.
+    fn fold_sum(acc: &mut [u8], other: &[u8]) {
+        fold_chunked(Self::op_sum, acc, other);
+    }
+
+    /// Chunked `acc[i] *= other[i]` over serialized buffers.
+    fn fold_prod(acc: &mut [u8], other: &[u8]) {
+        fold_chunked(Self::op_prod, acc, other);
+    }
+
+    /// Chunked `acc[i] = max(acc[i], other[i])` over serialized buffers.
+    fn fold_max(acc: &mut [u8], other: &[u8]) {
+        fold_chunked(Self::op_max, acc, other);
+    }
+
+    /// Chunked `acc[i] = min(acc[i], other[i])` over serialized buffers.
+    fn fold_min(acc: &mut [u8], other: &[u8]) {
+        fold_chunked(Self::op_min, acc, other);
+    }
+}
+
+/// Shared loop shape of the chunked kernels: decode a [`LANES`]-element
+/// group from each side, combine lane-wise, re-encode, then finish the tail
+/// element by element. `combine` is a concrete `fn`/closure per `(type,
+/// op)`, so the whole body monomorphizes without per-element dispatch.
+fn fold_chunked<T: Datatype>(combine: impl Fn(T, T) -> T + Copy, acc: &mut [u8], other: &[u8]) {
+    let stride = T::SIZE * LANES;
+    let mut acc_runs = acc.chunks_exact_mut(stride);
+    let mut other_runs = other.chunks_exact(stride);
+    for (acc_run, other_run) in acc_runs.by_ref().zip(other_runs.by_ref()) {
+        let a: [T; LANES] =
+            std::array::from_fn(|l| T::read_le(&acc_run[l * T::SIZE..(l + 1) * T::SIZE]));
+        let b: [T; LANES] =
+            std::array::from_fn(|l| T::read_le(&other_run[l * T::SIZE..(l + 1) * T::SIZE]));
+        for l in 0..LANES {
+            combine(a[l], b[l]).write_le(&mut acc_run[l * T::SIZE..(l + 1) * T::SIZE]);
+        }
+    }
+    let acc_tail = acc_runs.into_remainder();
+    let other_tail = other_runs.remainder();
+    for (acc_el, other_el) in acc_tail
+        .chunks_exact_mut(T::SIZE)
+        .zip(other_tail.chunks_exact(T::SIZE))
+    {
+        combine(T::read_le(acc_el), T::read_le(other_el)).write_le(acc_el);
+    }
+}
+
+macro_rules! impl_datatype_int {
+    ($($ty:ty => $id:ident),* $(,)?) => {$(
+        impl Datatype for $ty {
+            const SIZE: usize = std::mem::size_of::<$ty>();
+            const ID: DtypeId = DtypeId::$id;
+
+            fn write_le(&self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
+            }
+
+            fn read_le(src: &[u8]) -> Self {
+                <$ty>::from_le_bytes(src.try_into().expect("element size"))
+            }
+
+            fn op_sum(a: Self, b: Self) -> Self {
+                a.wrapping_add(b)
+            }
+
+            fn op_prod(a: Self, b: Self) -> Self {
+                a.wrapping_mul(b)
+            }
+
+            fn op_max(a: Self, b: Self) -> Self {
+                a.max(b)
+            }
+
+            fn op_min(a: Self, b: Self) -> Self {
+                a.min(b)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_datatype_float {
+    ($($ty:ty => $id:ident),* $(,)?) => {$(
+        impl Datatype for $ty {
+            const SIZE: usize = std::mem::size_of::<$ty>();
+            const ID: DtypeId = DtypeId::$id;
+
+            fn write_le(&self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
+            }
+
+            fn read_le(src: &[u8]) -> Self {
+                <$ty>::from_le_bytes(src.try_into().expect("element size"))
+            }
+
+            fn op_sum(a: Self, b: Self) -> Self {
+                a + b
+            }
+
+            fn op_prod(a: Self, b: Self) -> Self {
+                a * b
+            }
+
+            // NaN-propagating, canonical-NaN max/min with total_cmp ordering
+            // of signed zeros (see the module docs). Rust's `max`/`min`
+            // would drop the NaN, making the reduction depend on combine
+            // order.
+            fn op_max(a: Self, b: Self) -> Self {
+                if a.is_nan() || b.is_nan() {
+                    <$ty>::NAN
+                } else if a.total_cmp(&b) == std::cmp::Ordering::Less {
+                    b
+                } else {
+                    a
+                }
+            }
+
+            fn op_min(a: Self, b: Self) -> Self {
+                if a.is_nan() || b.is_nan() {
+                    <$ty>::NAN
+                } else if a.total_cmp(&b) == std::cmp::Ordering::Greater {
+                    b
+                } else {
+                    a
+                }
+            }
+
+            // Explicitly unrolled Sum: the dominant kernel of gradient
+            // workloads gets straight-line lane adds instead of trusting the
+            // optimizer to unroll the generic loop.
+            fn fold_sum(acc: &mut [u8], other: &[u8]) {
+                const S: usize = std::mem::size_of::<$ty>();
+                let stride = S * LANES;
+                let mut acc_runs = acc.chunks_exact_mut(stride);
+                let mut other_runs = other.chunks_exact(stride);
+                for (acc_run, other_run) in acc_runs.by_ref().zip(other_runs.by_ref()) {
+                    let a: [$ty; LANES] =
+                        std::array::from_fn(|l| <$ty>::read_le(&acc_run[l * S..(l + 1) * S]));
+                    let b: [$ty; LANES] =
+                        std::array::from_fn(|l| <$ty>::read_le(&other_run[l * S..(l + 1) * S]));
+                    let r = [
+                        a[0] + b[0],
+                        a[1] + b[1],
+                        a[2] + b[2],
+                        a[3] + b[3],
+                        a[4] + b[4],
+                        a[5] + b[5],
+                        a[6] + b[6],
+                        a[7] + b[7],
+                    ];
+                    for l in 0..LANES {
+                        acc_run[l * S..(l + 1) * S].copy_from_slice(&r[l].to_le_bytes());
+                    }
+                }
+                let acc_tail = acc_runs.into_remainder();
+                let other_tail = other_runs.remainder();
+                for (acc_el, other_el) in acc_tail
+                    .chunks_exact_mut(S)
+                    .zip(other_tail.chunks_exact(S))
+                {
+                    let r = <$ty>::read_le(acc_el) + <$ty>::read_le(other_el);
+                    acc_el.copy_from_slice(&r.to_le_bytes());
+                }
+            }
+        }
+    )*};
+}
+
+impl_datatype_int!(
+    u8 => U8,
+    i8 => I8,
+    u16 => U16,
+    i16 => I16,
+    u32 => U32,
+    i32 => I32,
+    u64 => U64,
+    i64 => I64,
+);
+impl_datatype_float!(f32 => F32, f64 => F64);
+
+/// The built-in commutative reduction operators (MPI_SUM, MPI_PROD, MPI_MAX,
+/// MPI_MIN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise product.
+    Prod,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+}
+
+impl ReduceOp {
+    /// All built-in operators, for grids in tests and benches.
+    pub const ALL: [ReduceOp; 4] = [ReduceOp::Sum, ReduceOp::Prod, ReduceOp::Max, ReduceOp::Min];
+
+    /// Display name matching MPI nomenclature.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReduceOp::Sum => "MPI_SUM",
+            ReduceOp::Prod => "MPI_PROD",
+            ReduceOp::Max => "MPI_MAX",
+            ReduceOp::Min => "MPI_MIN",
+        }
+    }
+
+    /// Combine two values.
+    pub fn combine<T: Datatype>(&self, a: T, b: T) -> T {
+        match self {
+            ReduceOp::Sum => T::op_sum(a, b),
+            ReduceOp::Prod => T::op_prod(a, b),
+            ReduceOp::Max => T::op_max(a, b),
+            ReduceOp::Min => T::op_min(a, b),
+        }
+    }
+
+    /// Element-wise combine over serialized buffers (`acc ⊕= other`), the
+    /// form the byte-level collective algorithms consume.
+    ///
+    /// Dispatches once to the chunked `(type, op)` fold (see the module
+    /// docs); use [`ReduceKernel::of`] to fix the dispatch ahead of time.
+    ///
+    /// # Panics
+    ///
+    /// In **every** build profile, if the buffers differ in length or the
+    /// length is not a whole number of elements. These used to be
+    /// `debug_assert`s, which in release builds turned a short `other` into
+    /// a mid-loop index panic and *silently dropped* a trailing partial
+    /// element.
+    pub fn apply_bytes<T: Datatype>(&self, acc: &mut [u8], other: &[u8]) {
+        validate_reduce_buffers::<T>(acc, other);
+        match self {
+            ReduceOp::Sum => T::fold_sum(acc, other),
+            ReduceOp::Prod => T::fold_prod(acc, other),
+            ReduceOp::Max => T::fold_max(acc, other),
+            ReduceOp::Min => T::fold_min(acc, other),
+        }
+    }
+
+    /// The historical per-element implementation: decode one element from
+    /// each side, dispatch the operator, re-encode.
+    ///
+    /// Kept as the reference semantics for the differential tests and as
+    /// the scalar baseline `bench_reduce_kernels` measures
+    /// [`ReduceOp::apply_bytes`] against. Validates like `apply_bytes`.
+    pub fn apply_bytes_scalar<T: Datatype>(&self, acc: &mut [u8], other: &[u8]) {
+        validate_reduce_buffers::<T>(acc, other);
+        for (acc_el, other_el) in acc
+            .chunks_exact_mut(T::SIZE)
+            .zip(other.chunks_exact(T::SIZE))
+        {
+            let a = T::read_le(acc_el);
+            let b = T::read_le(other_el);
+            self.combine(a, b).write_le(acc_el);
+        }
+    }
+}
+
+/// Unconditional buffer validation shared by both kernel paths.
+fn validate_reduce_buffers<T: Datatype>(acc: &[u8], other: &[u8]) {
+    assert_eq!(
+        acc.len(),
+        other.len(),
+        "reduction buffers must have equal lengths (acc {} B, other {} B)",
+        acc.len(),
+        other.len()
+    );
+    assert_eq!(
+        acc.len() % T::SIZE,
+        0,
+        "reduction buffer of {} B is not a whole number of {}-byte {} elements",
+        acc.len(),
+        T::SIZE,
+        T::ID.name()
+    );
+}
+
+/// Identity of a reduction: which element type and which operator.
+///
+/// Travels with every reduction request into `CollectiveShape`/`PlanKey`,
+/// so the plan cache distinguishes same-width, different-meaning reductions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReduceIdent {
+    /// Element type.
+    pub dtype: DtypeId,
+    /// Reduction operator.
+    pub op: ReduceOp,
+}
+
+impl ReduceIdent {
+    /// Wire size of one element.
+    pub fn elem_size(self) -> usize {
+        self.dtype.size()
+    }
+}
+
+/// An erased reduction kernel: the monomorphized `(type, op)` byte fold plus
+/// its identity.
+///
+/// `Copy` and `'static`, so it can be stored in owned collective
+/// descriptors, turned into the `&ReduceFn` the algorithms take
+/// ([`ReduceKernel::as_fn`]), or into the shared handle the progress engine
+/// holds ([`ReduceKernel::shared`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ReduceKernel {
+    ident: ReduceIdent,
+    kernel: fn(&mut [u8], &[u8]),
+}
+
+impl ReduceKernel {
+    /// The kernel for element type `T` and operator `op`.
+    ///
+    /// `ReduceKernel::of::<u8>(ReduceOp::Sum)` is the trivial instantiation
+    /// the historical byte API reduces to (wrapping per-byte addition).
+    pub fn of<T: Datatype>(op: ReduceOp) -> Self {
+        // Capture-free closures coerce to `fn`, fixing the (type, op)
+        // dispatch here instead of per call.
+        let kernel: fn(&mut [u8], &[u8]) = match op {
+            ReduceOp::Sum => |acc, other| ReduceOp::Sum.apply_bytes::<T>(acc, other),
+            ReduceOp::Prod => |acc, other| ReduceOp::Prod.apply_bytes::<T>(acc, other),
+            ReduceOp::Max => |acc, other| ReduceOp::Max.apply_bytes::<T>(acc, other),
+            ReduceOp::Min => |acc, other| ReduceOp::Min.apply_bytes::<T>(acc, other),
+        };
+        ReduceKernel {
+            ident: ReduceIdent { dtype: T::ID, op },
+            kernel,
+        }
+    }
+
+    /// The `(type, op)` identity.
+    pub fn ident(&self) -> ReduceIdent {
+        self.ident
+    }
+
+    /// Wire size of one element.
+    pub fn elem_size(&self) -> usize {
+        self.ident.dtype.size()
+    }
+
+    /// Combine `other` into `acc`.
+    pub fn apply(&self, acc: &mut [u8], other: &[u8]) {
+        (self.kernel)(acc, other)
+    }
+
+    /// Borrow as the `&ReduceFn` form every collective algorithm accepts.
+    pub fn as_fn(&self) -> &ReduceFn<'static> {
+        &self.kernel
+    }
+
+    /// Owned, shareable form for the progress engine (non-blocking and
+    /// persistent entry points).
+    pub fn shared(&self) -> SharedReduceOp {
+        Rc::new(self.kernel)
+    }
+}
+
+/// The reduction operator as a collective request carries it.
+///
+/// The normal path is [`Reduction::Typed`] — a monomorphized kernel whose
+/// identity keys the plan cache. [`Reduction::Opaque`] carries an arbitrary
+/// byte closure (plan recording substitutes one; tests build custom
+/// operators); it has no identity, so plans for opaque reductions are keyed
+/// by element size alone.
+#[derive(Clone, Copy)]
+pub enum Reduction<'a> {
+    /// A typed `(type, op)` kernel.
+    Typed(ReduceKernel),
+    /// An opaque byte operator over `elem_size`-byte elements.
+    Opaque {
+        /// Element size in bytes the closure assumes.
+        elem_size: usize,
+        /// The operator (`acc ⊕= other`).
+        f: &'a ReduceFn<'a>,
+    },
+}
+
+impl<'a> Reduction<'a> {
+    /// A typed kernel for `T` and `op`.
+    pub fn typed<T: Datatype>(op: ReduceOp) -> Self {
+        Reduction::Typed(ReduceKernel::of::<T>(op))
+    }
+
+    /// Wire size of one element.
+    pub fn elem_size(&self) -> usize {
+        match self {
+            Reduction::Typed(kernel) => kernel.elem_size(),
+            Reduction::Opaque { elem_size, .. } => *elem_size,
+        }
+    }
+
+    /// The `(type, op)` identity, if this reduction has one.
+    pub fn ident(&self) -> Option<ReduceIdent> {
+        match self {
+            Reduction::Typed(kernel) => Some(kernel.ident()),
+            Reduction::Opaque { .. } => None,
+        }
+    }
+
+    /// Borrow the byte operator every collective algorithm accepts.
+    pub fn as_fn(&self) -> &ReduceFn<'_> {
+        match self {
+            Reduction::Typed(kernel) => kernel.as_fn(),
+            Reduction::Opaque { f, .. } => f,
+        }
+    }
+}
+
+impl std::fmt::Debug for Reduction<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Reduction::Typed(kernel) => f.debug_tuple("Typed").field(&kernel.ident()).finish(),
+            Reduction::Opaque { elem_size, .. } => f
+                .debug_struct("Opaque")
+                .field("elem_size", elem_size)
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+/// Serialize a typed slice to its little-endian byte representation.
+pub fn to_bytes<T: Datatype>(values: &[T]) -> Vec<u8> {
+    let mut out = vec![0u8; values.len() * T::SIZE];
+    for (value, chunk) in values.iter().zip(out.chunks_exact_mut(T::SIZE)) {
+        value.write_le(chunk);
+    }
+    out
+}
+
+/// Deserialize a little-endian byte buffer into typed elements.
+pub fn from_bytes<T: Datatype>(bytes: &[u8]) -> Vec<T> {
+    assert_eq!(
+        bytes.len() % T::SIZE,
+        0,
+        "byte length must be a multiple of the element size"
+    );
+    bytes.chunks_exact(T::SIZE).map(T::read_le).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_integers() {
+        let values: Vec<i32> = vec![-5, 0, 7, i32::MAX, i32::MIN];
+        assert_eq!(from_bytes::<i32>(&to_bytes(&values)), values);
+        let values: Vec<u64> = vec![0, 1, u64::MAX];
+        assert_eq!(from_bytes::<u64>(&to_bytes(&values)), values);
+    }
+
+    #[test]
+    fn round_trip_floats() {
+        let values: Vec<f64> = vec![0.0, -1.5, std::f64::consts::PI];
+        assert_eq!(from_bytes::<f64>(&to_bytes(&values)), values);
+    }
+
+    #[test]
+    fn dtype_ids_report_their_wire_size() {
+        assert_eq!(<u8 as Datatype>::ID.size(), 1);
+        assert_eq!(<i16 as Datatype>::ID.size(), 2);
+        assert_eq!(<f32 as Datatype>::ID.size(), 4);
+        assert_eq!(<u64 as Datatype>::ID.size(), 8);
+        assert_eq!(DtypeId::F64.name(), "f64");
+    }
+
+    #[test]
+    fn reduce_ops_combine_as_expected() {
+        assert_eq!(ReduceOp::Sum.combine(3i32, 4), 7);
+        assert_eq!(ReduceOp::Prod.combine(3i32, 4), 12);
+        assert_eq!(ReduceOp::Max.combine(3i32, 4), 4);
+        assert_eq!(ReduceOp::Min.combine(3i32, 4), 3);
+        assert_eq!(ReduceOp::Sum.combine(1.5f64, 2.25), 3.75);
+    }
+
+    #[test]
+    fn apply_bytes_is_elementwise() {
+        let mut acc = to_bytes(&[1i32, 10, 100]);
+        let other = to_bytes(&[2i32, 20, 200]);
+        ReduceOp::Sum.apply_bytes::<i32>(&mut acc, &other);
+        assert_eq!(from_bytes::<i32>(&acc), vec![3, 30, 300]);
+        ReduceOp::Max.apply_bytes::<i32>(&mut acc, &to_bytes(&[5i32, 40, 1]));
+        assert_eq!(from_bytes::<i32>(&acc), vec![5, 40, 300]);
+    }
+
+    #[test]
+    fn integer_sum_wraps_instead_of_panicking() {
+        assert_eq!(ReduceOp::Sum.combine(u8::MAX, 1u8), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the element size")]
+    fn from_bytes_rejects_misaligned_lengths() {
+        let _ = from_bytes::<i32>(&[0u8; 6]);
+    }
+
+    /// Chunked and scalar kernels agree bit-for-bit, across the lane
+    /// boundary (lengths around multiples of LANES) and for every op.
+    #[test]
+    fn chunked_kernels_match_the_scalar_reference() {
+        fn check<T: Datatype>(values: impl Fn(usize) -> T) {
+            for count in [0, 1, 7, 8, 9, 15, 16, 17, 64, 65] {
+                let a: Vec<T> = (0..count).map(&values).collect();
+                let b: Vec<T> = (0..count).map(|i| values(i + 3)).collect();
+                for op in ReduceOp::ALL {
+                    let mut chunked = to_bytes(&a);
+                    let mut scalar = chunked.clone();
+                    let other = to_bytes(&b);
+                    op.apply_bytes::<T>(&mut chunked, &other);
+                    op.apply_bytes_scalar::<T>(&mut scalar, &other);
+                    assert_eq!(
+                        chunked,
+                        scalar,
+                        "{:?} over {} x {}",
+                        op,
+                        count,
+                        std::any::type_name::<T>()
+                    );
+                }
+            }
+        }
+        check::<u8>(|i| (i * 37 + 11) as u8);
+        check::<i32>(|i| i as i32 * 1_000_003 - 17);
+        check::<u64>(|i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        check::<f32>(|i| i as f32 * 0.75 - 4.0);
+        check::<f64>(|i| i as f64 * -1.25 + 3.0);
+    }
+
+    #[test]
+    fn float_max_min_propagate_nan_canonically() {
+        for op in [ReduceOp::Max, ReduceOp::Min] {
+            assert!(op.combine(f32::NAN, 1.0).is_nan());
+            assert!(op.combine(1.0f32, f32::NAN).is_nan());
+            assert!(op.combine(f64::NAN, f64::NEG_INFINITY).is_nan());
+            // Canonical: the result is the positive canonical NaN, not the
+            // input's payload — so combine order cannot change the bits.
+            let negative_nan = f32::from_bits(f32::NAN.to_bits() | 0x8000_0000);
+            assert_eq!(
+                op.combine(negative_nan, 1.0f32).to_bits(),
+                f32::NAN.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn float_max_min_order_signed_zeros_like_total_cmp() {
+        assert_eq!(
+            ReduceOp::Max.combine(-0.0f32, 0.0).to_bits(),
+            0.0f32.to_bits()
+        );
+        assert_eq!(
+            ReduceOp::Max.combine(0.0f32, -0.0).to_bits(),
+            0.0f32.to_bits()
+        );
+        assert_eq!(
+            ReduceOp::Min.combine(-0.0f64, 0.0).to_bits(),
+            (-0.0f64).to_bits()
+        );
+        assert_eq!(
+            ReduceOp::Min.combine(0.0f64, -0.0).to_bits(),
+            (-0.0f64).to_bits()
+        );
+    }
+
+    #[test]
+    fn reduce_kernel_carries_identity_and_reduces() {
+        let kernel = ReduceKernel::of::<f32>(ReduceOp::Sum);
+        assert_eq!(
+            kernel.ident(),
+            ReduceIdent {
+                dtype: DtypeId::F32,
+                op: ReduceOp::Sum
+            }
+        );
+        assert_eq!(kernel.elem_size(), 4);
+        let mut acc = to_bytes(&[1.0f32, 2.0]);
+        kernel.apply(&mut acc, &to_bytes(&[0.5f32, 0.25]));
+        assert_eq!(from_bytes::<f32>(&acc), vec![1.5, 2.25]);
+        // The erased forms keep working as plain byte operators.
+        let mut acc = to_bytes(&[1.0f32]);
+        (kernel.as_fn())(&mut acc, &to_bytes(&[2.0f32]));
+        (kernel.shared())(&mut acc, &to_bytes(&[4.0f32]));
+        assert_eq!(from_bytes::<f32>(&acc), vec![7.0]);
+    }
+
+    #[test]
+    fn u8_sum_kernel_is_the_trivial_byte_instantiation() {
+        let kernel = ReduceKernel::of::<u8>(ReduceOp::Sum);
+        let mut acc = vec![250u8, 1, 2];
+        kernel.apply(&mut acc, &[10, 1, 1]);
+        assert_eq!(acc, vec![4, 2, 3], "wrapping per-byte addition");
+    }
+
+    #[test]
+    fn reduction_reports_identity_only_when_typed() {
+        let typed = Reduction::typed::<i32>(ReduceOp::Max);
+        assert_eq!(typed.elem_size(), 4);
+        assert_eq!(
+            typed.ident(),
+            Some(ReduceIdent {
+                dtype: DtypeId::I32,
+                op: ReduceOp::Max
+            })
+        );
+        let custom = |acc: &mut [u8], other: &[u8]| {
+            for (a, b) in acc.iter_mut().zip(other) {
+                *a ^= *b;
+            }
+        };
+        let opaque = Reduction::Opaque {
+            elem_size: 2,
+            f: &custom,
+        };
+        assert_eq!(opaque.elem_size(), 2);
+        assert_eq!(opaque.ident(), None);
+        let mut acc = vec![0b1010u8, 0xFF];
+        (opaque.as_fn())(&mut acc, &[0b0110, 0x0F]);
+        assert_eq!(acc, vec![0b1100, 0xF0]);
+    }
+
+    // --- release-profile pins -------------------------------------------
+    //
+    // The validation used to be `debug_assert_eq!`, so release builds
+    // panicked mid-loop on short buffers and silently *dropped* a trailing
+    // partial element. These run in every profile (CI additionally runs the
+    // ignored twin under `cargo test --release -- --ignored` to pin the
+    // release behavior specifically).
+
+    fn assert_rejects_in_this_profile() {
+        let mismatch = std::panic::catch_unwind(|| {
+            let mut acc = vec![0u8; 8];
+            ReduceOp::Sum.apply_bytes::<i32>(&mut acc, &[0u8; 4]);
+        });
+        let message = *mismatch
+            .expect_err("length mismatch must panic in every profile")
+            .downcast::<String>()
+            .expect("panic message");
+        assert!(
+            message.contains("equal lengths"),
+            "unexpected message: {message}"
+        );
+
+        let partial = std::panic::catch_unwind(|| {
+            let mut acc = vec![0u8; 6];
+            ReduceOp::Sum.apply_bytes::<i32>(&mut acc, &[0u8; 6]);
+        });
+        let message = *partial
+            .expect_err("trailing partial element must panic, not be dropped")
+            .downcast::<String>()
+            .expect("panic message");
+        assert!(
+            message.contains("whole number"),
+            "unexpected message: {message}"
+        );
+    }
+
+    #[test]
+    fn apply_bytes_validates_buffers_unconditionally() {
+        assert_rejects_in_this_profile();
+    }
+
+    #[test]
+    #[ignore = "release-profile pin: CI runs this under cargo test --release -- --ignored"]
+    fn apply_bytes_validation_survives_release_profile() {
+        assert_rejects_in_this_profile();
+    }
+}

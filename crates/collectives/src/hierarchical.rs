@@ -423,6 +423,34 @@ mod tests {
     }
 
     #[test]
+    fn allreduce_hierarchical_typed_f64_min_propagates_nan() {
+        use crate::datatype::{from_bytes, to_bytes, ReduceKernel, ReduceOp};
+        let topo = Topology::new(2, 3);
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            let input: [f64; 3] = if comm.rank() == 4 {
+                [f64::NAN, -0.0, 4.0]
+            } else {
+                [comm.rank() as f64, 0.0, comm.rank() as f64]
+            };
+            let mut buf = to_bytes(&input);
+            let kernel = ReduceKernel::of::<f64>(ReduceOp::Min);
+            allreduce_hierarchical(&comm, &mut buf, kernel.as_fn(), 2750);
+            from_bytes::<f64>(&buf)
+        })
+        .unwrap();
+        for (rank, out) in results.iter().enumerate() {
+            assert!(out[0].is_nan(), "rank {rank}: NaN must win the min");
+            // total_cmp ordering: -0.0 < +0.0, so the -0.0 contribution wins.
+            assert!(
+                out[1] == 0.0 && out[1].is_sign_negative(),
+                "rank {rank}: min must pick -0.0 over +0.0"
+            );
+            assert_eq!(out[2], 0.0, "rank {rank}: clean lane takes the true min");
+        }
+    }
+
+    #[test]
     fn allgather_two_nodes() {
         run_allgather(2, 3, 16);
     }

@@ -51,6 +51,7 @@
 pub mod binomial;
 pub mod bruck;
 pub mod comm;
+pub mod datatype;
 pub mod hierarchical;
 pub mod multi_object;
 pub mod oracle;
@@ -62,6 +63,7 @@ pub mod ring;
 pub mod scan;
 
 pub use comm::{Comm, NonBlockingComm, ReduceFn, ThreadComm, TraceComm};
+pub use datatype::{Datatype, DtypeId, ReduceIdent, ReduceKernel, ReduceOp, Reduction};
 pub use request::{ProgressEngine, ReqId, SharedReduceOp};
 
 /// Identifies a collective operation (used by the library presets and the

@@ -152,6 +152,40 @@ mod tests {
     }
 
     #[test]
+    fn typed_f32_max_multi_object_propagates_nan_everywhere() {
+        use crate::datatype::{from_bytes, to_bytes, ReduceKernel, ReduceOp};
+        let topo = Topology::new(2, 2);
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            // One NaN lane (from rank 3), one clean lane per chunk of the
+            // multi-object split.
+            let input: Vec<f32> = (0..8)
+                .map(|i| {
+                    if comm.rank() == 3 && i % 4 == 1 {
+                        f32::NAN
+                    } else {
+                        (comm.rank() * 8 + i) as f32
+                    }
+                })
+                .collect();
+            let mut buf = to_bytes(&input);
+            let kernel = ReduceKernel::of::<f32>(ReduceOp::Max);
+            allreduce_multi_object(&comm, &mut buf, 4, kernel.as_fn(), 4150);
+            from_bytes::<f32>(&buf)
+        })
+        .unwrap();
+        for (rank, out) in results.iter().enumerate() {
+            for (i, value) in out.iter().enumerate() {
+                if i % 4 == 1 {
+                    assert!(value.is_nan(), "rank {rank} elem {i}: NaN lane lost");
+                } else {
+                    assert_eq!(*value, (24 + i) as f32, "rank {rank} elem {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn trace_every_local_rank_talks_to_the_network() {
         let topo = Topology::new(8, 4);
         let trace = record_trace(topo, |comm| {

@@ -150,6 +150,30 @@ mod tests {
     }
 
     #[test]
+    fn typed_i32_sum_reaches_a_non_leader_root() {
+        use crate::datatype::{from_bytes, to_bytes, ReduceKernel, ReduceOp};
+        let topo = Topology::new(3, 2);
+        let world = topo.world_size();
+        let root = 3;
+        let contributions: Vec<Vec<i32>> = (0..world)
+            .map(|r| (0..6).map(|i| (r as i32 - 2) * 100 + i).collect())
+            .collect();
+        let expected = oracle::allreduce_t(&contributions, ReduceOp::Sum);
+        let inputs = &contributions;
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            let sendbuf = to_bytes(&inputs[comm.rank()]);
+            let mut recvbuf = vec![0u8; sendbuf.len()];
+            let recv = (comm.rank() == root).then_some(recvbuf.as_mut_slice());
+            let kernel = ReduceKernel::of::<i32>(ReduceOp::Sum);
+            reduce_multi_object(&comm, &sendbuf, recv, 4, kernel.as_fn(), root, 4750);
+            from_bytes::<i32>(&recvbuf)
+        })
+        .unwrap();
+        assert_eq!(results[root], expected);
+    }
+
+    #[test]
     fn trace_every_local_rank_talks_to_the_network() {
         let topo = Topology::new(8, 4);
         let trace = record_trace(topo, |comm| {

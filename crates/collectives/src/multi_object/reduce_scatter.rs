@@ -307,6 +307,37 @@ mod tests {
     }
 
     #[test]
+    fn typed_u64_max_matches_the_typed_oracle_across_chunk_boundaries() {
+        use crate::datatype::{from_bytes, to_bytes, ReduceKernel, ReduceOp};
+        // 9 ranks x 3-element blocks: the ppn-chunk partition does not align
+        // with block boundaries, so typed extraction spans owners.
+        let topo = Topology::new(3, 3);
+        let world = topo.world_size();
+        let elements_per_block = 3;
+        let contributions: Vec<Vec<u64>> = (0..world)
+            .map(|r| {
+                (0..world * elements_per_block)
+                    .map(|i| ((r * 31 + i * 7) % 97) as u64)
+                    .collect()
+            })
+            .collect();
+        let expected = oracle::reduce_scatter_t(&contributions, world, ReduceOp::Max);
+        let inputs = &contributions;
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            let sendbuf = to_bytes(&inputs[comm.rank()]);
+            let mut recvbuf = vec![0u8; elements_per_block * 8];
+            let kernel = ReduceKernel::of::<u64>(ReduceOp::Max);
+            reduce_scatter_multi_object(&comm, &sendbuf, &mut recvbuf, 8, kernel.as_fn(), 4450);
+            from_bytes::<u64>(&recvbuf)
+        })
+        .unwrap();
+        for (rank, out) in results.iter().enumerate() {
+            assert_eq!(out, &expected[rank], "typed reduce_scatter at rank {rank}");
+        }
+    }
+
+    #[test]
     fn trace_every_local_rank_talks_to_the_network() {
         let topo = Topology::new(8, 4);
         let trace = record_trace(topo, |comm| {

@@ -144,6 +144,72 @@ pub fn sum_f64(acc: &mut [u8], other: &[u8]) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Typed reduction oracles
+// ---------------------------------------------------------------------
+//
+// The sequential references for the typed reduction family, combining in
+// strict rank order with `ReduceOp::combine` — the semantics every
+// distributed algorithm must reproduce (exactly for integers, up to
+// combine-order rounding for floats).
+
+use crate::datatype::{Datatype, ReduceOp};
+
+/// Expected typed allreduce/reduce result: every rank's contribution
+/// combined element-wise in rank order.
+pub fn allreduce_t<T: Datatype>(contributions: &[Vec<T>], op: ReduceOp) -> Vec<T> {
+    let mut acc = contributions[0].clone();
+    for contribution in &contributions[1..] {
+        for (a, b) in acc.iter_mut().zip(contribution) {
+            *a = op.combine(*a, *b);
+        }
+    }
+    acc
+}
+
+/// Expected typed reduce_scatter result per rank: the full reduction split
+/// into `world` equal blocks, rank `i` receiving block `i`.
+pub fn reduce_scatter_t<T: Datatype>(
+    contributions: &[Vec<T>],
+    world: usize,
+    op: ReduceOp,
+) -> Vec<Vec<T>> {
+    let reduced = allreduce_t(contributions, op);
+    let block = reduced.len() / world;
+    (0..world)
+        .map(|rank| reduced[rank * block..(rank + 1) * block].to_vec())
+        .collect()
+}
+
+/// Expected typed inclusive scan per rank: rank `i` receives the
+/// combination of contributions `0..=i`.
+pub fn scan_t<T: Datatype>(contributions: &[Vec<T>], op: ReduceOp) -> Vec<Vec<T>> {
+    let mut acc = contributions[0].clone();
+    let mut out = vec![acc.clone()];
+    for contribution in &contributions[1..] {
+        for (a, b) in acc.iter_mut().zip(contribution) {
+            *a = op.combine(*a, *b);
+        }
+        out.push(acc.clone());
+    }
+    out
+}
+
+/// Expected typed exclusive scan per rank: rank `i > 0` receives the
+/// combination of contributions `0..i`; rank 0 is pinned to its own input
+/// (see [`exscan`]).
+pub fn exscan_t<T: Datatype>(contributions: &[Vec<T>], op: ReduceOp) -> Vec<Vec<T>> {
+    let mut acc = contributions[0].clone();
+    let mut out = vec![contributions[0].clone()];
+    for contribution in &contributions[1..] {
+        out.push(acc.clone());
+        for (a, b) in acc.iter_mut().zip(contribution) {
+            *a = op.combine(*a, *b);
+        }
+    }
+    out
+}
+
 /// Deterministic per-rank payload generator used throughout the tests: rank
 /// `r` contributes `len` bytes whose value depends on the rank and position.
 pub fn rank_payload(rank: usize, len: usize) -> Vec<u8> {
@@ -229,5 +295,39 @@ mod tests {
     fn rank_payload_is_deterministic_and_rank_dependent() {
         assert_eq!(rank_payload(3, 16), rank_payload(3, 16));
         assert_ne!(rank_payload(3, 16), rank_payload(4, 16));
+    }
+
+    #[test]
+    fn typed_allreduce_matches_the_byte_oracle_on_u8_sum() {
+        let typed = vec![vec![1u8, 250], vec![3, 4], vec![5, 6]];
+        let bytes: Vec<Vec<u8>> = typed.clone();
+        assert_eq!(
+            allreduce_t(&typed, ReduceOp::Sum),
+            allreduce(&bytes, wrapping_add_u8)
+        );
+    }
+
+    #[test]
+    fn typed_oracles_cover_the_reduction_family() {
+        let contributions = vec![vec![1i32, -8], vec![2, 5], vec![4, 3]];
+        assert_eq!(allreduce_t(&contributions, ReduceOp::Sum), vec![7, 0]);
+        assert_eq!(allreduce_t(&contributions, ReduceOp::Max), vec![4, 5]);
+        assert_eq!(allreduce_t(&contributions, ReduceOp::Min), vec![1, -8]);
+        assert_eq!(allreduce_t(&contributions, ReduceOp::Prod), vec![8, -120]);
+
+        let rs = vec![vec![1i32, 2, 3], vec![10, 20, 30], vec![100, 200, 300]];
+        assert_eq!(
+            reduce_scatter_t(&rs, 3, ReduceOp::Sum),
+            vec![vec![111], vec![222], vec![333]]
+        );
+
+        assert_eq!(
+            scan_t(&contributions, ReduceOp::Sum),
+            vec![vec![1, -8], vec![3, -3], vec![7, 0]]
+        );
+        assert_eq!(
+            exscan_t(&contributions, ReduceOp::Sum),
+            vec![vec![1, -8], vec![1, -8], vec![3, -3]]
+        );
     }
 }

@@ -360,6 +360,68 @@ mod tests {
         assert_eq!(results[1], vec![10; 4]);
     }
 
+    /// A reduce plan recorded through the opaque interception executes with
+    /// a typed [`crate::datatype::ReduceKernel`] supplied at run time — the
+    /// plan itself is operator-agnostic, so one recording serves every
+    /// invocation with the same `(datatype, op)` key.
+    #[test]
+    fn recorded_reduce_plan_executes_with_a_typed_kernel() {
+        use crate::datatype::{from_bytes, to_bytes, ReduceKernel, ReduceOp};
+        let topo = Topology::new(1, 2);
+        let compile = |rank: usize| {
+            let passes = (0..EXEC_PASSES as u32)
+                .map(|pass| {
+                    let comm = PlanComm::new(rank, topo, pass, crate::plan::ir::Fidelity::Exec);
+                    let mut buf = vec![0u8; 8];
+                    comm.fill_sendbuf(&mut buf);
+                    let peer = 1 - rank;
+                    comm.send(peer, 0, &buf);
+                    let incoming = comm.recv(peer, 0, 8);
+                    let op = comm.reducer();
+                    op(&mut buf, &incoming);
+                    drop(op);
+                    comm.charge_reduce(8);
+                    comm.finish(Some(buf))
+                })
+                .collect();
+            assemble(
+                rank,
+                topo,
+                crate::plan::ir::Fidelity::Exec,
+                IoShape {
+                    sendbuf: None,
+                    recvbuf: Some(8),
+                    inout: true,
+                    needs_reduce_op: true,
+                },
+                passes,
+            )
+        };
+        let plans = [compile(0), compile(1)];
+        let plans_ref = &plans;
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            let input: [i32; 2] = [comm.rank() as i32 + 1, -(comm.rank() as i32) - 10];
+            let mut buf = to_bytes(&input);
+            let kernel = ReduceKernel::of::<i32>(ReduceOp::Sum);
+            execute_rank_plan(
+                &plans_ref[comm.rank()],
+                &comm,
+                PlanIo {
+                    sendbuf: None,
+                    recvbuf: Some(&mut buf),
+                },
+                Some(kernel.as_fn()),
+                9 << 16,
+            );
+            from_bytes::<i32>(&buf)
+        })
+        .unwrap();
+        for (rank, out) in results.iter().enumerate() {
+            assert_eq!(out, &vec![3, -21], "typed planned reduce at rank {rank}");
+        }
+    }
+
     /// The same cached plan executes twice on one communicator without the
     /// shared-region namespaces or tags colliding.
     #[test]

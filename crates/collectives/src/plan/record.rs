@@ -238,7 +238,12 @@ impl PlanComm {
 
     /// A reduction operator that records [`PlanOp::Reduce`] and re-taints
     /// the accumulator.  The compile driver passes this to allreduce-style
-    /// requests instead of the caller's real operator.
+    /// requests instead of the caller's real operator — typed or opaque —
+    /// which is supplied again at execution time (e.g. as a
+    /// [`crate::datatype::ReduceKernel`]).  The recorded plan is therefore
+    /// operator-agnostic; the plan cache keys it by the reduction's
+    /// `(datatype, op)` identity because the *schedule* (element-aligned
+    /// chunk boundaries) depends on the element size.
     pub fn reducer(&self) -> impl Fn(&mut [u8], &[u8]) + Sync + '_ {
         move |acc: &mut [u8], other: &[u8]| {
             let mut state = self.state.lock().unwrap();

@@ -251,6 +251,33 @@ mod tests {
     }
 
     #[test]
+    fn allreduce_rd_typed_f32_max_propagates_nan() {
+        use crate::datatype::{from_bytes, to_bytes, ReduceKernel, ReduceOp};
+        let topo = Topology::new(2, 2);
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            // Element 0 carries a NaN on rank 2 only; element 1 is clean.
+            let input: [f32; 2] = if comm.rank() == 2 {
+                [f32::NAN, 2.0]
+            } else {
+                [comm.rank() as f32, comm.rank() as f32]
+            };
+            let mut buf = to_bytes(&input);
+            let kernel = ReduceKernel::of::<f32>(ReduceOp::Max);
+            allreduce_recursive_doubling(&comm, &mut buf, kernel.as_fn(), 1250);
+            from_bytes::<f32>(&buf)
+        })
+        .unwrap();
+        for (rank, out) in results.iter().enumerate() {
+            assert!(
+                out[0].is_nan(),
+                "rank {rank}: NaN must propagate through max"
+            );
+            assert_eq!(out[1], 3.0, "rank {rank}: clean lane takes the true max");
+        }
+    }
+
+    #[test]
     fn barrier_completes_on_all_world_sizes() {
         for (nodes, ppn) in [(1, 1), (1, 2), (3, 1), (2, 3), (4, 4)] {
             let topo = Topology::new(nodes, ppn);

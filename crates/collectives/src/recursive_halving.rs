@@ -224,6 +224,50 @@ mod tests {
     }
 
     #[test]
+    fn typed_f64_max_reduce_scatter_matches_the_typed_oracle_with_nan() {
+        use crate::datatype::{from_bytes, to_bytes, ReduceKernel, ReduceOp};
+        let topo = Topology::new(3, 1);
+        let world = topo.world_size();
+        let block = 3;
+        // Rank 1 contributes a NaN in the element that lands in rank 2's
+        // block; everything else is finite and rank-dependent.
+        let contributions: Vec<Vec<f64>> = (0..world)
+            .map(|r| {
+                (0..world * block)
+                    .map(|i| {
+                        if r == 1 && i == 2 * block {
+                            f64::NAN
+                        } else {
+                            (r * 100 + i) as f64 - 450.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let expected = oracle::reduce_scatter_t(&contributions, world, ReduceOp::Max);
+        let inputs = &contributions;
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            let sendbuf = to_bytes(&inputs[comm.rank()]);
+            let mut recvbuf = vec![0u8; block * 8];
+            let kernel = ReduceKernel::of::<f64>(ReduceOp::Max);
+            reduce_scatter_recursive_halving(&comm, &sendbuf, &mut recvbuf, kernel.as_fn(), 2250);
+            from_bytes::<f64>(&recvbuf)
+        })
+        .unwrap();
+        for (rank, out) in results.iter().enumerate() {
+            for (i, (got, want)) in out.iter().zip(&expected[rank]).enumerate() {
+                if want.is_nan() {
+                    assert!(got.is_nan(), "rank {rank} elem {i}: NaN must survive");
+                } else {
+                    assert_eq!(got, want, "rank {rank} elem {i}");
+                }
+            }
+        }
+        assert!(expected[2][0].is_nan(), "the NaN lane must land on rank 2");
+    }
+
+    #[test]
     fn trace_rounds_are_logarithmic_for_power_of_two() {
         let world = 8;
         let block = 16;

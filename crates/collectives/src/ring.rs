@@ -38,21 +38,37 @@ pub fn allgather_ring<C: Comm>(comm: &C, sendbuf: &[u8], recvbuf: &mut [u8], tag
 /// reduced value of one chunk) followed by a ring allgather of the chunks.
 /// This is the bandwidth-optimal algorithm used for large messages.
 ///
-/// The buffer is split into `p` chunks; `buf.len()` need not be divisible by
-/// `p` (trailing chunks are smaller).
-pub fn allreduce_ring<C: Comm>(comm: &C, buf: &mut [u8], op: &ReduceFn<'_>, tag: u64) {
+/// The buffer is split into `p` chunks at `elem_size`-aligned boundaries, so
+/// `op` is only ever handed whole elements — splitting a multi-byte element
+/// across two chunks would corrupt it when each half is reduced separately.
+/// `buf.len()` must be a multiple of `elem_size` but the element count need
+/// not be divisible by `p` (trailing chunks are smaller, possibly empty).
+pub fn allreduce_ring<C: Comm>(
+    comm: &C,
+    buf: &mut [u8],
+    elem_size: usize,
+    op: &ReduceFn<'_>,
+    tag: u64,
+) {
     let p = comm.world_size();
     let rank = comm.rank();
     if p == 1 {
         return;
     }
-    let n = buf.len();
+    assert_eq!(
+        buf.len() % elem_size,
+        0,
+        "ring allreduce buffer of {} B is not a whole number of {}-byte elements",
+        buf.len(),
+        elem_size
+    );
+    let n = buf.len() / elem_size;
     let chunk_bounds = |i: usize| -> (usize, usize) {
         let base = n / p;
         let extra = n % p;
         let start = i * base + i.min(extra);
         let len = base + usize::from(i < extra);
-        (start, start + len)
+        (start * elem_size, (start + len) * elem_size)
     };
     let right = (rank + 1) % p;
     let left = (rank + p - 1) % p;
@@ -183,7 +199,7 @@ mod tests {
         let results = Cluster::launch(topo, |ctx| {
             let comm = ThreadComm::new(ctx);
             let mut buf = oracle::rank_payload(comm.rank(), len);
-            allreduce_ring(&comm, &mut buf, &oracle::wrapping_add_u8, 1700);
+            allreduce_ring(&comm, &mut buf, 1, &oracle::wrapping_add_u8, 1700);
             buf
         })
         .unwrap();
@@ -234,6 +250,32 @@ mod tests {
     }
 
     #[test]
+    fn allreduce_ring_typed_i32_min_matches_the_typed_oracle() {
+        use crate::datatype::{from_bytes, to_bytes, ReduceKernel, ReduceOp};
+        let topo = Topology::new(3, 2);
+        let world = topo.world_size();
+        let contributions: Vec<Vec<i32>> = (0..world)
+            .map(|r| (0..7).map(|i| (r as i32 - 3) * 17 - i).collect())
+            .collect();
+        let expected = oracle::allreduce_t(&contributions, ReduceOp::Min);
+        let inputs = &contributions;
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            let mut buf = to_bytes(&inputs[comm.rank()]);
+            let kernel = ReduceKernel::of::<i32>(ReduceOp::Min);
+            allreduce_ring(&comm, &mut buf, 4, kernel.as_fn(), 1750);
+            from_bytes::<i32>(&buf)
+        })
+        .unwrap();
+        for (rank, out) in results.iter().enumerate() {
+            assert_eq!(
+                out, &expected,
+                "typed ring allreduce mismatch at rank {rank}"
+            );
+        }
+    }
+
+    #[test]
     fn ring_allgather_trace_has_p_minus_1_rounds() {
         let world = 6;
         let topo = Topology::new(world, 1);
@@ -253,7 +295,7 @@ mod tests {
         let topo = Topology::new(world, 1);
         let trace = record_trace(topo, |comm| {
             let mut buf = vec![0u8; len];
-            allreduce_ring(comm, &mut buf, &oracle::wrapping_add_u8, 1);
+            allreduce_ring(comm, &mut buf, 1, &oracle::wrapping_add_u8, 1);
         });
         trace.validate().unwrap();
         // Each rank sends 2 * (p-1) chunks of n/p bytes.

@@ -260,6 +260,33 @@ mod tests {
     }
 
     #[test]
+    fn typed_i32_scans_match_the_typed_oracle() {
+        use crate::datatype::{from_bytes, to_bytes, ReduceKernel, ReduceOp};
+        let topo = Topology::new(3, 2);
+        let world = topo.world_size();
+        let contributions: Vec<Vec<i32>> = (0..world)
+            .map(|r| (0..5).map(|i| (r as i32 + 1) * 1000 - i * 7).collect())
+            .collect();
+        let expected_scan = oracle::scan_t(&contributions, ReduceOp::Sum);
+        let expected_exscan = oracle::exscan_t(&contributions, ReduceOp::Sum);
+        let inputs = &contributions;
+        let results = Cluster::launch(topo, |ctx| {
+            let comm = ThreadComm::new(ctx);
+            let kernel = ReduceKernel::of::<i32>(ReduceOp::Sum);
+            let mut inclusive = to_bytes(&inputs[comm.rank()]);
+            scan_recursive_doubling(&comm, &mut inclusive, kernel.as_fn(), 2600);
+            let mut exclusive = to_bytes(&inputs[comm.rank()]);
+            exscan_recursive_doubling(&comm, &mut exclusive, kernel.as_fn(), 2700);
+            (from_bytes::<i32>(&inclusive), from_bytes::<i32>(&exclusive))
+        })
+        .unwrap();
+        for (rank, (inclusive, exclusive)) in results.iter().enumerate() {
+            assert_eq!(inclusive, &expected_scan[rank], "scan at rank {rank}");
+            assert_eq!(exclusive, &expected_exscan[rank], "exscan at rank {rank}");
+        }
+    }
+
+    #[test]
     fn scan_rd_trace_has_logarithmic_rounds() {
         let topo = Topology::new(8, 1);
         let trace = record_trace(topo, |comm| {

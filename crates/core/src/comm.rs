@@ -24,7 +24,7 @@ use pip_collectives::request::{ProgressEngine, ReqId, SharedReduceOp};
 use pip_mpi_model::{dispatch, CollectiveRequest, LibraryProfile, OwnedCollective, PlanCache};
 use pip_runtime::{TaskCtx, Topology};
 
-use crate::datatype::{from_bytes, to_bytes, Datatype, ReduceOp};
+use crate::datatype::{from_bytes, to_bytes, Datatype, ReduceKernel, ReduceOp, Reduction};
 
 /// Tag space reserved for each collective invocation (rounds and phases are
 /// encoded in the low bits).
@@ -228,11 +228,9 @@ impl<'a> Communicator<'a> {
     /// vector on return at every rank.
     pub fn allreduce<T: Datatype>(&self, buf: &mut [T], op: ReduceOp) {
         let mut bytes = to_bytes(buf);
-        let combine = move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other);
         self.collective(CollectiveRequest::Allreduce {
             buf: &mut bytes,
-            elem_size: T::SIZE,
-            op: &combine,
+            op: Reduction::typed::<T>(op),
         });
         for (value, chunk) in buf.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
             *value = T::read_le(chunk);
@@ -246,13 +244,11 @@ impl<'a> Communicator<'a> {
         let sendbuf = to_bytes(send);
         let is_root = self.rank() == root;
         let mut recvbuf = is_root.then(|| vec![0u8; sendbuf.len()]);
-        let combine = move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other);
         self.collective(CollectiveRequest::Reduce {
             sendbuf: &sendbuf,
             recvbuf: recvbuf.as_deref_mut(),
             root,
-            elem_size: T::SIZE,
-            op: &combine,
+            op: Reduction::typed::<T>(op),
         });
         recvbuf.map(|bytes| from_bytes(&bytes))
     }
@@ -268,12 +264,10 @@ impl<'a> Communicator<'a> {
         );
         let sendbuf = to_bytes(send);
         let mut recvbuf = vec![0u8; count * T::SIZE];
-        let combine = move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other);
         self.collective(CollectiveRequest::ReduceScatter {
             sendbuf: &sendbuf,
             recvbuf: &mut recvbuf,
-            elem_size: T::SIZE,
-            op: &combine,
+            op: Reduction::typed::<T>(op),
         });
         from_bytes(&recvbuf)
     }
@@ -282,11 +276,9 @@ impl<'a> Communicator<'a> {
     /// (ranks `0..=rank`) on return.
     pub fn scan<T: Datatype>(&self, buf: &mut [T], op: ReduceOp) {
         let mut bytes = to_bytes(buf);
-        let combine = move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other);
         self.collective(CollectiveRequest::Scan {
             buf: &mut bytes,
-            elem_size: T::SIZE,
-            op: &combine,
+            op: Reduction::typed::<T>(op),
         });
         for (value, chunk) in buf.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
             *value = T::read_le(chunk);
@@ -298,15 +290,71 @@ impl<'a> Communicator<'a> {
     /// untouched (MPI leaves it undefined).
     pub fn exscan<T: Datatype>(&self, buf: &mut [T], op: ReduceOp) {
         let mut bytes = to_bytes(buf);
-        let combine = move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other);
         self.collective(CollectiveRequest::Exscan {
             buf: &mut bytes,
-            elem_size: T::SIZE,
-            op: &combine,
+            op: Reduction::typed::<T>(op),
         });
         for (value, chunk) in buf.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
             *value = T::read_le(chunk);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Typed by-value reduction entry points
+    // ------------------------------------------------------------------
+    //
+    // MPI's `(buf, count, datatype, op)` signature with the datatype as the
+    // type parameter.  `reduce` and `reduce_scatter` already take `&[T]` by
+    // value; these complete the family for the in-place calls.  Every entry
+    // compiles to a monomorphized `(T, op)` kernel (`ReduceKernel`), and
+    // `T = u8` is the trivial byte instantiation.
+
+    /// By-value [`Communicator::allreduce`]: returns the element-wise
+    /// combination of every rank's `buf`, leaving the input untouched.
+    ///
+    /// ```
+    /// use pip_mcoll_core::prelude::*;
+    ///
+    /// let totals = World::builder()
+    ///     .nodes(1)
+    ///     .ppn(2)
+    ///     .library(Library::PipMColl)
+    ///     .run(|comm| {
+    ///         let gradient = vec![comm.rank() as f32 + 0.25; 4];
+    ///         comm.allreduce_t::<f32>(&gradient, ReduceOp::Sum)
+    ///     })
+    ///     .unwrap();
+    /// assert_eq!(totals[0], vec![1.5; 4]);
+    /// ```
+    ///
+    /// Non-blocking and persistent variants: [`Communicator::iallreduce`]
+    /// and [`Communicator::allreduce_init`].
+    pub fn allreduce_t<T: Datatype>(&self, buf: &[T], op: ReduceOp) -> Vec<T> {
+        let mut out = buf.to_vec();
+        self.allreduce(&mut out, op);
+        out
+    }
+
+    /// By-value [`Communicator::scan`]: returns the inclusive prefix
+    /// combination over ranks `0..=rank`.
+    ///
+    /// Non-blocking and persistent variants: [`Communicator::iscan`] and
+    /// [`Communicator::scan_init`].
+    pub fn scan_t<T: Datatype>(&self, buf: &[T], op: ReduceOp) -> Vec<T> {
+        let mut out = buf.to_vec();
+        self.scan(&mut out, op);
+        out
+    }
+
+    /// By-value [`Communicator::exscan`]: returns the exclusive prefix
+    /// combination over ranks `0..rank` (rank 0 gets its input back).
+    ///
+    /// Non-blocking and persistent variants: [`Communicator::iexscan`] and
+    /// [`Communicator::exscan_init`].
+    pub fn exscan_t<T: Datatype>(&self, buf: &[T], op: ReduceOp) -> Vec<T> {
+        let mut out = buf.to_vec();
+        self.exscan(&mut out, op);
+        out
     }
 
     /// MPI_Alltoall: `send` holds one block of `count` elements per
@@ -480,14 +528,13 @@ impl<'a> Communicator<'a> {
     /// Non-blocking [`Communicator::allreduce`]: `wait` yields the reduced
     /// vector at every rank.
     pub fn iallreduce<T: Datatype>(&self, buf: &[T], op: ReduceOp) -> CollRequest<'_, Vec<T>> {
-        let combine: SharedReduceOp =
-            Rc::new(move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other));
+        let kernel = ReduceKernel::of::<T>(op);
         self.submit_request(
             OwnedCollective::Allreduce {
                 buf: to_bytes(buf),
-                elem_size: T::SIZE,
+                kernel,
             },
-            Some(combine),
+            Some(kernel.shared()),
             Box::new(|recv| from_bytes(&recv.expect("allreduce binds an in/out buffer"))),
         )
     }
@@ -500,15 +547,14 @@ impl<'a> Communicator<'a> {
         op: ReduceOp,
         root: usize,
     ) -> CollRequest<'_, Option<Vec<T>>> {
-        let combine: SharedReduceOp =
-            Rc::new(move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other));
+        let kernel = ReduceKernel::of::<T>(op);
         self.submit_request(
             OwnedCollective::Reduce {
                 sendbuf: to_bytes(send),
                 root,
-                elem_size: T::SIZE,
+                kernel,
             },
-            Some(combine),
+            Some(kernel.shared()),
             Box::new(|recv| recv.map(|bytes| from_bytes(&bytes))),
         )
     }
@@ -527,14 +573,13 @@ impl<'a> Communicator<'a> {
             count * self.size(),
             "sendbuf must hold count * size elements"
         );
-        let combine: SharedReduceOp =
-            Rc::new(move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other));
+        let kernel = ReduceKernel::of::<T>(op);
         self.submit_request(
             OwnedCollective::ReduceScatter {
                 sendbuf: to_bytes(send),
-                elem_size: T::SIZE,
+                kernel,
             },
-            Some(combine),
+            Some(kernel.shared()),
             Box::new(|recv| from_bytes(&recv.expect("reduce_scatter binds a receive buffer"))),
         )
     }
@@ -542,14 +587,13 @@ impl<'a> Communicator<'a> {
     /// Non-blocking [`Communicator::scan`]: `wait` yields the inclusive
     /// prefix at every rank.
     pub fn iscan<T: Datatype>(&self, buf: &[T], op: ReduceOp) -> CollRequest<'_, Vec<T>> {
-        let combine: SharedReduceOp =
-            Rc::new(move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other));
+        let kernel = ReduceKernel::of::<T>(op);
         self.submit_request(
             OwnedCollective::Scan {
                 buf: to_bytes(buf),
-                elem_size: T::SIZE,
+                kernel,
             },
-            Some(combine),
+            Some(kernel.shared()),
             Box::new(|recv| from_bytes(&recv.expect("scan binds an in/out buffer"))),
         )
     }
@@ -557,14 +601,13 @@ impl<'a> Communicator<'a> {
     /// Non-blocking [`Communicator::exscan`]: `wait` yields the exclusive
     /// prefix (rank 0 gets its input back, see [`Communicator::exscan`]).
     pub fn iexscan<T: Datatype>(&self, buf: &[T], op: ReduceOp) -> CollRequest<'_, Vec<T>> {
-        let combine: SharedReduceOp =
-            Rc::new(move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other));
+        let kernel = ReduceKernel::of::<T>(op);
         self.submit_request(
             OwnedCollective::Exscan {
                 buf: to_bytes(buf),
-                elem_size: T::SIZE,
+                kernel,
             },
-            Some(combine),
+            Some(kernel.shared()),
             Box::new(|recv| from_bytes(&recv.expect("exscan binds an in/out buffer"))),
         )
     }
@@ -685,14 +728,13 @@ impl<'a> Communicator<'a> {
         buf: &[T],
         op: ReduceOp,
     ) -> PersistentColl<'_, Vec<T>> {
-        let combine: SharedReduceOp =
-            Rc::new(move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other));
+        let kernel = ReduceKernel::of::<T>(op);
         self.init_persistent(
             OwnedCollective::Allreduce {
                 buf: to_bytes(buf),
-                elem_size: T::SIZE,
+                kernel,
             },
-            Some(combine),
+            Some(kernel.shared()),
             Box::new(|recv| from_bytes(recv.expect("allreduce binds an in/out buffer"))),
         )
     }
@@ -705,15 +747,14 @@ impl<'a> Communicator<'a> {
         op: ReduceOp,
         root: usize,
     ) -> PersistentColl<'_, Option<Vec<T>>> {
-        let combine: SharedReduceOp =
-            Rc::new(move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other));
+        let kernel = ReduceKernel::of::<T>(op);
         self.init_persistent(
             OwnedCollective::Reduce {
                 sendbuf: to_bytes(send),
                 root,
-                elem_size: T::SIZE,
+                kernel,
             },
-            Some(combine),
+            Some(kernel.shared()),
             Box::new(|recv| recv.map(from_bytes)),
         )
     }
@@ -731,28 +772,26 @@ impl<'a> Communicator<'a> {
             count * self.size(),
             "sendbuf must hold count * size elements"
         );
-        let combine: SharedReduceOp =
-            Rc::new(move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other));
+        let kernel = ReduceKernel::of::<T>(op);
         self.init_persistent(
             OwnedCollective::ReduceScatter {
                 sendbuf: to_bytes(send),
-                elem_size: T::SIZE,
+                kernel,
             },
-            Some(combine),
+            Some(kernel.shared()),
             Box::new(|recv| from_bytes(recv.expect("reduce_scatter binds a receive buffer"))),
         )
     }
 
     /// Persistent [`Communicator::scan`] with a built-in operator.
     pub fn scan_init<T: Datatype>(&self, buf: &[T], op: ReduceOp) -> PersistentColl<'_, Vec<T>> {
-        let combine: SharedReduceOp =
-            Rc::new(move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other));
+        let kernel = ReduceKernel::of::<T>(op);
         self.init_persistent(
             OwnedCollective::Scan {
                 buf: to_bytes(buf),
-                elem_size: T::SIZE,
+                kernel,
             },
-            Some(combine),
+            Some(kernel.shared()),
             Box::new(|recv| from_bytes(recv.expect("scan binds an in/out buffer"))),
         )
     }
@@ -760,14 +799,13 @@ impl<'a> Communicator<'a> {
     /// Persistent [`Communicator::exscan`] with a built-in operator (rank 0
     /// gets its pinned input back on every `wait`).
     pub fn exscan_init<T: Datatype>(&self, buf: &[T], op: ReduceOp) -> PersistentColl<'_, Vec<T>> {
-        let combine: SharedReduceOp =
-            Rc::new(move |acc: &mut [u8], other: &[u8]| op.apply_bytes::<T>(acc, other));
+        let kernel = ReduceKernel::of::<T>(op);
         self.init_persistent(
             OwnedCollective::Exscan {
                 buf: to_bytes(buf),
-                elem_size: T::SIZE,
+                kernel,
             },
-            Some(combine),
+            Some(kernel.shared()),
             Box::new(|recv| from_bytes(recv.expect("exscan binds an in/out buffer"))),
         )
     }

@@ -1,201 +1,14 @@
 //! Typed elements and reduction operators.
 //!
-//! MPI expresses buffers as (pointer, count, datatype); the Rust equivalent
-//! used here is a slice of a type implementing [`Datatype`], which knows how
-//! to serialize itself to the little-endian byte representation the
-//! communication layer moves around, and how the built-in reduction
-//! operators combine two values.
+//! The implementation lives in [`pip_collectives::datatype`] so the
+//! collective algorithms, the plan cache and this user-facing crate all
+//! share one definition of element types, reduction operators and the
+//! monomorphized [`ReduceKernel`]s; this module re-exports it under the
+//! historical `pip_mcoll_core::datatype` path.
+//!
+//! See the source module for the wire-format stability rules, the
+//! NaN-propagating float semantics and the chunked kernel design.
 
-/// A fixed-size element that can travel through the communication layer.
-pub trait Datatype: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static {
-    /// Size of one element in bytes.
-    const SIZE: usize;
-
-    /// Serialize into exactly [`Datatype::SIZE`] bytes.
-    fn write_le(&self, out: &mut [u8]);
-
-    /// Deserialize from exactly [`Datatype::SIZE`] bytes.
-    fn read_le(src: &[u8]) -> Self;
-
-    /// `a + b` for the SUM operator.
-    fn op_sum(a: Self, b: Self) -> Self;
-    /// `a * b` for the PROD operator.
-    fn op_prod(a: Self, b: Self) -> Self;
-    /// `max(a, b)` for the MAX operator.
-    fn op_max(a: Self, b: Self) -> Self;
-    /// `min(a, b)` for the MIN operator.
-    fn op_min(a: Self, b: Self) -> Self;
-}
-
-macro_rules! impl_datatype_int {
-    ($($ty:ty),*) => {$(
-        impl Datatype for $ty {
-            const SIZE: usize = std::mem::size_of::<$ty>();
-
-            fn write_le(&self, out: &mut [u8]) {
-                out.copy_from_slice(&self.to_le_bytes());
-            }
-
-            fn read_le(src: &[u8]) -> Self {
-                <$ty>::from_le_bytes(src.try_into().expect("element size"))
-            }
-
-            fn op_sum(a: Self, b: Self) -> Self {
-                a.wrapping_add(b)
-            }
-
-            fn op_prod(a: Self, b: Self) -> Self {
-                a.wrapping_mul(b)
-            }
-
-            fn op_max(a: Self, b: Self) -> Self {
-                a.max(b)
-            }
-
-            fn op_min(a: Self, b: Self) -> Self {
-                a.min(b)
-            }
-        }
-    )*};
-}
-
-macro_rules! impl_datatype_float {
-    ($($ty:ty),*) => {$(
-        impl Datatype for $ty {
-            const SIZE: usize = std::mem::size_of::<$ty>();
-
-            fn write_le(&self, out: &mut [u8]) {
-                out.copy_from_slice(&self.to_le_bytes());
-            }
-
-            fn read_le(src: &[u8]) -> Self {
-                <$ty>::from_le_bytes(src.try_into().expect("element size"))
-            }
-
-            fn op_sum(a: Self, b: Self) -> Self {
-                a + b
-            }
-
-            fn op_prod(a: Self, b: Self) -> Self {
-                a * b
-            }
-
-            fn op_max(a: Self, b: Self) -> Self {
-                a.max(b)
-            }
-
-            fn op_min(a: Self, b: Self) -> Self {
-                a.min(b)
-            }
-        }
-    )*};
-}
-
-impl_datatype_int!(u8, i8, u16, i16, u32, i32, u64, i64, usize);
-impl_datatype_float!(f32, f64);
-
-/// The built-in commutative reduction operators (MPI_SUM, MPI_PROD, MPI_MAX,
-/// MPI_MIN).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum ReduceOp {
-    /// Element-wise sum.
-    Sum,
-    /// Element-wise product.
-    Prod,
-    /// Element-wise maximum.
-    Max,
-    /// Element-wise minimum.
-    Min,
-}
-
-impl ReduceOp {
-    /// Combine two values.
-    pub fn combine<T: Datatype>(&self, a: T, b: T) -> T {
-        match self {
-            ReduceOp::Sum => T::op_sum(a, b),
-            ReduceOp::Prod => T::op_prod(a, b),
-            ReduceOp::Max => T::op_max(a, b),
-            ReduceOp::Min => T::op_min(a, b),
-        }
-    }
-
-    /// Element-wise combine over serialized buffers (`acc ⊕= other`), the
-    /// form the byte-level collective algorithms consume.
-    pub fn apply_bytes<T: Datatype>(&self, acc: &mut [u8], other: &[u8]) {
-        debug_assert_eq!(acc.len(), other.len());
-        debug_assert_eq!(acc.len() % T::SIZE, 0);
-        for i in (0..acc.len()).step_by(T::SIZE) {
-            let a = T::read_le(&acc[i..i + T::SIZE]);
-            let b = T::read_le(&other[i..i + T::SIZE]);
-            self.combine(a, b).write_le(&mut acc[i..i + T::SIZE]);
-        }
-    }
-}
-
-/// Serialize a typed slice to its little-endian byte representation.
-pub fn to_bytes<T: Datatype>(values: &[T]) -> Vec<u8> {
-    let mut out = vec![0u8; values.len() * T::SIZE];
-    for (value, chunk) in values.iter().zip(out.chunks_exact_mut(T::SIZE)) {
-        value.write_le(chunk);
-    }
-    out
-}
-
-/// Deserialize a little-endian byte buffer into typed elements.
-pub fn from_bytes<T: Datatype>(bytes: &[u8]) -> Vec<T> {
-    assert_eq!(
-        bytes.len() % T::SIZE,
-        0,
-        "byte length must be a multiple of the element size"
-    );
-    bytes.chunks_exact(T::SIZE).map(T::read_le).collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn round_trip_integers() {
-        let values: Vec<i32> = vec![-5, 0, 7, i32::MAX, i32::MIN];
-        assert_eq!(from_bytes::<i32>(&to_bytes(&values)), values);
-        let values: Vec<u64> = vec![0, 1, u64::MAX];
-        assert_eq!(from_bytes::<u64>(&to_bytes(&values)), values);
-    }
-
-    #[test]
-    fn round_trip_floats() {
-        let values: Vec<f64> = vec![0.0, -1.5, std::f64::consts::PI];
-        assert_eq!(from_bytes::<f64>(&to_bytes(&values)), values);
-    }
-
-    #[test]
-    fn reduce_ops_combine_as_expected() {
-        assert_eq!(ReduceOp::Sum.combine(3i32, 4), 7);
-        assert_eq!(ReduceOp::Prod.combine(3i32, 4), 12);
-        assert_eq!(ReduceOp::Max.combine(3i32, 4), 4);
-        assert_eq!(ReduceOp::Min.combine(3i32, 4), 3);
-        assert_eq!(ReduceOp::Sum.combine(1.5f64, 2.25), 3.75);
-    }
-
-    #[test]
-    fn apply_bytes_is_elementwise() {
-        let mut acc = to_bytes(&[1i32, 10, 100]);
-        let other = to_bytes(&[2i32, 20, 200]);
-        ReduceOp::Sum.apply_bytes::<i32>(&mut acc, &other);
-        assert_eq!(from_bytes::<i32>(&acc), vec![3, 30, 300]);
-        ReduceOp::Max.apply_bytes::<i32>(&mut acc, &to_bytes(&[5i32, 40, 1]));
-        assert_eq!(from_bytes::<i32>(&acc), vec![5, 40, 300]);
-    }
-
-    #[test]
-    fn integer_sum_wraps_instead_of_panicking() {
-        assert_eq!(ReduceOp::Sum.combine(u8::MAX, 1u8), 0);
-    }
-
-    #[test]
-    #[should_panic(expected = "multiple of the element size")]
-    fn from_bytes_rejects_misaligned_lengths() {
-        let _ = from_bytes::<i32>(&[0u8; 6]);
-    }
-}
+pub use pip_collectives::datatype::{
+    from_bytes, to_bytes, Datatype, DtypeId, ReduceIdent, ReduceKernel, ReduceOp, Reduction, LANES,
+};

@@ -6,7 +6,8 @@
 //! (per-process message sizes on a given topology) and produce validated
 //! traces, which is what the figure binaries and Criterion benches consume.
 
-use pip_collectives::comm::{record_trace, Comm, ReduceFn};
+use pip_collectives::comm::{record_trace, Comm};
+use pip_collectives::datatype::{ReduceKernel, ReduceOp, Reduction};
 use pip_collectives::plan::{PlanCursor, RankPlan};
 use pip_collectives::{
     binomial, bruck, hierarchical, multi_object, recursive_doubling, recursive_halving, ring, scan,
@@ -62,10 +63,8 @@ pub enum CollectiveRequest<'a> {
     Allreduce {
         /// Contribution on entry, reduced vector on return.
         buf: &'a mut [u8],
-        /// Size of one reduction element in bytes.
-        elem_size: usize,
-        /// The reduction operator.
-        op: &'a ReduceFn<'a>,
+        /// The reduction operator (typed kernel or opaque byte closure).
+        op: Reduction<'a>,
     },
     /// MPI_Reduce to `root` with a commutative operator.
     Reduce {
@@ -76,10 +75,8 @@ pub enum CollectiveRequest<'a> {
         recvbuf: Option<&'a mut [u8]>,
         /// Root rank.
         root: usize,
-        /// Size of one reduction element in bytes.
-        elem_size: usize,
-        /// The reduction operator.
-        op: &'a ReduceFn<'a>,
+        /// The reduction operator (typed kernel or opaque byte closure).
+        op: Reduction<'a>,
     },
     /// MPI_Reduce_scatter_block with a commutative operator.
     ReduceScatter {
@@ -87,29 +84,23 @@ pub enum CollectiveRequest<'a> {
         sendbuf: &'a [u8],
         /// Receives this rank's fully reduced block.
         recvbuf: &'a mut [u8],
-        /// Size of one reduction element in bytes.
-        elem_size: usize,
-        /// The reduction operator.
-        op: &'a ReduceFn<'a>,
+        /// The reduction operator (typed kernel or opaque byte closure).
+        op: Reduction<'a>,
     },
     /// MPI_Scan (inclusive prefix) with a commutative operator.
     Scan {
         /// Contribution on entry; combination of ranks `0..=rank` on return.
         buf: &'a mut [u8],
-        /// Size of one reduction element in bytes.
-        elem_size: usize,
-        /// The reduction operator.
-        op: &'a ReduceFn<'a>,
+        /// The reduction operator (typed kernel or opaque byte closure).
+        op: Reduction<'a>,
     },
     /// MPI_Exscan (exclusive prefix) with a commutative operator.  Rank 0's
     /// buffer is left untouched (MPI leaves it undefined).
     Exscan {
         /// Contribution on entry; combination of ranks `0..rank` on return.
         buf: &'a mut [u8],
-        /// Size of one reduction element in bytes.
-        elem_size: usize,
-        /// The reduction operator.
-        op: &'a ReduceFn<'a>,
+        /// The reduction operator (typed kernel or opaque byte closure).
+        op: Reduction<'a>,
     },
     /// MPI_Alltoall.
     Alltoall {
@@ -178,17 +169,18 @@ pub fn execute<C: Comm>(
                 multi_object::gather_multi_object(comm, sendbuf, recvbuf, root, tag)
             }
         },
-        CollectiveRequest::Allreduce { buf, elem_size, op } => {
+        CollectiveRequest::Allreduce { buf, op } => {
+            let f = op.as_fn();
             match profile.selection.allreduce_for(buf.len()) {
                 AllreduceAlgo::RecursiveDoubling => {
-                    recursive_doubling::allreduce_recursive_doubling(comm, buf, op, tag)
+                    recursive_doubling::allreduce_recursive_doubling(comm, buf, f, tag)
                 }
-                AllreduceAlgo::Ring => ring::allreduce_ring(comm, buf, op, tag),
+                AllreduceAlgo::Ring => ring::allreduce_ring(comm, buf, op.elem_size(), f, tag),
                 AllreduceAlgo::Hierarchical => {
-                    hierarchical::allreduce_hierarchical(comm, buf, op, tag)
+                    hierarchical::allreduce_hierarchical(comm, buf, f, tag)
                 }
                 AllreduceAlgo::MultiObject => {
-                    multi_object::allreduce_multi_object(comm, buf, elem_size, op, tag)
+                    multi_object::allreduce_multi_object(comm, buf, op.elem_size(), f, tag)
                 }
             }
         }
@@ -196,37 +188,60 @@ pub fn execute<C: Comm>(
             sendbuf,
             recvbuf,
             root,
-            elem_size,
             op,
-        } => match profile.selection.reduce {
-            ReduceAlgo::Binomial => {
-                binomial::reduce_binomial(comm, sendbuf, recvbuf, op, root, tag)
+        } => {
+            let f = op.as_fn();
+            match profile.selection.reduce {
+                ReduceAlgo::Binomial => {
+                    binomial::reduce_binomial(comm, sendbuf, recvbuf, f, root, tag)
+                }
+                ReduceAlgo::MultiObject => multi_object::reduce_multi_object(
+                    comm,
+                    sendbuf,
+                    recvbuf,
+                    op.elem_size(),
+                    f,
+                    root,
+                    tag,
+                ),
             }
-            ReduceAlgo::MultiObject => {
-                multi_object::reduce_multi_object(comm, sendbuf, recvbuf, elem_size, op, root, tag)
-            }
-        },
+        }
         CollectiveRequest::ReduceScatter {
             sendbuf,
             recvbuf,
-            elem_size,
             op,
-        } => match profile.selection.reduce_scatter_for(recvbuf.len()) {
-            ReduceScatterAlgo::RecursiveHalving => {
-                recursive_halving::reduce_scatter_recursive_halving(comm, sendbuf, recvbuf, op, tag)
+        } => {
+            let f = op.as_fn();
+            match profile.selection.reduce_scatter_for(recvbuf.len()) {
+                ReduceScatterAlgo::RecursiveHalving => {
+                    recursive_halving::reduce_scatter_recursive_halving(
+                        comm, sendbuf, recvbuf, f, tag,
+                    )
+                }
+                ReduceScatterAlgo::Ring => {
+                    ring::reduce_scatter_ring(comm, sendbuf, recvbuf, f, tag)
+                }
+                ReduceScatterAlgo::MultiObject => multi_object::reduce_scatter_multi_object(
+                    comm,
+                    sendbuf,
+                    recvbuf,
+                    op.elem_size(),
+                    f,
+                    tag,
+                ),
             }
-            ReduceScatterAlgo::Ring => ring::reduce_scatter_ring(comm, sendbuf, recvbuf, op, tag),
-            ReduceScatterAlgo::MultiObject => multi_object::reduce_scatter_multi_object(
-                comm, sendbuf, recvbuf, elem_size, op, tag,
-            ),
+        }
+        CollectiveRequest::Scan { buf, op } => match profile.selection.scan {
+            ScanAlgo::RecursiveDoubling => {
+                scan::scan_recursive_doubling(comm, buf, op.as_fn(), tag)
+            }
+            ScanAlgo::Linear => scan::scan_linear(comm, buf, op.as_fn(), tag),
         },
-        CollectiveRequest::Scan { buf, op, .. } => match profile.selection.scan {
-            ScanAlgo::RecursiveDoubling => scan::scan_recursive_doubling(comm, buf, op, tag),
-            ScanAlgo::Linear => scan::scan_linear(comm, buf, op, tag),
-        },
-        CollectiveRequest::Exscan { buf, op, .. } => match profile.selection.scan {
-            ScanAlgo::RecursiveDoubling => scan::exscan_recursive_doubling(comm, buf, op, tag),
-            ScanAlgo::Linear => scan::exscan_linear(comm, buf, op, tag),
+        CollectiveRequest::Exscan { buf, op } => match profile.selection.scan {
+            ScanAlgo::RecursiveDoubling => {
+                scan::exscan_recursive_doubling(comm, buf, op.as_fn(), tag)
+            }
+            ScanAlgo::Linear => scan::exscan_linear(comm, buf, op.as_fn(), tag),
         },
         CollectiveRequest::Alltoall { sendbuf, recvbuf } => match profile.selection.alltoall {
             AlltoallAlgo::Bruck => bruck::alltoall_bruck(comm, sendbuf, recvbuf, tag),
@@ -310,8 +325,9 @@ pub enum OwnedCollective {
     Allreduce {
         /// In/out contribution.
         buf: Vec<u8>,
-        /// Size of one reduction element in bytes.
-        elem_size: usize,
+        /// The reduction kernel; its `(datatype, op)` identity keys the
+        /// plan cache, its byte operator is what the progress engine runs.
+        kernel: ReduceKernel,
     },
     /// MPI_Ireduce / MPI_Reduce_init to `root` (operator supplied separately
     /// to the progress engine).
@@ -320,30 +336,34 @@ pub enum OwnedCollective {
         sendbuf: Vec<u8>,
         /// Root rank.
         root: usize,
-        /// Size of one reduction element in bytes.
-        elem_size: usize,
+        /// The reduction kernel; its `(datatype, op)` identity keys the
+        /// plan cache, its byte operator is what the progress engine runs.
+        kernel: ReduceKernel,
     },
     /// MPI_Ireduce_scatter / MPI_Reduce_scatter_init (operator supplied
     /// separately).
     ReduceScatter {
         /// One block per rank (`world * block` bytes).
         sendbuf: Vec<u8>,
-        /// Size of one reduction element in bytes.
-        elem_size: usize,
+        /// The reduction kernel; its `(datatype, op)` identity keys the
+        /// plan cache, its byte operator is what the progress engine runs.
+        kernel: ReduceKernel,
     },
     /// MPI_Iscan / MPI_Scan_init (operator supplied separately).
     Scan {
         /// In/out contribution.
         buf: Vec<u8>,
-        /// Size of one reduction element in bytes.
-        elem_size: usize,
+        /// The reduction kernel; its `(datatype, op)` identity keys the
+        /// plan cache, its byte operator is what the progress engine runs.
+        kernel: ReduceKernel,
     },
     /// MPI_Iexscan / MPI_Exscan_init (operator supplied separately).
     Exscan {
         /// In/out contribution.
         buf: Vec<u8>,
-        /// Size of one reduction element in bytes.
-        elem_size: usize,
+        /// The reduction kernel; its `(datatype, op)` identity keys the
+        /// plan cache, its byte operator is what the progress engine runs.
+        kernel: ReduceKernel,
     },
     /// MPI_Ialltoall / MPI_Alltoall_init.
     Alltoall {
@@ -357,46 +377,50 @@ impl OwnedCollective {
     /// of `world` ranks — the plan-cache key component, identical to what
     /// the blocking path derives via [`crate::plan::CollectiveShape::of`].
     pub fn shape(&self, world: usize) -> crate::plan::CollectiveShape {
-        let (kind, block, root, elem_size) = match self {
+        let (kind, block, root, kernel) = match self {
             OwnedCollective::Allgather { sendbuf } => {
-                (CollectiveKind::Allgather, sendbuf.len(), 0, 1)
+                (CollectiveKind::Allgather, sendbuf.len(), 0, None)
             }
             OwnedCollective::Scatter { block, root, .. } => {
-                (CollectiveKind::Scatter, *block, *root, 1)
+                (CollectiveKind::Scatter, *block, *root, None)
             }
-            OwnedCollective::Bcast { buf, root } => (CollectiveKind::Bcast, buf.len(), *root, 1),
+            OwnedCollective::Bcast { buf, root } => (CollectiveKind::Bcast, buf.len(), *root, None),
             OwnedCollective::Gather { sendbuf, root } => {
-                (CollectiveKind::Gather, sendbuf.len(), *root, 1)
+                (CollectiveKind::Gather, sendbuf.len(), *root, None)
             }
-            OwnedCollective::Allreduce { buf, elem_size } => {
-                (CollectiveKind::Allreduce, buf.len(), 0, *elem_size)
+            OwnedCollective::Allreduce { buf, kernel } => {
+                (CollectiveKind::Allreduce, buf.len(), 0, Some(kernel))
             }
             OwnedCollective::Reduce {
                 sendbuf,
                 root,
-                elem_size,
-            } => (CollectiveKind::Reduce, sendbuf.len(), *root, *elem_size),
-            OwnedCollective::ReduceScatter { sendbuf, elem_size } => (
+                kernel,
+            } => (CollectiveKind::Reduce, sendbuf.len(), *root, Some(kernel)),
+            OwnedCollective::ReduceScatter { sendbuf, kernel } => (
                 CollectiveKind::ReduceScatter,
                 sendbuf.len() / world.max(1),
                 0,
-                *elem_size,
+                Some(kernel),
             ),
-            OwnedCollective::Scan { buf, elem_size } => {
-                (CollectiveKind::Scan, buf.len(), 0, *elem_size)
+            OwnedCollective::Scan { buf, kernel } => {
+                (CollectiveKind::Scan, buf.len(), 0, Some(kernel))
             }
-            OwnedCollective::Exscan { buf, elem_size } => {
-                (CollectiveKind::Exscan, buf.len(), 0, *elem_size)
+            OwnedCollective::Exscan { buf, kernel } => {
+                (CollectiveKind::Exscan, buf.len(), 0, Some(kernel))
             }
-            OwnedCollective::Alltoall { sendbuf } => {
-                (CollectiveKind::Alltoall, sendbuf.len() / world.max(1), 0, 1)
-            }
+            OwnedCollective::Alltoall { sendbuf } => (
+                CollectiveKind::Alltoall,
+                sendbuf.len() / world.max(1),
+                0,
+                None,
+            ),
         };
         crate::plan::CollectiveShape {
             kind,
             block,
             root,
-            elem_size,
+            elem_size: kernel.map_or(1, |k| k.elem_size()),
+            reduce: kernel.map(|k| k.ident()),
         }
     }
 
@@ -474,10 +498,10 @@ pub fn begin_planned<C: Comm>(
     PlanCursor::with_arena(plan, sendbuf, recvbuf, tag, cache.arena())
 }
 
-fn elementwise_sum(acc: &mut [u8], other: &[u8]) {
-    for (a, b) in acc.iter_mut().zip(other) {
-        *a = a.wrapping_add(*b);
-    }
+/// The reduction the `record_*` helpers use: the trivial `u8` instantiation
+/// of the typed layer (wrapping per-byte sum).
+fn byte_sum() -> Reduction<'static> {
+    Reduction::typed::<u8>(ReduceOp::Sum)
 }
 
 /// Record the trace of an allgather of `bytes` bytes per process.
@@ -576,8 +600,7 @@ pub fn record_allreduce(profile: &LibraryProfile, topology: Topology, bytes: usi
             comm,
             CollectiveRequest::Allreduce {
                 buf: &mut buf,
-                elem_size: 1,
-                op: &elementwise_sum,
+                op: byte_sum(),
             },
             1,
         );
@@ -603,8 +626,7 @@ pub fn record_reduce(
                 sendbuf: &sendbuf,
                 recvbuf: recv,
                 root,
-                elem_size: 1,
-                op: &elementwise_sum,
+                op: byte_sum(),
             },
             1,
         );
@@ -623,8 +645,7 @@ pub fn record_reduce_scatter(profile: &LibraryProfile, topology: Topology, bytes
             CollectiveRequest::ReduceScatter {
                 sendbuf: &sendbuf,
                 recvbuf: &mut recvbuf,
-                elem_size: 1,
-                op: &elementwise_sum,
+                op: byte_sum(),
             },
             1,
         );
@@ -641,8 +662,7 @@ pub fn record_scan(profile: &LibraryProfile, topology: Topology, bytes: usize) -
             comm,
             CollectiveRequest::Scan {
                 buf: &mut buf,
-                elem_size: 1,
-                op: &elementwise_sum,
+                op: byte_sum(),
             },
             1,
         );
@@ -659,8 +679,7 @@ pub fn record_exscan(profile: &LibraryProfile, topology: Topology, bytes: usize)
             comm,
             CollectiveRequest::Exscan {
                 buf: &mut buf,
-                elem_size: 1,
-                op: &elementwise_sum,
+                op: byte_sum(),
             },
             1,
         );
@@ -785,8 +804,7 @@ mod tests {
                     &comm,
                     CollectiveRequest::Allreduce {
                         buf: &mut buf,
-                        elem_size: 1,
-                        op: &oracle::wrapping_add_u8,
+                        op: Reduction::typed::<u8>(ReduceOp::Sum),
                     },
                     1,
                 );
@@ -870,6 +888,22 @@ mod tests {
             owned.shape(world),
             crate::plan::CollectiveShape::of(&borrowed, world)
         );
+
+        // Typed reductions agree too — including the (datatype, op) identity.
+        let kernel = ReduceKernel::of::<f32>(ReduceOp::Sum);
+        let owned = OwnedCollective::Allreduce {
+            buf: vec![0u8; block],
+            kernel,
+        };
+        let mut allreduce_buf = vec![0u8; block];
+        let borrowed = CollectiveRequest::Allreduce {
+            buf: &mut allreduce_buf,
+            op: Reduction::Typed(kernel),
+        };
+        let shape = crate::plan::CollectiveShape::of(&borrowed, world);
+        assert_eq!(owned.shape(world), shape);
+        assert_eq!(shape.elem_size, 4);
+        assert_eq!(shape.reduce, Some(kernel.ident()));
     }
 
     /// `begin_planned` populates the same cache entry the blocking path
@@ -896,6 +930,7 @@ mod tests {
             block: 16,
             root: 0,
             elem_size: 1,
+            reduce: None,
         };
         cache.lookup_or_compile(&profile, topo, 0, &shape);
         assert_eq!(cache.stats(), (1, 1));

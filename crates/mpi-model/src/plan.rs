@@ -28,6 +28,8 @@ use pip_collectives::plan::{
 use pip_collectives::CollectiveKind;
 use pip_runtime::Topology;
 
+use pip_collectives::datatype::{ReduceIdent, Reduction};
+
 use crate::dispatch::{self, CollectiveRequest};
 use crate::{Library, LibraryProfile};
 
@@ -45,8 +47,13 @@ pub struct CollectiveShape {
     pub block: usize,
     /// Root rank for rooted collectives; 0 otherwise.
     pub root: usize,
-    /// Reduction element size in bytes (allreduce only; 1 otherwise).
+    /// Reduction element size in bytes (reduction family only; 1 otherwise).
     pub elem_size: usize,
+    /// `(datatype, operator)` identity of a typed reduction; `None` for
+    /// non-reductions and for opaque byte operators.  Part of the plan-cache
+    /// key, so an `f32`-Sum plan never serves an `i32`-Max call even though
+    /// both have `elem_size: 4`.
+    pub reduce: Option<ReduceIdent>,
 }
 
 impl CollectiveShape {
@@ -58,73 +65,79 @@ impl CollectiveShape {
                 block: sendbuf.len(),
                 root: 0,
                 elem_size: 1,
+                reduce: None,
             },
             CollectiveRequest::Scatter { recvbuf, root, .. } => Self {
                 kind: CollectiveKind::Scatter,
                 block: recvbuf.len(),
                 root: *root,
                 elem_size: 1,
+                reduce: None,
             },
             CollectiveRequest::Bcast { buf, root } => Self {
                 kind: CollectiveKind::Bcast,
                 block: buf.len(),
                 root: *root,
                 elem_size: 1,
+                reduce: None,
             },
             CollectiveRequest::Gather { sendbuf, root, .. } => Self {
                 kind: CollectiveKind::Gather,
                 block: sendbuf.len(),
                 root: *root,
                 elem_size: 1,
+                reduce: None,
             },
-            CollectiveRequest::Allreduce { buf, elem_size, .. } => Self {
+            CollectiveRequest::Allreduce { buf, op } => Self {
                 kind: CollectiveKind::Allreduce,
                 block: buf.len(),
                 root: 0,
-                elem_size: *elem_size,
+                elem_size: op.elem_size(),
+                reduce: op.ident(),
             },
             CollectiveRequest::Reduce {
-                sendbuf,
-                root,
-                elem_size,
-                ..
+                sendbuf, root, op, ..
             } => Self {
                 kind: CollectiveKind::Reduce,
                 block: sendbuf.len(),
                 root: *root,
-                elem_size: *elem_size,
+                elem_size: op.elem_size(),
+                reduce: op.ident(),
             },
-            CollectiveRequest::ReduceScatter {
-                recvbuf, elem_size, ..
-            } => Self {
+            CollectiveRequest::ReduceScatter { recvbuf, op, .. } => Self {
                 kind: CollectiveKind::ReduceScatter,
                 block: recvbuf.len(),
                 root: 0,
-                elem_size: *elem_size,
+                elem_size: op.elem_size(),
+                reduce: op.ident(),
             },
-            CollectiveRequest::Scan { buf, elem_size, .. } => Self {
+            CollectiveRequest::Scan { buf, op } => Self {
                 kind: CollectiveKind::Scan,
                 block: buf.len(),
                 root: 0,
-                elem_size: *elem_size,
+                elem_size: op.elem_size(),
+                reduce: op.ident(),
             },
-            CollectiveRequest::Exscan { buf, elem_size, .. } => Self {
+            CollectiveRequest::Exscan { buf, op } => Self {
                 kind: CollectiveKind::Exscan,
                 block: buf.len(),
                 root: 0,
-                elem_size: *elem_size,
+                elem_size: op.elem_size(),
+                reduce: op.ident(),
             },
             CollectiveRequest::Alltoall { sendbuf, .. } => Self {
                 kind: CollectiveKind::Alltoall,
                 block: sendbuf.len() / world.max(1),
                 root: 0,
                 elem_size: 1,
+                reduce: None,
             },
             CollectiveRequest::Barrier => Self {
                 kind: CollectiveKind::Barrier,
                 block: 0,
                 root: 0,
                 elem_size: 1,
+                reduce: None,
             },
         }
     }
@@ -424,8 +437,10 @@ fn run_for_recording(
                     &comm,
                     CollectiveRequest::Allreduce {
                         buf: &mut buf,
-                        elem_size: shape.elem_size,
-                        op: &op,
+                        op: Reduction::Opaque {
+                            elem_size: shape.elem_size,
+                            f: &op,
+                        },
                     },
                     COMPILE_TAG_BASE,
                 );
@@ -449,8 +464,10 @@ fn run_for_recording(
                         sendbuf: &sendbuf,
                         recvbuf: recvbuf.as_deref_mut(),
                         root: shape.root,
-                        elem_size: shape.elem_size,
-                        op: &op,
+                        op: Reduction::Opaque {
+                            elem_size: shape.elem_size,
+                            f: &op,
+                        },
                     },
                     COMPILE_TAG_BASE,
                 );
@@ -470,8 +487,10 @@ fn run_for_recording(
                     CollectiveRequest::ReduceScatter {
                         sendbuf: &sendbuf,
                         recvbuf: &mut recvbuf,
-                        elem_size: shape.elem_size,
-                        op: &op,
+                        op: Reduction::Opaque {
+                            elem_size: shape.elem_size,
+                            f: &op,
+                        },
                     },
                     COMPILE_TAG_BASE,
                 );
@@ -483,17 +502,19 @@ fn run_for_recording(
             comm.fill_sendbuf(&mut buf);
             {
                 let op = comm.reducer();
+                let reduction = Reduction::Opaque {
+                    elem_size: shape.elem_size,
+                    f: &op,
+                };
                 let request = if shape.kind == CollectiveKind::Scan {
                     CollectiveRequest::Scan {
                         buf: &mut buf,
-                        elem_size: shape.elem_size,
-                        op: &op,
+                        op: reduction,
                     }
                 } else {
                     CollectiveRequest::Exscan {
                         buf: &mut buf,
-                        elem_size: shape.elem_size,
-                        op: &op,
+                        op: reduction,
                     }
                 };
                 dispatch::execute(profile, &comm, request, COMPILE_TAG_BASE);
@@ -601,7 +622,7 @@ pub fn run_planned_reusing<C: Comm>(
                 sendbuf: None,
                 recvbuf: Some(buf),
             },
-            Some(op),
+            Some(op.as_fn()),
             tag,
             arena,
         ),
@@ -618,7 +639,7 @@ pub fn run_planned_reusing<C: Comm>(
                 // Significant only at the root, as with the gather recvbuf.
                 recvbuf: plan.io.recvbuf.is_some().then_some(recvbuf).flatten(),
             },
-            Some(op),
+            Some(op.as_fn()),
             tag,
             arena,
         ),
@@ -634,7 +655,7 @@ pub fn run_planned_reusing<C: Comm>(
                 sendbuf: Some(sendbuf),
                 recvbuf: Some(recvbuf),
             },
-            Some(op),
+            Some(op.as_fn()),
             tag,
             arena,
         ),
@@ -646,7 +667,7 @@ pub fn run_planned_reusing<C: Comm>(
                     sendbuf: None,
                     recvbuf: Some(buf),
                 },
-                Some(op),
+                Some(op.as_fn()),
                 tag,
                 arena,
             )
@@ -881,6 +902,7 @@ mod tests {
             block: 16,
             root: 0,
             elem_size: 1,
+            reduce: None,
         };
         let mut cache = PlanCache::new();
         let a = cache.lookup_or_compile(&stock, topo, 0, &shape);
@@ -901,6 +923,7 @@ mod tests {
             block: 16,
             root: 0,
             elem_size: 1,
+            reduce: None,
         };
         let mut cache = PlanCache::new();
         let a = cache.lookup_or_compile(&profile, topo, 0, &shape);
@@ -921,6 +944,7 @@ mod tests {
                 block,
                 root: 0,
                 elem_size: 1,
+                reduce: None,
             };
             cache.lookup_or_compile(&profile, topo, 0, &shape);
         }
@@ -941,6 +965,7 @@ mod tests {
             block,
             root: 0,
             elem_size: 1,
+            reduce: None,
         };
         let plans: Vec<RankPlan> = (0..world)
             .map(|rank| compile_rank(&profile, topo, rank, &shape, Fidelity::Exec))
@@ -1059,6 +1084,7 @@ mod tests {
                 block: 64,
                 root: 0,
                 elem_size: 1,
+                reduce: None,
             };
             let plan = compile_cluster(&profile, topo, &shape, Fidelity::Schedule);
             plan.validate().unwrap();

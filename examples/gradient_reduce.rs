@@ -33,8 +33,14 @@ fn main() {
         .run(|comm| {
             let rank = comm.rank() as i64;
 
+            // Real f32 gradients, as a training loop would produce. The
+            // values are multiples of 0.25 (exactly representable), so the
+            // sums below are exact in any combination order and the
+            // assertions can use `==`.
+            let grad = |i: usize| (rank as f32 * 10.0 + i as f32) * 0.25;
+
             // --- 1. ireduce: parameter-server gradient aggregation ------
-            let gradient: Vec<i64> = (0..8).map(|i| rank * 10 + i).collect();
+            let gradient: Vec<f32> = (0..8).map(grad).collect();
             let request = comm.ireduce(&gradient, ReduceOp::Sum, 0);
             // Overlap: the next batch's "forward pass" runs while the
             // reduction progresses.
@@ -46,7 +52,9 @@ fn main() {
             if comm.rank() == 0 {
                 let got = aggregated.expect("root receives the aggregate");
                 for (i, value) in got.iter().enumerate() {
-                    let want: i64 = (0..world as i64).map(|r| r * 10 + i as i64).sum();
+                    let want: f32 = (0..world)
+                        .map(|r| (r as f32 * 10.0 + i as f32) * 0.25)
+                        .sum();
                     assert_eq!(*value, want, "ireduce element {i}");
                 }
             } else {
@@ -54,18 +62,21 @@ fn main() {
             }
 
             // --- 2. reduce_scatter + allgather: sharded update ----------
-            let full_gradient: Vec<i64> = (0..world * shard).map(|i| rank + i as i64).collect();
+            let full_gradient: Vec<f32> = (0..world * shard)
+                .map(|i| rank as f32 * 0.25 + i as f32)
+                .collect();
             let mut my_shard = comm.reduce_scatter(&full_gradient, shard, ReduceOp::Sum);
-            // Local optimizer step on the owned shard only.
+            // Local optimizer step on the owned shard only: average the
+            // summed gradient across the data-parallel workers.
             for value in &mut my_shard {
-                *value /= world as i64;
+                *value /= world as f32;
             }
             let updated = comm.allgather(&my_shard);
             assert_eq!(updated.len(), world * shard);
-            let rank_sum: i64 = (0..world as i64).sum();
+            let rank_sum: f32 = (0..world).map(|r| r as f32 * 0.25).sum();
             for (i, value) in updated.iter().enumerate() {
-                let summed = rank_sum + (world * i) as i64;
-                assert_eq!(*value, summed / world as i64, "sharded update element {i}");
+                let summed = rank_sum + (world * i) as f32;
+                assert_eq!(*value, summed / world as f32, "sharded update element {i}");
             }
 
             // --- 3. scan/exscan: global sample offsets ------------------

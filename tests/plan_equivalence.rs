@@ -12,7 +12,7 @@ use std::cell::RefCell;
 
 use pip_mcoll::collectives::oracle;
 use pip_mcoll::collectives::plan::Fidelity;
-use pip_mcoll::collectives::{CollectiveKind, ThreadComm};
+use pip_mcoll::collectives::{CollectiveKind, ReduceOp, Reduction, ThreadComm};
 use pip_mcoll::model::plan::{compile_cluster, PlanCache};
 use pip_mcoll::model::{dispatch, CollectiveRequest, CollectiveShape, Library};
 use pip_mcoll::runtime::{Cluster, Topology};
@@ -104,8 +104,7 @@ fn plan_executor_matches_oracle_for_every_collective_and_library() {
                 let mut allreduce_out = oracle::rank_payload(rank, block);
                 run(CollectiveRequest::Allreduce {
                     buf: &mut allreduce_out,
-                    elem_size: 1,
-                    op: &oracle::wrapping_add_u8,
+                    op: Reduction::typed::<u8>(ReduceOp::Sum),
                 });
 
                 // Alltoall.
@@ -243,5 +242,6 @@ fn shape(kind: CollectiveKind, block: usize, root: usize) -> CollectiveShape {
         block,
         root,
         elem_size: 1,
+        reduce: None,
     }
 }

@@ -325,6 +325,7 @@ fn shape(kind: CollectiveKind, block: usize, root: usize) -> CollectiveShape {
         block,
         root,
         elem_size: 1,
+        reduce: None,
     }
 }
 
@@ -433,6 +434,399 @@ proptest! {
         let op = [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max][op_idx];
         for library in Library::ALL {
             check_case(library, nodes, ppn, block, root_seed, op);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Typed differential harness
+// ---------------------------------------------------------------------
+
+/// Test-local value model: deterministic generation plus an equality that
+/// absorbs combine-order rounding for floats (integers compare exactly; the
+/// distributed algorithms are free to reassociate a float Sum/Prod, so those
+/// compare within a relative epsilon, with NaN equal to NaN).
+trait TestValue: Datatype + std::fmt::Debug {
+    fn gen(seed: u32) -> Self;
+    fn close(a: Self, b: Self) -> bool;
+}
+
+impl TestValue for i32 {
+    fn gen(seed: u32) -> Self {
+        let magnitude = (seed % 3) as i32 + 1;
+        if seed % 7 < 3 {
+            -magnitude
+        } else {
+            magnitude
+        }
+    }
+    fn close(a: Self, b: Self) -> bool {
+        a == b
+    }
+}
+
+impl TestValue for u64 {
+    fn gen(seed: u32) -> Self {
+        (seed % 4) as u64 + 1
+    }
+    fn close(a: Self, b: Self) -> bool {
+        a == b
+    }
+}
+
+impl TestValue for f32 {
+    fn gen(seed: u32) -> Self {
+        ((seed % 16) as f32 - 7.5) * 0.25
+    }
+    fn close(a: Self, b: Self) -> bool {
+        float_close(a as f64, b as f64, 1e-4)
+    }
+}
+
+impl TestValue for f64 {
+    fn gen(seed: u32) -> Self {
+        ((seed % 32) as f64 - 15.5) * 0.125
+    }
+    fn close(a: Self, b: Self) -> bool {
+        float_close(a, b, 1e-10)
+    }
+}
+
+/// Relative-epsilon float comparison with NaN == NaN: the associativity
+/// tolerance for reassociated float reductions.
+fn float_close(a: f64, b: f64, tol: f64) -> bool {
+    if a.is_nan() || b.is_nan() {
+        return a.is_nan() && b.is_nan();
+    }
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+fn typed_inputs<T: TestValue>(world: usize, len: usize, round: usize) -> Vec<Vec<T>> {
+    (0..world)
+        .map(|rank| {
+            (0..len)
+                .map(|i| T::gen((rank * 131 + i * 7 + round * 53) as u32))
+                .collect()
+        })
+        .collect()
+}
+
+fn assert_close<T: TestValue>(got: &[T], want: &[T], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "length mismatch: {ctx}");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            T::close(*g, *w),
+            "element {i} diverges: got {g:?}, want {w:?} ({ctx})"
+        );
+    }
+}
+
+/// Blocking typed entries — reduce, reduce_scatter, in-place allreduce, and
+/// the by-value allreduce_t/scan_t/exscan_t — against the typed oracle, for
+/// one `(T, op)` on one library × topology.
+fn check_typed_case<T: TestValue>(
+    library: Library,
+    nodes: usize,
+    ppn: usize,
+    block: usize,
+    root: usize,
+    op: ReduceOp,
+) {
+    let topo = Topology::new(nodes, ppn);
+    let world = topo.world_size();
+    let root = root % world;
+    let blocks: Vec<Vec<T>> = typed_inputs(world, block, 0);
+    let vectors: Vec<Vec<T>> = typed_inputs(world, world * block, 0);
+    let want_reduce = oracle::allreduce_t(&blocks, op);
+    let want_rs = oracle::reduce_scatter_t(&vectors, world, op);
+    let want_scan = oracle::scan_t(&blocks, op);
+    let want_exscan = oracle::exscan_t(&blocks, op);
+
+    let blocks_ref = &blocks;
+    let vectors_ref = &vectors;
+    let results = World::run_with_profile(topo, library.profile(), |comm| {
+        let rank = comm.rank();
+        let reduced = comm.reduce(&blocks_ref[rank], op, root);
+        let scattered = comm.reduce_scatter(&vectors_ref[rank], block, op);
+        let mut inplace = blocks_ref[rank].clone();
+        comm.allreduce(&mut inplace, op);
+        let byvalue = comm.allreduce_t(&blocks_ref[rank], op);
+        let scanned = comm.scan_t(&blocks_ref[rank], op);
+        let exclusive = comm.exscan_t(&blocks_ref[rank], op);
+        (reduced, scattered, inplace, byvalue, scanned, exclusive)
+    })
+    .unwrap();
+
+    for (rank, (reduced, scattered, inplace, byvalue, scanned, exclusive)) in
+        results.iter().enumerate()
+    {
+        let ctx = format!(
+            "{} {} {op:?} on {nodes}x{ppn} rank {rank} block {block} root {root}",
+            library.name(),
+            std::any::type_name::<T>(),
+        );
+        if rank == root {
+            assert_close(reduced.as_deref().unwrap(), &want_reduce, &ctx);
+        } else {
+            assert!(reduced.is_none(), "reduce off-root must be None ({ctx})");
+        }
+        assert_close(scattered, &want_rs[rank], &ctx);
+        assert_close(inplace, &want_reduce, &ctx);
+        assert_close(byvalue, &want_reduce, &ctx);
+        assert_close(scanned, &want_scan[rank], &ctx);
+        assert_close(exclusive, &want_exscan[rank], &ctx);
+    }
+}
+
+/// Non-blocking and persistent typed entries for one `(T, op)` — submitted
+/// together, waited out of order; persistent handles restarted with
+/// refreshed inputs and pinned against recompiles.
+fn check_typed_async_case<T: TestValue>(
+    library: Library,
+    nodes: usize,
+    ppn: usize,
+    block: usize,
+    op: ReduceOp,
+) {
+    const ROUNDS: usize = 2;
+    let topo = Topology::new(nodes, ppn);
+    let world = topo.world_size();
+    let root = (world - 1) / 2;
+    let blocks: Vec<Vec<Vec<T>>> = (0..ROUNDS).map(|r| typed_inputs(world, block, r)).collect();
+    let blocks_ref = &blocks;
+
+    let results = World::run_with_profile(topo, library.profile(), |comm| {
+        let rank = comm.rank();
+
+        // Non-blocking: all four in flight, waited in reverse order.
+        let r_all = comm.iallreduce(&blocks_ref[0][rank], op);
+        let r_reduce = comm.ireduce(&blocks_ref[0][rank], op, root);
+        let r_scan = comm.iscan(&blocks_ref[0][rank], op);
+        let r_exscan = comm.iexscan(&blocks_ref[0][rank], op);
+        let nb_exscan = r_exscan.wait();
+        let nb_scan = r_scan.wait();
+        let nb_reduce = r_reduce.wait();
+        let nb_all = r_all.wait();
+
+        // Persistent: restart with round-dependent inputs, never recompile.
+        let mut p_all = comm.allreduce_init(&blocks_ref[0][rank], op);
+        let (_, misses_after_init) = comm.plan_stats();
+        let mut persistent = Vec::new();
+        for (round, round_blocks) in blocks_ref.iter().enumerate().take(ROUNDS) {
+            if round > 0 {
+                p_all.write_send(&round_blocks[rank]);
+            }
+            p_all.start();
+            persistent.push(p_all.wait());
+        }
+        let (_, misses_after_rounds) = comm.plan_stats();
+        assert_eq!(
+            misses_after_init, misses_after_rounds,
+            "persistent typed starts must never recompile"
+        );
+        (nb_all, nb_reduce, nb_scan, nb_exscan, persistent)
+    })
+    .unwrap();
+
+    let want_all = oracle::allreduce_t(&blocks[0], op);
+    let want_scan = oracle::scan_t(&blocks[0], op);
+    let want_exscan = oracle::exscan_t(&blocks[0], op);
+    for (rank, (nb_all, nb_reduce, nb_scan, nb_exscan, persistent)) in results.iter().enumerate() {
+        let ctx = format!(
+            "{} {} {op:?} async on {nodes}x{ppn} rank {rank}",
+            library.name(),
+            std::any::type_name::<T>(),
+        );
+        assert_close(nb_all, &want_all, &ctx);
+        if rank == root {
+            assert_close(nb_reduce.as_deref().unwrap(), &want_all, &ctx);
+        } else {
+            assert!(nb_reduce.is_none(), "ireduce off-root ({ctx})");
+        }
+        assert_close(nb_scan, &want_scan[rank], &ctx);
+        assert_close(nb_exscan, &want_exscan[rank], &ctx);
+        for (round, got) in persistent.iter().enumerate() {
+            let want = oracle::allreduce_t(&blocks[round], op);
+            assert_close(got, &want, &format!("{ctx} round {round}"));
+        }
+    }
+}
+
+/// Blocking typed grid: all four datatypes × all four operators × every
+/// library on a mid-sized non-power-of-two topology.
+#[test]
+fn typed_blocking_family_matches_oracle_for_all_types_and_ops() {
+    for library in Library::ALL {
+        for op in ReduceOp::ALL {
+            check_typed_case::<f32>(library, 2, 3, 5, 2, op);
+            check_typed_case::<f64>(library, 2, 3, 5, 2, op);
+            check_typed_case::<i32>(library, 2, 3, 5, 2, op);
+            check_typed_case::<u64>(library, 2, 3, 5, 2, op);
+        }
+    }
+}
+
+/// Non-blocking + persistent typed grid on a smaller topology.
+#[test]
+fn typed_async_family_matches_oracle_for_all_types_and_ops() {
+    for library in Library::ALL {
+        for op in ReduceOp::ALL {
+            check_typed_async_case::<f32>(library, 1, 4, 6, op);
+            check_typed_async_case::<f64>(library, 1, 4, 6, op);
+            check_typed_async_case::<i32>(library, 1, 4, 6, op);
+            check_typed_async_case::<u64>(library, 1, 4, 6, op);
+        }
+    }
+}
+
+/// Large typed f64 allreduce/reduce_scatter crossing the Ring switch point:
+/// the element-aligned ring chunking must hold when the per-rank payload is
+/// past `LARGE_MESSAGE_THRESHOLD` and the element count does not divide by
+/// the world size.
+#[test]
+fn typed_f64_large_messages_survive_the_ring_switch() {
+    let (nodes, ppn) = (2, 3);
+    let world = nodes * ppn;
+    // An odd element count past the threshold: 4099 * 8 B > 32 KiB, and
+    // 4099 % 6 != 0 so ring chunks are uneven.
+    let count = 4099;
+    assert!(count * 8 > pip_mcoll::model::selection::LARGE_MESSAGE_THRESHOLD);
+    let inputs: Vec<Vec<f64>> = typed_inputs(world, count, 0);
+    let want = oracle::allreduce_t(&inputs, ReduceOp::Sum);
+    let inputs_ref = &inputs;
+    for library in Library::ALL {
+        let results =
+            World::run_with_profile(Topology::new(nodes, ppn), library.profile(), |comm| {
+                let mut buf = inputs_ref[comm.rank()].clone();
+                comm.allreduce(&mut buf, ReduceOp::Sum);
+                buf
+            })
+            .unwrap();
+        for (rank, got) in results.iter().enumerate() {
+            assert_close(
+                got,
+                &want,
+                &format!("{} large f64 allreduce rank {rank}", library.name()),
+            );
+        }
+    }
+}
+
+/// NaN differential: with a NaN planted in one rank's contribution, every
+/// library × topology produces the identical, canonically propagated result
+/// for Max and Min — bitwise, because the kernels canonicalize NaN.
+#[test]
+fn nan_inputs_reduce_identically_across_all_algorithms() {
+    for op in [ReduceOp::Max, ReduceOp::Min] {
+        for (nodes, ppn) in [(1, 4), (2, 3), (3, 3)] {
+            let topo = Topology::new(nodes, ppn);
+            let world = topo.world_size();
+            let block = 6;
+            let mut blocks: Vec<Vec<f64>> = typed_inputs(world, block, 0);
+            // Plant NaNs on two ranks, one lane overlapping, one distinct.
+            blocks[0][1] = f64::NAN;
+            blocks[world - 1][1] = f64::NAN;
+            blocks[world - 1][4] = f64::NAN;
+            let want = oracle::allreduce_t(&blocks, op);
+            assert!(want[1].is_nan() && want[4].is_nan());
+
+            let blocks_ref = &blocks;
+            let mut per_library: Vec<Vec<u64>> = Vec::new();
+            for library in Library::ALL {
+                let results = World::run_with_profile(topo, library.profile(), |comm| {
+                    let mut buf = blocks_ref[comm.rank()].clone();
+                    comm.allreduce(&mut buf, op);
+                    buf
+                })
+                .unwrap();
+                for (rank, got) in results.iter().enumerate() {
+                    let ctx = format!("{} {op:?} on {nodes}x{ppn} rank {rank}", library.name());
+                    assert_close(got, &want, &ctx);
+                    assert!(got[1].is_nan() && got[4].is_nan(), "NaN lanes lost ({ctx})");
+                }
+                // Canonical NaN propagation makes the result bit-exact, so
+                // every library must agree with every other bit for bit.
+                per_library.push(results[0].iter().map(|v| v.to_bits()).collect());
+            }
+            for bits in &per_library[1..] {
+                assert_eq!(
+                    bits, &per_library[0],
+                    "libraries disagree bitwise on NaN propagation ({nodes}x{ppn} {op:?})"
+                );
+            }
+        }
+    }
+}
+
+/// Plan-cache key regression for the typed layer: same kind, block, root and
+/// element size, but a different datatype or operator, must produce distinct
+/// `PlanKey`s and distinct cache entries — an f32-Sum plan must never serve
+/// an i32-Max call.
+#[test]
+fn same_shape_different_type_or_op_never_aliases_a_plan() {
+    let profile = Library::PipMColl.profile();
+    let topo = Topology::new(2, 2);
+    let ident = |kernel: ReduceKernel| kernel.ident();
+    let mk = |reduce| CollectiveShape {
+        kind: CollectiveKind::Allreduce,
+        block: 32,
+        root: 0,
+        elem_size: 4,
+        reduce: Some(reduce),
+    };
+    // All three shapes are 32 B of 4-byte elements; only the (type, op)
+    // identity differs.
+    let shapes = [
+        mk(ident(ReduceKernel::of::<f32>(ReduceOp::Sum))),
+        mk(ident(ReduceKernel::of::<i32>(ReduceOp::Sum))),
+        mk(ident(ReduceKernel::of::<f32>(ReduceOp::Max))),
+    ];
+    for (i, a) in shapes.iter().enumerate() {
+        for b in &shapes[i + 1..] {
+            assert_ne!(
+                PlanKey::new(&profile, topo, *a),
+                PlanKey::new(&profile, topo, *b),
+                "{a:?} and {b:?} alias one plan key"
+            );
+        }
+    }
+    let mut cache = PlanCache::new();
+    for s in &shapes {
+        cache.lookup_or_compile(&profile, topo, 0, s);
+    }
+    assert_eq!(
+        cache.len(),
+        shapes.len(),
+        "typed shapes merged in the cache"
+    );
+    assert_eq!(cache.stats(), (0, shapes.len() as u64));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized typed differential check: random type, operator, block
+    /// size and root across every library on a drawn topology.  The f64 arm
+    /// doubles as the associativity-tolerance check: the harness compares
+    /// within a relative epsilon, never exactly, so reassociated sums pass
+    /// while wrong contribution subsets still fail.
+    #[test]
+    fn prop_typed_reduction_family_matches_oracle(
+        topo_idx in 0usize..TOPOLOGIES.len(),
+        block in 1usize..16,
+        root_seed in 0usize..64,
+        op_idx in 0usize..4,
+        type_idx in 0usize..4,
+    ) {
+        let (nodes, ppn) = TOPOLOGIES[topo_idx];
+        let op = ReduceOp::ALL[op_idx];
+        for library in Library::ALL {
+            match type_idx {
+                0 => check_typed_case::<f32>(library, nodes, ppn, block, root_seed, op),
+                1 => check_typed_case::<f64>(library, nodes, ppn, block, root_seed, op),
+                2 => check_typed_case::<i32>(library, nodes, ppn, block, root_seed, op),
+                _ => check_typed_case::<u64>(library, nodes, ppn, block, root_seed, op),
+            }
         }
     }
 }
