@@ -559,7 +559,7 @@ where
     for rank in 0..topology.world_size() {
         let comm = TraceComm::new(rank, topology);
         per_rank(&comm);
-        trace.ranks[rank].ops = comm.into_ops();
+        trace.ranks[rank].ops = comm.into_ops().into();
     }
     trace
 }

@@ -598,11 +598,16 @@ impl Plan {
     /// by `tag` — the direct replacement for replaying the algorithm once
     /// per rank through a recording communicator.
     pub fn to_trace(&self, tag: u64) -> Trace {
-        let mut trace = Trace::empty(self.topology);
-        for (rank, plan) in self.ranks.iter().enumerate() {
-            trace.ranks[rank].ops = plan.to_trace_ops(tag);
-        }
-        trace
+        // `from_rank_ops` aliases identical programs, so symmetric plans
+        // (every non-leader of a hierarchical schedule, say) lower to one
+        // stored op vector per equivalence class instead of one per rank.
+        Trace::from_rank_ops(
+            self.topology,
+            self.ranks
+                .iter()
+                .map(|plan| plan.to_trace_ops(tag))
+                .collect(),
+        )
     }
 
     /// Validate every rank's program plus the cross-rank invariants: matched

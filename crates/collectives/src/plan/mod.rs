@@ -24,9 +24,11 @@ pub mod cursor;
 pub mod exec;
 pub mod ir;
 pub mod record;
+pub mod symmetry;
 
 pub use arena::{shared_arena, ArenaStats, BufferArena, SharedArena};
 pub use cursor::{CursorOutput, PlanCursor, StepOutcome};
 pub use exec::{execute_rank_plan, execute_rank_plan_reusing, PlanIo};
 pub use ir::{Fidelity, IoShape, Plan, PlanError, PlanOp, RankPlan, Src, SrcSeg, ValId};
 pub use record::{assemble, PlanComm, EXEC_PASSES};
+pub use symmetry::{folded_trace, ranks_equal_under, schedules_equal_under, PlanSymmetry};

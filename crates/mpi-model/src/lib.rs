@@ -29,7 +29,7 @@ use pip_transport::cost::{IntranodeMechanism, Nanos};
 use serde::{Deserialize, Serialize};
 
 pub use dispatch::{CollectiveRequest, OwnedCollective};
-pub use plan::{ClusterPlanCache, CollectiveShape, PlanCache, PlanKey};
+pub use plan::{compile_folded, ClusterPlanCache, CollectiveShape, PlanCache, PlanKey};
 pub use selection::{
     AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, GatherAlgo, ReduceAlgo,
     ReduceScatterAlgo, ScanAlgo, ScatterAlgo, SelectionTable,

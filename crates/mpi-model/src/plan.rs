@@ -22,10 +22,11 @@ use std::sync::Arc;
 
 use pip_collectives::comm::Comm;
 use pip_collectives::plan::{
-    assemble, execute_rank_plan_reusing, shared_arena, ArenaStats, BufferArena, Fidelity, IoShape,
-    Plan, PlanComm, PlanIo, RankPlan, SharedArena, EXEC_PASSES,
+    assemble, execute_rank_plan_reusing, schedules_equal_under, shared_arena, ArenaStats,
+    BufferArena, Fidelity, IoShape, Plan, PlanComm, PlanIo, RankPlan, SharedArena, EXEC_PASSES,
 };
 use pip_collectives::CollectiveKind;
+use pip_netsim::{FoldGroup, FoldedTrace};
 use pip_runtime::Topology;
 
 use pip_collectives::datatype::{ReduceIdent, Reduction};
@@ -344,6 +345,70 @@ pub fn compile_cluster(
         .map(|rank| compile_rank(profile, topology, rank, shape, fidelity))
         .collect();
     Plan { topology, ranks }
+}
+
+/// Compile a symmetry-folded trace without compiling the whole world.
+///
+/// Compiles node 0's `ppn` ranks (the class representatives) plus the same
+/// local ranks on a few *probe* nodes, and checks that a node group carries
+/// node 0's programs onto every probe — rotation first, then XOR for
+/// power-of-two node counts.  On success the representatives are lowered
+/// (tags rebased by `tag`) into a [`FoldedTrace`] ready for
+/// `SimEngine::run_folded_trace`; on failure (rooted collectives, scans,
+/// asymmetric schedules) the caller must compile the full cluster.
+///
+/// The probe check samples the symmetry rather than proving it: probes at
+/// nodes `{1, N/2, N-1}` catch every asymmetry the workspace's algorithms
+/// can exhibit (root-adjacency, halfway pivots, wrap-around edges), and the
+/// equivalence suites pin folded == full replay on exhaustive grids where
+/// the whole plan *is* materialized.  This entry point exists for the
+/// 10^5–10^6-rank projections where an O(world) compile is itself the
+/// bottleneck: its cost is `(1 + probes) × ppn` rank compilations, i.e.
+/// independent of the node count.
+pub fn compile_folded(
+    profile: &LibraryProfile,
+    topology: Topology,
+    shape: &CollectiveShape,
+    tag: u64,
+) -> Option<FoldedTrace> {
+    let nodes = topology.nodes();
+    let ppn = topology.ppn();
+    if nodes < 2 {
+        return None;
+    }
+    let reps: Vec<RankPlan> = (0..ppn)
+        .map(|local| compile_rank(profile, topology, local, shape, Fidelity::Schedule))
+        .collect();
+    let mut probes = vec![1, nodes / 2, nodes - 1];
+    probes.sort_unstable();
+    probes.dedup();
+    probes.retain(|&m| m != 0);
+    let verified = |group: FoldGroup| {
+        probes.iter().all(|&m| {
+            (0..ppn).all(|local| {
+                let probe = compile_rank(
+                    profile,
+                    topology,
+                    topology.rank_of(m, local),
+                    shape,
+                    Fidelity::Schedule,
+                );
+                schedules_equal_under(topology, group, m, &reps[local], &probe)
+            })
+        })
+    };
+    let group = if verified(FoldGroup::Rotation) {
+        FoldGroup::Rotation
+    } else if nodes.is_power_of_two() && verified(FoldGroup::Xor) {
+        FoldGroup::Xor
+    } else {
+        return None;
+    };
+    let lowered = reps
+        .iter()
+        .map(|plan| plan.to_trace_ops(tag).into())
+        .collect();
+    FoldedTrace::from_representatives(topology, group, lowered).ok()
 }
 
 /// Run one recording pass: build the synthetic request for `shape` and push

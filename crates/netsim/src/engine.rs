@@ -16,21 +16,64 @@
 //! * `LocalBarrier` releases all ranks of the node at the time the last of
 //!   them arrives plus the barrier cost.
 //!
-//! The engine is deterministic: the event queue breaks time ties by a
-//! monotonically increasing sequence number.
+//! The engine is deterministic: ties in time are broken by a monotonically
+//! increasing sequence number.
+//!
+//! ## Scheduler
+//!
+//! The seed implementation (preserved in `crate::reference`) kept a
+//! `BinaryHeap` of `(time, seq, rank)` events and hash-map mailboxes keyed
+//! by `(source, dest, tag)`.  Both show up hard in profiles at paper scale
+//! (128 nodes x 18 ranks): every op pays two `O(log n)` heap moves and at
+//! least one SipHash lookup.  This engine replaces them with:
+//!
+//! * a **calendar queue**: a ring of 1024 time buckets whose width is
+//!   auto-tuned to the NIC injection gap (the dominant event spacing), with
+//!   a spill heap for far-future events (long `Delay`s).  Pushes are O(1);
+//!   pops sort one small bucket at a time, preserving the exact global
+//!   `(time, seq)` order of the heap version.
+//! * **dense match tables**: per-receiver lanes (source, tag, pending
+//!   arrival ring) scanned linearly.  Steady-state collectives keep one or
+//!   two live lanes per rank, so matching is a couple of compares instead
+//!   of a hash.
+//! * **generation-tagged events**: each rank carries a generation counter,
+//!   bumped whenever it blocks or finishes; events record the generation
+//!   they were scheduled under and stale ones are dropped on pop without
+//!   touching rank state.
+//! * **inline op chaining**: purely rank-local ops (`Delay`, `Compute`,
+//!   `Reduce`, `CopyIntra`) touch no shared state and are applied in a
+//!   burst without a queue round-trip per op.  The chain breaks before any
+//!   op that reads or writes shared state (`Send`, `Recv`, `LocalBarrier`),
+//!   which is re-queued at the advanced clock so node-level resources are
+//!   still claimed in global time order.
+//!
+//! ## Folded replay
+//!
+//! [`SimEngine::run_folded`] exploits schedule symmetry (see
+//! [`crate::fold`]): when every node runs the same program modulo a node
+//! relabeling, simulating node 0's ranks alone reproduces the full
+//! system's timing.  Outgoing internode sends register the mirror-image
+//! *incoming* message (from the node the group maps onto node 0) with the
+//! same injection-complete time; those pending arrivals are applied to the
+//! receive side of node 0's adapter as soon as simulated time advances,
+//! in the order the full replay would process them.  Statistics are scaled
+//! by the node count and per-rank finish times are broadcast across each
+//! equivalence class.  This turns an `O(world)` replay into `O(ppn)`,
+//! which is what makes million-rank projection sweeps tractable.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::BinaryHeap;
 
-use pip_transport::cost::{IntranodeCost, Nanos};
+use pip_transport::cost::{IntranodeCost, IntranodeMechanism, Nanos};
 
+use crate::fold::FoldedTrace;
 use crate::params::SimParams;
 use crate::trace::{Trace, TraceError, TraceOp};
 
 /// Fixed cost of completing an intra-node receive (polling the flag the
 /// sender set in shared memory).  The payload copy itself is charged to the
 /// sender's transfer cost.
-const INTRA_RECV_FLAG_COST: Nanos = 40.0;
+pub(crate) const INTRA_RECV_FLAG_COST: Nanos = 40.0;
 
 /// Totally ordered wrapper for simulation timestamps.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,6 +93,390 @@ impl Ord for TimeKey {
     }
 }
 
+/// Options controlling what a replay records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Record per-rank completion times in [`SimOutcome::rank_finish`].
+    ///
+    /// Defaults to `true` (the historical behaviour).  Summary-only
+    /// callers — sweeps over very large worlds in particular — should turn
+    /// this off; the makespan and statistics are unaffected and the
+    /// `rank_finish` vector is left empty.
+    pub record_rank_finish: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            record_rank_finish: true,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Calendar queue
+// ---------------------------------------------------------------------------
+
+/// Number of buckets in the calendar ring.  Power of two so the slot of a
+/// bucket index is a mask.
+const CALENDAR_BUCKETS: usize = 1024;
+const CALENDAR_MASK: u64 = CALENDAR_BUCKETS as u64 - 1;
+
+/// A scheduled wakeup for one rank.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: Nanos,
+    seq: u64,
+    rank: u32,
+    gen: u32,
+}
+
+/// Ordering adapter for the overflow heap (min-heap via `Reverse`).
+#[derive(Debug)]
+struct OverflowEvent(Event);
+
+impl PartialEq for OverflowEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.seq == other.0.seq && TimeKey(self.0.time) == TimeKey(other.0.time)
+    }
+}
+
+impl Eq for OverflowEvent {}
+
+impl PartialOrd for OverflowEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OverflowEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        TimeKey(self.0.time)
+            .cmp(&TimeKey(other.0.time))
+            .then(self.0.seq.cmp(&other.0.seq))
+    }
+}
+
+/// A calendar queue: O(1) insertion into a ring of fixed-width time
+/// buckets, with a spill heap for events beyond the ring's horizon.
+///
+/// Pop order is exactly ascending `(time, seq)` — identical to the
+/// `BinaryHeap` scheduler it replaces — because events are only ever popped
+/// out of the single *current* bucket, which is sorted once when the queue
+/// advances into it.
+#[derive(Debug)]
+struct CalendarQueue {
+    /// Reciprocal of the bucket width; multiply to find a bucket index.
+    inv_width: f64,
+    /// Absolute index of the bucket currently being drained.
+    base: u64,
+    /// The ring.  Slot `b & CALENDAR_MASK` holds bucket `b` for
+    /// `base < b < base + CALENDAR_BUCKETS`.
+    ring: Vec<Vec<Event>>,
+    /// Events currently stored in the ring (not counting `current`).
+    ring_len: usize,
+    /// Far-future events, min-heap on `(time, seq)`.
+    overflow: BinaryHeap<Reverse<OverflowEvent>>,
+    /// Events that land in (or before) the bucket being drained — wakeups
+    /// and re-queues at the current horizon.  A small min-heap merged with
+    /// `current` at pop time; this keeps insertion O(log k) instead of an
+    /// O(n) splice into the sorted bucket.
+    incoming: BinaryHeap<Reverse<OverflowEvent>>,
+    /// The drained current bucket, sorted ascending `(time, seq)`.
+    current: Vec<Event>,
+    /// Read position within `current`.
+    cursor: usize,
+    /// Next sequence number (the deterministic tie-break).
+    seq: u64,
+    /// Total events stored across `current`, `ring`, and `overflow`.
+    len: usize,
+}
+
+impl CalendarQueue {
+    /// `hint` is the expected steady-state event population (one in-flight
+    /// event per runnable rank); the merge structures are pre-sized to it so
+    /// the first simulated round does not grow them step by step.
+    fn new(width: Nanos, hint: usize) -> Self {
+        let width = if width.is_finite() && width > 0.0 {
+            width
+        } else {
+            1.0
+        };
+        Self {
+            inv_width: 1.0 / width,
+            base: 0,
+            ring: (0..CALENDAR_BUCKETS).map(|_| Vec::new()).collect(),
+            ring_len: 0,
+            overflow: BinaryHeap::new(),
+            incoming: BinaryHeap::with_capacity(hint),
+            current: Vec::with_capacity(hint),
+            cursor: 0,
+            seq: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, time: Nanos) -> u64 {
+        // Times are non-negative; enormous times saturate the cast, which
+        // simply routes them through the overflow heap.
+        (time * self.inv_width) as u64
+    }
+
+    /// Schedule a fresh event (assigns the next sequence number).
+    #[inline]
+    fn push(&mut self, time: Nanos, rank: u32, gen: u32) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.insert(Event {
+            time,
+            seq,
+            rank,
+            gen,
+        });
+    }
+
+    /// Re-insert a popped event, preserving its original sequence number
+    /// (and therefore its position in the global tie order).
+    #[inline]
+    fn reinsert(&mut self, ev: Event) {
+        self.insert(ev);
+    }
+
+    fn insert(&mut self, ev: Event) {
+        self.len += 1;
+        let b = self.bucket_of(ev.time);
+        if b <= self.base {
+            // Belongs to the bucket being drained (or, for folded-replay
+            // wakeups, an earlier one): goes to the merge heap.
+            self.incoming.push(Reverse(OverflowEvent(ev)));
+        } else if b < self.base + CALENDAR_BUCKETS as u64 {
+            self.ring[(b & CALENDAR_MASK) as usize].push(ev);
+            self.ring_len += 1;
+        } else {
+            self.overflow.push(Reverse(OverflowEvent(ev)));
+        }
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        loop {
+            match (self.current.get(self.cursor), self.incoming.peek()) {
+                (Some(&cur), Some(Reverse(OverflowEvent(inc)))) => {
+                    self.len -= 1;
+                    let inc_first = inc
+                        .time
+                        .total_cmp(&cur.time)
+                        .then(inc.seq.cmp(&cur.seq))
+                        .is_lt();
+                    if inc_first {
+                        let Some(Reverse(OverflowEvent(ev))) = self.incoming.pop() else {
+                            unreachable!()
+                        };
+                        return Some(ev);
+                    }
+                    self.cursor += 1;
+                    return Some(cur);
+                }
+                (Some(&cur), None) => {
+                    self.cursor += 1;
+                    self.len -= 1;
+                    return Some(cur);
+                }
+                (None, Some(_)) => {
+                    self.len -= 1;
+                    let Some(Reverse(OverflowEvent(ev))) = self.incoming.pop() else {
+                        unreachable!()
+                    };
+                    return Some(ev);
+                }
+                (None, None) => {
+                    if self.len == 0 {
+                        self.current.clear();
+                        self.cursor = 0;
+                        return None;
+                    }
+                    self.advance();
+                }
+            }
+        }
+    }
+
+    /// True when an event pushed *now* at time `t` would be the very next
+    /// pop — i.e. every queued event is strictly later than `t` (a fresh
+    /// push always receives the largest sequence number, so it loses any
+    /// tie at equal times).  This is what lets the replay loop continue a
+    /// rank inline instead of a push immediately followed by a pop.
+    fn next_is_after(&mut self, t: Nanos) -> bool {
+        loop {
+            let head = match (self.current.get(self.cursor), self.incoming.peek()) {
+                (Some(cur), Some(Reverse(OverflowEvent(inc)))) => cur.time.min(inc.time),
+                (Some(cur), None) => cur.time,
+                (None, Some(Reverse(OverflowEvent(inc)))) => inc.time,
+                (None, None) => {
+                    if self.len == 0 {
+                        return true;
+                    }
+                    self.advance();
+                    continue;
+                }
+            };
+            return head.total_cmp(&t).is_gt();
+        }
+    }
+
+    /// Move to the next non-empty bucket and drain it into `current`.
+    fn advance(&mut self) {
+        self.current.clear();
+        self.cursor = 0;
+        loop {
+            if self.ring_len == 0 {
+                // Ring exhausted: jump straight to the overflow's horizon
+                // instead of stepping through empty buckets.
+                match self.overflow.peek() {
+                    Some(Reverse(OverflowEvent(min))) => self.base = self.bucket_of(min.time),
+                    None => return,
+                }
+            } else {
+                self.base += 1;
+            }
+            // Pull overflow events that now fall inside the ring's window.
+            while let Some(Reverse(OverflowEvent(ev))) = self.overflow.peek() {
+                let b = self.bucket_of(ev.time);
+                if b >= self.base + CALENDAR_BUCKETS as u64 {
+                    break;
+                }
+                let Some(Reverse(OverflowEvent(ev))) = self.overflow.pop() else {
+                    unreachable!()
+                };
+                if b <= self.base {
+                    self.current.push(ev);
+                } else {
+                    self.ring[(b & CALENDAR_MASK) as usize].push(ev);
+                    self.ring_len += 1;
+                }
+            }
+            let slot = (self.base & CALENDAR_MASK) as usize;
+            if !self.ring[slot].is_empty() {
+                self.ring_len -= self.ring[slot].len();
+                let mut drained = std::mem::take(&mut self.ring[slot]);
+                self.current.append(&mut drained);
+                // Hand the allocation back so the slot stays warm.
+                self.ring[slot] = drained;
+            }
+            if !self.current.is_empty() {
+                self.current
+                    .sort_unstable_by(|a, b| a.time.total_cmp(&b.time).then(a.seq.cmp(&b.seq)));
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Message matching
+// ---------------------------------------------------------------------------
+
+/// Keep up to this many drained lanes per receiver so their arrival
+/// buffers stay allocated across rounds.
+const LANE_KEEP: usize = 8;
+
+/// One `(source, tag)` stream of messages into a receiver.
+#[derive(Debug)]
+struct Lane {
+    source: u32,
+    tag: u64,
+    /// The receiver is blocked waiting on this lane.
+    blocked: bool,
+    /// Read position in `arrivals` (drain-reset ring).
+    head: usize,
+    /// FIFO of arrival times.
+    arrivals: Vec<Nanos>,
+}
+
+/// Dense per-receiver match tables: a short vector of lanes scanned
+/// linearly.  Collectives post matching sends and receives round by round,
+/// so the live lane count per rank stays tiny and the scan beats hashing.
+#[derive(Debug)]
+struct MatchTable {
+    lanes: Vec<Vec<Lane>>,
+}
+
+impl MatchTable {
+    fn new(receivers: usize) -> Self {
+        Self {
+            lanes: (0..receivers).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Record a message arrival.  Returns `true` when the receiver was
+    /// blocked on this lane (the caller must wake it).
+    fn deliver(&mut self, source: u32, dest: usize, tag: u64, arrival: Nanos) -> bool {
+        let lanes = &mut self.lanes[dest];
+        let lane = match lanes
+            .iter_mut()
+            .position(|l| l.source == source && l.tag == tag)
+        {
+            Some(i) => &mut lanes[i],
+            None => {
+                lanes.push(Lane {
+                    source,
+                    tag,
+                    blocked: false,
+                    head: 0,
+                    arrivals: Vec::new(),
+                });
+                lanes.last_mut().expect("just pushed")
+            }
+        };
+        lane.arrivals.push(arrival);
+        std::mem::replace(&mut lane.blocked, false)
+    }
+
+    /// Take the oldest pending arrival for `(source, dest, tag)`.  When no
+    /// message is pending the receiver is marked blocked on the lane and
+    /// `None` is returned.
+    fn consume(&mut self, source: u32, dest: usize, tag: u64) -> Option<Nanos> {
+        let lanes = &mut self.lanes[dest];
+        match lanes
+            .iter()
+            .position(|l| l.source == source && l.tag == tag)
+        {
+            Some(i) => {
+                let lane = &mut lanes[i];
+                if lane.head < lane.arrivals.len() {
+                    let arrival = lane.arrivals[lane.head];
+                    lane.head += 1;
+                    if lane.head == lane.arrivals.len() {
+                        lane.head = 0;
+                        lane.arrivals.clear();
+                        if lanes.len() > LANE_KEEP {
+                            lanes.swap_remove(i);
+                        }
+                    }
+                    Some(arrival)
+                } else {
+                    lane.blocked = true;
+                    None
+                }
+            }
+            None => {
+                lanes.push(Lane {
+                    source,
+                    tag,
+                    blocked: true,
+                    head: 0,
+                    arrivals: Vec::new(),
+                });
+                None
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rank and barrier state
+// ---------------------------------------------------------------------------
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RankState {
     Runnable,
@@ -61,18 +488,39 @@ enum RankState {
 #[derive(Debug)]
 struct RankRuntime {
     pc: usize,
+    gen: u32,
     ready_time: Nanos,
-    state: RankState,
-    barriers_done: usize,
     finish_time: Nanos,
+    state: RankState,
 }
 
-#[derive(Debug, Default)]
-struct BarrierEpisode {
-    arrived: usize,
-    latest_arrival: Nanos,
-    waiters: Vec<usize>,
+impl RankRuntime {
+    fn fresh() -> Self {
+        Self {
+            pc: 0,
+            gen: 0,
+            ready_time: 0.0,
+            finish_time: 0.0,
+            state: RankState::Runnable,
+        }
+    }
 }
+
+/// The single active barrier episode of one node.
+///
+/// A rank can only reach its next `LocalBarrier` after the previous episode
+/// released *all* of the node's ranks, so at most one episode per node is
+/// ever in flight and a flat slot replaces the seed's episode-index map.
+#[derive(Debug, Default)]
+struct BarrierSlot {
+    arrived: usize,
+    latest: Nanos,
+    waiters: Vec<u32>,
+}
+
+// ---------------------------------------------------------------------------
+// Public outcome types
+// ---------------------------------------------------------------------------
 
 /// Per-run simulation statistics beyond the makespan.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -99,7 +547,8 @@ pub struct SimStats {
 pub struct SimOutcome {
     /// Completion time of the whole schedule (maximum over ranks).
     pub makespan: Nanos,
-    /// Per-rank completion times.
+    /// Per-rank completion times.  Empty when the run was configured with
+    /// [`RunOptions::record_rank_finish`] set to `false`.
     pub rank_finish: Vec<Nanos>,
     /// Aggregate statistics.
     pub stats: SimStats,
@@ -112,7 +561,10 @@ pub enum SimError {
     InvalidTrace(TraceError),
     /// The schedule deadlocked: some ranks can never make progress (their
     /// receives or barriers are never satisfied).
-    Deadlock { stuck_ranks: Vec<usize> },
+    Deadlock {
+        /// Ranks that never completed their programs.
+        stuck_ranks: Vec<usize>,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -127,6 +579,10 @@ impl std::fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
 
 /// The discrete-event simulator.
 #[derive(Debug)]
@@ -145,205 +601,297 @@ impl SimEngine {
         &self.params
     }
 
+    /// Bucket width for the calendar queue: a small multiple of the NIC
+    /// injection gap, which is the natural spacing between events in a
+    /// message-dominated schedule.
+    fn bucket_width(&self) -> Nanos {
+        (self.params.nic.nic_message_gap * 8.0).max(1.0)
+    }
+
     /// Replay `trace` and return completion times and statistics.
     pub fn run(&self, trace: &Trace) -> Result<SimOutcome, SimError> {
+        self.run_with(trace, RunOptions::default())
+    }
+
+    /// Replay `trace` with explicit recording options.
+    pub fn run_with(&self, trace: &Trace, options: RunOptions) -> Result<SimOutcome, SimError> {
+        self.replay_full(trace, options)
+    }
+
+    /// Replay `trace` with the seed heap-based scheduler (see
+    /// `crate::reference`).  Kept for differential testing and as the
+    /// baseline the calendar engine is benchmarked against.
+    pub fn run_reference(&self, trace: &Trace) -> Result<SimOutcome, SimError> {
+        crate::reference::replay(&self.params, trace)
+    }
+
+    /// Replay `trace`, folding it by symmetry when possible.
+    ///
+    /// When [`FoldedTrace::detect`] finds a node-transitive symmetry, only
+    /// node 0's ranks are simulated and the result is projected onto the
+    /// full world; otherwise (and whenever the folded replay itself
+    /// deadlocks, so the stuck-rank list stays authoritative) this falls
+    /// back to the full replay.  The outcome is identical to [`Self::run`]
+    /// up to float accumulation order in `compute_total`, `nic_busy_total`
+    /// and `nic_busy_max`.
+    pub fn run_folded(&self, trace: &Trace) -> Result<SimOutcome, SimError> {
+        self.run_folded_with(trace, RunOptions::default())
+    }
+
+    /// [`Self::run_folded`] with explicit recording options.
+    pub fn run_folded_with(
+        &self,
+        trace: &Trace,
+        options: RunOptions,
+    ) -> Result<SimOutcome, SimError> {
+        trace.validate().map_err(SimError::InvalidTrace)?;
+        match FoldedTrace::detect(trace) {
+            Some(folded) => match self.replay_folded(&folded, options) {
+                // The folded stuck list only names node-0 ranks; rerun the
+                // full world so the caller sees every stuck rank.
+                Err(SimError::Deadlock { .. }) => self.replay_full(trace, options),
+                other => other,
+            },
+            None => self.replay_full(trace, options),
+        }
+    }
+
+    /// Replay an already-folded trace directly.
+    ///
+    /// This skips detection and full-trace validation, which is the point:
+    /// at projection scale (10^5–10^6 ranks) the full trace is never
+    /// materialized.  The caller vouches for the symmetry (e.g. via
+    /// [`FoldedTrace::detect`] or probe-verified compilation).  A reported
+    /// deadlock names node-0 ranks only — one representative per stuck
+    /// equivalence class.
+    pub fn run_folded_trace(
+        &self,
+        folded: &FoldedTrace,
+        options: RunOptions,
+    ) -> Result<SimOutcome, SimError> {
+        self.replay_folded(folded, options)
+    }
+
+    fn replay_full(&self, trace: &Trace, options: RunOptions) -> Result<SimOutcome, SimError> {
         trace.validate().map_err(SimError::InvalidTrace)?;
         let topology = trace.topology;
         let world = topology.world_size();
         let nic = self.params.nic_model();
         let intranode = self.params.intranode;
 
-        let mut ranks: Vec<RankRuntime> = (0..world)
-            .map(|_| RankRuntime {
-                pc: 0,
-                ready_time: 0.0,
-                state: RankState::Runnable,
-                barriers_done: 0,
-                finish_time: 0.0,
-            })
-            .collect();
+        let mut ranks: Vec<RankRuntime> = (0..world).map(|_| RankRuntime::fresh()).collect();
 
         // Node-level NIC resources.
         let mut tx_free = vec![0.0f64; topology.nodes()];
         let mut rx_free = vec![0.0f64; topology.nodes()];
         let mut nic_busy = vec![0.0f64; topology.nodes()];
 
-        // In-flight messages: (source, dest, tag) -> arrival times, FIFO.
-        let mut mailbox: HashMap<(usize, usize, u64), VecDeque<Nanos>> = HashMap::new();
-        // Ranks blocked on a receive, keyed the same way.
-        let mut blocked_recv: HashMap<(usize, usize, u64), usize> = HashMap::new();
-        // Barrier bookkeeping per node: episode index -> state.
-        let mut barriers: Vec<HashMap<usize, BarrierEpisode>> =
-            (0..topology.nodes()).map(|_| HashMap::new()).collect();
+        let mut table = MatchTable::new(world);
+        let mut barriers: Vec<BarrierSlot> = (0..topology.nodes())
+            .map(|_| BarrierSlot::default())
+            .collect();
+        let mut release_buf: Vec<u32> = Vec::new();
 
         let mut stats = SimStats::default();
+        let mut queue = CalendarQueue::new(self.bucket_width(), world);
 
-        // Event queue: (time, seq, rank).
-        let mut queue: BinaryHeap<Reverse<(TimeKey, u64, usize)>> = BinaryHeap::new();
-        let mut seq = 0u64;
-        let push_event = |queue: &mut BinaryHeap<Reverse<(TimeKey, u64, usize)>>,
-                          seq: &mut u64,
-                          time: Nanos,
-                          rank: usize| {
-            queue.push(Reverse((TimeKey(time), *seq, rank)));
-            *seq += 1;
-        };
+        // Chunked pipelines repeat one op shape thousands of times; a
+        // one-entry memo per local-op kind turns the repeated cost-model
+        // evaluation into a compare and an add.
+        let mut reduce_memo: (usize, Nanos) = (usize::MAX, 0.0);
+        let mut copy_memo: (usize, Option<IntranodeMechanism>, bool, Nanos) =
+            (usize::MAX, None, false, 0.0);
 
         for rank in 0..world {
-            push_event(&mut queue, &mut seq, 0.0, rank);
+            queue.push(0.0, rank as u32, 0);
         }
 
-        while let Some(Reverse((TimeKey(now), _, rank))) = queue.pop() {
-            let state = ranks[rank].state;
-            if state == RankState::Finished
-                || state == RankState::BlockedOnRecv
-                || state == RankState::BlockedOnBarrier
-            {
-                // Blocked ranks are re-scheduled explicitly when unblocked;
-                // stale events are ignored.
+        while let Some(ev) = queue.pop() {
+            let rank = ev.rank as usize;
+            if ev.gen != ranks[rank].gen {
+                // Stale wakeup from before the rank last blocked/finished.
                 continue;
             }
-            let now = now.max(ranks[rank].ready_time);
-            let pc = ranks[rank].pc;
+            let mut now = ev.time.max(ranks[rank].ready_time);
             let ops = &trace.ranks[rank].ops;
-            if pc >= ops.len() {
-                ranks[rank].state = RankState::Finished;
-                ranks[rank].finish_time = now;
-                continue;
-            }
-            match ops[pc] {
-                TraceOp::Send { dest, bytes, tag } => {
-                    let src_node = topology.node_of(rank);
-                    let dst_node = topology.node_of(dest);
-                    let (sender_done, arrival) = if rank == dest {
-                        // Self message: a local copy.
-                        let done = now + self.params.memcpy.copy_cost(bytes);
-                        (done, done)
-                    } else if src_node == dst_node {
-                        stats.intranode_messages += 1;
-                        let cost = intranode.transfer_cost(bytes, !self.params.warm_buffers)
-                            + self.params.software_send_overhead;
-                        let done = now + cost;
-                        (done, done)
-                    } else {
-                        stats.internode_messages += 1;
-                        stats.internode_bytes += bytes;
-                        let sender_done = now
-                            + nic.host_send_overhead(bytes)
-                            + self.params.software_send_overhead;
-                        let occupancy = nic.nic_occupancy(bytes);
-                        let tx_start = sender_done.max(tx_free[src_node]);
-                        let tx_end = tx_start + occupancy;
-                        tx_free[src_node] = tx_end;
-                        nic_busy[src_node] += occupancy;
-                        let rx_ready = tx_end + nic.wire_latency();
-                        let rx_start = rx_ready.max(rx_free[dst_node]);
-                        let rx_end = rx_start + occupancy;
-                        rx_free[dst_node] = rx_end;
-                        nic_busy[dst_node] += occupancy;
-                        (sender_done, rx_end)
-                    };
-                    mailbox
-                        .entry((rank, dest, tag))
-                        .or_default()
-                        .push_back(arrival);
-                    // Wake a receiver blocked on this message.
-                    if let Some(&receiver) = blocked_recv.get(&(rank, dest, tag)) {
-                        blocked_recv.remove(&(rank, dest, tag));
-                        ranks[receiver].state = RankState::Runnable;
-                        let wake = arrival.max(ranks[receiver].ready_time);
-                        push_event(&mut queue, &mut seq, wake, receiver);
-                    }
-                    ranks[rank].pc += 1;
-                    ranks[rank].ready_time = sender_done;
-                    push_event(&mut queue, &mut seq, sender_done, rank);
+            // Chain purely rank-local ops without queue round-trips; break
+            // (and re-queue) before anything touching shared state.
+            let mut chained = false;
+            loop {
+                let pc = ranks[rank].pc;
+                if pc >= ops.len() {
+                    ranks[rank].state = RankState::Finished;
+                    ranks[rank].finish_time = now;
+                    ranks[rank].gen = ranks[rank].gen.wrapping_add(1);
+                    break;
                 }
-                TraceOp::Recv { source, bytes, tag } => {
-                    let key = (source, rank, tag);
-                    let available = mailbox.get_mut(&key).and_then(|queue| queue.pop_front());
-                    match available {
-                        Some(arrival) => {
-                            let same_node = topology.same_node(source, rank);
-                            let recv_cost = if same_node || source == rank {
-                                INTRA_RECV_FLAG_COST + self.params.software_recv_overhead
-                            } else {
-                                nic.host_recv_overhead(bytes) + self.params.software_recv_overhead
-                            };
-                            let done = now.max(arrival) + recv_cost;
-                            ranks[rank].pc += 1;
-                            ranks[rank].ready_time = done;
-                            push_event(&mut queue, &mut seq, done, rank);
+                let op = ops[pc];
+                let shared = matches!(
+                    op,
+                    TraceOp::Send { .. } | TraceOp::Recv { .. } | TraceOp::LocalBarrier
+                );
+                // A chained rank may only touch shared state (NIC slots,
+                // mailboxes, barriers) if nothing else is scheduled before
+                // its advanced clock — applying the op right away is then
+                // indistinguishable from a re-queue immediately followed by
+                // the pop of that same event.  Otherwise resume through the
+                // queue so claims happen in global time order.
+                if shared && chained && !queue.next_is_after(now) {
+                    ranks[rank].ready_time = now;
+                    queue.push(now, ev.rank, ranks[rank].gen);
+                    break;
+                }
+                match op {
+                    TraceOp::Delay { nanos } => {
+                        now += nanos.max(0.0);
+                        ranks[rank].pc += 1;
+                        chained = true;
+                    }
+                    TraceOp::Compute { nanos } => {
+                        // Same timeline effect as a delay; accounted
+                        // separately so overlap efficiency can be derived
+                        // from the stats.
+                        let busy = nanos.max(0.0);
+                        stats.compute_total += busy;
+                        now += busy;
+                        ranks[rank].pc += 1;
+                        chained = true;
+                    }
+                    TraceOp::Reduce { bytes } => {
+                        if reduce_memo.0 != bytes {
+                            reduce_memo = (bytes, self.params.memcpy.reduce_cost(bytes));
                         }
-                        None => {
-                            ranks[rank].state = RankState::BlockedOnRecv;
+                        now += reduce_memo.1;
+                        ranks[rank].pc += 1;
+                        chained = true;
+                    }
+                    TraceOp::CopyIntra {
+                        bytes,
+                        mechanism,
+                        first_use,
+                    } => {
+                        let cold = first_use && !self.params.warm_buffers;
+                        if copy_memo.0 != bytes || copy_memo.1 != mechanism || copy_memo.2 != cold {
+                            let cost_model = mechanism
+                                .map(IntranodeCost::defaults_for)
+                                .unwrap_or(intranode);
+                            copy_memo = (
+                                bytes,
+                                mechanism,
+                                cold,
+                                cost_model.transfer_cost(bytes, cold),
+                            );
+                        }
+                        now += copy_memo.3;
+                        ranks[rank].pc += 1;
+                        chained = true;
+                    }
+                    TraceOp::Send { dest, bytes, tag } => {
+                        let src_node = topology.node_of(rank);
+                        let dst_node = topology.node_of(dest);
+                        let (sender_done, arrival) = if rank == dest {
+                            // Self message: a local copy.
+                            let done = now + self.params.memcpy.copy_cost(bytes);
+                            (done, done)
+                        } else if src_node == dst_node {
+                            stats.intranode_messages += 1;
+                            let cost = intranode.transfer_cost(bytes, !self.params.warm_buffers)
+                                + self.params.software_send_overhead;
+                            let done = now + cost;
+                            (done, done)
+                        } else {
+                            stats.internode_messages += 1;
+                            stats.internode_bytes += bytes;
+                            let sender_done = now
+                                + nic.host_send_overhead(bytes)
+                                + self.params.software_send_overhead;
+                            let occupancy = nic.nic_occupancy(bytes);
+                            let tx_start = sender_done.max(tx_free[src_node]);
+                            let tx_end = tx_start + occupancy;
+                            tx_free[src_node] = tx_end;
+                            nic_busy[src_node] += occupancy;
+                            let rx_ready = tx_end + nic.wire_latency();
+                            let rx_start = rx_ready.max(rx_free[dst_node]);
+                            let rx_end = rx_start + occupancy;
+                            rx_free[dst_node] = rx_end;
+                            nic_busy[dst_node] += occupancy;
+                            (sender_done, rx_end)
+                        };
+                        if table.deliver(rank as u32, dest, tag, arrival) {
+                            // Wake the receiver blocked on this message.
+                            ranks[dest].state = RankState::Runnable;
+                            let wake = arrival.max(ranks[dest].ready_time);
+                            queue.push(wake, dest as u32, ranks[dest].gen);
+                        }
+                        ranks[rank].pc += 1;
+                        ranks[rank].ready_time = sender_done;
+                        // Run-ahead: keep executing this rank if nothing
+                        // else is scheduled before its send completes (the
+                        // receiver wake above is already queued and counts).
+                        if queue.next_is_after(sender_done) {
+                            now = sender_done;
+                            chained = false;
+                            continue;
+                        }
+                        queue.push(sender_done, ev.rank, ranks[rank].gen);
+                        break;
+                    }
+                    TraceOp::Recv { source, bytes, tag } => {
+                        match table.consume(source as u32, rank, tag) {
+                            Some(arrival) => {
+                                let same_node = topology.same_node(source, rank);
+                                let recv_cost = if same_node || source == rank {
+                                    INTRA_RECV_FLAG_COST + self.params.software_recv_overhead
+                                } else {
+                                    nic.host_recv_overhead(bytes)
+                                        + self.params.software_recv_overhead
+                                };
+                                let done = now.max(arrival) + recv_cost;
+                                ranks[rank].pc += 1;
+                                ranks[rank].ready_time = done;
+                                if queue.next_is_after(done) {
+                                    now = done;
+                                    chained = false;
+                                    continue;
+                                }
+                                queue.push(done, ev.rank, ranks[rank].gen);
+                            }
+                            None => {
+                                ranks[rank].state = RankState::BlockedOnRecv;
+                                ranks[rank].ready_time = now;
+                                ranks[rank].gen = ranks[rank].gen.wrapping_add(1);
+                            }
+                        }
+                        break;
+                    }
+                    TraceOp::LocalBarrier => {
+                        let node = topology.node_of(rank);
+                        let ppn = topology.ppn();
+                        let slot = &mut barriers[node];
+                        slot.arrived += 1;
+                        slot.latest = slot.latest.max(now);
+                        if slot.arrived == ppn {
+                            let release = slot.latest + self.params.barrier_cost(ppn);
+                            stats.barrier_episodes += 1;
+                            release_buf.clear();
+                            release_buf.append(&mut slot.waiters);
+                            release_buf.push(ev.rank);
+                            slot.arrived = 0;
+                            slot.latest = 0.0;
+                            for &waiter in &release_buf {
+                                let w = waiter as usize;
+                                ranks[w].state = RankState::Runnable;
+                                ranks[w].pc += 1;
+                                ranks[w].ready_time = release;
+                                queue.push(release, waiter, ranks[w].gen);
+                            }
+                        } else {
+                            slot.waiters.push(ev.rank);
+                            ranks[rank].state = RankState::BlockedOnBarrier;
                             ranks[rank].ready_time = now;
-                            blocked_recv.insert(key, rank);
+                            ranks[rank].gen = ranks[rank].gen.wrapping_add(1);
                         }
-                    }
-                }
-                TraceOp::CopyIntra {
-                    bytes,
-                    mechanism,
-                    first_use,
-                } => {
-                    let cost_model = mechanism
-                        .map(IntranodeCost::defaults_for)
-                        .unwrap_or(intranode);
-                    let cold = first_use && !self.params.warm_buffers;
-                    let done = now + cost_model.transfer_cost(bytes, cold);
-                    ranks[rank].pc += 1;
-                    ranks[rank].ready_time = done;
-                    push_event(&mut queue, &mut seq, done, rank);
-                }
-                TraceOp::Reduce { bytes } => {
-                    let done = now + self.params.memcpy.reduce_cost(bytes);
-                    ranks[rank].pc += 1;
-                    ranks[rank].ready_time = done;
-                    push_event(&mut queue, &mut seq, done, rank);
-                }
-                TraceOp::Delay { nanos } => {
-                    let done = now + nanos.max(0.0);
-                    ranks[rank].pc += 1;
-                    ranks[rank].ready_time = done;
-                    push_event(&mut queue, &mut seq, done, rank);
-                }
-                TraceOp::Compute { nanos } => {
-                    // Same timeline effect as a delay; accounted separately
-                    // so overlap efficiency can be derived from the stats.
-                    let busy = nanos.max(0.0);
-                    stats.compute_total += busy;
-                    let done = now + busy;
-                    ranks[rank].pc += 1;
-                    ranks[rank].ready_time = done;
-                    push_event(&mut queue, &mut seq, done, rank);
-                }
-                TraceOp::LocalBarrier => {
-                    let node = topology.node_of(rank);
-                    let ppn = topology.ppn();
-                    let episode_index = ranks[rank].barriers_done;
-                    let episode = barriers[node].entry(episode_index).or_default();
-                    episode.arrived += 1;
-                    episode.latest_arrival = episode.latest_arrival.max(now);
-                    if episode.arrived == ppn {
-                        let release = episode.latest_arrival + self.params.barrier_cost(ppn);
-                        stats.barrier_episodes += 1;
-                        let waiters: Vec<usize> = episode
-                            .waiters
-                            .drain(..)
-                            .chain(std::iter::once(rank))
-                            .collect();
-                        barriers[node].remove(&episode_index);
-                        for waiter in waiters {
-                            ranks[waiter].state = RankState::Runnable;
-                            ranks[waiter].pc += 1;
-                            ranks[waiter].barriers_done += 1;
-                            ranks[waiter].ready_time = release;
-                            push_event(&mut queue, &mut seq, release, waiter);
-                        }
-                    } else {
-                        episode.waiters.push(rank);
-                        ranks[rank].state = RankState::BlockedOnBarrier;
-                        ranks[rank].ready_time = now;
+                        break;
                     }
                 }
             }
@@ -365,8 +913,306 @@ impl SimEngine {
         stats.nic_busy_total = nic_busy.iter().sum();
         stats.nic_busy_max = nic_busy.iter().copied().fold(0.0, Nanos::max);
 
-        let rank_finish: Vec<Nanos> = ranks.iter().map(|r| r.finish_time).collect();
-        let makespan = rank_finish.iter().copied().fold(0.0, Nanos::max);
+        let makespan = ranks.iter().map(|r| r.finish_time).fold(0.0, Nanos::max);
+        let rank_finish = if options.record_rank_finish {
+            ranks.iter().map(|r| r.finish_time).collect()
+        } else {
+            Vec::new()
+        };
+        Ok(SimOutcome {
+            makespan,
+            rank_finish,
+            stats,
+        })
+    }
+
+    fn replay_folded(
+        &self,
+        folded: &FoldedTrace,
+        options: RunOptions,
+    ) -> Result<SimOutcome, SimError> {
+        let topology = folded.topology();
+        let ppn = topology.ppn();
+        let nodes = topology.nodes();
+        let nic = self.params.nic_model();
+        let intranode = self.params.intranode;
+        let reps = folded.representatives();
+
+        let mut ranks: Vec<RankRuntime> = (0..ppn).map(|_| RankRuntime::fresh()).collect();
+
+        // Node 0's adapter; every other node's mirrors it exactly.
+        let mut tx_free0 = 0.0f64;
+        let mut rx_free0 = 0.0f64;
+        let mut nic_busy0 = 0.0f64;
+
+        let mut table = MatchTable::new(ppn);
+        let mut barrier = BarrierSlot::default();
+        let mut release_buf: Vec<u32> = Vec::new();
+
+        let mut stats = SimStats::default();
+        let mut queue = CalendarQueue::new(self.bucket_width(), ppn);
+
+        // Mirror-image incoming messages implied by node 0's outgoing
+        // sends, all registered at one simulated instant (`pending_time`)
+        // and applied to node 0's receive side when time advances.
+        struct PendingRx {
+            src_node: u32,
+            src_local: u32,
+            dest_local: u32,
+            bytes: usize,
+            tag: u64,
+            tx_end: Nanos,
+        }
+        let mut pending: Vec<PendingRx> = Vec::new();
+        let mut pending_time = 0.0f64;
+
+        // Same one-entry cost memos as the full replay (see there).
+        let mut reduce_memo: (usize, Nanos) = (usize::MAX, 0.0);
+        let mut copy_memo: (usize, Option<IntranodeMechanism>, bool, Nanos) =
+            (usize::MAX, None, false, 0.0);
+
+        for local in 0..ppn {
+            queue.push(0.0, local as u32, 0);
+        }
+
+        loop {
+            let ev = queue.pop();
+            let flush = !pending.is_empty()
+                && ev
+                    .map(|e| e.time.total_cmp(&pending_time).is_gt())
+                    .unwrap_or(true);
+            if flush {
+                // Apply the batch in the order the full replay's scheduler
+                // would process the mirror sends.  All of them pop at one
+                // tied instant; the global tie order there is node-major
+                // (rank order), and within one node the per-rank order
+                // matches the order node 0's own sends processed — which is
+                // exactly the append order of `pending`.  A stable sort by
+                // source node therefore reproduces the full interleaving.
+                pending.sort_by_key(|p| p.src_node);
+                for p in pending.drain(..) {
+                    let occupancy = nic.nic_occupancy(p.bytes);
+                    let rx_ready = p.tx_end + nic.wire_latency();
+                    let rx_start = rx_ready.max(rx_free0);
+                    let rx_end = rx_start + occupancy;
+                    rx_free0 = rx_end;
+                    nic_busy0 += occupancy;
+                    let source = topology.rank_of(p.src_node as usize, p.src_local as usize) as u32;
+                    let dest = p.dest_local as usize;
+                    if table.deliver(source, dest, p.tag, rx_end) {
+                        ranks[dest].state = RankState::Runnable;
+                        let wake = rx_end.max(ranks[dest].ready_time);
+                        queue.push(wake, p.dest_local, ranks[dest].gen);
+                    }
+                }
+                if let Some(ev) = ev {
+                    queue.reinsert(ev);
+                }
+                continue;
+            }
+            let Some(ev) = ev else { break };
+            let local = ev.rank as usize;
+            if ev.gen != ranks[local].gen {
+                continue;
+            }
+            let mut now = ev.time.max(ranks[local].ready_time);
+            let ops = &reps[local];
+            let mut chained = false;
+            loop {
+                let pc = ranks[local].pc;
+                if pc >= ops.len() {
+                    ranks[local].state = RankState::Finished;
+                    ranks[local].finish_time = now;
+                    ranks[local].gen = ranks[local].gen.wrapping_add(1);
+                    break;
+                }
+                let op = ops[pc];
+                let is_shared = matches!(
+                    op,
+                    TraceOp::Send { .. } | TraceOp::Recv { .. } | TraceOp::LocalBarrier
+                );
+                if is_shared && chained {
+                    ranks[local].ready_time = now;
+                    queue.push(now, ev.rank, ranks[local].gen);
+                    break;
+                }
+                match op {
+                    TraceOp::Delay { nanos } => {
+                        now += nanos.max(0.0);
+                        ranks[local].pc += 1;
+                        chained = true;
+                    }
+                    TraceOp::Compute { nanos } => {
+                        let busy = nanos.max(0.0);
+                        stats.compute_total += busy;
+                        now += busy;
+                        ranks[local].pc += 1;
+                        chained = true;
+                    }
+                    TraceOp::Reduce { bytes } => {
+                        if reduce_memo.0 != bytes {
+                            reduce_memo = (bytes, self.params.memcpy.reduce_cost(bytes));
+                        }
+                        now += reduce_memo.1;
+                        ranks[local].pc += 1;
+                        chained = true;
+                    }
+                    TraceOp::CopyIntra {
+                        bytes,
+                        mechanism,
+                        first_use,
+                    } => {
+                        let cold = first_use && !self.params.warm_buffers;
+                        if copy_memo.0 != bytes || copy_memo.1 != mechanism || copy_memo.2 != cold {
+                            let cost_model = mechanism
+                                .map(IntranodeCost::defaults_for)
+                                .unwrap_or(intranode);
+                            copy_memo = (
+                                bytes,
+                                mechanism,
+                                cold,
+                                cost_model.transfer_cost(bytes, cold),
+                            );
+                        }
+                        now += copy_memo.3;
+                        ranks[local].pc += 1;
+                        chained = true;
+                    }
+                    TraceOp::Send { dest, bytes, tag } => {
+                        // Node 0's ranks are globally ranks 0..ppn.
+                        let dst_node = topology.node_of(dest);
+                        let sender_done = if dest == local {
+                            let done = now + self.params.memcpy.copy_cost(bytes);
+                            if table.deliver(local as u32, local, tag, done) {
+                                ranks[local].state = RankState::Runnable;
+                            }
+                            done
+                        } else if dst_node == 0 {
+                            stats.intranode_messages += 1;
+                            let cost = intranode.transfer_cost(bytes, !self.params.warm_buffers)
+                                + self.params.software_send_overhead;
+                            let done = now + cost;
+                            if table.deliver(local as u32, dest, tag, done) {
+                                ranks[dest].state = RankState::Runnable;
+                                let wake = done.max(ranks[dest].ready_time);
+                                queue.push(wake, dest as u32, ranks[dest].gen);
+                            }
+                            done
+                        } else {
+                            stats.internode_messages += 1;
+                            stats.internode_bytes += bytes;
+                            let sender_done = now
+                                + nic.host_send_overhead(bytes)
+                                + self.params.software_send_overhead;
+                            let occupancy = nic.nic_occupancy(bytes);
+                            let tx_start = sender_done.max(tx_free0);
+                            let tx_end = tx_start + occupancy;
+                            tx_free0 = tx_end;
+                            nic_busy0 += occupancy;
+                            // By symmetry a mirror-image message from the
+                            // inverse-image node finishes injection at the
+                            // same moment and lands on node 0.
+                            if pending.is_empty() {
+                                pending_time = now;
+                            }
+                            pending.push(PendingRx {
+                                src_node: folded.mirror_source_node(dst_node) as u32,
+                                src_local: local as u32,
+                                dest_local: topology.local_rank_of(dest) as u32,
+                                bytes,
+                                tag,
+                                tx_end,
+                            });
+                            sender_done
+                        };
+                        ranks[local].pc += 1;
+                        ranks[local].ready_time = sender_done;
+                        queue.push(sender_done, ev.rank, ranks[local].gen);
+                        break;
+                    }
+                    TraceOp::Recv { source, bytes, tag } => {
+                        match table.consume(source as u32, local, tag) {
+                            Some(arrival) => {
+                                let same_node = topology.same_node(source, local);
+                                let recv_cost = if same_node || source == local {
+                                    INTRA_RECV_FLAG_COST + self.params.software_recv_overhead
+                                } else {
+                                    nic.host_recv_overhead(bytes)
+                                        + self.params.software_recv_overhead
+                                };
+                                let done = now.max(arrival) + recv_cost;
+                                ranks[local].pc += 1;
+                                ranks[local].ready_time = done;
+                                queue.push(done, ev.rank, ranks[local].gen);
+                            }
+                            None => {
+                                ranks[local].state = RankState::BlockedOnRecv;
+                                ranks[local].ready_time = now;
+                                ranks[local].gen = ranks[local].gen.wrapping_add(1);
+                            }
+                        }
+                        break;
+                    }
+                    TraceOp::LocalBarrier => {
+                        barrier.arrived += 1;
+                        barrier.latest = barrier.latest.max(now);
+                        if barrier.arrived == ppn {
+                            let release = barrier.latest + self.params.barrier_cost(ppn);
+                            stats.barrier_episodes += 1;
+                            release_buf.clear();
+                            release_buf.append(&mut barrier.waiters);
+                            release_buf.push(ev.rank);
+                            barrier.arrived = 0;
+                            barrier.latest = 0.0;
+                            for &waiter in &release_buf {
+                                let w = waiter as usize;
+                                ranks[w].state = RankState::Runnable;
+                                ranks[w].pc += 1;
+                                ranks[w].ready_time = release;
+                                queue.push(release, waiter, ranks[w].gen);
+                            }
+                        } else {
+                            barrier.waiters.push(ev.rank);
+                            ranks[local].state = RankState::BlockedOnBarrier;
+                            ranks[local].ready_time = now;
+                            ranks[local].gen = ranks[local].gen.wrapping_add(1);
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+
+        let stuck: Vec<usize> = ranks
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.state != RankState::Finished)
+            .map(|(local, _)| local)
+            .collect();
+        if !stuck.is_empty() {
+            return Err(SimError::Deadlock { stuck_ranks: stuck });
+        }
+
+        // Project node 0 onto the world: integer counters scale exactly;
+        // the float totals are `N * x` where the full replay sums `N`
+        // bitwise-identical per-node values.
+        let n = nodes as f64;
+        stats.internode_messages *= nodes;
+        stats.intranode_messages *= nodes;
+        stats.internode_bytes *= nodes;
+        stats.barrier_episodes *= nodes;
+        stats.compute_total *= n;
+        stats.nic_busy_total = nic_busy0 * n;
+        stats.nic_busy_max = nic_busy0;
+
+        let makespan = ranks.iter().map(|r| r.finish_time).fold(0.0, Nanos::max);
+        let rank_finish = if options.record_rank_finish {
+            (0..topology.world_size())
+                .map(|rank| ranks[topology.local_rank_of(rank)].finish_time)
+                .collect()
+        } else {
+            Vec::new()
+        };
         Ok(SimOutcome {
             makespan,
             rank_finish,
@@ -787,5 +1633,442 @@ mod tests {
             .run(&trace)
             .unwrap();
         assert!(taxed.makespan > base.makespan + 4.0 * 500.0 - 1.0);
+    }
+
+    // --- calendar queue ---------------------------------------------------
+
+    #[test]
+    fn calendar_queue_pops_in_time_then_seq_order() {
+        let mut queue = CalendarQueue::new(10.0, 0);
+        // Deliberately scrambled insertion across buckets, plus exact ties.
+        for (time, rank) in [
+            (55.0, 0u32),
+            (5.0, 1),
+            (55.0, 2),
+            (5000.0, 3),
+            (0.0, 4),
+            (55.0, 5),
+        ] {
+            queue.push(time, rank, 0);
+        }
+        let order: Vec<(Nanos, u32)> = std::iter::from_fn(|| queue.pop())
+            .map(|e| (e.time, e.rank))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (0.0, 4),
+                (5.0, 1),
+                (55.0, 0),
+                (55.0, 2),
+                (55.0, 5),
+                (5000.0, 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn calendar_queue_routes_far_future_events_through_overflow() {
+        let mut queue = CalendarQueue::new(1.0, 0);
+        // Window is CALENDAR_BUCKETS ns wide; these are far beyond it.
+        let horizon = CALENDAR_BUCKETS as f64;
+        queue.push(horizon * 1e6, 0, 0);
+        queue.push(3.0, 1, 0);
+        queue.push(horizon * 2e6, 2, 0);
+        assert_eq!(queue.overflow.len(), 2);
+        assert_eq!(queue.pop().map(|e| e.rank), Some(1));
+        // Popping past the near event must jump-rebase into the overflow.
+        assert_eq!(queue.pop().map(|e| e.rank), Some(0));
+        assert_eq!(queue.pop().map(|e| e.rank), Some(2));
+        assert_eq!(queue.pop().map(|e| e.rank), None);
+    }
+
+    #[test]
+    fn calendar_queue_reinsert_preserves_tie_order() {
+        let mut queue = CalendarQueue::new(10.0, 0);
+        queue.push(7.0, 0, 0);
+        queue.push(7.0, 1, 0);
+        let first = queue.pop().unwrap();
+        assert_eq!(first.rank, 0);
+        // Re-inserting the earlier-seq event puts it back ahead of the tie.
+        queue.reinsert(first);
+        assert_eq!(queue.pop().map(|e| e.rank), Some(0));
+        assert_eq!(queue.pop().map(|e| e.rank), Some(1));
+    }
+
+    #[test]
+    fn far_future_delay_routes_through_overflow_and_matches_reference() {
+        // A delay of a full second dwarfs the ~84 us calendar window, so
+        // the resumption event must take the overflow path; the reference
+        // engine pins the expected timing.
+        let mut trace = Trace::empty(topo(2, 1));
+        trace.push(0, TraceOp::Delay { nanos: 1e9 });
+        trace.push(
+            0,
+            TraceOp::Send {
+                dest: 1,
+                bytes: 64,
+                tag: 0,
+            },
+        );
+        trace.push(
+            1,
+            TraceOp::Recv {
+                source: 0,
+                bytes: 64,
+                tag: 0,
+            },
+        );
+        let engine = engine();
+        let calendar = engine.run(&trace).unwrap();
+        let reference = engine.run_reference(&trace).unwrap();
+        assert!(calendar.makespan > 1e9);
+        assert_eq!(calendar.makespan, reference.makespan);
+        assert_eq!(calendar.rank_finish, reference.rank_finish);
+    }
+
+    // --- determinism and generations --------------------------------------
+
+    fn node_ring_trace(nodes: usize, ppn: usize) -> Trace {
+        let topology = topo(nodes, ppn);
+        let mut trace = Trace::empty(topology);
+        for rank in 0..topology.world_size() {
+            let node = topology.node_of(rank);
+            let local = topology.local_rank_of(rank);
+            let next = topology.rank_of((node + 1) % nodes, local);
+            let prev = topology.rank_of((node + nodes - 1) % nodes, local);
+            trace.push(
+                rank,
+                TraceOp::Send {
+                    dest: next,
+                    bytes: 256,
+                    tag: 11,
+                },
+            );
+            trace.push(
+                rank,
+                TraceOp::Recv {
+                    source: prev,
+                    bytes: 256,
+                    tag: 11,
+                },
+            );
+            trace.push(rank, TraceOp::LocalBarrier);
+        }
+        trace
+    }
+
+    #[test]
+    fn determinism_holds_at_paper_scale_topology() {
+        // 1024 x 18 = 18432 ranks: large enough that the calendar ring
+        // wraps and bucket sorting handles thousands of exact time ties.
+        let trace = node_ring_trace(1024, 18);
+        let a = engine().run(&trace).unwrap();
+        let b = engine().run(&trace).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.stats.internode_messages, 18432);
+    }
+
+    #[test]
+    fn deadlock_after_partial_progress_reports_exact_stuck_set() {
+        // Ranks exchange a healthy round first (so generations have been
+        // bumped by real blocking) and then deadlock; the stuck list must
+        // name exactly the circularly-waiting ranks, same as the seed
+        // engine.
+        let mut trace = Trace::empty(topo(2, 2));
+        for (a, b) in [(0usize, 2usize), (1, 3)] {
+            trace.push(
+                a,
+                TraceOp::Send {
+                    dest: b,
+                    bytes: 32,
+                    tag: 1,
+                },
+            );
+            trace.push(
+                b,
+                TraceOp::Recv {
+                    source: a,
+                    bytes: 32,
+                    tag: 1,
+                },
+            );
+        }
+        // Now ranks 0 and 2 wait on each other in a cycle; 1 and 3 finish.
+        trace.push(
+            0,
+            TraceOp::Recv {
+                source: 2,
+                bytes: 8,
+                tag: 2,
+            },
+        );
+        trace.push(
+            0,
+            TraceOp::Send {
+                dest: 2,
+                bytes: 8,
+                tag: 2,
+            },
+        );
+        trace.push(
+            2,
+            TraceOp::Recv {
+                source: 0,
+                bytes: 8,
+                tag: 2,
+            },
+        );
+        trace.push(
+            2,
+            TraceOp::Send {
+                dest: 0,
+                bytes: 8,
+                tag: 2,
+            },
+        );
+        let engine = engine();
+        let calendar = engine.run(&trace).unwrap_err();
+        let reference = engine.run_reference(&trace).unwrap_err();
+        assert_eq!(calendar, reference);
+        assert!(matches!(
+            calendar,
+            SimError::Deadlock { ref stuck_ranks } if *stuck_ranks == vec![0, 2]
+        ));
+    }
+
+    #[test]
+    fn calendar_engine_matches_reference_on_mixed_trace() {
+        // A trace exercising every op kind, asymmetric across ranks so no
+        // folding symmetry hides scheduling differences.
+        let topology = topo(3, 2);
+        let mut trace = Trace::empty(topology);
+        for rank in 0..6usize {
+            trace.push(
+                rank,
+                TraceOp::Delay {
+                    nanos: 13.25 * (rank as f64 + 1.0),
+                },
+            );
+            trace.push(rank, TraceOp::Compute { nanos: 40.5 });
+            trace.push(rank, TraceOp::Reduce { bytes: 512 });
+            let peer = (rank + 2) % 6;
+            trace.push(
+                rank,
+                TraceOp::Send {
+                    dest: peer,
+                    bytes: 100 + 37 * rank,
+                    tag: 5,
+                },
+            );
+            let from = (rank + 4) % 6;
+            trace.push(
+                rank,
+                TraceOp::Recv {
+                    source: from,
+                    bytes: 100 + 37 * from,
+                    tag: 5,
+                },
+            );
+            trace.push(
+                rank,
+                TraceOp::CopyIntra {
+                    bytes: 2048,
+                    mechanism: None,
+                    first_use: true,
+                },
+            );
+            trace.push(rank, TraceOp::LocalBarrier);
+        }
+        let engine = engine();
+        let calendar = engine.run(&trace).unwrap();
+        let reference = engine.run_reference(&trace).unwrap();
+        assert_eq!(calendar.makespan, reference.makespan);
+        assert_eq!(calendar.rank_finish, reference.rank_finish);
+        assert_eq!(
+            calendar.stats.internode_messages,
+            reference.stats.internode_messages
+        );
+        assert_eq!(
+            calendar.stats.intranode_messages,
+            reference.stats.intranode_messages
+        );
+        assert_eq!(
+            calendar.stats.barrier_episodes,
+            reference.stats.barrier_episodes
+        );
+    }
+
+    // --- rank-finish recording --------------------------------------------
+
+    #[test]
+    fn summary_only_runs_skip_rank_finish_but_keep_the_rest() {
+        let trace = node_ring_trace(3, 2);
+        let engine = engine();
+        let full = engine.run(&trace).unwrap();
+        let summary = engine
+            .run_with(
+                &trace,
+                RunOptions {
+                    record_rank_finish: false,
+                },
+            )
+            .unwrap();
+        assert!(summary.rank_finish.is_empty());
+        assert_eq!(full.rank_finish.len(), 6);
+        assert_eq!(summary.makespan, full.makespan);
+        assert_eq!(summary.stats, full.stats);
+    }
+
+    // --- folded replay ----------------------------------------------------
+
+    #[test]
+    fn folded_replay_matches_full_replay_on_a_node_ring() {
+        for (nodes, ppn) in [(2usize, 1usize), (4, 3), (5, 2), (8, 4)] {
+            let trace = node_ring_trace(nodes, ppn);
+            let engine = engine();
+            let full = engine.run(&trace).unwrap();
+            let folded = engine.run_folded(&trace).unwrap();
+            assert_eq!(folded.makespan, full.makespan, "{nodes}x{ppn}");
+            assert_eq!(folded.rank_finish, full.rank_finish, "{nodes}x{ppn}");
+            assert_eq!(
+                folded.stats.internode_messages,
+                full.stats.internode_messages
+            );
+            assert_eq!(
+                folded.stats.intranode_messages,
+                full.stats.intranode_messages
+            );
+            assert_eq!(folded.stats.internode_bytes, full.stats.internode_bytes);
+            assert_eq!(folded.stats.barrier_episodes, full.stats.barrier_episodes);
+            assert!((folded.stats.nic_busy_total - full.stats.nic_busy_total).abs() < 1e-6);
+            assert!((folded.stats.nic_busy_max - full.stats.nic_busy_max).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn folded_replay_matches_full_replay_under_xor_symmetry() {
+        // Recursive doubling over nodes at every local rank.
+        let nodes = 8usize;
+        let ppn = 2usize;
+        let topology = topo(nodes, ppn);
+        let mut trace = Trace::empty(topology);
+        let mut mask = 1usize;
+        while mask < nodes {
+            for rank in 0..topology.world_size() {
+                let node = topology.node_of(rank);
+                let local = topology.local_rank_of(rank);
+                let peer = topology.rank_of(node ^ mask, local);
+                trace.push(
+                    rank,
+                    TraceOp::Send {
+                        dest: peer,
+                        bytes: 96,
+                        tag: mask as u64,
+                    },
+                );
+                trace.push(
+                    rank,
+                    TraceOp::Recv {
+                        source: peer,
+                        bytes: 96,
+                        tag: mask as u64,
+                    },
+                );
+            }
+            mask <<= 1;
+        }
+        let engine = engine();
+        let full = engine.run(&trace).unwrap();
+        let folded = engine.run_folded(&trace).unwrap();
+        assert_eq!(folded.makespan, full.makespan);
+        assert_eq!(folded.rank_finish, full.rank_finish);
+    }
+
+    #[test]
+    fn unfoldable_traces_fall_back_to_full_replay() {
+        // Rooted gather: node 0 is special, so no folding; run_folded must
+        // agree with run exactly (it runs the same code path).
+        let topology = topo(3, 2);
+        let mut trace = Trace::empty(topology);
+        for rank in 1..topology.world_size() {
+            trace.push(
+                rank,
+                TraceOp::Send {
+                    dest: 0,
+                    bytes: 64,
+                    tag: rank as u64,
+                },
+            );
+            trace.push(
+                0,
+                TraceOp::Recv {
+                    source: rank,
+                    bytes: 64,
+                    tag: rank as u64,
+                },
+            );
+        }
+        let engine = engine();
+        assert_eq!(
+            engine.run_folded(&trace).unwrap(),
+            engine.run(&trace).unwrap()
+        );
+    }
+
+    #[test]
+    fn folded_deadlock_falls_back_to_authoritative_stuck_list() {
+        // A symmetric trace that deadlocks: every rank receives before any
+        // send is posted.  The folded replay detects the deadlock but only
+        // sees node 0, so run_folded must re-run the full world and report
+        // every stuck rank.
+        let nodes = 3usize;
+        let topology = topo(nodes, 1);
+        let mut trace = Trace::empty(topology);
+        for rank in 0..nodes {
+            let prev = (rank + nodes - 1) % nodes;
+            let next = (rank + 1) % nodes;
+            trace.push(
+                rank,
+                TraceOp::Recv {
+                    source: prev,
+                    bytes: 8,
+                    tag: 0,
+                },
+            );
+            trace.push(
+                rank,
+                TraceOp::Send {
+                    dest: next,
+                    bytes: 8,
+                    tag: 0,
+                },
+            );
+        }
+        let err = engine().run_folded(&trace).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Deadlock { ref stuck_ranks } if *stuck_ranks == vec![0, 1, 2]
+        ));
+    }
+
+    #[test]
+    fn folded_summary_runs_scale_to_large_worlds() {
+        // 512 nodes x 18 ranks = 9216 ranks replayed as 18.
+        let nodes = 512usize;
+        let ppn = 18usize;
+        let trace = node_ring_trace(nodes, ppn);
+        let folded = FoldedTrace::detect(&trace).expect("ring folds");
+        let outcome = engine()
+            .run_folded_trace(
+                &folded,
+                RunOptions {
+                    record_rank_finish: false,
+                },
+            )
+            .unwrap();
+        assert!(outcome.rank_finish.is_empty());
+        assert_eq!(outcome.stats.internode_messages, nodes * ppn);
+        assert!(outcome.makespan > 0.0);
     }
 }

@@ -22,15 +22,25 @@
 //!
 //! The simulator is deterministic: identical traces and parameters produce
 //! identical reports.
+//!
+//! Two scheduler implementations coexist: the calendar-queue engine in
+//! [`engine`] (the default) and the seed `BinaryHeap` engine retained as a
+//! differential baseline behind [`engine::SimEngine::run_reference`].  For
+//! node-symmetric schedules, [`fold`] partitions ranks into equivalence
+//! classes and [`engine::SimEngine::run_folded`] replays one representative
+//! per class, which is what makes million-rank projections tractable.
 
 pub mod cluster;
 pub mod engine;
+pub mod fold;
 pub mod network;
 pub mod params;
+mod reference;
 pub mod trace;
 
 pub use cluster::ClusterSpec;
-pub use engine::SimEngine;
-pub use network::{simulate, SimulationReport};
+pub use engine::{RunOptions, SimEngine};
+pub use fold::{FoldGroup, FoldReport, FoldedTrace};
+pub use network::{simulate, simulate_folded, SimulationReport};
 pub use params::SimParams;
-pub use trace::{RankTrace, Trace, TraceOp};
+pub use trace::{OpVec, RankTrace, Trace, TraceOp};

@@ -3,7 +3,7 @@
 use pip_transport::cost::Nanos;
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{SimEngine, SimError, SimOutcome};
+use crate::engine::{RunOptions, SimEngine, SimError, SimOutcome};
 use crate::params::SimParams;
 use crate::trace::Trace;
 
@@ -62,6 +62,12 @@ impl SimulationReport {
     }
 }
 
+/// Recording options for summary reports: the report only consumes the
+/// makespan and aggregate statistics, so per-rank finish times are skipped.
+const SUMMARY_OPTIONS: RunOptions = RunOptions {
+    record_rank_finish: false,
+};
+
 /// Simulate `trace` under `params` and label the report.
 pub fn simulate(
     label: impl Into<String>,
@@ -69,7 +75,25 @@ pub fn simulate(
     params: &SimParams,
 ) -> Result<SimulationReport, SimError> {
     let engine = SimEngine::new(*params);
-    let outcome = engine.run(trace)?;
+    let outcome = engine.run_with(trace, SUMMARY_OPTIONS)?;
+    Ok(SimulationReport::from_outcome(
+        label,
+        trace.topology.world_size(),
+        &outcome,
+    ))
+}
+
+/// Like [`simulate`], but fold the trace by symmetry when possible —
+/// node-symmetric schedules replay one node instead of the whole world.
+/// Falls back to the full replay when no symmetry closes, so the report is
+/// always produced.
+pub fn simulate_folded(
+    label: impl Into<String>,
+    trace: &Trace,
+    params: &SimParams,
+) -> Result<SimulationReport, SimError> {
+    let engine = SimEngine::new(*params);
+    let outcome = engine.run_folded_with(trace, SUMMARY_OPTIONS)?;
     Ok(SimulationReport::from_outcome(
         label,
         trace.topology.world_size(),
@@ -148,6 +172,42 @@ mod tests {
         let ratio = slow.scaled_to(&fast);
         assert!(ratio > 2.0);
         assert!((slow.makespan_ns / fast.makespan_ns - ratio).abs() < 1e-12);
+    }
+
+    #[test]
+    fn folded_simulation_reports_match_full_simulation() {
+        // A node-symmetric ring at 6x2: simulate_folded must produce the
+        // same report as simulate.
+        let topology = Topology::new(6, 2);
+        let mut trace = Trace::empty(topology);
+        for rank in 0..topology.world_size() {
+            let node = topology.node_of(rank);
+            let local = topology.local_rank_of(rank);
+            let next = topology.rank_of((node + 1) % 6, local);
+            let prev = topology.rank_of((node + 5) % 6, local);
+            trace.push(
+                rank,
+                TraceOp::Send {
+                    dest: next,
+                    bytes: 512,
+                    tag: 0,
+                },
+            );
+            trace.push(
+                rank,
+                TraceOp::Recv {
+                    source: prev,
+                    bytes: 512,
+                    tag: 0,
+                },
+            );
+        }
+        let full = simulate("ring", &trace, &SimParams::default()).unwrap();
+        let folded = simulate_folded("ring", &trace, &SimParams::default()).unwrap();
+        assert_eq!(folded.makespan_ns, full.makespan_ns);
+        assert_eq!(folded.internode_messages, full.internode_messages);
+        assert_eq!(folded.internode_bytes, full.internode_bytes);
+        assert!((folded.nic_utilization - full.nic_utilization).abs() < 1e-9);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! barriers the algorithm would perform — with payload *sizes* but not
 //! payload bytes.
 
+use std::sync::{Arc, OnceLock};
+
 use pip_runtime::Topology;
 use pip_transport::cost::{IntranodeMechanism, Nanos};
 use serde::{Deserialize, Serialize};
@@ -66,11 +68,83 @@ impl TraceOp {
     }
 }
 
+/// Copy-on-write storage for one rank's operation list.
+///
+/// Symmetric schedules lower to *identical* op vectors for whole classes of
+/// ranks (every non-leader of a hierarchical collective, for instance), and a
+/// 10^5-rank trace must not materialize 10^5 copies of the same vector.
+/// `OpVec` therefore holds the ops behind an [`Arc`]: cloning a shared vector
+/// is a reference-count bump, and the first mutation of a shared vector
+/// transparently un-shares it (`Arc::make_mut`), so the `Vec`-style mutating
+/// API (`push`, `insert`) keeps working for trace-building callers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OpVec(Arc<Vec<TraceOp>>);
+
+impl OpVec {
+    /// An empty op list.  All empty `OpVec`s share one allocation, so
+    /// `Trace::empty` at 10^6 ranks performs no per-rank op allocations.
+    pub fn new() -> Self {
+        static EMPTY: OnceLock<Arc<Vec<TraceOp>>> = OnceLock::new();
+        Self(EMPTY.get_or_init(|| Arc::new(Vec::new())).clone())
+    }
+
+    /// Append an op, un-sharing the storage first if it is aliased.
+    pub fn push(&mut self, op: TraceOp) {
+        Arc::make_mut(&mut self.0).push(op);
+    }
+
+    /// Insert an op at `index`, un-sharing the storage first if aliased.
+    pub fn insert(&mut self, index: usize, op: TraceOp) {
+        Arc::make_mut(&mut self.0).insert(index, op);
+    }
+
+    /// Whether `self` and `other` alias the same underlying allocation.
+    pub fn shares_storage_with(&self, other: &OpVec) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Default for OpVec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl From<Vec<TraceOp>> for OpVec {
+    fn from(ops: Vec<TraceOp>) -> Self {
+        Self(Arc::new(ops))
+    }
+}
+
+impl std::ops::Deref for OpVec {
+    type Target = [TraceOp];
+
+    fn deref(&self) -> &[TraceOp] {
+        &self.0
+    }
+}
+
+impl PartialEq for OpVec {
+    fn eq(&self, other: &Self) -> bool {
+        // Aliased storage is equal without looking at the elements.
+        Arc::ptr_eq(&self.0, &other.0) || *self.0 == *other.0
+    }
+}
+
+impl<'a> IntoIterator for &'a OpVec {
+    type Item = &'a TraceOp;
+    type IntoIter = std::slice::Iter<'a, TraceOp>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
 /// The ordered operations of one rank.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct RankTrace {
     /// Operations in program order.
-    pub ops: Vec<TraceOp>,
+    pub ops: OpVec,
 }
 
 impl RankTrace {
@@ -204,6 +278,53 @@ impl Trace {
         self.ranks[rank].ops.push(op);
     }
 
+    /// Replace `rank`'s program wholesale.  Passing a clone of another rank's
+    /// [`OpVec`] shares its storage instead of copying it.
+    pub fn set_rank_ops(&mut self, rank: usize, ops: OpVec) {
+        self.ranks[rank].ops = ops;
+    }
+
+    /// Build a trace from per-rank op vectors, sharing storage between ranks
+    /// whose vectors are identical.  Lowering a symmetric plan through this
+    /// constructor stores each distinct program once, however many ranks
+    /// execute it.
+    pub fn from_rank_ops(topology: Topology, rank_ops: Vec<Vec<TraceOp>>) -> Self {
+        // Bucket by a cheap structural hash, then confirm with full equality
+        // before aliasing; collisions degrade to extra comparisons only.
+        use std::collections::HashMap;
+        let mut trace = Trace::empty(topology);
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (rank, ops) in rank_ops.into_iter().enumerate() {
+            let hash = hash_ops(&ops);
+            let candidates = buckets.entry(hash).or_default();
+            let shared = candidates
+                .iter()
+                .find(|&&prior| *trace.ranks[prior].ops == ops[..])
+                .map(|&prior| trace.ranks[prior].ops.clone());
+            match shared {
+                Some(alias) => trace.ranks[rank].ops = alias,
+                None => {
+                    trace.ranks[rank].ops = ops.into();
+                    candidates.push(rank);
+                }
+            }
+        }
+        trace
+    }
+
+    /// Number of distinct op-vector allocations behind this trace's ranks.
+    /// Equal to `world_size` for a fully asymmetric trace; much smaller for
+    /// symmetric schedules built via [`Trace::from_rank_ops`].
+    pub fn distinct_rank_programs(&self) -> usize {
+        let mut firsts: Vec<&RankTrace> = Vec::new();
+        for rt in &self.ranks {
+            if !firsts.iter().any(|f| f.ops.shares_storage_with(&rt.ops)) {
+                firsts.push(rt);
+            }
+        }
+        firsts.len()
+    }
+
     /// Total messages sent across all ranks.
     pub fn total_messages(&self) -> usize {
         self.ranks.iter().map(RankTrace::send_count).sum()
@@ -240,9 +361,14 @@ impl Trace {
                 actual: self.ranks.len(),
             });
         }
-        use std::collections::HashMap;
-        let mut sent: HashMap<(usize, usize, u64), usize> = HashMap::new();
-        let mut received: HashMap<(usize, usize, u64), usize> = HashMap::new();
+        // Single pass over the ops: bounds-check peers, collect message
+        // endpoints, and count barriers.  Matching is checked by sorting the
+        // two endpoint lists and walking them in lockstep — no hashing, and
+        // the first mismatch reported is the smallest `(source, dest, tag)`
+        // key, exactly as before.
+        let mut sent: Vec<(usize, usize, u64)> = Vec::new();
+        let mut received: Vec<(usize, usize, u64)> = Vec::new();
+        let mut barrier_counts: Vec<usize> = vec![0; world];
         for (rank, trace) in self.ranks.iter().enumerate() {
             for op in &trace.ops {
                 match *op {
@@ -253,7 +379,7 @@ impl Trace {
                                 op_rank: dest,
                             });
                         }
-                        *sent.entry((rank, dest, tag)).or_default() += 1;
+                        sent.push((rank, dest, tag));
                     }
                     TraceOp::Recv { source, tag, .. } => {
                         if source >= world {
@@ -262,18 +388,31 @@ impl Trace {
                                 op_rank: source,
                             });
                         }
-                        *received.entry((source, rank, tag)).or_default() += 1;
+                        received.push((source, rank, tag));
                     }
+                    TraceOp::LocalBarrier => barrier_counts[rank] += 1,
                     _ => {}
                 }
             }
         }
-        let mut keys: Vec<_> = sent.keys().chain(received.keys()).copied().collect();
-        keys.sort_unstable();
-        keys.dedup();
-        for key in keys {
-            let s = sent.get(&key).copied().unwrap_or(0);
-            let r = received.get(&key).copied().unwrap_or(0);
+        sent.sort_unstable();
+        received.sort_unstable();
+        let (mut i, mut j) = (0, 0);
+        while i < sent.len() || j < received.len() {
+            let key = match (sent.get(i), received.get(j)) {
+                (Some(&s), Some(&r)) => s.min(r),
+                (Some(&s), None) => s,
+                (None, Some(&r)) => r,
+                (None, None) => break,
+            };
+            let (s0, r0) = (i, j);
+            while sent.get(i) == Some(&key) {
+                i += 1;
+            }
+            while received.get(j) == Some(&key) {
+                j += 1;
+            }
+            let (s, r) = (i - s0, j - r0);
             if s != r {
                 return Err(TraceError::UnmatchedMessages {
                     source: key.0,
@@ -285,14 +424,9 @@ impl Trace {
             }
         }
         for node in 0..self.topology.nodes() {
-            let counts: Vec<usize> = self
-                .topology
-                .ranks_on_node(node)
-                .map(|rank| self.ranks[rank].barrier_count())
-                .collect();
-            let min = counts.iter().copied().min().unwrap_or(0);
-            let max = counts.iter().copied().max().unwrap_or(0);
-            if min != max {
+            let counts = self.topology.ranks_on_node(node).map(|r| barrier_counts[r]);
+            let (min, max) = counts.fold((usize::MAX, 0), |(lo, hi), c| (lo.min(c), hi.max(c)));
+            if min != usize::MAX && min != max {
                 return Err(TraceError::BarrierMismatch {
                     node,
                     min_count: min,
@@ -302,6 +436,57 @@ impl Trace {
         }
         Ok(())
     }
+}
+
+/// FNV-1a over a structural encoding of the ops.  `TraceOp` holds floats, so
+/// it cannot derive `Hash`; hashing the bit patterns is fine here because the
+/// hash only pre-filters candidates for an exact `PartialEq` check.
+fn hash_ops(ops: &[TraceOp]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |word: u64| {
+        hash ^= word;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for op in ops {
+        match *op {
+            TraceOp::Send { dest, bytes, tag } => {
+                mix(1);
+                mix(dest as u64);
+                mix(bytes as u64);
+                mix(tag);
+            }
+            TraceOp::Recv { source, bytes, tag } => {
+                mix(2);
+                mix(source as u64);
+                mix(bytes as u64);
+                mix(tag);
+            }
+            TraceOp::CopyIntra {
+                bytes,
+                mechanism,
+                first_use,
+            } => {
+                mix(3);
+                mix(bytes as u64);
+                mix(mechanism.map(|m| m as u64 + 1).unwrap_or(0));
+                mix(first_use as u64);
+            }
+            TraceOp::Reduce { bytes } => {
+                mix(4);
+                mix(bytes as u64);
+            }
+            TraceOp::Delay { nanos } => {
+                mix(5);
+                mix(nanos.to_bits());
+            }
+            TraceOp::Compute { nanos } => {
+                mix(6);
+                mix(nanos.to_bits());
+            }
+            TraceOp::LocalBarrier => mix(7),
+        }
+    }
+    hash
 }
 
 #[cfg(test)]
@@ -452,6 +637,64 @@ mod tests {
         assert_eq!(rt.recv_count(), 1);
         assert_eq!(rt.bytes_sent(), 30);
         assert_eq!(rt.barrier_count(), 1);
+    }
+
+    #[test]
+    fn from_rank_ops_shares_identical_programs() {
+        let topo = Topology::new(4, 2);
+        let leader = vec![
+            TraceOp::Send {
+                dest: 2,
+                bytes: 64,
+                tag: 0,
+            },
+            TraceOp::LocalBarrier,
+        ];
+        let follower = vec![
+            TraceOp::CopyIntra {
+                bytes: 64,
+                mechanism: None,
+                first_use: false,
+            },
+            TraceOp::LocalBarrier,
+        ];
+        let mut rank_ops: Vec<Vec<TraceOp>> = Vec::new();
+        for rank in 0..topo.world_size() {
+            if topo.is_node_root(rank) {
+                let mut ops = leader.clone();
+                // Leaders differ per node (distinct peers): not shareable.
+                if let TraceOp::Send { dest, .. } = &mut ops[0] {
+                    *dest = (rank + 2) % topo.world_size();
+                }
+                rank_ops.push(ops);
+            } else {
+                rank_ops.push(follower.clone());
+            }
+        }
+        let trace = Trace::from_rank_ops(topo, rank_ops);
+        // 4 distinct leader programs + 1 shared follower program.
+        assert_eq!(trace.distinct_rank_programs(), 5);
+        assert!(trace.ranks[1].ops.shares_storage_with(&trace.ranks[3].ops));
+        assert!(!trace.ranks[0].ops.shares_storage_with(&trace.ranks[2].ops));
+    }
+
+    #[test]
+    fn mutating_a_shared_op_vector_unshares_it() {
+        let shared: OpVec = vec![TraceOp::Reduce { bytes: 8 }].into();
+        let mut a = shared.clone();
+        assert!(a.shares_storage_with(&shared));
+        a.push(TraceOp::LocalBarrier);
+        assert!(!a.shares_storage_with(&shared));
+        assert_eq!(shared.len(), 1);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn empty_op_vectors_share_one_allocation() {
+        let a = OpVec::new();
+        let b = OpVec::default();
+        assert!(a.shares_storage_with(&b));
+        assert!(a.is_empty());
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Differential pin between the three replay paths.
+//!
+//! The calendar-queue engine replaced the seed `BinaryHeap` scheduler; both
+//! implement the identical cost model, so on any valid trace their outcomes
+//! must agree — the makespan and per-rank finish times bitwise, the float
+//! accumulators up to summation order.  The folded replay must in turn
+//! agree with the full replay whether or not the trace actually folds
+//! (unfoldable traces fall back to the full path).
+//!
+//! Traces are generated randomly: shifted all-to-one-peer exchange rounds
+//! with per-rank local-op preludes (delays, compute, reductions, copies),
+//! optional barrier rounds, and self-sends when the shift is zero.
+
+use pip_netsim::{RunOptions, SimEngine, SimParams, Trace, TraceOp};
+use pip_runtime::Topology;
+use proptest::prelude::*;
+
+/// Small deterministic generator so a failing case is reproducible from the
+/// printed seed alone.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        // splitmix64 step.
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// A random valid trace: every send is matched by a receive, barriers are
+/// collective per node, and local ops have irregular (non-tying) costs.
+fn random_trace(nodes: usize, ppn: usize, rounds: usize, seed: u64) -> Trace {
+    let topology = Topology::new(nodes, ppn);
+    let world = topology.world_size();
+    let mut rng = Lcg(seed | 1);
+    let mut trace = Trace::empty(topology);
+    for round in 0..rounds {
+        // Per-rank local preludes with irregular costs.
+        for rank in 0..world {
+            for _ in 0..rng.below(3) {
+                let op = match rng.below(4) {
+                    0 => TraceOp::Delay {
+                        nanos: 0.27 * rng.below(10_000) as f64,
+                    },
+                    1 => TraceOp::Compute {
+                        nanos: 0.31 * rng.below(10_000) as f64,
+                    },
+                    2 => TraceOp::Reduce {
+                        bytes: 1 + rng.below(65_536) as usize,
+                    },
+                    _ => TraceOp::CopyIntra {
+                        bytes: 1 + rng.below(65_536) as usize,
+                        mechanism: None,
+                        first_use: rng.below(2) == 0,
+                    },
+                };
+                trace.push(rank, op);
+            }
+        }
+        // A shifted exchange: rank -> (rank + d) % world, matched receives.
+        let shift = rng.below(world as u64) as usize;
+        let bytes = 1 + rng.below(5_000) as usize;
+        let tag = round as u64;
+        for rank in 0..world {
+            trace.push(
+                rank,
+                TraceOp::Send {
+                    dest: (rank + shift) % world,
+                    bytes,
+                    tag,
+                },
+            );
+        }
+        for rank in 0..world {
+            trace.push(
+                rank,
+                TraceOp::Recv {
+                    source: (rank + world - shift) % world,
+                    bytes,
+                    tag,
+                },
+            );
+        }
+        if rng.below(4) == 0 {
+            for rank in 0..world {
+                trace.push(rank, TraceOp::LocalBarrier);
+            }
+        }
+    }
+    trace
+}
+
+fn assert_outcomes_agree(
+    label: &str,
+    a: &pip_netsim::engine::SimOutcome,
+    b: &pip_netsim::engine::SimOutcome,
+) {
+    assert_eq!(a.makespan, b.makespan, "{label}: makespan");
+    assert_eq!(a.rank_finish, b.rank_finish, "{label}: rank_finish");
+    assert_eq!(
+        a.stats.internode_messages, b.stats.internode_messages,
+        "{label}: internode_messages"
+    );
+    assert_eq!(
+        a.stats.intranode_messages, b.stats.intranode_messages,
+        "{label}: intranode_messages"
+    );
+    assert_eq!(
+        a.stats.internode_bytes, b.stats.internode_bytes,
+        "{label}: internode_bytes"
+    );
+    assert_eq!(
+        a.stats.barrier_episodes, b.stats.barrier_episodes,
+        "{label}: barrier_episodes"
+    );
+    // Float accumulators may differ by summation order only.
+    let close = |x: f64, y: f64| (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0);
+    assert!(
+        close(a.stats.compute_total, b.stats.compute_total),
+        "{label}: compute_total {} vs {}",
+        a.stats.compute_total,
+        b.stats.compute_total
+    );
+    assert!(
+        close(a.stats.nic_busy_total, b.stats.nic_busy_total),
+        "{label}: nic_busy_total {} vs {}",
+        a.stats.nic_busy_total,
+        b.stats.nic_busy_total
+    );
+    assert!(
+        close(a.stats.nic_busy_max, b.stats.nic_busy_max),
+        "{label}: nic_busy_max {} vs {}",
+        a.stats.nic_busy_max,
+        b.stats.nic_busy_max
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn calendar_engine_matches_seed_engine_on_random_traces(
+        nodes in 1usize..6,
+        ppn in 1usize..5,
+        rounds in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let trace = random_trace(nodes, ppn, rounds, seed);
+        let engine = SimEngine::new(SimParams::default());
+        let calendar = engine.run(&trace).expect("calendar replay");
+        let reference = engine.run_reference(&trace).expect("reference replay");
+        assert_outcomes_agree(
+            &format!("{nodes}x{ppn} rounds={rounds} seed={seed}"),
+            &calendar,
+            &reference,
+        );
+    }
+
+    #[test]
+    fn folded_replay_matches_full_replay_on_random_traces(
+        nodes in 1usize..6,
+        ppn in 1usize..5,
+        rounds in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let trace = random_trace(nodes, ppn, rounds, seed);
+        let engine = SimEngine::new(SimParams::default());
+        let full = engine.run(&trace).expect("full replay");
+        let folded = engine.run_folded(&trace).expect("folded replay");
+        assert_outcomes_agree(
+            &format!("{nodes}x{ppn} rounds={rounds} seed={seed}"),
+            &folded,
+            &full,
+        );
+    }
+
+    #[test]
+    fn taxed_library_parameters_preserve_the_differential(
+        nodes in 1usize..5,
+        ppn in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        // Software overhead and cold buffers move every timestamp; the
+        // engines must still agree exactly.
+        let trace = random_trace(nodes, ppn, 3, seed);
+        let params = SimParams::default()
+            .with_software_overhead(137.0, 93.0)
+            .with_cold_buffers();
+        let engine = SimEngine::new(params);
+        let calendar = engine.run(&trace).expect("calendar replay");
+        let reference = engine.run_reference(&trace).expect("reference replay");
+        assert_outcomes_agree(
+            &format!("taxed {nodes}x{ppn} seed={seed}"),
+            &calendar,
+            &reference,
+        );
+    }
+}
+
+#[test]
+fn summary_mode_matches_recorded_mode_on_random_traces() {
+    for seed in 0..8u64 {
+        let trace = random_trace(3, 3, 3, seed);
+        let engine = SimEngine::new(SimParams::default());
+        let recorded = engine.run(&trace).unwrap();
+        let summary = engine
+            .run_with(
+                &trace,
+                RunOptions {
+                    record_rank_finish: false,
+                },
+            )
+            .unwrap();
+        assert!(summary.rank_finish.is_empty());
+        assert_eq!(summary.makespan, recorded.makespan);
+        assert_eq!(summary.stats, recorded.stats);
+    }
+}

@@ -236,6 +236,96 @@ fn exec_and_schedule_fidelity_agree_on_the_schedule() {
     }
 }
 
+/// The folded replay is pinned against the full replay on every collective
+/// × library × topology of the lowering grid: identical makespans, per-rank
+/// finish times and statistics whether or not the schedule actually folds
+/// (unfoldable schedules take the fallback path inside `run_folded`).  The
+/// plan-level symmetry analysis and the probe-based folded compilation must
+/// also agree with each other and with the full lowering.
+#[test]
+fn folded_replay_matches_full_replay_for_every_collective_and_library() {
+    use pip_mcoll::collectives::plan::symmetry::{folded_trace, PlanSymmetry};
+    use pip_mcoll::model::plan::compile_folded;
+    use pip_mcoll::netsim::{SimEngine, SimParams};
+
+    let engine = SimEngine::new(SimParams::default());
+    let mut folded_cases = 0usize;
+    for library in Library::ALL {
+        for (nodes, ppn) in [(2, 3), (3, 3), (4, 3), (5, 2), (8, 2)] {
+            let topo = Topology::new(nodes, ppn);
+            let profile = library.profile();
+            let bytes = 64;
+            let root = topo.world_size() - 1;
+            let cases = [
+                shape(CollectiveKind::Allgather, bytes, 0),
+                shape(CollectiveKind::Scatter, bytes, root),
+                shape(CollectiveKind::Bcast, bytes, root),
+                shape(CollectiveKind::Gather, bytes, root),
+                shape(CollectiveKind::Allreduce, bytes, 0),
+                shape(CollectiveKind::Alltoall, bytes, 0),
+                shape(CollectiveKind::Barrier, 0, 0),
+            ];
+            for case in cases {
+                let ctx = format!("{} {:?} on {nodes}x{ppn}", library.name(), case.kind);
+                let plan = compile_cluster(&profile, topo, &case, Fidelity::Schedule);
+                let trace = plan.to_trace(1);
+
+                // Replay differential: folded == full, bit for bit where
+                // the quantities are order-independent.
+                let full = engine
+                    .run(&trace)
+                    .unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+                let folded = engine
+                    .run_folded(&trace)
+                    .unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+                assert_eq!(folded.makespan, full.makespan, "{ctx}: makespan");
+                assert_eq!(folded.rank_finish, full.rank_finish, "{ctx}: rank_finish");
+                assert_eq!(
+                    folded.stats.internode_messages, full.stats.internode_messages,
+                    "{ctx}: internode_messages"
+                );
+                assert_eq!(
+                    folded.stats.internode_bytes, full.stats.internode_bytes,
+                    "{ctx}: internode_bytes"
+                );
+                assert_eq!(
+                    folded.stats.intranode_messages, full.stats.intranode_messages,
+                    "{ctx}: intranode_messages"
+                );
+                assert_eq!(
+                    folded.stats.barrier_episodes, full.stats.barrier_episodes,
+                    "{ctx}: barrier_episodes"
+                );
+
+                // Analysis consistency: plan-level symmetry, probe-based
+                // folded compilation, and the folded lowering must agree.
+                let symmetry = PlanSymmetry::analyze(&plan);
+                let probed = compile_folded(&profile, topo, &case, 1);
+                assert_eq!(
+                    probed.is_some(),
+                    symmetry.folds(),
+                    "{ctx}: probe-based compile disagrees with full analysis"
+                );
+                if let Some(probed) = probed {
+                    folded_cases += 1;
+                    assert_eq!(
+                        probed.expand(),
+                        trace,
+                        "{ctx}: folded compile expands to a different trace"
+                    );
+                    let lowered = folded_trace(&plan, 1).expect("analysis says it folds");
+                    assert_eq!(lowered.expand(), trace, "{ctx}: folded lowering diverges");
+                }
+            }
+        }
+    }
+    // The pin is only meaningful if a healthy share of the grid folds.
+    assert!(
+        folded_cases >= 40,
+        "only {folded_cases} folded cases across the grid"
+    );
+}
+
 fn shape(kind: CollectiveKind, block: usize, root: usize) -> CollectiveShape {
     CollectiveShape {
         kind,
