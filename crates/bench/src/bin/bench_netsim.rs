@@ -48,9 +48,7 @@ const ROUNDS: usize = 10;
 /// per-chunk reduce with a per-chunk staging copy before the send.
 const CHUNKS: usize = 96;
 
-const SUMMARY: RunOptions = RunOptions {
-    record_rank_finish: false,
-};
+const SUMMARY: RunOptions = RunOptions::summary();
 
 /// A dense, valid, deterministic workload: every round each rank works
 /// through a chunk pipeline (alternating reduce and staging-copy ops, the

@@ -80,12 +80,7 @@ fn main() {
             events += folded.projected_events();
             let engine = SimEngine::new(profile.sim_params(nic));
             let outcome = engine
-                .run_folded_trace(
-                    &folded,
-                    RunOptions {
-                        record_rank_finish: false,
-                    },
-                )
+                .run_folded_trace(&folded, RunOptions::summary())
                 .unwrap_or_else(|e| {
                     panic!("{} on {nodes}x{PPN}: {e}", library.name());
                 });

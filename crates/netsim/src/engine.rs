@@ -60,6 +60,19 @@
 //! by the node count and per-rank finish times are broadcast across each
 //! equivalence class.  This turns an `O(world)` replay into `O(ppn)`,
 //! which is what makes million-rank projection sweeps tractable.
+//!
+//! ## Perturbation
+//!
+//! A [`Perturbation`] in [`RunOptions`] degrades the fabric: straggler
+//! start delays and compute slowdowns, per-link latency jitter and
+//! bandwidth derating, and probabilistic message drops with a
+//! retry/timeout/backoff model (see [`crate::perturb`]).  All draws are
+//! pure hashes of static identifiers, so the calendar engine, the seed
+//! reference engine and (for node-symmetric configs) the folded replay
+//! produce bit-identical perturbed timings.  A message whose retry budget
+//! is exhausted starves its receive and the run reports a structured
+//! [`SimFailure`] naming the starved `(rank, tag)` pairs instead of an
+//! undiagnosable deadlock.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -68,6 +81,7 @@ use pip_transport::cost::{IntranodeCost, IntranodeMechanism, Nanos};
 
 use crate::fold::FoldedTrace;
 use crate::params::SimParams;
+use crate::perturb::{PerturbState, Perturbation};
 use crate::trace::{Trace, TraceError, TraceOp};
 
 /// Fixed cost of completing an intra-node receive (polling the flag the
@@ -93,8 +107,13 @@ impl Ord for TimeKey {
     }
 }
 
-/// Options controlling what a replay records.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Options controlling what a replay records and how the fabric behaves.
+///
+/// Build one with [`RunOptions::recorded`] or [`RunOptions::summary`] and
+/// refine it per sub-run with the `with_*` builders, so one call site can
+/// mix recorded, summary-only, and perturbed replays without ad-hoc struct
+/// literals.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunOptions {
     /// Record per-rank completion times in [`SimOutcome::rank_finish`].
     ///
@@ -103,13 +122,48 @@ pub struct RunOptions {
     /// this off; the makespan and statistics are unaffected and the
     /// `rank_finish` vector is left empty.
     pub record_rank_finish: bool,
+    /// Degraded-fabric injection (see [`Perturbation`]).  `None` — the
+    /// default — simulates a healthy fabric and costs nothing on the hot
+    /// path.
+    pub perturbation: Option<Perturbation>,
+}
+
+impl RunOptions {
+    /// The historical default: record per-rank finish times, healthy fabric.
+    pub const fn recorded() -> Self {
+        Self {
+            record_rank_finish: true,
+            perturbation: None,
+        }
+    }
+
+    /// Summary-only: skip the per-rank finish vector (makespan and
+    /// statistics are unaffected).
+    pub const fn summary() -> Self {
+        Self {
+            record_rank_finish: false,
+            perturbation: None,
+        }
+    }
+
+    /// Enable or disable per-rank finish recording for this sub-run.
+    #[must_use]
+    pub fn with_rank_finish(mut self, record: bool) -> Self {
+        self.record_rank_finish = record;
+        self
+    }
+
+    /// Attach a degraded-fabric config to this sub-run.
+    #[must_use]
+    pub fn with_perturbation(mut self, perturbation: Perturbation) -> Self {
+        self.perturbation = Some(perturbation);
+        self
+    }
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        Self {
-            record_rank_finish: true,
-        }
+        Self::recorded()
     }
 }
 
@@ -538,8 +592,42 @@ pub struct SimStats {
     /// Number of node-local barrier episodes completed.
     pub barrier_episodes: usize,
     /// Total application compute time ([`TraceOp::Compute`]) summed over
-    /// ranks.
+    /// ranks, *including* straggler-induced inflation.
     pub compute_total: Nanos,
+    /// Retransmissions performed by the drop/retry model (0 on a healthy
+    /// fabric).
+    pub retries: usize,
+    /// Payload bytes retransmitted by the drop/retry model.
+    pub retransmitted_bytes: usize,
+    /// Time injected into rank timelines by the straggler model: start
+    /// delays plus compute-slowdown inflation, summed over ranks.
+    pub straggler_idle_total: Nanos,
+    /// Median rank-finish skew: the median of `finish - earliest_finish`
+    /// over ranks (0 when every rank finishes together).
+    pub finish_skew_p50: Nanos,
+    /// 99th-percentile rank-finish skew (nearest-rank percentile).
+    pub finish_skew_p99: Nanos,
+}
+
+/// Rank-finish skew percentiles from class-sorted finish times.
+///
+/// `sorted` holds one finish time per equivalence class in ascending order
+/// and `stride` is the class multiplicity: the full world's sorted finish
+/// array has `sorted[i / stride]` at position `i`.  The full replay passes
+/// the whole world with `stride == 1`; the folded replay passes node 0's
+/// classes with `stride == nodes`, which reproduces the full replay's
+/// percentiles bit for bit because class members finish at bitwise-equal
+/// times.
+pub(crate) fn skew_percentiles(sorted: &[Nanos], world: usize, stride: usize) -> (Nanos, Nanos) {
+    if sorted.is_empty() || world == 0 {
+        return (0.0, 0.0);
+    }
+    let lo = sorted[0];
+    let pick = |p: f64| {
+        let idx = ((world - 1) as f64 * p).round() as usize;
+        sorted[(idx / stride).min(sorted.len() - 1)] - lo
+    };
+    (pick(0.50), pick(0.99))
 }
 
 /// The outcome of replaying one trace.
@@ -554,6 +642,34 @@ pub struct SimOutcome {
     pub stats: SimStats,
 }
 
+/// A receive that can never complete because the matching message exhausted
+/// its retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StarvedRecv {
+    /// The receiving rank.
+    pub rank: usize,
+    /// The sending rank whose message was never delivered.
+    pub source: usize,
+    /// The message tag.
+    pub tag: u64,
+    /// Transmission attempts made before giving up (`max_retries + 1`).
+    pub attempts: u32,
+}
+
+/// Structured description of a run that failed under the drop model: the
+/// fabric lost messages beyond their retry budget, so the schedule cannot
+/// complete — reported instead of an indistinguishable deadlock (and, in a
+/// real system, instead of a hang).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimFailure {
+    /// Receives starved by undeliverable messages, sorted by
+    /// `(rank, source, tag)`.
+    pub starved: Vec<StarvedRecv>,
+    /// Every rank that never completed its program (a superset of the
+    /// starved receivers: ranks upstream of a starved rank stall too).
+    pub stuck_ranks: Vec<usize>,
+}
+
 /// Errors the engine can report.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
@@ -565,6 +681,16 @@ pub enum SimError {
         /// Ranks that never completed their programs.
         stuck_ranks: Vec<usize>,
     },
+    /// The drop model exhausted at least one message's retry budget, so the
+    /// schedule cannot complete.  Unlike [`SimError::Deadlock`] this names
+    /// the starved `(rank, tag)` pairs, distinguishing fabric loss from a
+    /// schedule bug.
+    Failure(SimFailure),
+    /// A directly-replayed folded trace was given a node-asymmetric
+    /// [`Perturbation`]: per-rank or per-link draws make node 0
+    /// unrepresentative and the full trace is not available to fall back
+    /// to.  Use [`SimEngine::run_with`] (or a symmetric config) instead.
+    AsymmetricPerturbation,
 }
 
 impl std::fmt::Display for SimError {
@@ -574,6 +700,27 @@ impl std::fmt::Display for SimError {
             SimError::Deadlock { stuck_ranks } => {
                 write!(f, "simulation deadlocked; stuck ranks: {stuck_ranks:?}")
             }
+            SimError::Failure(failure) => {
+                let first = failure.starved.first();
+                write!(
+                    f,
+                    "simulation failed: {} message(s) exhausted the retry budget",
+                    failure.starved.len()
+                )?;
+                if let Some(s) = first {
+                    write!(
+                        f,
+                        " (first starved recv: rank {} from {} tag {} after {} attempts)",
+                        s.rank, s.source, s.tag, s.attempts
+                    )?;
+                }
+                write!(f, "; stuck ranks: {:?}", failure.stuck_ranks)
+            }
+            SimError::AsymmetricPerturbation => write!(
+                f,
+                "folded replay requires a node-symmetric perturbation; \
+                 replay the full trace instead"
+            ),
         }
     }
 }
@@ -622,7 +769,18 @@ impl SimEngine {
     /// `crate::reference`).  Kept for differential testing and as the
     /// baseline the calendar engine is benchmarked against.
     pub fn run_reference(&self, trace: &Trace) -> Result<SimOutcome, SimError> {
-        crate::reference::replay(&self.params, trace)
+        crate::reference::replay(&self.params, trace, RunOptions::default())
+    }
+
+    /// [`Self::run_reference`] with explicit options, including
+    /// perturbation — this is what the chaos-differential suite pins the
+    /// calendar engine against.
+    pub fn run_reference_with(
+        &self,
+        trace: &Trace,
+        options: RunOptions,
+    ) -> Result<SimOutcome, SimError> {
+        crate::reference::replay(&self.params, trace, options)
     }
 
     /// Replay `trace`, folding it by symmetry when possible.
@@ -639,13 +797,18 @@ impl SimEngine {
     }
 
     /// [`Self::run_folded`] with explicit recording options.
+    ///
+    /// A node-asymmetric [`Perturbation`] (per-rank straggler draws,
+    /// per-link jitter, or drops) makes node 0 unrepresentative, so
+    /// detection refuses to fold and the full world is replayed; symmetric
+    /// configs still fold.
     pub fn run_folded_with(
         &self,
         trace: &Trace,
         options: RunOptions,
     ) -> Result<SimOutcome, SimError> {
         trace.validate().map_err(SimError::InvalidTrace)?;
-        match FoldedTrace::detect(trace) {
+        match FoldedTrace::detect_with(trace, options.perturbation.as_ref()) {
             Some(folded) => match self.replay_folded(&folded, options) {
                 // The folded stuck list only names node-0 ranks; rerun the
                 // full world so the caller sees every stuck rank.
@@ -664,11 +827,24 @@ impl SimEngine {
     /// [`FoldedTrace::detect`] or probe-verified compilation).  A reported
     /// deadlock names node-0 ranks only — one representative per stuck
     /// equivalence class.
+    ///
+    /// Only node-symmetric perturbations are accepted: the full trace is
+    /// not available to fall back to, so a config with per-rank or
+    /// per-link draws is rejected with
+    /// [`SimError::AsymmetricPerturbation`] rather than silently producing
+    /// a node-0-only approximation.
     pub fn run_folded_trace(
         &self,
         folded: &FoldedTrace,
         options: RunOptions,
     ) -> Result<SimOutcome, SimError> {
+        if options
+            .perturbation
+            .as_ref()
+            .is_some_and(|p| !p.is_node_symmetric())
+        {
+            return Err(SimError::AsymmetricPerturbation);
+        }
         self.replay_folded(folded, options)
     }
 
@@ -694,6 +870,9 @@ impl SimEngine {
 
         let mut stats = SimStats::default();
         let mut queue = CalendarQueue::new(self.bucket_width(), world);
+        let perturb = PerturbState::new(options.perturbation.as_ref(), world);
+        // Receives starved by messages whose retry budget was exhausted.
+        let mut starved: Vec<StarvedRecv> = Vec::new();
 
         // Chunked pipelines repeat one op shape thousands of times; a
         // one-entry memo per local-op kind turns the repeated cost-model
@@ -702,8 +881,11 @@ impl SimEngine {
         let mut copy_memo: (usize, Option<IntranodeMechanism>, bool, Nanos) =
             (usize::MAX, None, false, 0.0);
 
-        for rank in 0..world {
-            queue.push(0.0, rank as u32, 0);
+        for (rank, state) in ranks.iter_mut().enumerate() {
+            let delay = perturb.start_delay(rank);
+            state.ready_time = delay;
+            stats.straggler_idle_total += delay;
+            queue.push(delay, rank as u32, 0);
         }
 
         while let Some(ev) = queue.pop() {
@@ -751,8 +933,9 @@ impl SimEngine {
                         // Same timeline effect as a delay; accounted
                         // separately so overlap efficiency can be derived
                         // from the stats.
-                        let busy = nanos.max(0.0);
+                        let (busy, extra) = perturb.compute(rank, nanos);
                         stats.compute_total += busy;
+                        stats.straggler_idle_total += extra;
                         now += busy;
                         ranks[rank].pc += 1;
                         chained = true;
@@ -792,36 +975,63 @@ impl SimEngine {
                         let (sender_done, arrival) = if rank == dest {
                             // Self message: a local copy.
                             let done = now + self.params.memcpy.copy_cost(bytes);
-                            (done, done)
+                            (done, Some(done))
                         } else if src_node == dst_node {
                             stats.intranode_messages += 1;
                             let cost = intranode.transfer_cost(bytes, !self.params.warm_buffers)
                                 + self.params.software_send_overhead;
                             let done = now + cost;
-                            (done, done)
+                            (done, Some(done))
                         } else {
                             stats.internode_messages += 1;
                             stats.internode_bytes += bytes;
                             let sender_done = now
                                 + nic.host_send_overhead(bytes)
                                 + self.params.software_send_overhead;
-                            let occupancy = nic.nic_occupancy(bytes);
+                            let occupancy =
+                                perturb.occupancy(nic.nic_occupancy(bytes), src_node, dst_node);
+                            // The drop fate is a pure hash of (rank, pc), so
+                            // both engines agree on it regardless of event
+                            // order.  Retransmissions serialize on the
+                            // sender's adapter; the host-side send call
+                            // returns as usual (the NIC retries on its own).
+                            let fate = perturb.send_fate(rank, pc);
                             let tx_start = sender_done.max(tx_free[src_node]);
-                            let tx_end = tx_start + occupancy;
+                            let tx_end = perturb.retransmit_chain(
+                                tx_start + occupancy,
+                                occupancy,
+                                fate.retries,
+                            );
                             tx_free[src_node] = tx_end;
-                            nic_busy[src_node] += occupancy;
-                            let rx_ready = tx_end + nic.wire_latency();
-                            let rx_start = rx_ready.max(rx_free[dst_node]);
-                            let rx_end = rx_start + occupancy;
-                            rx_free[dst_node] = rx_end;
-                            nic_busy[dst_node] += occupancy;
-                            (sender_done, rx_end)
+                            nic_busy[src_node] += occupancy * (1 + fate.retries) as f64;
+                            stats.retries += fate.retries as usize;
+                            stats.retransmitted_bytes += bytes * fate.retries as usize;
+                            if fate.delivered {
+                                let rx_ready = tx_end
+                                    + nic.wire_latency()
+                                    + perturb.extra_latency(src_node, dst_node);
+                                let rx_start = rx_ready.max(rx_free[dst_node]);
+                                let rx_end = rx_start + occupancy;
+                                rx_free[dst_node] = rx_end;
+                                nic_busy[dst_node] += occupancy;
+                                (sender_done, Some(rx_end))
+                            } else {
+                                starved.push(StarvedRecv {
+                                    rank: dest,
+                                    source: rank,
+                                    tag,
+                                    attempts: fate.retries + 1,
+                                });
+                                (sender_done, None)
+                            }
                         };
-                        if table.deliver(rank as u32, dest, tag, arrival) {
-                            // Wake the receiver blocked on this message.
-                            ranks[dest].state = RankState::Runnable;
-                            let wake = arrival.max(ranks[dest].ready_time);
-                            queue.push(wake, dest as u32, ranks[dest].gen);
+                        if let Some(arrival) = arrival {
+                            if table.deliver(rank as u32, dest, tag, arrival) {
+                                // Wake the receiver blocked on this message.
+                                ranks[dest].state = RankState::Runnable;
+                                let wake = arrival.max(ranks[dest].ready_time);
+                                queue.push(wake, dest as u32, ranks[dest].gen);
+                            }
                         }
                         ranks[rank].pc += 1;
                         ranks[rank].ready_time = sender_done;
@@ -899,7 +1109,8 @@ impl SimEngine {
 
         // Every rank must have drained its program; otherwise the schedule
         // deadlocked (validation catches most causes, but e.g. circular
-        // waits are only detectable here).
+        // waits are only detectable here) — unless the drop model starved
+        // messages, in which case the structured failure names them.
         let stuck: Vec<usize> = ranks
             .iter()
             .enumerate()
@@ -907,11 +1118,22 @@ impl SimEngine {
             .map(|(rank, _)| rank)
             .collect();
         if !stuck.is_empty() {
-            return Err(SimError::Deadlock { stuck_ranks: stuck });
+            if starved.is_empty() {
+                return Err(SimError::Deadlock { stuck_ranks: stuck });
+            }
+            starved.sort_unstable_by_key(|s| (s.rank, s.source, s.tag));
+            return Err(SimError::Failure(SimFailure {
+                starved,
+                stuck_ranks: stuck,
+            }));
         }
 
         stats.nic_busy_total = nic_busy.iter().sum();
         stats.nic_busy_max = nic_busy.iter().copied().fold(0.0, Nanos::max);
+
+        let mut sorted_finish: Vec<Nanos> = ranks.iter().map(|r| r.finish_time).collect();
+        sorted_finish.sort_unstable_by(|a, b| a.total_cmp(b));
+        (stats.finish_skew_p50, stats.finish_skew_p99) = skew_percentiles(&sorted_finish, world, 1);
 
         let makespan = ranks.iter().map(|r| r.finish_time).fold(0.0, Nanos::max);
         let rank_finish = if options.record_rank_finish {
@@ -951,6 +1173,14 @@ impl SimEngine {
 
         let mut stats = SimStats::default();
         let mut queue = CalendarQueue::new(self.bucket_width(), ppn);
+        // Only node-symmetric configs reach this path (asymmetric ones are
+        // rejected or fall back to the full replay), so every draw is
+        // uniform: node 0's ranks see exactly what every node's ranks see.
+        debug_assert!(options
+            .perturbation
+            .as_ref()
+            .is_none_or(Perturbation::is_node_symmetric));
+        let perturb = PerturbState::new(options.perturbation.as_ref(), ppn);
 
         // Mirror-image incoming messages implied by node 0's outgoing
         // sends, all registered at one simulated instant (`pending_time`)
@@ -971,8 +1201,11 @@ impl SimEngine {
         let mut copy_memo: (usize, Option<IntranodeMechanism>, bool, Nanos) =
             (usize::MAX, None, false, 0.0);
 
-        for local in 0..ppn {
-            queue.push(0.0, local as u32, 0);
+        for (local, state) in ranks.iter_mut().enumerate() {
+            let delay = perturb.start_delay(local);
+            state.ready_time = delay;
+            stats.straggler_idle_total += delay;
+            queue.push(delay, local as u32, 0);
         }
 
         loop {
@@ -991,8 +1224,11 @@ impl SimEngine {
                 // source node therefore reproduces the full interleaving.
                 pending.sort_by_key(|p| p.src_node);
                 for p in pending.drain(..) {
-                    let occupancy = nic.nic_occupancy(p.bytes);
-                    let rx_ready = p.tx_end + nic.wire_latency();
+                    // Symmetric link perturbations draw the same value for
+                    // every node pair, so the mirror link's derating equals
+                    // the outgoing link's.
+                    let occupancy = perturb.occupancy(nic.nic_occupancy(p.bytes), 0, 0);
+                    let rx_ready = p.tx_end + nic.wire_latency() + perturb.extra_latency(0, 0);
                     let rx_start = rx_ready.max(rx_free0);
                     let rx_end = rx_start + occupancy;
                     rx_free0 = rx_end;
@@ -1043,8 +1279,9 @@ impl SimEngine {
                         chained = true;
                     }
                     TraceOp::Compute { nanos } => {
-                        let busy = nanos.max(0.0);
+                        let (busy, extra) = perturb.compute(local, nanos);
                         stats.compute_total += busy;
+                        stats.straggler_idle_total += extra;
                         now += busy;
                         ranks[local].pc += 1;
                         chained = true;
@@ -1104,7 +1341,9 @@ impl SimEngine {
                             let sender_done = now
                                 + nic.host_send_overhead(bytes)
                                 + self.params.software_send_overhead;
-                            let occupancy = nic.nic_occupancy(bytes);
+                            // Drops cannot be active here (they are never
+                            // node-symmetric), so no retransmit chain.
+                            let occupancy = perturb.occupancy(nic.nic_occupancy(bytes), 0, 0);
                             let tx_start = sender_done.max(tx_free0);
                             let tx_end = tx_start + occupancy;
                             tx_free0 = tx_end;
@@ -1202,8 +1441,17 @@ impl SimEngine {
         stats.internode_bytes *= nodes;
         stats.barrier_episodes *= nodes;
         stats.compute_total *= n;
+        stats.straggler_idle_total *= n;
         stats.nic_busy_total = nic_busy0 * n;
         stats.nic_busy_max = nic_busy0;
+
+        // Each class finish time occurs `nodes` times in the full world's
+        // sorted finish array, so the percentile lookup strides by `nodes`
+        // and reproduces the full replay's skew bit for bit.
+        let mut sorted_finish: Vec<Nanos> = ranks.iter().map(|r| r.finish_time).collect();
+        sorted_finish.sort_unstable_by(|a, b| a.total_cmp(b));
+        (stats.finish_skew_p50, stats.finish_skew_p99) =
+            skew_percentiles(&sorted_finish, topology.world_size(), nodes);
 
         let makespan = ranks.iter().map(|r| r.finish_time).fold(0.0, Nanos::max);
         let rank_finish = if options.record_rank_finish {
@@ -1906,14 +2154,7 @@ mod tests {
         let trace = node_ring_trace(3, 2);
         let engine = engine();
         let full = engine.run(&trace).unwrap();
-        let summary = engine
-            .run_with(
-                &trace,
-                RunOptions {
-                    record_rank_finish: false,
-                },
-            )
-            .unwrap();
+        let summary = engine.run_with(&trace, RunOptions::summary()).unwrap();
         assert!(summary.rank_finish.is_empty());
         assert_eq!(full.rank_finish.len(), 6);
         assert_eq!(summary.makespan, full.makespan);
@@ -2060,12 +2301,7 @@ mod tests {
         let trace = node_ring_trace(nodes, ppn);
         let folded = FoldedTrace::detect(&trace).expect("ring folds");
         let outcome = engine()
-            .run_folded_trace(
-                &folded,
-                RunOptions {
-                    record_rank_finish: false,
-                },
-            )
+            .run_folded_trace(&folded, RunOptions::summary())
             .unwrap();
         assert!(outcome.rank_finish.is_empty());
         assert_eq!(outcome.stats.internode_messages, nodes * ppn);

@@ -35,12 +35,14 @@ pub mod engine;
 pub mod fold;
 pub mod network;
 pub mod params;
+pub mod perturb;
 mod reference;
 pub mod trace;
 
 pub use cluster::ClusterSpec;
-pub use engine::{RunOptions, SimEngine};
+pub use engine::{RunOptions, SimEngine, SimError, SimFailure, SimOutcome, SimStats, StarvedRecv};
 pub use fold::{FoldGroup, FoldReport, FoldedTrace};
-pub use network::{simulate, simulate_folded, SimulationReport};
+pub use network::{simulate, simulate_degraded, simulate_folded, SimulationReport};
 pub use params::SimParams;
+pub use perturb::{DropSpec, LinkSpec, Perturbation, SendFate, StragglerSpec};
 pub use trace::{OpVec, RankTrace, Trace, TraceOp};

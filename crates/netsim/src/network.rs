@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::engine::{RunOptions, SimEngine, SimError, SimOutcome};
 use crate::params::SimParams;
+use crate::perturb::Perturbation;
 use crate::trace::Trace;
 
 /// A human- and machine-readable summary of one simulated collective.
@@ -29,6 +30,12 @@ pub struct SimulationReport {
     pub nic_utilization: f64,
     /// Number of node-local barrier episodes.
     pub barrier_episodes: usize,
+    /// Retransmissions forced by the perturbation's drop model (zero on a
+    /// healthy fabric).
+    pub retries: usize,
+    /// p99 spread of rank finish times, in microseconds (zero when all
+    /// ranks finish together).
+    pub finish_skew_p99_us: f64,
 }
 
 impl SimulationReport {
@@ -49,6 +56,8 @@ impl SimulationReport {
             internode_bytes: outcome.stats.internode_bytes,
             nic_utilization,
             barrier_episodes: outcome.stats.barrier_episodes,
+            retries: outcome.stats.retries,
+            finish_skew_p99_us: outcome.stats.finish_skew_p99 / 1000.0,
         }
     }
 
@@ -64,9 +73,7 @@ impl SimulationReport {
 
 /// Recording options for summary reports: the report only consumes the
 /// makespan and aggregate statistics, so per-rank finish times are skipped.
-const SUMMARY_OPTIONS: RunOptions = RunOptions {
-    record_rank_finish: false,
-};
+const SUMMARY_OPTIONS: RunOptions = RunOptions::summary();
 
 /// Simulate `trace` under `params` and label the report.
 pub fn simulate(
@@ -101,9 +108,30 @@ pub fn simulate_folded(
     ))
 }
 
+/// Like [`simulate`], but replay under a degraded fabric described by
+/// `perturbation`.  Uses folded replay when the schedule is symmetric *and*
+/// the perturbation is node-symmetric (the engine falls back to full replay
+/// otherwise), so degradation sweeps stay fast where they can be.
+pub fn simulate_degraded(
+    label: impl Into<String>,
+    trace: &Trace,
+    params: &SimParams,
+    perturbation: Perturbation,
+) -> Result<SimulationReport, SimError> {
+    let engine = SimEngine::new(*params);
+    let options = SUMMARY_OPTIONS.with_perturbation(perturbation);
+    let outcome = engine.run_folded_with(trace, options)?;
+    Ok(SimulationReport::from_outcome(
+        label,
+        trace.topology.world_size(),
+        &outcome,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::perturb::DropSpec;
     use crate::trace::TraceOp;
     use pip_runtime::Topology;
 
@@ -215,5 +243,33 @@ mod tests {
         let report = simulate("x", &ping_pong_trace(), &SimParams::default()).unwrap();
         assert!(report.nic_utilization >= 0.0);
         assert!(report.nic_utilization <= 1.0);
+    }
+
+    #[test]
+    fn degraded_with_identity_perturbation_matches_baseline() {
+        let trace = ping_pong_trace();
+        let healthy = simulate("x", &trace, &SimParams::default()).unwrap();
+        let degraded =
+            simulate_degraded("x", &trace, &SimParams::default(), Perturbation::NONE).unwrap();
+        assert_eq!(healthy, degraded);
+    }
+
+    #[test]
+    fn degraded_run_reports_retries_and_slows_down() {
+        let trace = ping_pong_trace();
+        let healthy = simulate("x", &trace, &SimParams::default()).unwrap();
+        let perturbation = Perturbation {
+            seed: 7,
+            drop: DropSpec {
+                rate: 0.9,
+                max_retries: 50,
+                timeout: 500.0,
+                backoff: 2.0,
+            },
+            ..Perturbation::NONE
+        };
+        let degraded = simulate_degraded("x", &trace, &SimParams::default(), perturbation).unwrap();
+        assert!(degraded.retries > 0);
+        assert!(degraded.makespan_ns > healthy.makespan_ns);
     }
 }

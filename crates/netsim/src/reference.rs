@@ -12,16 +12,24 @@
 //!   events/sec improvement against this baseline; keeping the baseline
 //!   compiled means the headline ratio is measured, not remembered.
 //!
-//! The code is intentionally untouched apart from being moved here; see
-//! [`crate::engine`] for the documented cost model both engines implement.
+//! The scheduler is untouched from the seed; see [`crate::engine`] for the
+//! documented cost model both engines implement.  The perturbation plane
+//! ([`crate::perturb`]) was added to both engines simultaneously — every
+//! draw is a pure hash of static identifiers, so the two engines stay
+//! bit-for-bit comparable under every perturbation config, which is what
+//! the chaos-differential suite pins.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use pip_transport::cost::{IntranodeCost, Nanos};
 
-use crate::engine::{SimError, SimOutcome, SimStats, INTRA_RECV_FLAG_COST};
+use crate::engine::{
+    skew_percentiles, RunOptions, SimError, SimFailure, SimOutcome, SimStats, StarvedRecv,
+    INTRA_RECV_FLAG_COST,
+};
 use crate::params::SimParams;
+use crate::perturb::PerturbState;
 use crate::trace::{Trace, TraceOp};
 
 /// Totally ordered wrapper for simulation timestamps.
@@ -67,7 +75,11 @@ struct BarrierEpisode {
 }
 
 /// Replay `trace` with the seed heap-based scheduler.
-pub(crate) fn replay(params: &SimParams, trace: &Trace) -> Result<SimOutcome, SimError> {
+pub(crate) fn replay(
+    params: &SimParams,
+    trace: &Trace,
+    options: RunOptions,
+) -> Result<SimOutcome, SimError> {
     trace.validate().map_err(SimError::InvalidTrace)?;
     let topology = trace.topology;
     let world = topology.world_size();
@@ -98,6 +110,8 @@ pub(crate) fn replay(params: &SimParams, trace: &Trace) -> Result<SimOutcome, Si
         (0..topology.nodes()).map(|_| HashMap::new()).collect();
 
     let mut stats = SimStats::default();
+    let perturb = PerturbState::new(options.perturbation.as_ref(), world);
+    let mut starved: Vec<StarvedRecv> = Vec::new();
 
     // Event queue: (time, seq, rank).
     let mut queue: BinaryHeap<Reverse<(TimeKey, u64, usize)>> = BinaryHeap::new();
@@ -110,8 +124,11 @@ pub(crate) fn replay(params: &SimParams, trace: &Trace) -> Result<SimOutcome, Si
         *seq += 1;
     };
 
-    for rank in 0..world {
-        push_event(&mut queue, &mut seq, 0.0, rank);
+    for (rank, state) in ranks.iter_mut().enumerate() {
+        let delay = perturb.start_delay(rank);
+        state.ready_time = delay;
+        stats.straggler_idle_total += delay;
+        push_event(&mut queue, &mut seq, delay, rank);
     }
 
     while let Some(Reverse((TimeKey(now), _, rank))) = queue.pop() {
@@ -139,40 +156,59 @@ pub(crate) fn replay(params: &SimParams, trace: &Trace) -> Result<SimOutcome, Si
                 let (sender_done, arrival) = if rank == dest {
                     // Self message: a local copy.
                     let done = now + params.memcpy.copy_cost(bytes);
-                    (done, done)
+                    (done, Some(done))
                 } else if src_node == dst_node {
                     stats.intranode_messages += 1;
                     let cost = intranode.transfer_cost(bytes, !params.warm_buffers)
                         + params.software_send_overhead;
                     let done = now + cost;
-                    (done, done)
+                    (done, Some(done))
                 } else {
                     stats.internode_messages += 1;
                     stats.internode_bytes += bytes;
                     let sender_done =
                         now + nic.host_send_overhead(bytes) + params.software_send_overhead;
-                    let occupancy = nic.nic_occupancy(bytes);
+                    let occupancy = perturb.occupancy(nic.nic_occupancy(bytes), src_node, dst_node);
+                    // Same pure-hash fate as the calendar engine: the draw
+                    // depends only on (rank, pc), never on event order.
+                    let fate = perturb.send_fate(rank, pc);
                     let tx_start = sender_done.max(tx_free[src_node]);
-                    let tx_end = tx_start + occupancy;
+                    let tx_end =
+                        perturb.retransmit_chain(tx_start + occupancy, occupancy, fate.retries);
                     tx_free[src_node] = tx_end;
-                    nic_busy[src_node] += occupancy;
-                    let rx_ready = tx_end + nic.wire_latency();
-                    let rx_start = rx_ready.max(rx_free[dst_node]);
-                    let rx_end = rx_start + occupancy;
-                    rx_free[dst_node] = rx_end;
-                    nic_busy[dst_node] += occupancy;
-                    (sender_done, rx_end)
+                    nic_busy[src_node] += occupancy * (1 + fate.retries) as f64;
+                    stats.retries += fate.retries as usize;
+                    stats.retransmitted_bytes += bytes * fate.retries as usize;
+                    if fate.delivered {
+                        let rx_ready =
+                            tx_end + nic.wire_latency() + perturb.extra_latency(src_node, dst_node);
+                        let rx_start = rx_ready.max(rx_free[dst_node]);
+                        let rx_end = rx_start + occupancy;
+                        rx_free[dst_node] = rx_end;
+                        nic_busy[dst_node] += occupancy;
+                        (sender_done, Some(rx_end))
+                    } else {
+                        starved.push(StarvedRecv {
+                            rank: dest,
+                            source: rank,
+                            tag,
+                            attempts: fate.retries + 1,
+                        });
+                        (sender_done, None)
+                    }
                 };
-                mailbox
-                    .entry((rank, dest, tag))
-                    .or_default()
-                    .push_back(arrival);
-                // Wake a receiver blocked on this message.
-                if let Some(&receiver) = blocked_recv.get(&(rank, dest, tag)) {
-                    blocked_recv.remove(&(rank, dest, tag));
-                    ranks[receiver].state = RankState::Runnable;
-                    let wake = arrival.max(ranks[receiver].ready_time);
-                    push_event(&mut queue, &mut seq, wake, receiver);
+                if let Some(arrival) = arrival {
+                    mailbox
+                        .entry((rank, dest, tag))
+                        .or_default()
+                        .push_back(arrival);
+                    // Wake a receiver blocked on this message.
+                    if let Some(&receiver) = blocked_recv.get(&(rank, dest, tag)) {
+                        blocked_recv.remove(&(rank, dest, tag));
+                        ranks[receiver].state = RankState::Runnable;
+                        let wake = arrival.max(ranks[receiver].ready_time);
+                        push_event(&mut queue, &mut seq, wake, receiver);
+                    }
                 }
                 ranks[rank].pc += 1;
                 ranks[rank].ready_time = sender_done;
@@ -230,8 +266,9 @@ pub(crate) fn replay(params: &SimParams, trace: &Trace) -> Result<SimOutcome, Si
             TraceOp::Compute { nanos } => {
                 // Same timeline effect as a delay; accounted separately
                 // so overlap efficiency can be derived from the stats.
-                let busy = nanos.max(0.0);
+                let (busy, extra) = perturb.compute(rank, nanos);
                 stats.compute_total += busy;
+                stats.straggler_idle_total += extra;
                 let done = now + busy;
                 ranks[rank].pc += 1;
                 ranks[rank].ready_time = done;
@@ -271,7 +308,8 @@ pub(crate) fn replay(params: &SimParams, trace: &Trace) -> Result<SimOutcome, Si
 
     // Every rank must have drained its program; otherwise the schedule
     // deadlocked (validation catches most causes, but e.g. circular
-    // waits are only detectable here).
+    // waits are only detectable here) — unless the drop model starved
+    // messages, in which case the structured failure names them.
     let stuck: Vec<usize> = ranks
         .iter()
         .enumerate()
@@ -279,14 +317,29 @@ pub(crate) fn replay(params: &SimParams, trace: &Trace) -> Result<SimOutcome, Si
         .map(|(rank, _)| rank)
         .collect();
     if !stuck.is_empty() {
-        return Err(SimError::Deadlock { stuck_ranks: stuck });
+        if starved.is_empty() {
+            return Err(SimError::Deadlock { stuck_ranks: stuck });
+        }
+        starved.sort_unstable_by_key(|s| (s.rank, s.source, s.tag));
+        return Err(SimError::Failure(SimFailure {
+            starved,
+            stuck_ranks: stuck,
+        }));
     }
 
     stats.nic_busy_total = nic_busy.iter().sum();
     stats.nic_busy_max = nic_busy.iter().copied().fold(0.0, Nanos::max);
 
-    let rank_finish: Vec<Nanos> = ranks.iter().map(|r| r.finish_time).collect();
-    let makespan = rank_finish.iter().copied().fold(0.0, Nanos::max);
+    let mut sorted_finish: Vec<Nanos> = ranks.iter().map(|r| r.finish_time).collect();
+    sorted_finish.sort_unstable_by(|a, b| a.total_cmp(b));
+    (stats.finish_skew_p50, stats.finish_skew_p99) = skew_percentiles(&sorted_finish, world, 1);
+
+    let makespan = ranks.iter().map(|r| r.finish_time).fold(0.0, Nanos::max);
+    let rank_finish: Vec<Nanos> = if options.record_rank_finish {
+        ranks.iter().map(|r| r.finish_time).collect()
+    } else {
+        Vec::new()
+    };
     Ok(SimOutcome {
         makespan,
         rank_finish,

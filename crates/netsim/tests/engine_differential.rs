@@ -11,7 +11,10 @@
 //! with per-rank local-op preludes (delays, compute, reductions, copies),
 //! optional barrier rounds, and self-sends when the shift is zero.
 
-use pip_netsim::{RunOptions, SimEngine, SimParams, Trace, TraceOp};
+use pip_netsim::{
+    DropSpec, Perturbation, RunOptions, SimEngine, SimError, SimParams, StragglerSpec, Trace,
+    TraceOp,
+};
 use pip_runtime::Topology;
 use proptest::prelude::*;
 
@@ -210,16 +213,84 @@ fn summary_mode_matches_recorded_mode_on_random_traces() {
         let trace = random_trace(3, 3, 3, seed);
         let engine = SimEngine::new(SimParams::default());
         let recorded = engine.run(&trace).unwrap();
-        let summary = engine
-            .run_with(
-                &trace,
-                RunOptions {
-                    record_rank_finish: false,
-                },
-            )
-            .unwrap();
+        let summary = engine.run_with(&trace, RunOptions::summary()).unwrap();
         assert!(summary.rank_finish.is_empty());
         assert_eq!(summary.makespan, recorded.makespan);
         assert_eq!(summary.stats, recorded.stats);
     }
+}
+
+/// A circular wait: every rank posts its receive before its send, so no
+/// message is ever produced and no rank can progress.
+fn circular_wait_trace() -> Trace {
+    let topology = Topology::new(3, 1);
+    let mut trace = Trace::empty(topology);
+    for rank in 0..3 {
+        trace.push(
+            rank,
+            TraceOp::Recv {
+                source: (rank + 2) % 3,
+                bytes: 64,
+                tag: 9,
+            },
+        );
+        trace.push(
+            rank,
+            TraceOp::Send {
+                dest: (rank + 1) % 3,
+                bytes: 64,
+                tag: 9,
+            },
+        );
+    }
+    trace
+}
+
+#[test]
+fn deadlock_detection_survives_an_active_perturbation() {
+    // A genuine circular wait must still be reported as `Deadlock` — not
+    // misclassified as a drop-induced `Failure` — even when the drop model
+    // is armed, because no message was ever sent to be dropped.  Both
+    // engines must name the same stuck set.
+    let trace = circular_wait_trace();
+    let perturbation = Perturbation {
+        seed: 11,
+        drop: DropSpec {
+            rate: 0.5,
+            max_retries: 2,
+            timeout: 100.0,
+            backoff: 2.0,
+        },
+        ..Perturbation::NONE
+    };
+    let options = RunOptions::default().with_perturbation(perturbation);
+    let engine = SimEngine::new(SimParams::default());
+    let calendar = engine.run_with(&trace, options).unwrap_err();
+    let reference = engine.run_reference_with(&trace, options).unwrap_err();
+    assert_eq!(calendar, reference);
+    match calendar {
+        SimError::Deadlock { stuck_ranks } => assert_eq!(stuck_ranks, vec![0, 1, 2]),
+        other => panic!("expected Deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn straggler_delays_do_not_mask_a_deadlock() {
+    let trace = circular_wait_trace();
+    let perturbation = Perturbation {
+        seed: 3,
+        straggler: StragglerSpec {
+            fraction: 1.0,
+            start_delay: 5_000.0,
+            start_delay_jitter: 1_000.0,
+            compute_slowdown: 2.0,
+        },
+        ..Perturbation::NONE
+    };
+    let options = RunOptions::default().with_perturbation(perturbation);
+    let engine = SimEngine::new(SimParams::default());
+    let calendar = engine.run_with(&trace, options).unwrap_err();
+    let reference = engine.run_reference_with(&trace, options).unwrap_err();
+    assert_eq!(calendar, reference);
+    assert!(matches!(calendar, SimError::Deadlock { .. }));
 }
