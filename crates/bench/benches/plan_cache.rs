@@ -25,6 +25,7 @@ fn allgather_shape() -> CollectiveShape {
         root: 0,
         elem_size: 1,
         reduce: None,
+        layout: None,
     }
 }
 

@@ -49,6 +49,7 @@ fn main() {
         root: 0,
         elem_size: 1,
         reduce: None,
+        layout: None,
     };
 
     println!("=== Projection: MPI_Allreduce {BLOCK} B/process, ppn {PPN}, folded replay ===\n");

@@ -179,6 +179,7 @@ fn record_for(
         root: 0,
         elem_size: 1,
         reduce: None,
+        layout: None,
     };
     // Compile outside the lock so concurrent figure builders never block
     // behind another cell's whole-cluster compile; first inserter wins.

@@ -132,6 +132,7 @@ fn overlap_point(
         root: 0,
         elem_size: 1,
         reduce: None,
+        layout: None,
     };
     let plan = compile_cluster(&profile, cluster.topology(), &shape, Fidelity::Schedule);
     let trace = plan.to_trace(1);
@@ -229,6 +230,7 @@ mod tests {
             root: 0,
             elem_size: 1,
             reduce: None,
+            layout: None,
         };
         let plan = compile_cluster(&profile, cluster.topology(), &shape, Fidelity::Schedule);
         let trace = plan.to_trace(1);

@@ -19,6 +19,7 @@ fn allgather_shape() -> CollectiveShape {
         root: 0,
         elem_size: 1,
         reduce: None,
+        layout: None,
     }
 }
 

@@ -38,6 +38,8 @@
 //! `min(-0.0, +0.0) == -0.0`, again independent of combine order.
 
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::comm::ReduceFn;
 use crate::request::SharedReduceOp;
@@ -429,18 +431,324 @@ fn validate_reduce_buffers<T: Datatype>(acc: &[u8], other: &[u8]) {
 ///
 /// Travels with every reduction request into `CollectiveShape`/`PlanKey`,
 /// so the plan cache distinguishes same-width, different-meaning reductions.
+/// Built-in reductions are identified structurally by `(type, op)`;
+/// user-defined operators ([`Op`]) carry the process-unique id minted at
+/// registration, so two different user operators over same-size elements
+/// never serve each other's cached plans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ReduceIdent {
-    /// Element type.
-    pub dtype: DtypeId,
-    /// Reduction operator.
-    pub op: ReduceOp,
+pub enum ReduceIdent {
+    /// A built-in `(type, op)` kernel.
+    Builtin {
+        /// Element type.
+        dtype: DtypeId,
+        /// Reduction operator.
+        op: ReduceOp,
+    },
+    /// A user-defined operator registered through [`Op::create`].
+    User {
+        /// Process-unique registration id (see [`Op::id`]).
+        id: u64,
+        /// Element size in bytes the operator assumes.
+        elem_size: usize,
+    },
 }
 
 impl ReduceIdent {
     /// Wire size of one element.
     pub fn elem_size(self) -> usize {
-        self.dtype.size()
+        match self {
+            ReduceIdent::Builtin { dtype, .. } => dtype.size(),
+            ReduceIdent::User { elem_size, .. } => elem_size,
+        }
+    }
+}
+
+/// Source of process-unique [`Op`] ids. Starts at 1 so 0 never names a
+/// registered operator.
+static NEXT_OP_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A user-defined reduction operator — the `MPI_Op_create` analogue.
+///
+/// Wraps an arbitrary `acc ⊕= other` byte closure together with a **stable
+/// 64-bit identity** minted at registration. The identity travels into
+/// `CollectiveShape`/`PlanKey` as [`ReduceIdent::User`], so plans compiled
+/// for one user operator are never served to another, even when both operate
+/// on same-size elements.
+///
+/// # Operator contract
+///
+/// The collective algorithms assume the operator is **associative and
+/// commutative**: recursive doubling, ring and hierarchical schedules all
+/// combine contributions in rank orders that vary with the topology and the
+/// library. A non-commutative or non-associative closure produces
+/// schedule-dependent results (exactly as a non-commutative `MPI_Op` does
+/// under `MPI_Allreduce`). Floating-point closures additionally inherit the
+/// usual caveat that `(a + b) + c != a + (b + c)` in general; the built-in
+/// float kernels (see the module docs) pick NaN-propagating, total-order
+/// semantics for this reason.
+///
+/// `Op` is cheaply cloneable (the closure is behind an [`Arc`]); clones share
+/// the same identity, so they also share cached plans.
+#[derive(Clone)]
+pub struct Op {
+    id: u64,
+    elem_size: usize,
+    f: SharedOpFn,
+}
+
+/// The shared, erased form of a registered operator's combine closure.
+type SharedOpFn = Arc<dyn Fn(&mut [u8], &[u8]) + Send + Sync>;
+
+impl Op {
+    /// Register a byte-level operator over `elem_size`-byte elements.
+    ///
+    /// The closure receives `(acc, other)` buffers of equal length, always a
+    /// whole number of elements, and must fold `other` into `acc`
+    /// element-wise. See the type docs for the associativity/commutativity
+    /// contract.
+    ///
+    /// # Panics
+    ///
+    /// If `elem_size` is zero.
+    pub fn create(elem_size: usize, f: impl Fn(&mut [u8], &[u8]) + Send + Sync + 'static) -> Self {
+        assert!(elem_size > 0, "user operator element size must be non-zero");
+        Op {
+            id: NEXT_OP_ID.fetch_add(1, Ordering::Relaxed),
+            elem_size,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Register a typed element-wise operator: `combine(acc, other)` is
+    /// applied per element, with serialization handled here.
+    pub fn of_typed<T: Datatype>(combine: impl Fn(T, T) -> T + Send + Sync + 'static) -> Self {
+        Op::create(T::SIZE, move |acc, other| {
+            validate_reduce_buffers::<T>(acc, other);
+            for (acc_el, other_el) in acc
+                .chunks_exact_mut(T::SIZE)
+                .zip(other.chunks_exact(T::SIZE))
+            {
+                combine(T::read_le(acc_el), T::read_le(other_el)).write_le(acc_el);
+            }
+        })
+    }
+
+    /// The process-unique registration id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Element size in bytes the operator assumes.
+    pub fn elem_size(&self) -> usize {
+        self.elem_size
+    }
+
+    /// The plan-cache identity of this operator.
+    pub fn ident(&self) -> ReduceIdent {
+        ReduceIdent::User {
+            id: self.id,
+            elem_size: self.elem_size,
+        }
+    }
+
+    /// Combine `other` into `acc`.
+    pub fn apply(&self, acc: &mut [u8], other: &[u8]) {
+        (self.f)(acc, other)
+    }
+
+    /// Borrow as the `&ReduceFn` form every collective algorithm accepts.
+    pub fn as_fn(&self) -> &ReduceFn<'_> {
+        // `&(dyn Fn + Send + Sync)` coerces to `&(dyn Fn + Sync)` by
+        // dropping the auto trait.
+        &*self.f
+    }
+
+    /// Owned, shareable form for the progress engine (non-blocking and
+    /// persistent entry points).
+    pub fn shared(&self) -> SharedReduceOp {
+        let f = Arc::clone(&self.f);
+        Rc::new(move |acc: &mut [u8], other: &[u8]| f(acc, other))
+    }
+
+    /// The request-level [`Reduction`] view of this operator.
+    pub fn reduction(&self) -> Reduction<'_> {
+        Reduction::User(self)
+    }
+}
+
+impl std::fmt::Debug for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Op")
+            .field("id", &self.id)
+            .field("elem_size", &self.elem_size)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An owned reduction operator for the owned-collective path (`i*` and
+/// `*_init` entry styles): either a built-in [`ReduceKernel`] or a
+/// user-defined [`Op`].
+#[derive(Debug, Clone)]
+pub enum OwnedReduction {
+    /// A built-in `(type, op)` kernel.
+    Typed(ReduceKernel),
+    /// A user-defined operator.
+    User(Op),
+}
+
+impl OwnedReduction {
+    /// The plan-cache identity.
+    pub fn ident(&self) -> ReduceIdent {
+        match self {
+            OwnedReduction::Typed(kernel) => kernel.ident(),
+            OwnedReduction::User(op) => op.ident(),
+        }
+    }
+
+    /// Wire size of one element.
+    pub fn elem_size(&self) -> usize {
+        match self {
+            OwnedReduction::Typed(kernel) => kernel.elem_size(),
+            OwnedReduction::User(op) => op.elem_size(),
+        }
+    }
+
+    /// Owned, shareable operator form for the progress engine.
+    pub fn shared(&self) -> SharedReduceOp {
+        match self {
+            OwnedReduction::Typed(kernel) => kernel.shared(),
+            OwnedReduction::User(op) => op.shared(),
+        }
+    }
+}
+
+/// A strided (vector) derived datatype: `count` blocks of `blocklen`
+/// elements, block starts `stride` elements apart — the `MPI_Type_vector`
+/// triple. All fields are in **elements**; multiply by the element size
+/// ([`Layout::scaled`]) to get the byte-level layout the plan executor uses.
+///
+/// A layout describes how a collective's data sits in the caller's buffer:
+/// the buffer spans [`Layout::extent`] elements, of which the
+/// [`Layout::packed_len`] elements inside blocks participate in the
+/// collective and the gap elements are left untouched. Non-contiguous
+/// layouts are packed into scratch before the algorithm runs and unpacked
+/// after ([`Layout::pack_bytes`]/[`Layout::unpack_bytes`]); contiguous ones
+/// (`stride == blocklen`, or fewer than two blocks) ride the existing
+/// contiguous plans unchanged.
+///
+/// The layout is part of [`ReduceIdent`]'s sibling key material in
+/// `CollectiveShape`, so two layouts with equal total bytes never alias a
+/// cached plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Layout {
+    /// Number of blocks.
+    pub count: usize,
+    /// Elements per block.
+    pub blocklen: usize,
+    /// Elements between successive block starts (`>= blocklen`).
+    pub stride: usize,
+}
+
+impl Layout {
+    /// The `MPI_Type_vector(count, blocklen, stride)` layout.
+    ///
+    /// # Panics
+    ///
+    /// If `stride < blocklen` (blocks would overlap) or `blocklen == 0`
+    /// with a non-zero count.
+    pub fn vector(count: usize, blocklen: usize, stride: usize) -> Self {
+        assert!(
+            stride >= blocklen,
+            "layout stride {stride} must be >= blocklen {blocklen} (blocks may not overlap)"
+        );
+        assert!(
+            count == 0 || blocklen > 0,
+            "layout blocklen must be non-zero when count > 0"
+        );
+        Layout {
+            count,
+            blocklen,
+            stride,
+        }
+    }
+
+    /// A contiguous run of `len` elements (`stride == blocklen`).
+    pub fn contiguous(len: usize) -> Self {
+        Layout {
+            count: 1,
+            blocklen: len,
+            stride: len,
+        }
+    }
+
+    /// Elements that participate in the collective: `count * blocklen`.
+    pub fn packed_len(&self) -> usize {
+        self.count * self.blocklen
+    }
+
+    /// Elements the caller's buffer must span: the last block ends at
+    /// `(count - 1) * stride + blocklen`. Zero when `count == 0`.
+    pub fn extent(&self) -> usize {
+        if self.count == 0 {
+            0
+        } else {
+            (self.count - 1) * self.stride + self.blocklen
+        }
+    }
+
+    /// Whether the layout is a plain contiguous run (no gaps). Contiguous
+    /// layouts share the plans of un-layouted collectives.
+    pub fn is_contiguous(&self) -> bool {
+        self.count <= 1 || self.stride == self.blocklen
+    }
+
+    /// The same layout with every field scaled from elements to bytes.
+    pub fn scaled(&self, elem_size: usize) -> Layout {
+        Layout {
+            count: self.count,
+            blocklen: self.blocklen * elem_size,
+            stride: self.stride * elem_size,
+        }
+    }
+
+    /// Gather the blocks of `src` (an extent-length buffer, fields in
+    /// bytes) into `dst`, which is cleared first and ends up
+    /// `packed_len` bytes long.
+    pub fn pack_bytes(&self, src: &[u8], dst: &mut Vec<u8>) {
+        assert!(
+            src.len() >= self.extent(),
+            "pack source of {} B is shorter than the layout extent {} B",
+            src.len(),
+            self.extent()
+        );
+        dst.clear();
+        dst.reserve(self.packed_len());
+        for block in 0..self.count {
+            let start = block * self.stride;
+            dst.extend_from_slice(&src[start..start + self.blocklen]);
+        }
+    }
+
+    /// Scatter `src` (`packed_len` bytes) back into the blocks of `dst`
+    /// (an extent-length buffer, fields in bytes), leaving the gap bytes
+    /// untouched.
+    pub fn unpack_bytes(&self, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(
+            src.len(),
+            self.packed_len(),
+            "unpack source must be exactly the packed length"
+        );
+        assert!(
+            dst.len() >= self.extent(),
+            "unpack destination of {} B is shorter than the layout extent {} B",
+            dst.len(),
+            self.extent()
+        );
+        for block in 0..self.count {
+            let start = block * self.stride;
+            dst[start..start + self.blocklen]
+                .copy_from_slice(&src[block * self.blocklen..(block + 1) * self.blocklen]);
+        }
     }
 }
 
@@ -472,7 +780,7 @@ impl ReduceKernel {
             ReduceOp::Min => |acc, other| ReduceOp::Min.apply_bytes::<T>(acc, other),
         };
         ReduceKernel {
-            ident: ReduceIdent { dtype: T::ID, op },
+            ident: ReduceIdent::Builtin { dtype: T::ID, op },
             kernel,
         }
     }
@@ -484,7 +792,7 @@ impl ReduceKernel {
 
     /// Wire size of one element.
     pub fn elem_size(&self) -> usize {
-        self.ident.dtype.size()
+        self.ident.elem_size()
     }
 
     /// Combine `other` into `acc`.
@@ -507,15 +815,19 @@ impl ReduceKernel {
 /// The reduction operator as a collective request carries it.
 ///
 /// The normal path is [`Reduction::Typed`] — a monomorphized kernel whose
-/// identity keys the plan cache. [`Reduction::Opaque`] carries an arbitrary
-/// byte closure (plan recording substitutes one; tests build custom
-/// operators); it has no identity, so plans for opaque reductions are keyed
-/// by element size alone.
+/// identity keys the plan cache. [`Reduction::User`] borrows a registered
+/// [`Op`], whose minted id keys the cache instead. [`Reduction::Opaque`]
+/// carries an *anonymous* byte closure (plan recording substitutes one;
+/// tests build throwaway operators); it has no identity, so the dispatch
+/// layer never caches a plan for it — anonymous operators always take the
+/// direct-execute path rather than risk aliasing by element size.
 #[derive(Clone, Copy)]
 pub enum Reduction<'a> {
     /// A typed `(type, op)` kernel.
     Typed(ReduceKernel),
-    /// An opaque byte operator over `elem_size`-byte elements.
+    /// A registered user-defined operator.
+    User(&'a Op),
+    /// An anonymous byte operator over `elem_size`-byte elements.
     Opaque {
         /// Element size in bytes the closure assumes.
         elem_size: usize,
@@ -534,14 +846,18 @@ impl<'a> Reduction<'a> {
     pub fn elem_size(&self) -> usize {
         match self {
             Reduction::Typed(kernel) => kernel.elem_size(),
+            Reduction::User(op) => op.elem_size(),
             Reduction::Opaque { elem_size, .. } => *elem_size,
         }
     }
 
-    /// The `(type, op)` identity, if this reduction has one.
+    /// The plan-cache identity, if this reduction has one. Anonymous
+    /// [`Reduction::Opaque`] operators have none, which the dispatch layer
+    /// treats as "never cache".
     pub fn ident(&self) -> Option<ReduceIdent> {
         match self {
             Reduction::Typed(kernel) => Some(kernel.ident()),
+            Reduction::User(op) => Some(op.ident()),
             Reduction::Opaque { .. } => None,
         }
     }
@@ -550,6 +866,7 @@ impl<'a> Reduction<'a> {
     pub fn as_fn(&self) -> &ReduceFn<'_> {
         match self {
             Reduction::Typed(kernel) => kernel.as_fn(),
+            Reduction::User(op) => op.as_fn(),
             Reduction::Opaque { f, .. } => f,
         }
     }
@@ -559,6 +876,7 @@ impl std::fmt::Debug for Reduction<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Reduction::Typed(kernel) => f.debug_tuple("Typed").field(&kernel.ident()).finish(),
+            Reduction::User(op) => f.debug_tuple("User").field(op).finish(),
             Reduction::Opaque { elem_size, .. } => f
                 .debug_struct("Opaque")
                 .field("elem_size", elem_size)
@@ -716,7 +1034,7 @@ mod tests {
         let kernel = ReduceKernel::of::<f32>(ReduceOp::Sum);
         assert_eq!(
             kernel.ident(),
-            ReduceIdent {
+            ReduceIdent::Builtin {
                 dtype: DtypeId::F32,
                 op: ReduceOp::Sum
             }
@@ -746,7 +1064,7 @@ mod tests {
         assert_eq!(typed.elem_size(), 4);
         assert_eq!(
             typed.ident(),
-            Some(ReduceIdent {
+            Some(ReduceIdent::Builtin {
                 dtype: DtypeId::I32,
                 op: ReduceOp::Max
             })
@@ -765,6 +1083,88 @@ mod tests {
         let mut acc = vec![0b1010u8, 0xFF];
         (opaque.as_fn())(&mut acc, &[0b0110, 0x0F]);
         assert_eq!(acc, vec![0b1100, 0xF0]);
+    }
+
+    #[test]
+    fn user_ops_mint_distinct_identities() {
+        let a = Op::create(4, |acc, other| {
+            for (x, y) in acc.iter_mut().zip(other) {
+                *x = x.wrapping_add(*y);
+            }
+        });
+        let b = Op::of_typed::<u32>(|x, y| x.wrapping_add(y).wrapping_add(7));
+        assert_ne!(a.ident(), b.ident(), "each registration mints a fresh id");
+        assert_ne!(a.id(), 0, "id 0 never names a registered operator");
+        // Clones share identity (and therefore cached plans).
+        assert_eq!(a.ident(), a.clone().ident());
+        assert_eq!(a.elem_size(), 4);
+        assert_eq!(
+            a.ident(),
+            ReduceIdent::User {
+                id: a.id(),
+                elem_size: 4
+            }
+        );
+        // A user identity never equals a builtin of the same width.
+        assert_ne!(
+            a.ident(),
+            ReduceKernel::of::<f32>(ReduceOp::Sum).ident(),
+            "user ids and builtin (type, op) pairs live in disjoint key spaces"
+        );
+    }
+
+    #[test]
+    fn user_op_erased_forms_apply_the_closure() {
+        let op = Op::of_typed::<u32>(|x, y| x.wrapping_add(y).wrapping_add(10));
+        let mut acc = to_bytes(&[1u32, 2]);
+        op.apply(&mut acc, &to_bytes(&[5u32, 6]));
+        assert_eq!(from_bytes::<u32>(&acc), vec![16, 18]);
+        (op.as_fn())(&mut acc, &to_bytes(&[0u32, 0]));
+        (op.shared())(&mut acc, &to_bytes(&[1u32, 1]));
+        assert_eq!(from_bytes::<u32>(&acc), vec![37, 39]);
+        // And through the request-level view.
+        let red = op.reduction();
+        assert_eq!(red.elem_size(), 4);
+        assert_eq!(red.ident(), Some(op.ident()));
+    }
+
+    #[test]
+    fn layout_geometry_is_mpi_type_vector() {
+        let l = Layout::vector(3, 2, 5);
+        assert_eq!(l.packed_len(), 6);
+        assert_eq!(l.extent(), 12); // 2*5 + 2
+        assert!(!l.is_contiguous());
+        assert_eq!(l.scaled(8), Layout::vector(3, 16, 40));
+
+        assert!(Layout::contiguous(7).is_contiguous());
+        assert_eq!(Layout::contiguous(7).extent(), 7);
+        assert_eq!(Layout::contiguous(7).packed_len(), 7);
+        // stride == blocklen is the degenerate-contiguous edge.
+        assert!(Layout::vector(4, 3, 3).is_contiguous());
+        assert_eq!(Layout::vector(4, 3, 3).extent(), 12);
+        // count <= 1 is contiguous regardless of stride.
+        assert!(Layout::vector(1, 3, 9).is_contiguous());
+        assert_eq!(Layout::vector(1, 3, 9).extent(), 3);
+        assert_eq!(Layout::vector(0, 3, 9).extent(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "blocks may not overlap")]
+    fn layout_rejects_overlapping_blocks() {
+        let _ = Layout::vector(2, 4, 3);
+    }
+
+    #[test]
+    fn layout_pack_unpack_round_trips_and_preserves_gaps() {
+        let l = Layout::vector(3, 2, 4); // bytes: blocks at 0..2, 4..6, 8..10
+        let src: Vec<u8> = (0..10).collect();
+        let mut packed = Vec::new();
+        l.pack_bytes(&src, &mut packed);
+        assert_eq!(packed, vec![0, 1, 4, 5, 8, 9]);
+
+        let mut dst = vec![0xEEu8; 10];
+        l.unpack_bytes(&packed, &mut dst);
+        assert_eq!(dst, vec![0, 1, 0xEE, 0xEE, 4, 5, 0xEE, 0xEE, 8, 9]);
     }
 
     // --- release-profile pins -------------------------------------------

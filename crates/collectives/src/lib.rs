@@ -63,7 +63,9 @@ pub mod ring;
 pub mod scan;
 
 pub use comm::{Comm, NonBlockingComm, ReduceFn, ThreadComm, TraceComm};
-pub use datatype::{Datatype, DtypeId, ReduceIdent, ReduceKernel, ReduceOp, Reduction};
+pub use datatype::{
+    Datatype, DtypeId, Layout, Op, OwnedReduction, ReduceIdent, ReduceKernel, ReduceOp, Reduction,
+};
 pub use request::{ProgressEngine, ReqId, SharedReduceOp};
 
 /// Identifies a collective operation (used by the library presets and the

@@ -89,6 +89,14 @@ pub struct PlanCursor {
     pending_out: Vec<(usize, Vec<u8>)>,
     sendbuf: Option<Vec<u8>>,
     recvbuf: Option<Vec<u8>>,
+    /// The caller's original strided send buffer while `sendbuf` holds its
+    /// packed staging (`Some` only when the plan declares a send layout).
+    caller_send: Option<Vec<u8>>,
+    /// The caller's original strided receive buffer while `recvbuf` holds
+    /// its packed staging; unpacked back (gaps preserved) when the program
+    /// drains, so [`PlanCursor::into_output`] always returns the caller's
+    /// extent-length buffers.
+    caller_recv: Option<Vec<u8>>,
     /// Scratch-buffer pool; shared with the communicator (and hence every
     /// other cursor and the blocking executor of the same rank), so repeat
     /// invocations reuse each other's buffers — see
@@ -150,14 +158,20 @@ impl PlanCursor {
             Fidelity::Exec,
             "schedule-fidelity plans cannot be executed"
         );
+        // When a layout is present the caller's buffer spans the layout
+        // extent; otherwise it is exactly the packed length the plan was
+        // recorded with.
+        let expect_send = if plan.io.inout { None } else { plan.io.sendbuf };
         assert_eq!(
             sendbuf.as_ref().map(Vec::len),
-            if plan.io.inout { None } else { plan.io.sendbuf },
+            expect_send.map(|len| plan.io.send_layout.map_or(len, |l| l.extent())),
             "send buffer does not match the plan's shape"
         );
         assert_eq!(
             recvbuf.as_ref().map(Vec::len),
-            plan.io.recvbuf,
+            plan.io
+                .recvbuf
+                .map(|len| plan.io.recv_layout.map_or(len, |l| l.extent())),
             "receive buffer does not match the plan's shape"
         );
         // The tag-range split is a property of the *plan*, fixed when the
@@ -183,6 +197,33 @@ impl PlanCursor {
                 "plan tag offset {max_tag} collides with the barrier tag range"
             );
         }
+        // Pack strided caller buffers into contiguous staging: the plan body
+        // was recorded against packed bytes and never sees a gap byte. The
+        // originals are stashed and restored (with staged output unpacked
+        // into them) when the program drains.
+        let mut sendbuf = sendbuf;
+        let mut recvbuf = recvbuf;
+        let mut caller_send = None;
+        let mut caller_recv = None;
+        {
+            let mut pool = arena.borrow_mut();
+            if let Some(layout) = plan.io.send_layout {
+                if let Some(buf) = sendbuf.take() {
+                    let mut stage = pool.acquire(layout.packed_len());
+                    layout.pack_bytes(&buf, &mut stage);
+                    caller_send = Some(buf);
+                    sendbuf = Some(stage);
+                }
+            }
+            if let Some(layout) = plan.io.recv_layout {
+                if let Some(buf) = recvbuf.take() {
+                    let mut stage = pool.acquire(layout.packed_len());
+                    layout.pack_bytes(&buf, &mut stage);
+                    caller_recv = Some(buf);
+                    recvbuf = Some(stage);
+                }
+            }
+        }
         let names = plan.names.iter().map(|n| format!("pl{tag}.{n}")).collect();
         let vals = vec![None; plan.val_lens.len()];
         Self {
@@ -194,6 +235,8 @@ impl PlanCursor {
             pending_out: Vec::new(),
             sendbuf,
             recvbuf,
+            caller_send,
+            caller_recv,
             arena,
             barrier: BarrierPhase::Idle,
             barriers_done: 0,
@@ -285,6 +328,21 @@ impl PlanCursor {
             if let Some(buf) = slot.take() {
                 arena.release(buf);
             }
+        }
+        // Unpack staged strided output back into the caller's buffer (gap
+        // bytes preserved) and restore the originals, so `into_output`
+        // returns the caller's extent-length buffers.
+        if let Some(mut buf) = self.caller_recv.take() {
+            let layout = self.plan.io.recv_layout.expect("staging implies a layout");
+            let stage = self.recvbuf.take().expect("staged receive buffer");
+            layout.unpack_bytes(&stage, &mut buf);
+            arena.release(stage);
+            self.recvbuf = Some(buf);
+        }
+        if let Some(buf) = self.caller_send.take() {
+            let stage = self.sendbuf.take().expect("staged send buffer");
+            arena.release(stage);
+            self.sendbuf = Some(buf);
         }
         drop(arena);
         self.finished = true;
@@ -507,8 +565,7 @@ mod tests {
             IoShape {
                 sendbuf: Some(4),
                 recvbuf: Some(4),
-                inout: false,
-                needs_reduce_op: false,
+                ..IoShape::default()
             },
             passes,
         )

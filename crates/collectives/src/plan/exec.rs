@@ -130,20 +130,45 @@ pub fn execute_rank_plan_reusing<C: Comm>(
         plan.topology,
         "plan compiled for a different topology"
     );
-    let PlanIo { sendbuf, recvbuf } = io;
+    let PlanIo {
+        sendbuf,
+        mut recvbuf,
+    } = io;
+    // When a layout is present the caller's buffer spans the layout extent;
+    // otherwise it is exactly the packed length the plan was recorded with.
+    let expect_send = if plan.io.inout { None } else { plan.io.sendbuf };
     assert_eq!(
         sendbuf.map(<[u8]>::len),
-        if plan.io.inout { None } else { plan.io.sendbuf },
+        expect_send.map(|len| plan.io.send_layout.map_or(len, |l| l.extent())),
         "send buffer does not match the plan's shape"
     );
     assert_eq!(
         recvbuf.as_deref().map(<[u8]>::len),
-        plan.io.recvbuf,
+        plan.io
+            .recvbuf
+            .map(|len| plan.io.recv_layout.map_or(len, |l| l.extent())),
         "receive buffer does not match the plan's shape"
     );
     if plan.io.needs_reduce_op {
         assert!(op.is_some(), "plan requires a reduction operator");
     }
+
+    // Pack strided caller buffers into contiguous scratch: the plan body was
+    // recorded against packed bytes and never sees a gap byte.
+    let mut send_stage: Option<Vec<u8>> = None;
+    if let (Some(layout), Some(buf)) = (plan.io.send_layout, sendbuf) {
+        let mut stage = arena.acquire(layout.packed_len());
+        layout.pack_bytes(buf, &mut stage);
+        send_stage = Some(stage);
+    }
+    let mut recv_stage: Option<Vec<u8>> = None;
+    if let (Some(layout), Some(buf)) = (plan.io.recv_layout, recvbuf.as_deref()) {
+        let mut stage = arena.acquire(layout.packed_len());
+        layout.pack_bytes(buf, &mut stage);
+        recv_stage = Some(stage);
+    }
+    let sendbuf = send_stage.as_deref().or(sendbuf);
+    let recv_view = recv_stage.as_deref().or(recvbuf.as_deref());
 
     // Per-invocation namespace for shared regions: deterministic across
     // ranks (every rank derives the same instance name from the same
@@ -162,7 +187,7 @@ pub fn execute_rank_plan_reusing<C: Comm>(
             }
             PlanOp::SharedPublish { name, src } => {
                 let mut data = arena.acquire(src.len());
-                materialize_into(&mut data, src, &plan.io, sendbuf, recvbuf.as_deref(), &vals);
+                materialize_into(&mut data, src, &plan.io, sendbuf, recv_view, &vals);
                 comm.shared_publish(&names[*name as usize], &data);
                 arena.release(data);
             }
@@ -178,7 +203,7 @@ pub fn execute_rank_plan_reusing<C: Comm>(
                 src,
             } => {
                 let mut data = arena.acquire(src.len());
-                materialize_into(&mut data, src, &plan.io, sendbuf, recvbuf.as_deref(), &vals);
+                materialize_into(&mut data, src, &plan.io, sendbuf, recv_view, &vals);
                 comm.shared_write(*owner_local, &names[*name as usize], *offset, &data);
                 arena.release(data);
             }
@@ -201,7 +226,7 @@ pub fn execute_rank_plan_reusing<C: Comm>(
             }
             PlanOp::Send { dest, tag: t, src } => {
                 let mut data = arena.acquire(src.len());
-                materialize_into(&mut data, src, &plan.io, sendbuf, recvbuf.as_deref(), &vals);
+                materialize_into(&mut data, src, &plan.io, sendbuf, recv_view, &vals);
                 // The buffer moves into the fabric and on to the peer, whose
                 // receive will feed it into *its* arena.
                 comm.send_owned(*dest, tag + t, data);
@@ -252,23 +277,9 @@ pub fn execute_rank_plan_reusing<C: Comm>(
             PlanOp::NodeBarrier => comm.node_barrier(),
             PlanOp::Reduce { dst, acc, other } => {
                 let mut acc_bytes = arena.acquire(acc.len());
-                materialize_into(
-                    &mut acc_bytes,
-                    acc,
-                    &plan.io,
-                    sendbuf,
-                    recvbuf.as_deref(),
-                    &vals,
-                );
+                materialize_into(&mut acc_bytes, acc, &plan.io, sendbuf, recv_view, &vals);
                 let mut other_bytes = arena.acquire(other.len());
-                materialize_into(
-                    &mut other_bytes,
-                    other,
-                    &plan.io,
-                    sendbuf,
-                    recvbuf.as_deref(),
-                    &vals,
-                );
+                materialize_into(&mut other_bytes, other, &plan.io, sendbuf, recv_view, &vals);
                 let op = op.expect("plan requires a reduction operator");
                 op(&mut acc_bytes, &other_bytes);
                 arena.release(other_bytes);
@@ -276,7 +287,7 @@ pub fn execute_rank_plan_reusing<C: Comm>(
             }
             PlanOp::CopyOut { offset, src } => {
                 let mut data = arena.acquire(src.len());
-                materialize_into(&mut data, src, &plan.io, sendbuf, recvbuf.as_deref(), &vals);
+                materialize_into(&mut data, src, &plan.io, sendbuf, recv_view, &vals);
                 pending_out.push((*offset, data));
             }
             PlanOp::ChargeCopy { bytes } => comm.charge_copy(*bytes),
@@ -286,11 +297,24 @@ pub fn execute_rank_plan_reusing<C: Comm>(
     }
 
     if !pending_out.is_empty() {
-        let out = recvbuf.expect("receive buffer present");
+        let out: &mut [u8] = match recv_stage.as_mut() {
+            Some(stage) => stage,
+            None => recvbuf.as_deref_mut().expect("receive buffer present"),
+        };
         for (offset, data) in pending_out {
             out[offset..offset + data.len()].copy_from_slice(&data);
             arena.release(data);
         }
+    }
+    // Scatter staged output back into the caller's strided buffer, leaving
+    // the gap bytes untouched, and return the scratch to the arena.
+    if let Some(stage) = recv_stage.take() {
+        let layout = plan.io.recv_layout.expect("recv staging implies a layout");
+        layout.unpack_bytes(&stage, recvbuf.expect("receive buffer present"));
+        arena.release(stage);
+    }
+    if let Some(stage) = send_stage.take() {
+        arena.release(stage);
     }
     for slot in &mut vals {
         if let Some(buf) = slot.take() {
@@ -331,8 +355,7 @@ mod tests {
                 IoShape {
                     sendbuf: Some(4),
                     recvbuf: Some(4),
-                    inout: false,
-                    needs_reduce_op: false,
+                    ..IoShape::default()
                 },
                 passes,
             )
@@ -393,6 +416,7 @@ mod tests {
                     recvbuf: Some(8),
                     inout: true,
                     needs_reduce_op: true,
+                    ..IoShape::default()
                 },
                 passes,
             )
@@ -450,8 +474,7 @@ mod tests {
                 IoShape {
                     sendbuf: Some(2),
                     recvbuf: Some(4),
-                    inout: false,
-                    needs_reduce_op: false,
+                    ..IoShape::default()
                 },
                 passes,
             )
@@ -509,8 +532,7 @@ mod tests {
                 IoShape {
                     sendbuf: Some(8),
                     recvbuf: Some(8),
-                    inout: false,
-                    needs_reduce_op: false,
+                    ..IoShape::default()
                 },
                 passes,
             )

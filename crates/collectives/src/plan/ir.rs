@@ -283,13 +283,19 @@ pub enum PlanOp {
 }
 
 /// Buffer shapes a plan expects from its caller.
+///
+/// `sendbuf`/`recvbuf` are always the **packed** lengths the plan's ops were
+/// recorded against. When a layout is present, the *caller's* buffer spans
+/// the layout extent instead; the executor packs it into packed-length
+/// scratch before replay and unpacks afterwards, so the plan body never sees
+/// a gap byte.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IoShape {
-    /// Required send-buffer length (`None`: no send buffer, e.g. a non-root
-    /// scatter rank).
+    /// Required send-buffer length in packed bytes (`None`: no send buffer,
+    /// e.g. a non-root scatter rank).
     pub sendbuf: Option<usize>,
-    /// Required receive-buffer length (`None`: no receive buffer, e.g. a
-    /// non-root gather rank).
+    /// Required receive-buffer length in packed bytes (`None`: no receive
+    /// buffer, e.g. a non-root gather rank).
     pub recvbuf: Option<usize>,
     /// The send and receive buffer are the *same* caller buffer (bcast,
     /// allreduce).  The executor then reads [`SrcSeg::SendBuf`] from the
@@ -297,6 +303,13 @@ pub struct IoShape {
     pub inout: bool,
     /// The plan contains [`PlanOp::Reduce`] and needs a reduction operator.
     pub needs_reduce_op: bool,
+    /// Strided layout of the caller's send buffer, in **bytes**
+    /// ([`crate::datatype::Layout::scaled`]). `None`: contiguous.
+    pub send_layout: Option<crate::datatype::Layout>,
+    /// Strided layout of the caller's receive buffer, in **bytes**.
+    /// `None`: contiguous. For `inout` plans this is the layout of the
+    /// single caller buffer.
+    pub recv_layout: Option<crate::datatype::Layout>,
 }
 
 /// Problems detected by plan validation.
@@ -722,8 +735,7 @@ mod tests {
             io: IoShape {
                 sendbuf: Some(4),
                 recvbuf: Some(8),
-                inout: false,
-                needs_reduce_op: false,
+                ..IoShape::default()
             },
             names: vec!["r_0".to_string()],
             val_lens: vec![4],

@@ -874,8 +874,7 @@ mod tests {
         let io = IoShape {
             sendbuf: Some(4),
             recvbuf: Some(4),
-            inout: false,
-            needs_reduce_op: false,
+            ..IoShape::default()
         };
         let plan = assemble(0, topo, Fidelity::Exec, io, passes);
         assert_eq!(plan.ops.len(), 4);
@@ -938,6 +937,7 @@ mod tests {
             recvbuf: Some(8),
             inout: true,
             needs_reduce_op: true,
+            ..IoShape::default()
         };
         let plan = assemble(0, topo, Fidelity::Exec, io, passes);
         // Recv, Reduce, ChargeReduce, Send, CopyOut.

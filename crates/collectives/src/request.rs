@@ -34,7 +34,9 @@ pub type SharedReduceOp = Rc<ReduceFn<'static>>;
 /// output parked.
 enum Slot {
     Running {
-        cursor: PlanCursor,
+        // Boxed: a cursor (plan handle, buffers, staging) dwarfs the
+        // parked output, and slots outlive many step() passes.
+        cursor: Box<PlanCursor>,
         op: Option<SharedReduceOp>,
     },
     Finished(CursorOutput),
@@ -71,7 +73,13 @@ impl ProgressEngine {
         );
         let id = self.next_id;
         self.next_id += 1;
-        self.slots.push((id, Slot::Running { cursor, op }));
+        self.slots.push((
+            id,
+            Slot::Running {
+                cursor: Box::new(cursor),
+                op,
+            },
+        ));
         id
     }
 
@@ -171,8 +179,7 @@ mod tests {
             IoShape {
                 sendbuf: Some(2),
                 recvbuf: Some(2),
-                inout: false,
-                needs_reduce_op: false,
+                ..IoShape::default()
             },
             passes,
         ))

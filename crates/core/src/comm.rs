@@ -24,7 +24,9 @@ use pip_collectives::request::{ProgressEngine, ReqId, SharedReduceOp};
 use pip_mpi_model::{dispatch, CollectiveRequest, LibraryProfile, OwnedCollective, PlanCache};
 use pip_runtime::{TaskCtx, Topology};
 
-use crate::datatype::{from_bytes, to_bytes, Datatype, ReduceKernel, ReduceOp, Reduction};
+use crate::datatype::{
+    from_bytes, to_bytes, Datatype, Layout, Op, OwnedReduction, ReduceKernel, ReduceOp, Reduction,
+};
 
 /// Tag space reserved for each collective invocation (rounds and phases are
 /// encoded in the low bits).
@@ -163,6 +165,103 @@ impl<'a> Communicator<'a> {
     }
 
     // ------------------------------------------------------------------
+    // Strided (derived-datatype) point-to-point
+    // ------------------------------------------------------------------
+    //
+    // The `MPI_Type_vector` analogues: a [`Layout`] names which elements of
+    // the caller's buffer travel, the wire always carries the packed form.
+    // A strided send matches a contiguous `recv` of `layout.packed_len()`
+    // elements and vice versa, exactly as MPI datatypes match by type
+    // signature rather than by layout.
+
+    /// Send the `layout`-selected elements of `data` (which spans
+    /// `layout.extent()` elements) to `dest`; the wire carries the
+    /// `layout.packed_len()` selected elements contiguously.
+    pub fn send_strided<T: Datatype>(&self, dest: usize, tag: u64, data: &[T], layout: Layout) {
+        assert_eq!(
+            data.len(),
+            layout.extent(),
+            "send buffer must span the layout's extent"
+        );
+        let bytes = to_bytes(data);
+        let mut packed = Vec::new();
+        layout.scaled(T::SIZE).pack_bytes(&bytes, &mut packed);
+        self.inner.send(dest, P2P_TAG_BASE + tag, &packed);
+    }
+
+    /// Receive `layout.packed_len()` elements from `source` and scatter
+    /// them into the `layout`-selected positions of `buf` (which spans
+    /// `layout.extent()` elements); gap elements are left untouched.
+    pub fn recv_strided<T: Datatype>(
+        &self,
+        source: usize,
+        tag: u64,
+        layout: Layout,
+        buf: &mut [T],
+    ) {
+        assert_eq!(
+            buf.len(),
+            layout.extent(),
+            "receive buffer must span the layout's extent"
+        );
+        let byte_layout = layout.scaled(T::SIZE);
+        let packed = self
+            .inner
+            .recv(source, P2P_TAG_BASE + tag, byte_layout.packed_len());
+        let mut bytes = to_bytes(buf);
+        byte_layout.unpack_bytes(&packed, &mut bytes);
+        for (value, chunk) in buf.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
+            *value = T::read_le(chunk);
+        }
+    }
+
+    /// Combined strided send and receive: ship the `send_layout`-selected
+    /// elements of `send_data` to `dest` while scattering the incoming
+    /// packed block from `source` into the `recv_layout`-selected positions
+    /// of `recv_buf`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sendrecv_strided<T: Datatype>(
+        &self,
+        dest: usize,
+        send_data: &[T],
+        send_layout: Layout,
+        source: usize,
+        recv_layout: Layout,
+        recv_buf: &mut [T],
+        tag: u64,
+    ) {
+        assert_eq!(
+            send_data.len(),
+            send_layout.extent(),
+            "send buffer must span the layout's extent"
+        );
+        assert_eq!(
+            recv_buf.len(),
+            recv_layout.extent(),
+            "receive buffer must span the layout's extent"
+        );
+        let send_bytes = to_bytes(send_data);
+        let mut packed = Vec::new();
+        send_layout
+            .scaled(T::SIZE)
+            .pack_bytes(&send_bytes, &mut packed);
+        let recv_byte_layout = recv_layout.scaled(T::SIZE);
+        let incoming = self.inner.sendrecv(
+            dest,
+            P2P_TAG_BASE + tag,
+            &packed,
+            source,
+            P2P_TAG_BASE + tag,
+            recv_byte_layout.packed_len(),
+        );
+        let mut bytes = to_bytes(recv_buf);
+        recv_byte_layout.unpack_bytes(&incoming, &mut bytes);
+        for (value, chunk) in recv_buf.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
+            *value = T::read_le(chunk);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Collectives
     // ------------------------------------------------------------------
 
@@ -231,6 +330,7 @@ impl<'a> Communicator<'a> {
         self.collective(CollectiveRequest::Allreduce {
             buf: &mut bytes,
             op: Reduction::typed::<T>(op),
+            layout: None,
         });
         for (value, chunk) in buf.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
             *value = T::read_le(chunk);
@@ -293,6 +393,147 @@ impl<'a> Communicator<'a> {
         self.collective(CollectiveRequest::Exscan {
             buf: &mut bytes,
             op: Reduction::typed::<T>(op),
+        });
+        for (value, chunk) in buf.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
+            *value = T::read_le(chunk);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // User-defined operators (MPI_Op_create) and derived datatypes
+    // ------------------------------------------------------------------
+    //
+    // A registered [`Op`] carries a process-unique identity minted at
+    // [`Op::create`] time, so collectives run with it share plan-cache
+    // entries with each other but never with a different operator of the
+    // same element width.  The operator must be **associative and
+    // commutative** over the serialized little-endian element bytes — the
+    // algorithms combine contributions in topology-dependent order.
+
+    /// Check a user operator against the element type it is applied to.
+    fn check_op<T: Datatype>(op: &Op) {
+        assert_eq!(
+            op.elem_size(),
+            T::SIZE,
+            "operator element size ({}) must match the datatype width ({})",
+            op.elem_size(),
+            T::SIZE,
+        );
+    }
+
+    /// [`Communicator::allreduce`] with a registered user operator; `buf`
+    /// holds the reduced vector on return at every rank.
+    ///
+    /// Non-blocking and persistent variants: [`Communicator::iallreduce_op`]
+    /// and [`Communicator::allreduce_op_init`].
+    pub fn allreduce_op<T: Datatype>(&self, buf: &mut [T], op: &Op) {
+        Self::check_op::<T>(op);
+        let mut bytes = to_bytes(buf);
+        self.collective(CollectiveRequest::Allreduce {
+            buf: &mut bytes,
+            op: Reduction::User(op),
+            layout: None,
+        });
+        for (value, chunk) in buf.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
+            *value = T::read_le(chunk);
+        }
+    }
+
+    /// [`Communicator::reduce`] with a registered user operator.
+    pub fn reduce_op<T: Datatype>(&self, send: &[T], op: &Op, root: usize) -> Option<Vec<T>> {
+        Self::check_op::<T>(op);
+        let sendbuf = to_bytes(send);
+        let is_root = self.rank() == root;
+        let mut recvbuf = is_root.then(|| vec![0u8; sendbuf.len()]);
+        self.collective(CollectiveRequest::Reduce {
+            sendbuf: &sendbuf,
+            recvbuf: recvbuf.as_deref_mut(),
+            root,
+            op: Reduction::User(op),
+        });
+        recvbuf.map(|bytes| from_bytes(&bytes))
+    }
+
+    /// [`Communicator::reduce_scatter`] with a registered user operator.
+    pub fn reduce_scatter_op<T: Datatype>(&self, send: &[T], count: usize, op: &Op) -> Vec<T> {
+        Self::check_op::<T>(op);
+        assert_eq!(
+            send.len(),
+            count * self.size(),
+            "sendbuf must hold count * size elements"
+        );
+        let sendbuf = to_bytes(send);
+        let mut recvbuf = vec![0u8; count * T::SIZE];
+        self.collective(CollectiveRequest::ReduceScatter {
+            sendbuf: &sendbuf,
+            recvbuf: &mut recvbuf,
+            op: Reduction::User(op),
+        });
+        from_bytes(&recvbuf)
+    }
+
+    /// [`Communicator::scan`] with a registered user operator.
+    pub fn scan_op<T: Datatype>(&self, buf: &mut [T], op: &Op) {
+        Self::check_op::<T>(op);
+        let mut bytes = to_bytes(buf);
+        self.collective(CollectiveRequest::Scan {
+            buf: &mut bytes,
+            op: Reduction::User(op),
+        });
+        for (value, chunk) in buf.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
+            *value = T::read_le(chunk);
+        }
+    }
+
+    /// [`Communicator::exscan`] with a registered user operator (rank 0's
+    /// buffer is left untouched).
+    pub fn exscan_op<T: Datatype>(&self, buf: &mut [T], op: &Op) {
+        Self::check_op::<T>(op);
+        let mut bytes = to_bytes(buf);
+        self.collective(CollectiveRequest::Exscan {
+            buf: &mut bytes,
+            op: Reduction::User(op),
+        });
+        for (value, chunk) in buf.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
+            *value = T::read_le(chunk);
+        }
+    }
+
+    /// [`Communicator::allreduce`] over a strided buffer: only the
+    /// `layout`-selected elements of `buf` (which spans `layout.extent()`
+    /// elements) participate; gap elements are left untouched at every
+    /// rank.  The layout is part of the plan-cache key, so a strided and a
+    /// contiguous allreduce of equal packed size never share a plan.
+    pub fn allreduce_strided<T: Datatype>(&self, buf: &mut [T], layout: Layout, op: ReduceOp) {
+        assert_eq!(
+            buf.len(),
+            layout.extent(),
+            "buffer must span the layout's extent"
+        );
+        let mut bytes = to_bytes(buf);
+        self.collective(CollectiveRequest::Allreduce {
+            buf: &mut bytes,
+            op: Reduction::typed::<T>(op),
+            layout: Some(layout),
+        });
+        for (value, chunk) in buf.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
+            *value = T::read_le(chunk);
+        }
+    }
+
+    /// [`Communicator::allreduce_strided`] with a registered user operator.
+    pub fn allreduce_strided_op<T: Datatype>(&self, buf: &mut [T], layout: Layout, op: &Op) {
+        Self::check_op::<T>(op);
+        assert_eq!(
+            buf.len(),
+            layout.extent(),
+            "buffer must span the layout's extent"
+        );
+        let mut bytes = to_bytes(buf);
+        self.collective(CollectiveRequest::Allreduce {
+            buf: &mut bytes,
+            op: Reduction::User(op),
+            layout: Some(layout),
         });
         for (value, chunk) in buf.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
             *value = T::read_le(chunk);
@@ -532,7 +773,8 @@ impl<'a> Communicator<'a> {
         self.submit_request(
             OwnedCollective::Allreduce {
                 buf: to_bytes(buf),
-                kernel,
+                op: OwnedReduction::Typed(kernel),
+                layout: None,
             },
             Some(kernel.shared()),
             Box::new(|recv| from_bytes(&recv.expect("allreduce binds an in/out buffer"))),
@@ -552,7 +794,7 @@ impl<'a> Communicator<'a> {
             OwnedCollective::Reduce {
                 sendbuf: to_bytes(send),
                 root,
-                kernel,
+                op: OwnedReduction::Typed(kernel),
             },
             Some(kernel.shared()),
             Box::new(|recv| recv.map(|bytes| from_bytes(&bytes))),
@@ -577,7 +819,7 @@ impl<'a> Communicator<'a> {
         self.submit_request(
             OwnedCollective::ReduceScatter {
                 sendbuf: to_bytes(send),
-                kernel,
+                op: OwnedReduction::Typed(kernel),
             },
             Some(kernel.shared()),
             Box::new(|recv| from_bytes(&recv.expect("reduce_scatter binds a receive buffer"))),
@@ -591,7 +833,7 @@ impl<'a> Communicator<'a> {
         self.submit_request(
             OwnedCollective::Scan {
                 buf: to_bytes(buf),
-                kernel,
+                op: OwnedReduction::Typed(kernel),
             },
             Some(kernel.shared()),
             Box::new(|recv| from_bytes(&recv.expect("scan binds an in/out buffer"))),
@@ -605,7 +847,7 @@ impl<'a> Communicator<'a> {
         self.submit_request(
             OwnedCollective::Exscan {
                 buf: to_bytes(buf),
-                kernel,
+                op: OwnedReduction::Typed(kernel),
             },
             Some(kernel.shared()),
             Box::new(|recv| from_bytes(&recv.expect("exscan binds an in/out buffer"))),
@@ -622,6 +864,115 @@ impl<'a> Communicator<'a> {
             },
             None,
             Box::new(|recv| from_bytes(&recv.expect("alltoall binds a receive buffer"))),
+        )
+    }
+
+    /// Non-blocking [`Communicator::allreduce_op`]: `wait` yields the
+    /// vector reduced with the registered user operator.
+    pub fn iallreduce_op<T: Datatype>(&self, buf: &[T], op: &Op) -> CollRequest<'_, Vec<T>> {
+        Self::check_op::<T>(op);
+        self.submit_request(
+            OwnedCollective::Allreduce {
+                buf: to_bytes(buf),
+                op: OwnedReduction::User(op.clone()),
+                layout: None,
+            },
+            Some(op.shared()),
+            Box::new(|recv| from_bytes(&recv.expect("allreduce binds an in/out buffer"))),
+        )
+    }
+
+    /// Non-blocking [`Communicator::reduce_op`]: `wait` yields `Some` of
+    /// the combination at the root, `None` elsewhere.
+    pub fn ireduce_op<T: Datatype>(
+        &self,
+        send: &[T],
+        op: &Op,
+        root: usize,
+    ) -> CollRequest<'_, Option<Vec<T>>> {
+        Self::check_op::<T>(op);
+        self.submit_request(
+            OwnedCollective::Reduce {
+                sendbuf: to_bytes(send),
+                root,
+                op: OwnedReduction::User(op.clone()),
+            },
+            Some(op.shared()),
+            Box::new(|recv| recv.map(|bytes| from_bytes(&bytes))),
+        )
+    }
+
+    /// Non-blocking [`Communicator::reduce_scatter_op`].
+    pub fn ireduce_scatter_op<T: Datatype>(
+        &self,
+        send: &[T],
+        count: usize,
+        op: &Op,
+    ) -> CollRequest<'_, Vec<T>> {
+        Self::check_op::<T>(op);
+        assert_eq!(
+            send.len(),
+            count * self.size(),
+            "sendbuf must hold count * size elements"
+        );
+        self.submit_request(
+            OwnedCollective::ReduceScatter {
+                sendbuf: to_bytes(send),
+                op: OwnedReduction::User(op.clone()),
+            },
+            Some(op.shared()),
+            Box::new(|recv| from_bytes(&recv.expect("reduce_scatter binds a receive buffer"))),
+        )
+    }
+
+    /// Non-blocking [`Communicator::scan_op`].
+    pub fn iscan_op<T: Datatype>(&self, buf: &[T], op: &Op) -> CollRequest<'_, Vec<T>> {
+        Self::check_op::<T>(op);
+        self.submit_request(
+            OwnedCollective::Scan {
+                buf: to_bytes(buf),
+                op: OwnedReduction::User(op.clone()),
+            },
+            Some(op.shared()),
+            Box::new(|recv| from_bytes(&recv.expect("scan binds an in/out buffer"))),
+        )
+    }
+
+    /// Non-blocking [`Communicator::exscan_op`].
+    pub fn iexscan_op<T: Datatype>(&self, buf: &[T], op: &Op) -> CollRequest<'_, Vec<T>> {
+        Self::check_op::<T>(op);
+        self.submit_request(
+            OwnedCollective::Exscan {
+                buf: to_bytes(buf),
+                op: OwnedReduction::User(op.clone()),
+            },
+            Some(op.shared()),
+            Box::new(|recv| from_bytes(&recv.expect("exscan binds an in/out buffer"))),
+        )
+    }
+
+    /// Non-blocking [`Communicator::allreduce_strided`]: `wait` yields the
+    /// full extent-length vector with the gap elements as submitted.
+    pub fn iallreduce_strided<T: Datatype>(
+        &self,
+        buf: &[T],
+        layout: Layout,
+        op: ReduceOp,
+    ) -> CollRequest<'_, Vec<T>> {
+        assert_eq!(
+            buf.len(),
+            layout.extent(),
+            "buffer must span the layout's extent"
+        );
+        let kernel = ReduceKernel::of::<T>(op);
+        self.submit_request(
+            OwnedCollective::Allreduce {
+                buf: to_bytes(buf),
+                op: OwnedReduction::Typed(kernel),
+                layout: Some(layout),
+            },
+            Some(kernel.shared()),
+            Box::new(|recv| from_bytes(&recv.expect("allreduce binds an in/out buffer"))),
         )
     }
 
@@ -732,7 +1083,8 @@ impl<'a> Communicator<'a> {
         self.init_persistent(
             OwnedCollective::Allreduce {
                 buf: to_bytes(buf),
-                kernel,
+                op: OwnedReduction::Typed(kernel),
+                layout: None,
             },
             Some(kernel.shared()),
             Box::new(|recv| from_bytes(recv.expect("allreduce binds an in/out buffer"))),
@@ -752,7 +1104,7 @@ impl<'a> Communicator<'a> {
             OwnedCollective::Reduce {
                 sendbuf: to_bytes(send),
                 root,
-                kernel,
+                op: OwnedReduction::Typed(kernel),
             },
             Some(kernel.shared()),
             Box::new(|recv| recv.map(from_bytes)),
@@ -776,7 +1128,7 @@ impl<'a> Communicator<'a> {
         self.init_persistent(
             OwnedCollective::ReduceScatter {
                 sendbuf: to_bytes(send),
-                kernel,
+                op: OwnedReduction::Typed(kernel),
             },
             Some(kernel.shared()),
             Box::new(|recv| from_bytes(recv.expect("reduce_scatter binds a receive buffer"))),
@@ -789,7 +1141,7 @@ impl<'a> Communicator<'a> {
         self.init_persistent(
             OwnedCollective::Scan {
                 buf: to_bytes(buf),
-                kernel,
+                op: OwnedReduction::Typed(kernel),
             },
             Some(kernel.shared()),
             Box::new(|recv| from_bytes(recv.expect("scan binds an in/out buffer"))),
@@ -803,10 +1155,122 @@ impl<'a> Communicator<'a> {
         self.init_persistent(
             OwnedCollective::Exscan {
                 buf: to_bytes(buf),
-                kernel,
+                op: OwnedReduction::Typed(kernel),
             },
             Some(kernel.shared()),
             Box::new(|recv| from_bytes(recv.expect("exscan binds an in/out buffer"))),
+        )
+    }
+
+    /// Persistent [`Communicator::allreduce_op`] with a registered user
+    /// operator.
+    pub fn allreduce_op_init<T: Datatype>(&self, buf: &[T], op: &Op) -> PersistentColl<'_, Vec<T>> {
+        Self::check_op::<T>(op);
+        self.init_persistent(
+            OwnedCollective::Allreduce {
+                buf: to_bytes(buf),
+                op: OwnedReduction::User(op.clone()),
+                layout: None,
+            },
+            Some(op.shared()),
+            Box::new(|recv| from_bytes(recv.expect("allreduce binds an in/out buffer"))),
+        )
+    }
+
+    /// Persistent [`Communicator::reduce_op`] to `root` with a registered
+    /// user operator; `wait` yields `Some` at the root, `None` elsewhere.
+    pub fn reduce_op_init<T: Datatype>(
+        &self,
+        send: &[T],
+        op: &Op,
+        root: usize,
+    ) -> PersistentColl<'_, Option<Vec<T>>> {
+        Self::check_op::<T>(op);
+        self.init_persistent(
+            OwnedCollective::Reduce {
+                sendbuf: to_bytes(send),
+                root,
+                op: OwnedReduction::User(op.clone()),
+            },
+            Some(op.shared()),
+            Box::new(|recv| recv.map(from_bytes)),
+        )
+    }
+
+    /// Persistent [`Communicator::reduce_scatter_op`] with a registered
+    /// user operator (one pinned block of `count` elements per rank).
+    pub fn reduce_scatter_op_init<T: Datatype>(
+        &self,
+        send: &[T],
+        count: usize,
+        op: &Op,
+    ) -> PersistentColl<'_, Vec<T>> {
+        Self::check_op::<T>(op);
+        assert_eq!(
+            send.len(),
+            count * self.size(),
+            "sendbuf must hold count * size elements"
+        );
+        self.init_persistent(
+            OwnedCollective::ReduceScatter {
+                sendbuf: to_bytes(send),
+                op: OwnedReduction::User(op.clone()),
+            },
+            Some(op.shared()),
+            Box::new(|recv| from_bytes(recv.expect("reduce_scatter binds a receive buffer"))),
+        )
+    }
+
+    /// Persistent [`Communicator::scan_op`] with a registered user operator.
+    pub fn scan_op_init<T: Datatype>(&self, buf: &[T], op: &Op) -> PersistentColl<'_, Vec<T>> {
+        Self::check_op::<T>(op);
+        self.init_persistent(
+            OwnedCollective::Scan {
+                buf: to_bytes(buf),
+                op: OwnedReduction::User(op.clone()),
+            },
+            Some(op.shared()),
+            Box::new(|recv| from_bytes(recv.expect("scan binds an in/out buffer"))),
+        )
+    }
+
+    /// Persistent [`Communicator::exscan_op`] with a registered user
+    /// operator (rank 0 gets its pinned input back on every `wait`).
+    pub fn exscan_op_init<T: Datatype>(&self, buf: &[T], op: &Op) -> PersistentColl<'_, Vec<T>> {
+        Self::check_op::<T>(op);
+        self.init_persistent(
+            OwnedCollective::Exscan {
+                buf: to_bytes(buf),
+                op: OwnedReduction::User(op.clone()),
+            },
+            Some(op.shared()),
+            Box::new(|recv| from_bytes(recv.expect("exscan binds an in/out buffer"))),
+        )
+    }
+
+    /// Persistent [`Communicator::allreduce_strided`]: the pinned buffer
+    /// spans `layout.extent()` elements, of which only the selected ones
+    /// participate; every `wait` yields the full extent-length vector.
+    pub fn allreduce_strided_init<T: Datatype>(
+        &self,
+        buf: &[T],
+        layout: Layout,
+        op: ReduceOp,
+    ) -> PersistentColl<'_, Vec<T>> {
+        assert_eq!(
+            buf.len(),
+            layout.extent(),
+            "buffer must span the layout's extent"
+        );
+        let kernel = ReduceKernel::of::<T>(op);
+        self.init_persistent(
+            OwnedCollective::Allreduce {
+                buf: to_bytes(buf),
+                op: OwnedReduction::Typed(kernel),
+                layout: Some(layout),
+            },
+            Some(kernel.shared()),
+            Box::new(|recv| from_bytes(recv.expect("allreduce binds an in/out buffer"))),
         )
     }
 

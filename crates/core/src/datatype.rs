@@ -10,5 +10,6 @@
 //! NaN-propagating float semantics and the chunked kernel design.
 
 pub use pip_collectives::datatype::{
-    from_bytes, to_bytes, Datatype, DtypeId, ReduceIdent, ReduceKernel, ReduceOp, Reduction, LANES,
+    from_bytes, to_bytes, Datatype, DtypeId, Layout, Op, OwnedReduction, ReduceIdent, ReduceKernel,
+    ReduceOp, Reduction, LANES,
 };

@@ -48,12 +48,14 @@ pub mod world;
 /// Convenient re-exports for application code.
 pub mod prelude {
     pub use crate::comm::{wait_all, CollRequest, Communicator, PersistentColl};
-    pub use crate::datatype::{Datatype, DtypeId, ReduceKernel, ReduceOp};
+    pub use crate::datatype::{Datatype, DtypeId, Layout, Op, ReduceKernel, ReduceOp};
     pub use crate::world::{World, WorldBuilder};
     pub use pip_mpi_model::Library;
     pub use pip_runtime::Topology;
 }
 
 pub use comm::{wait_all, CollRequest, Communicator, PersistentColl};
-pub use datatype::{Datatype, DtypeId, ReduceIdent, ReduceKernel, ReduceOp};
+pub use datatype::{
+    Datatype, DtypeId, Layout, Op, OwnedReduction, ReduceIdent, ReduceKernel, ReduceOp,
+};
 pub use world::{World, WorldBuilder};

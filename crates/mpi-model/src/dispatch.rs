@@ -7,7 +7,7 @@
 //! traces, which is what the figure binaries and Criterion benches consume.
 
 use pip_collectives::comm::{record_trace, Comm};
-use pip_collectives::datatype::{ReduceKernel, ReduceOp, Reduction};
+use pip_collectives::datatype::{Layout, OwnedReduction, ReduceOp, Reduction};
 use pip_collectives::plan::{PlanCursor, RankPlan};
 use pip_collectives::{
     binomial, bruck, hierarchical, multi_object, recursive_doubling, recursive_halving, ring, scan,
@@ -61,10 +61,18 @@ pub enum CollectiveRequest<'a> {
     },
     /// MPI_Allreduce with a commutative operator.
     Allreduce {
-        /// Contribution on entry, reduced vector on return.
+        /// Contribution on entry, reduced vector on return.  With a
+        /// non-contiguous `layout` this is the strided caller buffer of
+        /// `layout.extent() * op.elem_size()` bytes; elements in the
+        /// layout's gaps are left untouched.
         buf: &'a mut [u8],
-        /// The reduction operator (typed kernel or opaque byte closure).
+        /// The reduction operator (typed kernel, registered
+        /// [`pip_collectives::Op`], or opaque byte closure).
         op: Reduction<'a>,
+        /// Optional derived datatype describing which elements of `buf`
+        /// participate, in *element* units (an `MPI_Type_vector`).  `None`
+        /// means the whole buffer is contiguous payload.
+        layout: Option<Layout>,
     },
     /// MPI_Reduce to `root` with a commutative operator.
     Reduce {
@@ -169,19 +177,23 @@ pub fn execute<C: Comm>(
                 multi_object::gather_multi_object(comm, sendbuf, recvbuf, root, tag)
             }
         },
-        CollectiveRequest::Allreduce { buf, op } => {
+        CollectiveRequest::Allreduce { buf, op, layout } => {
             let f = op.as_fn();
-            match profile.selection.allreduce_for(buf.len()) {
-                AllreduceAlgo::RecursiveDoubling => {
-                    recursive_doubling::allreduce_recursive_doubling(comm, buf, f, tag)
+            let elem = op.elem_size();
+            match layout
+                .map(|l| l.scaled(elem))
+                .filter(|l| !l.is_contiguous())
+            {
+                Some(l) => {
+                    // Derived datatype: gather the strided elements into a
+                    // packed scratch vector, reduce that contiguously, then
+                    // scatter the result back without disturbing the gaps.
+                    let mut packed = Vec::with_capacity(l.packed_len());
+                    l.pack_bytes(buf, &mut packed);
+                    allreduce_bytes(profile, comm, &mut packed, elem, f, tag);
+                    l.unpack_bytes(&packed, buf);
                 }
-                AllreduceAlgo::Ring => ring::allreduce_ring(comm, buf, op.elem_size(), f, tag),
-                AllreduceAlgo::Hierarchical => {
-                    hierarchical::allreduce_hierarchical(comm, buf, f, tag)
-                }
-                AllreduceAlgo::MultiObject => {
-                    multi_object::allreduce_multi_object(comm, buf, op.elem_size(), f, tag)
-                }
+                None => allreduce_bytes(profile, comm, buf, elem, f, tag),
             }
         }
         CollectiveRequest::Reduce {
@@ -253,6 +265,47 @@ pub fn execute<C: Comm>(
     }
 }
 
+/// Run the selected allreduce algorithm over a contiguous byte vector —
+/// the common tail of the contiguous and packed (derived-datatype) paths.
+fn allreduce_bytes<C: Comm>(
+    profile: &LibraryProfile,
+    comm: &C,
+    buf: &mut [u8],
+    elem_size: usize,
+    f: &pip_collectives::ReduceFn<'_>,
+    tag: u64,
+) {
+    match profile.selection.allreduce_for(buf.len()) {
+        AllreduceAlgo::RecursiveDoubling => {
+            recursive_doubling::allreduce_recursive_doubling(comm, buf, f, tag)
+        }
+        AllreduceAlgo::Ring => ring::allreduce_ring(comm, buf, elem_size, f, tag),
+        AllreduceAlgo::Hierarchical => hierarchical::allreduce_hierarchical(comm, buf, f, tag),
+        AllreduceAlgo::MultiObject => {
+            multi_object::allreduce_multi_object(comm, buf, elem_size, f, tag)
+        }
+    }
+}
+
+impl CollectiveRequest<'_> {
+    /// Whether this is a reduction whose operator carries **no identity**
+    /// (an anonymous [`Reduction::Opaque`] closure).  Such an invocation
+    /// must never populate the plan cache: the key would collapse to
+    /// `(kind, size)` alone, so a *different* anonymous operator of the
+    /// same width would replay the first one's plan.  Callers who want the
+    /// cached fast path register an [`pip_collectives::Op`] instead.
+    fn has_anonymous_reduction(&self) -> bool {
+        match self {
+            CollectiveRequest::Allreduce { op, .. }
+            | CollectiveRequest::Reduce { op, .. }
+            | CollectiveRequest::ReduceScatter { op, .. }
+            | CollectiveRequest::Scan { op, .. }
+            | CollectiveRequest::Exscan { op, .. } => op.ident().is_none(),
+            _ => false,
+        }
+    }
+}
+
 /// Execute `request` through the per-communicator plan cache: look the
 /// invocation's shape up, compile the rank's plan on a miss, then run the
 /// compiled program — the hot path of repeated collectives never
@@ -270,6 +323,14 @@ pub fn execute_planned<C: Comm>(
     tag: u64,
     cache: &mut crate::plan::PlanCache,
 ) {
+    if request.has_anonymous_reduction() {
+        // Anonymous opaque operators have no identity to key the cache
+        // with; caching them would alias distinct operators of the same
+        // element width onto one plan (see `has_anonymous_reduction`).
+        cache.note_bypass();
+        execute(profile, comm, request, tag);
+        return;
+    }
     let world = comm.world_size();
     let shape = crate::plan::CollectiveShape::of(&request, world);
     if shape.buffer_footprint(world) > crate::plan::EXEC_PLAN_MAX_BYTES {
@@ -323,11 +384,16 @@ pub enum OwnedCollective {
     /// MPI_Iallreduce / MPI_Allreduce_init (operator supplied separately to
     /// the progress engine).
     Allreduce {
-        /// In/out contribution.
+        /// In/out contribution.  With a non-contiguous `layout` this holds
+        /// `layout.extent() * op.elem_size()` bytes.
         buf: Vec<u8>,
-        /// The reduction kernel; its `(datatype, op)` identity keys the
-        /// plan cache, its byte operator is what the progress engine runs.
-        kernel: ReduceKernel,
+        /// The reduction operator; its identity (builtin `(datatype, op)`
+        /// pair or registered user-op id) keys the plan cache, its byte
+        /// closure is what the progress engine runs.
+        op: OwnedReduction,
+        /// Optional derived datatype in element units; see
+        /// [`CollectiveRequest::Allreduce`].
+        layout: Option<Layout>,
     },
     /// MPI_Ireduce / MPI_Reduce_init to `root` (operator supplied separately
     /// to the progress engine).
@@ -336,34 +402,34 @@ pub enum OwnedCollective {
         sendbuf: Vec<u8>,
         /// Root rank.
         root: usize,
-        /// The reduction kernel; its `(datatype, op)` identity keys the
-        /// plan cache, its byte operator is what the progress engine runs.
-        kernel: ReduceKernel,
+        /// The reduction operator; its identity keys the plan cache, its
+        /// byte closure is what the progress engine runs.
+        op: OwnedReduction,
     },
     /// MPI_Ireduce_scatter / MPI_Reduce_scatter_init (operator supplied
     /// separately).
     ReduceScatter {
         /// One block per rank (`world * block` bytes).
         sendbuf: Vec<u8>,
-        /// The reduction kernel; its `(datatype, op)` identity keys the
-        /// plan cache, its byte operator is what the progress engine runs.
-        kernel: ReduceKernel,
+        /// The reduction operator; its identity keys the plan cache, its
+        /// byte closure is what the progress engine runs.
+        op: OwnedReduction,
     },
     /// MPI_Iscan / MPI_Scan_init (operator supplied separately).
     Scan {
         /// In/out contribution.
         buf: Vec<u8>,
-        /// The reduction kernel; its `(datatype, op)` identity keys the
-        /// plan cache, its byte operator is what the progress engine runs.
-        kernel: ReduceKernel,
+        /// The reduction operator; its identity keys the plan cache, its
+        /// byte closure is what the progress engine runs.
+        op: OwnedReduction,
     },
     /// MPI_Iexscan / MPI_Exscan_init (operator supplied separately).
     Exscan {
         /// In/out contribution.
         buf: Vec<u8>,
-        /// The reduction kernel; its `(datatype, op)` identity keys the
-        /// plan cache, its byte operator is what the progress engine runs.
-        kernel: ReduceKernel,
+        /// The reduction operator; its identity keys the plan cache, its
+        /// byte closure is what the progress engine runs.
+        op: OwnedReduction,
     },
     /// MPI_Ialltoall / MPI_Alltoall_init.
     Alltoall {
@@ -377,7 +443,21 @@ impl OwnedCollective {
     /// of `world` ranks — the plan-cache key component, identical to what
     /// the blocking path derives via [`crate::plan::CollectiveShape::of`].
     pub fn shape(&self, world: usize) -> crate::plan::CollectiveShape {
-        let (kind, block, root, kernel) = match self {
+        // Allreduce is the one variant that carries a derived datatype;
+        // normalize contiguous layouts away exactly like the borrowed path
+        // so both request forms key the same cache entry.
+        if let OwnedCollective::Allreduce { buf, op, layout } = self {
+            let layout = layout.filter(|l| !l.is_contiguous());
+            return crate::plan::CollectiveShape {
+                kind: CollectiveKind::Allreduce,
+                block: layout.map_or(buf.len(), |l| l.packed_len() * op.elem_size()),
+                root: 0,
+                elem_size: op.elem_size(),
+                reduce: Some(op.ident()),
+                layout,
+            };
+        }
+        let (kind, block, root, op) = match self {
             OwnedCollective::Allgather { sendbuf } => {
                 (CollectiveKind::Allgather, sendbuf.len(), 0, None)
             }
@@ -388,26 +468,18 @@ impl OwnedCollective {
             OwnedCollective::Gather { sendbuf, root } => {
                 (CollectiveKind::Gather, sendbuf.len(), *root, None)
             }
-            OwnedCollective::Allreduce { buf, kernel } => {
-                (CollectiveKind::Allreduce, buf.len(), 0, Some(kernel))
+            OwnedCollective::Allreduce { .. } => unreachable!("handled above"),
+            OwnedCollective::Reduce { sendbuf, root, op } => {
+                (CollectiveKind::Reduce, sendbuf.len(), *root, Some(op))
             }
-            OwnedCollective::Reduce {
-                sendbuf,
-                root,
-                kernel,
-            } => (CollectiveKind::Reduce, sendbuf.len(), *root, Some(kernel)),
-            OwnedCollective::ReduceScatter { sendbuf, kernel } => (
+            OwnedCollective::ReduceScatter { sendbuf, op } => (
                 CollectiveKind::ReduceScatter,
                 sendbuf.len() / world.max(1),
                 0,
-                Some(kernel),
+                Some(op),
             ),
-            OwnedCollective::Scan { buf, kernel } => {
-                (CollectiveKind::Scan, buf.len(), 0, Some(kernel))
-            }
-            OwnedCollective::Exscan { buf, kernel } => {
-                (CollectiveKind::Exscan, buf.len(), 0, Some(kernel))
-            }
+            OwnedCollective::Scan { buf, op } => (CollectiveKind::Scan, buf.len(), 0, Some(op)),
+            OwnedCollective::Exscan { buf, op } => (CollectiveKind::Exscan, buf.len(), 0, Some(op)),
             OwnedCollective::Alltoall { sendbuf } => (
                 CollectiveKind::Alltoall,
                 sendbuf.len() / world.max(1),
@@ -419,8 +491,9 @@ impl OwnedCollective {
             kind,
             block,
             root,
-            elem_size: kernel.map_or(1, |k| k.elem_size()),
-            reduce: kernel.map(|k| k.ident()),
+            elem_size: op.map_or(1, |o| o.elem_size()),
+            reduce: op.map(|o| o.ident()),
+            layout: None,
         }
     }
 
@@ -601,6 +674,7 @@ pub fn record_allreduce(profile: &LibraryProfile, topology: Topology, bytes: usi
             CollectiveRequest::Allreduce {
                 buf: &mut buf,
                 op: byte_sum(),
+                layout: None,
             },
             1,
         );
@@ -714,6 +788,7 @@ pub fn record_barrier(profile: &LibraryProfile, topology: Topology) -> Trace {
 mod tests {
     use super::*;
     use crate::Library;
+    use pip_collectives::datatype::ReduceKernel;
     use pip_collectives::oracle;
     use pip_collectives::ThreadComm;
     use pip_runtime::Cluster;
@@ -805,6 +880,7 @@ mod tests {
                     CollectiveRequest::Allreduce {
                         buf: &mut buf,
                         op: Reduction::typed::<u8>(ReduceOp::Sum),
+                        layout: None,
                     },
                     1,
                 );
@@ -893,17 +969,44 @@ mod tests {
         let kernel = ReduceKernel::of::<f32>(ReduceOp::Sum);
         let owned = OwnedCollective::Allreduce {
             buf: vec![0u8; block],
-            kernel,
+            op: OwnedReduction::Typed(kernel),
+            layout: None,
         };
         let mut allreduce_buf = vec![0u8; block];
         let borrowed = CollectiveRequest::Allreduce {
             buf: &mut allreduce_buf,
             op: Reduction::Typed(kernel),
+            layout: None,
         };
         let shape = crate::plan::CollectiveShape::of(&borrowed, world);
         assert_eq!(owned.shape(world), shape);
         assert_eq!(shape.elem_size, 4);
         assert_eq!(shape.reduce, Some(kernel.ident()));
+
+        // Registered user operators agree as well, and a derived datatype
+        // keys by its packed size plus the layout triple.
+        let op = pip_collectives::Op::create(2, |acc, other| {
+            for (a, b) in acc.iter_mut().zip(other) {
+                *a = a.wrapping_add(*b);
+            }
+        });
+        let layout = Layout::vector(3, 2, 4);
+        let owned = OwnedCollective::Allreduce {
+            buf: vec![0u8; layout.extent() * 2],
+            op: OwnedReduction::User(op.clone()),
+            layout: Some(layout),
+        };
+        let mut strided_buf = vec![0u8; layout.extent() * 2];
+        let borrowed = CollectiveRequest::Allreduce {
+            buf: &mut strided_buf,
+            op: Reduction::User(&op),
+            layout: Some(layout),
+        };
+        let shape = crate::plan::CollectiveShape::of(&borrowed, world);
+        assert_eq!(owned.shape(world), shape);
+        assert_eq!(shape.block, layout.packed_len() * 2);
+        assert_eq!(shape.layout, Some(layout));
+        assert_eq!(shape.reduce, Some(op.ident()));
     }
 
     /// `begin_planned` populates the same cache entry the blocking path
@@ -931,6 +1034,7 @@ mod tests {
             root: 0,
             elem_size: 1,
             reduce: None,
+            layout: None,
         };
         cache.lookup_or_compile(&profile, topo, 0, &shape);
         assert_eq!(cache.stats(), (1, 1));

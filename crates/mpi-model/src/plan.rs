@@ -29,7 +29,7 @@ use pip_collectives::CollectiveKind;
 use pip_netsim::{FoldGroup, FoldedTrace};
 use pip_runtime::Topology;
 
-use pip_collectives::datatype::{ReduceIdent, Reduction};
+use pip_collectives::datatype::{Layout, ReduceIdent, Reduction};
 
 use crate::dispatch::{self, CollectiveRequest};
 use crate::{Library, LibraryProfile};
@@ -50,52 +50,70 @@ pub struct CollectiveShape {
     pub root: usize,
     /// Reduction element size in bytes (reduction family only; 1 otherwise).
     pub elem_size: usize,
-    /// `(datatype, operator)` identity of a typed reduction; `None` for
-    /// non-reductions and for opaque byte operators.  Part of the plan-cache
-    /// key, so an `f32`-Sum plan never serves an `i32`-Max call even though
-    /// both have `elem_size: 4`.
+    /// Identity of the reduction operator; `None` for non-reductions.  Part
+    /// of the plan-cache key, so an `f32`-Sum plan never serves an
+    /// `i32`-Max call even though both have `elem_size: 4`, and a
+    /// user-defined operator ([`pip_collectives::datatype::Op`]) never
+    /// serves another user operator of the same width.  Anonymous
+    /// [`Reduction::Opaque`] operators also have `None` here — the dispatch
+    /// layer refuses to cache those (see
+    /// [`crate::dispatch::execute_planned`]) precisely because this field
+    /// cannot distinguish them.
     pub reduce: Option<ReduceIdent>,
+    /// Strided layout of the caller's buffer, in **elements**; `None` for
+    /// contiguous buffers (including degenerate layouts normalized away by
+    /// [`CollectiveShape::of`]).  Part of the plan-cache key, so two
+    /// layouts with equal total bytes never alias, and a strided call
+    /// never hits a contiguous plan.  When present, [`CollectiveShape::block`]
+    /// is the **packed** byte count.
+    pub layout: Option<Layout>,
 }
 
 impl CollectiveShape {
     /// The shape of `request` on a world of `world` ranks.
+    ///
+    /// Non-reduction kinds key on `elem_size: 1, reduce: None, layout: None`
+    /// uniformly: their schedules depend only on byte counts, so `(kind,
+    /// block, root)` fully determines per-rank IO and no aliasing is
+    /// possible between two requests of the same kind and byte count —
+    /// unlike reductions (operator identity) and strided buffers (layout),
+    /// which each contribute their own key component.
     pub fn of(request: &CollectiveRequest<'_>, world: usize) -> Self {
+        let contiguous = |kind, block, root| Self {
+            kind,
+            block,
+            root,
+            elem_size: 1,
+            reduce: None,
+            layout: None,
+        };
         match request {
-            CollectiveRequest::Allgather { sendbuf, .. } => Self {
-                kind: CollectiveKind::Allgather,
-                block: sendbuf.len(),
-                root: 0,
-                elem_size: 1,
-                reduce: None,
-            },
-            CollectiveRequest::Scatter { recvbuf, root, .. } => Self {
-                kind: CollectiveKind::Scatter,
-                block: recvbuf.len(),
-                root: *root,
-                elem_size: 1,
-                reduce: None,
-            },
-            CollectiveRequest::Bcast { buf, root } => Self {
-                kind: CollectiveKind::Bcast,
-                block: buf.len(),
-                root: *root,
-                elem_size: 1,
-                reduce: None,
-            },
-            CollectiveRequest::Gather { sendbuf, root, .. } => Self {
-                kind: CollectiveKind::Gather,
-                block: sendbuf.len(),
-                root: *root,
-                elem_size: 1,
-                reduce: None,
-            },
-            CollectiveRequest::Allreduce { buf, op } => Self {
-                kind: CollectiveKind::Allreduce,
-                block: buf.len(),
-                root: 0,
-                elem_size: op.elem_size(),
-                reduce: op.ident(),
-            },
+            CollectiveRequest::Allgather { sendbuf, .. } => {
+                contiguous(CollectiveKind::Allgather, sendbuf.len(), 0)
+            }
+            CollectiveRequest::Scatter { recvbuf, root, .. } => {
+                contiguous(CollectiveKind::Scatter, recvbuf.len(), *root)
+            }
+            CollectiveRequest::Bcast { buf, root } => {
+                contiguous(CollectiveKind::Bcast, buf.len(), *root)
+            }
+            CollectiveRequest::Gather { sendbuf, root, .. } => {
+                contiguous(CollectiveKind::Gather, sendbuf.len(), *root)
+            }
+            CollectiveRequest::Allreduce { buf, op, layout } => {
+                // Degenerate (contiguous) layouts share the contiguous
+                // plans: their IO behavior is byte-identical, so giving
+                // them distinct keys would only split the cache.
+                let layout = layout.filter(|l| !l.is_contiguous());
+                Self {
+                    kind: CollectiveKind::Allreduce,
+                    block: layout.map_or(buf.len(), |l| l.packed_len() * op.elem_size()),
+                    root: 0,
+                    elem_size: op.elem_size(),
+                    reduce: op.ident(),
+                    layout,
+                }
+            }
             CollectiveRequest::Reduce {
                 sendbuf, root, op, ..
             } => Self {
@@ -104,6 +122,7 @@ impl CollectiveShape {
                 root: *root,
                 elem_size: op.elem_size(),
                 reduce: op.ident(),
+                layout: None,
             },
             CollectiveRequest::ReduceScatter { recvbuf, op, .. } => Self {
                 kind: CollectiveKind::ReduceScatter,
@@ -111,6 +130,7 @@ impl CollectiveShape {
                 root: 0,
                 elem_size: op.elem_size(),
                 reduce: op.ident(),
+                layout: None,
             },
             CollectiveRequest::Scan { buf, op } => Self {
                 kind: CollectiveKind::Scan,
@@ -118,6 +138,7 @@ impl CollectiveShape {
                 root: 0,
                 elem_size: op.elem_size(),
                 reduce: op.ident(),
+                layout: None,
             },
             CollectiveRequest::Exscan { buf, op } => Self {
                 kind: CollectiveKind::Exscan,
@@ -125,21 +146,12 @@ impl CollectiveShape {
                 root: 0,
                 elem_size: op.elem_size(),
                 reduce: op.ident(),
+                layout: None,
             },
-            CollectiveRequest::Alltoall { sendbuf, .. } => Self {
-                kind: CollectiveKind::Alltoall,
-                block: sendbuf.len() / world.max(1),
-                root: 0,
-                elem_size: 1,
-                reduce: None,
-            },
-            CollectiveRequest::Barrier => Self {
-                kind: CollectiveKind::Barrier,
-                block: 0,
-                root: 0,
-                elem_size: 1,
-                reduce: None,
-            },
+            CollectiveRequest::Alltoall { sendbuf, .. } => {
+                contiguous(CollectiveKind::Alltoall, sendbuf.len() / world.max(1), 0)
+            }
+            CollectiveRequest::Barrier => contiguous(CollectiveKind::Barrier, 0, 0),
         }
     }
 
@@ -163,62 +175,65 @@ impl CollectiveShape {
     }
 
     /// The buffer shape rank `rank` presents to a plan of this shape.
+    ///
+    /// `sendbuf`/`recvbuf` are packed byte counts; a strided shape
+    /// additionally carries its byte-scaled layout so the executor packs
+    /// the caller's extent-length buffer before replay.
     fn io_for(&self, rank: usize, world: usize) -> IoShape {
         let b = self.block;
         match self.kind {
             CollectiveKind::Allgather => IoShape {
                 sendbuf: Some(b),
                 recvbuf: Some(world * b),
-                inout: false,
-                needs_reduce_op: false,
+                ..IoShape::default()
             },
             CollectiveKind::Scatter => IoShape {
                 sendbuf: (rank == self.root).then_some(world * b),
                 recvbuf: Some(b),
-                inout: false,
-                needs_reduce_op: false,
+                ..IoShape::default()
             },
             CollectiveKind::Bcast => IoShape {
                 sendbuf: None,
                 recvbuf: Some(b),
                 inout: true,
-                needs_reduce_op: false,
+                ..IoShape::default()
             },
             CollectiveKind::Gather => IoShape {
                 sendbuf: Some(b),
                 recvbuf: (rank == self.root).then_some(world * b),
-                inout: false,
-                needs_reduce_op: false,
+                ..IoShape::default()
             },
             CollectiveKind::Allreduce => IoShape {
                 sendbuf: None,
                 recvbuf: Some(b),
                 inout: true,
                 needs_reduce_op: true,
+                recv_layout: self.layout.map(|l| l.scaled(self.elem_size)),
+                ..IoShape::default()
             },
             CollectiveKind::Reduce => IoShape {
                 sendbuf: Some(b),
                 recvbuf: (rank == self.root).then_some(b),
-                inout: false,
                 needs_reduce_op: true,
+                ..IoShape::default()
             },
             CollectiveKind::ReduceScatter => IoShape {
                 sendbuf: Some(world * b),
                 recvbuf: Some(b),
-                inout: false,
                 needs_reduce_op: true,
+                ..IoShape::default()
             },
             CollectiveKind::Scan | CollectiveKind::Exscan => IoShape {
                 sendbuf: None,
                 recvbuf: Some(b),
                 inout: true,
                 needs_reduce_op: true,
+                ..IoShape::default()
             },
             CollectiveKind::Alltoall => IoShape {
                 sendbuf: Some(world * b),
                 recvbuf: Some(world * b),
-                inout: false,
-                needs_reduce_op: false,
+                ..IoShape::default()
             },
             CollectiveKind::Barrier => IoShape::default(),
         }
@@ -506,6 +521,10 @@ fn run_for_recording(
                             elem_size: shape.elem_size,
                             f: &op,
                         },
+                        // Recording always runs on packed contiguous
+                        // buffers; the layout lives in the plan's IoShape
+                        // (io_for), where the executor packs/unpacks.
+                        layout: None,
                     },
                     COMPILE_TAG_BASE,
                 );
@@ -968,6 +987,7 @@ mod tests {
             root: 0,
             elem_size: 1,
             reduce: None,
+            layout: None,
         };
         let mut cache = PlanCache::new();
         let a = cache.lookup_or_compile(&stock, topo, 0, &shape);
@@ -989,6 +1009,7 @@ mod tests {
             root: 0,
             elem_size: 1,
             reduce: None,
+            layout: None,
         };
         let mut cache = PlanCache::new();
         let a = cache.lookup_or_compile(&profile, topo, 0, &shape);
@@ -1010,6 +1031,7 @@ mod tests {
                 root: 0,
                 elem_size: 1,
                 reduce: None,
+                layout: None,
             };
             cache.lookup_or_compile(&profile, topo, 0, &shape);
         }
@@ -1031,6 +1053,7 @@ mod tests {
             root: 0,
             elem_size: 1,
             reduce: None,
+            layout: None,
         };
         let plans: Vec<RankPlan> = (0..world)
             .map(|rank| compile_rank(&profile, topo, rank, &shape, Fidelity::Exec))
@@ -1150,6 +1173,7 @@ mod tests {
                 root: 0,
                 elem_size: 1,
                 reduce: None,
+                layout: None,
             };
             let plan = compile_cluster(&profile, topo, &shape, Fidelity::Schedule);
             plan.validate().unwrap();

@@ -38,7 +38,7 @@ pub use pip_transport as transport;
 pub mod prelude {
     pub use pip_collectives::comm::{Comm, ThreadComm, TraceComm};
     pub use pip_mcoll_core::comm::Communicator;
-    pub use pip_mcoll_core::datatype::{Datatype, DtypeId, ReduceKernel, ReduceOp};
+    pub use pip_mcoll_core::datatype::{Datatype, DtypeId, Layout, Op, ReduceKernel, ReduceOp};
     pub use pip_mcoll_core::world::World;
     pub use pip_mpi_model::{Library, LibraryProfile};
     pub use pip_netsim::cluster::ClusterSpec;

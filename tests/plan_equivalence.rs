@@ -105,6 +105,7 @@ fn plan_executor_matches_oracle_for_every_collective_and_library() {
                 run(CollectiveRequest::Allreduce {
                     buf: &mut allreduce_out,
                     op: Reduction::typed::<u8>(ReduceOp::Sum),
+                    layout: None,
                 });
 
                 // Alltoall.
@@ -333,5 +334,6 @@ fn shape(kind: CollectiveKind, block: usize, root: usize) -> CollectiveShape {
         root,
         elem_size: 1,
         reduce: None,
+        layout: None,
     }
 }

@@ -326,6 +326,7 @@ fn shape(kind: CollectiveKind, block: usize, root: usize) -> CollectiveShape {
         root,
         elem_size: 1,
         reduce: None,
+        layout: None,
     }
 }
 
@@ -773,6 +774,7 @@ fn same_shape_different_type_or_op_never_aliases_a_plan() {
         root: 0,
         elem_size: 4,
         reduce: Some(reduce),
+        layout: None,
     };
     // All three shapes are 32 B of 4-byte elements; only the (type, op)
     // identity differs.
@@ -800,6 +802,169 @@ fn same_shape_different_type_or_op_never_aliases_a_plan() {
         "typed shapes merged in the cache"
     );
     assert_eq!(cache.stats(), (0, shapes.len() as u64));
+}
+
+/// Tentpole regression (the opaque plan-key aliasing hole): registered
+/// user operators carry their minted identity into the plan key.  Two
+/// distinct `Op`s of the same element width, and a builtin f32-Sum kernel
+/// of that same width, must produce three pairwise-distinct keys and three
+/// cache entries — before user-op identities existed, every opaque
+/// reduction collapsed onto the `(kind, block, elem_size)` entry, so an
+/// elem-size-4 user operator would have replayed the cached f32-Sum plan.
+#[test]
+fn user_operators_never_alias_builtins_or_each_other_in_the_plan_cache() {
+    let profile = Library::PipMColl.profile();
+    let topo = Topology::new(2, 2);
+    let wrapping_add = |acc: &mut [u8], other: &[u8]| {
+        for (a, b) in acc.iter_mut().zip(other) {
+            *a = a.wrapping_add(*b);
+        }
+    };
+    // Same closure body twice on purpose: identity comes from registration,
+    // not from what the operator computes.
+    let op_a = Op::create(4, wrapping_add);
+    let op_b = Op::create(4, wrapping_add);
+    let mk = |reduce| CollectiveShape {
+        kind: CollectiveKind::Allreduce,
+        block: 32,
+        root: 0,
+        elem_size: 4,
+        reduce: Some(reduce),
+        layout: None,
+    };
+    let shapes = [
+        mk(ReduceKernel::of::<f32>(ReduceOp::Sum).ident()),
+        mk(op_a.ident()),
+        mk(op_b.ident()),
+    ];
+    for (i, a) in shapes.iter().enumerate() {
+        for b in &shapes[i + 1..] {
+            assert_ne!(
+                PlanKey::new(&profile, topo, *a),
+                PlanKey::new(&profile, topo, *b),
+                "{a:?} and {b:?} alias one plan key"
+            );
+        }
+    }
+    let mut cache = PlanCache::new();
+    for s in &shapes {
+        cache.lookup_or_compile(&profile, topo, 0, s);
+    }
+    assert_eq!(
+        cache.len(),
+        shapes.len(),
+        "user-op shapes merged in the cache"
+    );
+    assert_eq!(cache.stats(), (0, shapes.len() as u64));
+    // Clones of a registered operator share its identity — and its plan.
+    assert_eq!(op_a.ident(), op_a.clone().ident());
+    cache.lookup_or_compile(&profile, topo, 0, &mk(op_a.clone().ident()));
+    assert_eq!(cache.stats(), (1, shapes.len() as u64));
+}
+
+/// Derived-datatype regression: a strided allreduce and a contiguous one
+/// of the *same packed byte count* must never share a plan — the layout
+/// triple is part of the shape — while a contiguous layout normalizes away
+/// (`Layout::contiguous` keys identically to no layout at all).
+#[test]
+fn strided_and_contiguous_allreduce_of_equal_packed_bytes_never_alias() {
+    let profile = Library::PipMColl.profile();
+    let topo = Topology::new(2, 2);
+    let ident = ReduceKernel::of::<f32>(ReduceOp::Sum).ident();
+    let mk = |layout| CollectiveShape {
+        kind: CollectiveKind::Allreduce,
+        block: 32,
+        root: 0,
+        elem_size: 4,
+        reduce: Some(ident),
+        layout,
+    };
+    // All three move 8 f32 = 32 packed bytes; only the memory walk differs.
+    let shapes = [
+        mk(None),
+        mk(Some(Layout::vector(4, 2, 3))),
+        mk(Some(Layout::vector(2, 4, 6))),
+    ];
+    for (i, a) in shapes.iter().enumerate() {
+        for b in &shapes[i + 1..] {
+            assert_ne!(
+                PlanKey::new(&profile, topo, *a),
+                PlanKey::new(&profile, topo, *b),
+                "{a:?} and {b:?} alias one plan key"
+            );
+        }
+    }
+    let mut cache = PlanCache::new();
+    for s in &shapes {
+        cache.lookup_or_compile(&profile, topo, 0, s);
+    }
+    assert_eq!(
+        cache.len(),
+        shapes.len(),
+        "layout shapes merged in the cache"
+    );
+
+    // A contiguous layout is normalized away before keying: the request
+    // paths pass `layout.filter(|l| !l.is_contiguous())`, so stride ==
+    // blocklen and the no-layout form describe the same plan.
+    let mut contiguous = vec![0u8; 32];
+    let request = pip_mcoll::model::CollectiveRequest::Allreduce {
+        buf: &mut contiguous,
+        op: pip_mcoll::collectives::Reduction::Typed(ReduceKernel::of::<f32>(ReduceOp::Sum)),
+        layout: Some(Layout::vector(4, 2, 2)),
+    };
+    assert_eq!(CollectiveShape::of(&request, 4), mk(None));
+}
+
+/// Anonymous `Reduction::Opaque` closures have no identity, so the planned
+/// dispatch path must refuse to cache them: the collective still computes
+/// the right answer (direct execution), but the cache stays empty — no
+/// entry a *different* same-width closure could ever replay.
+#[test]
+fn anonymous_opaque_reductions_bypass_the_plan_cache() {
+    use pip_mcoll::collectives::comm::Comm as _;
+    let topo = Topology::new(1, 4);
+    let world = topo.world_size();
+    let block = 8;
+    let profile = Library::PipMColl.profile();
+    let expected = oracle::allreduce(
+        &(0..world).map(|r| payload(r, block, 0)).collect::<Vec<_>>(),
+        oracle::wrapping_add_u8,
+    );
+    let results = pip_mcoll::runtime::Cluster::launch(topo, |ctx| {
+        let comm = pip_mcoll::collectives::ThreadComm::new(ctx);
+        let mut cache = PlanCache::new();
+        let mut buf = payload(comm.rank(), block, 0);
+        let combine = |acc: &mut [u8], other: &[u8]| {
+            for (a, b) in acc.iter_mut().zip(other) {
+                *a = a.wrapping_add(*b);
+            }
+        };
+        dispatch::execute_planned(
+            &profile,
+            &comm,
+            pip_mcoll::model::CollectiveRequest::Allreduce {
+                buf: &mut buf,
+                op: pip_mcoll::collectives::Reduction::Opaque {
+                    elem_size: 1,
+                    f: &combine,
+                },
+                layout: None,
+            },
+            1 << 16,
+            &mut cache,
+        );
+        (buf, cache.len(), cache.stats())
+    })
+    .unwrap();
+    for (rank, (buf, entries, stats)) in results.iter().enumerate() {
+        assert_eq!(buf, &expected, "opaque allreduce wrong at rank {rank}");
+        assert_eq!(
+            *entries, 0,
+            "anonymous operator populated the plan cache at rank {rank}"
+        );
+        assert_eq!(*stats, (0, 0), "bypass must be neither hit nor miss");
+    }
 }
 
 proptest! {

@@ -1,0 +1,425 @@
+//! Differential harness for user-defined operators (`MPI_Op_create`) and
+//! derived datatypes (`MPI_Type_vector` layouts).
+//!
+//! User operators are exercised with **seeded closures** the library cannot
+//! possibly special-case: `x ⊕ y = x.wrapping_add(y).wrapping_add(c)` for a
+//! per-test constant `c`.  The operator is associative and commutative —
+//! `(x ⊕ y) ⊕ z = x + y + z + 2c = x ⊕ (y ⊕ z)` — yet its result is exactly
+//! checkable in closed form: reducing `n` contributions yields
+//! `Σ values + (n − 1)·c`, so a wrong combination *count* (an operator
+//! applied once too often or too rarely anywhere in the tree) shifts the
+//! result by a multiple of `c` and is caught, not just a wrong subset.
+//!
+//! Strided allreduce pins the layout contract: only the selected elements
+//! are reduced, gap elements survive untouched, and the result matches the
+//! sequential oracle applied to the packed view.  Both surfaces run through
+//! all three entry styles (blocking, `i*`, `*_init`) for every library ×
+//! topology, and a proptest pins the pack/unpack round trip itself —
+//! including non-power-of-two counts and the `stride == blocklen`
+//! (contiguous) edge.
+
+use proptest::prelude::*;
+
+use pip_mcoll::collectives::oracle;
+use pip_mcoll::core::prelude::*;
+
+const TOPOLOGIES: [(usize, usize); 5] = [(1, 1), (1, 4), (2, 3), (3, 3), (5, 2)];
+
+/// Deterministic per-rank u64 payload, varied per round.
+fn payload_u64(rank: usize, len: usize, round: usize) -> Vec<u64> {
+    (0..len)
+        .map(|i| {
+            let x = (rank as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(i as u64)
+                .wrapping_add((round as u64) << 32);
+            x ^ (x >> 29)
+        })
+        .collect()
+}
+
+/// The seeded user operator: `acc ⊕ other = acc + other + c` (wrapping).
+fn seeded_op(c: u64) -> Op {
+    Op::of_typed::<u64>(move |x, y| x.wrapping_add(y).wrapping_add(c))
+}
+
+/// Closed form of reducing one element position across `ranks` with the
+/// seeded operator: `Σ values + (n − 1)·c`.
+fn seeded_fold(values: impl IntoIterator<Item = u64>, c: u64) -> u64 {
+    let mut n = 0u64;
+    let mut sum = 0u64;
+    for v in values {
+        n += 1;
+        sum = sum.wrapping_add(v);
+    }
+    sum.wrapping_add(c.wrapping_mul(n.saturating_sub(1)))
+}
+
+/// Expected allreduce of the seeded operator over every rank's payload.
+fn expected_allreduce(world: usize, len: usize, round: usize, c: u64) -> Vec<u64> {
+    (0..len)
+        .map(|i| seeded_fold((0..world).map(|r| payload_u64(r, len, round)[i]), c))
+        .collect()
+}
+
+/// Expected inclusive scan (per rank) of the seeded operator.
+fn expected_scan(world: usize, len: usize, round: usize, c: u64) -> Vec<Vec<u64>> {
+    (0..world)
+        .map(|upto| {
+            (0..len)
+                .map(|i| seeded_fold((0..=upto).map(|r| payload_u64(r, len, round)[i]), c))
+                .collect()
+        })
+        .collect()
+}
+
+const BLOCK: usize = 6;
+const SEED_C: u64 = 0x0123_4567_89ab_cdef;
+
+/// Blocking entry style: `allreduce_op`, `reduce_op` and `scan_op` with the
+/// seeded operator match the closed form for every library × topology.
+#[test]
+fn blocking_user_operator_matches_closed_form_everywhere() {
+    for library in Library::ALL {
+        for (nodes, ppn) in TOPOLOGIES {
+            let topo = Topology::new(nodes, ppn);
+            let world = topo.world_size();
+            let op = seeded_op(SEED_C);
+            let results = World::run_with_profile(topo, library.profile(), |comm| {
+                let rank = comm.rank();
+                let mut all = payload_u64(rank, BLOCK, 0);
+                comm.allreduce_op(&mut all, &op);
+                let reduced = comm.reduce_op(&payload_u64(rank, BLOCK, 1), &op, 0);
+                let mut prefix = payload_u64(rank, BLOCK, 2);
+                comm.scan_op(&mut prefix, &op);
+                (all, reduced, prefix)
+            })
+            .unwrap();
+            let want_all = expected_allreduce(world, BLOCK, 0, SEED_C);
+            let want_red = expected_allreduce(world, BLOCK, 1, SEED_C);
+            let want_scan = expected_scan(world, BLOCK, 2, SEED_C);
+            for (rank, (all, reduced, prefix)) in results.iter().enumerate() {
+                let ctx = format!("{} on {nodes}x{ppn} rank {rank}", library.name());
+                assert_eq!(all, &want_all, "allreduce_op {ctx}");
+                if rank == 0 {
+                    assert_eq!(reduced.as_ref().unwrap(), &want_red, "reduce_op {ctx}");
+                } else {
+                    assert!(reduced.is_none(), "reduce_op off-root {ctx}");
+                }
+                assert_eq!(prefix, &want_scan[rank], "scan_op {ctx}");
+            }
+        }
+    }
+}
+
+/// Non-blocking entry style: two seeded requests submitted together and
+/// waited in reverse order still match the closed form.
+#[test]
+fn nonblocking_user_operator_matches_closed_form_everywhere() {
+    for library in Library::ALL {
+        for (nodes, ppn) in TOPOLOGIES {
+            let topo = Topology::new(nodes, ppn);
+            let world = topo.world_size();
+            let op = seeded_op(SEED_C);
+            let results = World::run_with_profile(topo, library.profile(), |comm| {
+                let rank = comm.rank();
+                let r_all = comm.iallreduce_op(&payload_u64(rank, BLOCK, 0), &op);
+                let r_scan = comm.iscan_op(&payload_u64(rank, BLOCK, 2), &op);
+                let prefix = r_scan.wait();
+                let all = r_all.wait();
+                (all, prefix)
+            })
+            .unwrap();
+            let want_all = expected_allreduce(world, BLOCK, 0, SEED_C);
+            let want_scan = expected_scan(world, BLOCK, 2, SEED_C);
+            for (rank, (all, prefix)) in results.iter().enumerate() {
+                let ctx = format!("{} on {nodes}x{ppn} rank {rank}", library.name());
+                assert_eq!(all, &want_all, "iallreduce_op {ctx}");
+                assert_eq!(prefix, &want_scan[rank], "iscan_op {ctx}");
+            }
+        }
+    }
+}
+
+/// Persistent entry style: repeated starts with the pinned input yield the
+/// closed form every round, and the starts never recompile.
+#[test]
+fn persistent_user_operator_matches_closed_form_and_never_recompiles() {
+    for library in Library::ALL {
+        for (nodes, ppn) in TOPOLOGIES {
+            let topo = Topology::new(nodes, ppn);
+            let world = topo.world_size();
+            let op = seeded_op(SEED_C);
+            let results = World::run_with_profile(topo, library.profile(), |comm| {
+                let rank = comm.rank();
+                let mut handle = comm.allreduce_op_init(&payload_u64(rank, BLOCK, 0), &op);
+                let (_, misses_after_init) = comm.plan_stats();
+                let mut rounds = Vec::new();
+                for round in 0..3 {
+                    if round > 0 {
+                        // The in/out buffer holds the previous result;
+                        // re-pin the input, as MPI applications do.
+                        handle.write_send(&payload_u64(rank, BLOCK, 0));
+                    }
+                    handle.start();
+                    rounds.push(handle.wait());
+                }
+                let (_, misses_after_rounds) = comm.plan_stats();
+                assert_eq!(
+                    misses_after_init, misses_after_rounds,
+                    "persistent user-operator starts must never recompile"
+                );
+                rounds
+            })
+            .unwrap();
+            let want = expected_allreduce(world, BLOCK, 0, SEED_C);
+            for (rank, rounds) in results.iter().enumerate() {
+                for (round, got) in rounds.iter().enumerate() {
+                    assert_eq!(
+                        got,
+                        &want,
+                        "{} on {nodes}x{ppn} rank {rank} round {round}",
+                        library.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Two *distinct* seeded operators used back to back in one world: if their
+/// plans aliased (the pre-fix hole — equal element width, equal shape), the
+/// second collective would run the first closure's plan.  With different
+/// constants the closed forms differ at every element, so aliasing is
+/// observable, not silent.
+#[test]
+fn distinct_seeded_operators_in_one_world_never_cross_results() {
+    const C1: u64 = 1_000_003;
+    const C2: u64 = 7_777_777;
+    for library in Library::ALL {
+        let topo = Topology::new(2, 3);
+        let world = topo.world_size();
+        let op1 = seeded_op(C1);
+        let op2 = seeded_op(C2);
+        let results = World::run_with_profile(topo, library.profile(), |comm| {
+            let rank = comm.rank();
+            let mut first = payload_u64(rank, BLOCK, 0);
+            comm.allreduce_op(&mut first, &op1);
+            let mut second = payload_u64(rank, BLOCK, 0);
+            comm.allreduce_op(&mut second, &op2);
+            // Same shape again with op1: must be a cache hit *of op1's
+            // plan*, not op2's.
+            let mut third = payload_u64(rank, BLOCK, 0);
+            comm.allreduce_op(&mut third, &op1);
+            (first, second, third)
+        })
+        .unwrap();
+        let want1 = expected_allreduce(world, BLOCK, 0, C1);
+        let want2 = expected_allreduce(world, BLOCK, 0, C2);
+        assert_ne!(want1, want2, "seeds must separate the closed forms");
+        for (rank, (first, second, third)) in results.iter().enumerate() {
+            let ctx = format!("{} rank {rank}", library.name());
+            assert_eq!(first, &want1, "op1 {ctx}");
+            assert_eq!(second, &want2, "op2 {ctx}");
+            assert_eq!(third, &want1, "op1 replay {ctx}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strided (derived-datatype) allreduce
+// ---------------------------------------------------------------------
+
+/// The column-like layout the strided tests use: 3 blocks of 2 elements
+/// with stride 5 → extent 12, packed 6.
+fn strided_layout() -> Layout {
+    Layout::vector(3, 2, 5)
+}
+
+/// Expected strided allreduce: the packed positions hold the oracle result,
+/// the gaps hold the rank's own submitted values.
+fn expected_strided(world: usize, rank: usize, layout: Layout, round: usize) -> Vec<u64> {
+    let extent = layout.extent();
+    let contributions: Vec<Vec<u64>> = (0..world)
+        .map(|r| {
+            let full = payload_u64(r, extent, round);
+            selected_indices(layout).map(|i| full[i]).collect()
+        })
+        .collect();
+    let reduced = oracle::allreduce_t::<u64>(&contributions, ReduceOp::Sum);
+    let mut out = payload_u64(rank, extent, round);
+    for (slot, value) in selected_indices(layout).zip(reduced) {
+        out[slot] = value;
+    }
+    out
+}
+
+/// Iterator over the element indices a layout selects.
+fn selected_indices(layout: Layout) -> impl Iterator<Item = usize> {
+    let (count, blocklen, stride) = (layout.count, layout.blocklen, layout.stride);
+    (0..count).flat_map(move |b| (0..blocklen).map(move |i| b * stride + i))
+}
+
+/// Strided allreduce through all three entry styles: packed positions match
+/// the oracle, gap elements survive untouched.
+#[test]
+fn strided_allreduce_matches_oracle_through_all_entry_styles() {
+    let layout = strided_layout();
+    for library in Library::ALL {
+        for (nodes, ppn) in [(1, 4), (3, 3)] {
+            let topo = Topology::new(nodes, ppn);
+            let world = topo.world_size();
+            let results = World::run_with_profile(topo, library.profile(), |comm| {
+                let rank = comm.rank();
+                // Blocking, in place.
+                let mut blocking = payload_u64(rank, layout.extent(), 0);
+                comm.allreduce_strided(&mut blocking, layout, ReduceOp::Sum);
+                // Non-blocking.
+                let nonblocking = comm
+                    .iallreduce_strided(
+                        &payload_u64(rank, layout.extent(), 1),
+                        layout,
+                        ReduceOp::Sum,
+                    )
+                    .wait();
+                // Persistent, two starts of the pinned input.
+                let mut handle = comm.allreduce_strided_init(
+                    &payload_u64(rank, layout.extent(), 2),
+                    layout,
+                    ReduceOp::Sum,
+                );
+                handle.start();
+                let persistent_a = handle.wait();
+                handle.write_send(&payload_u64(rank, layout.extent(), 2));
+                handle.start();
+                let persistent_b = handle.wait();
+                (blocking, nonblocking, persistent_a, persistent_b)
+            })
+            .unwrap();
+            for (rank, (blocking, nonblocking, pa, pb)) in results.iter().enumerate() {
+                let ctx = format!("{} on {nodes}x{ppn} rank {rank}", library.name());
+                assert_eq!(
+                    blocking,
+                    &expected_strided(world, rank, layout, 0),
+                    "blocking {ctx}"
+                );
+                assert_eq!(
+                    nonblocking,
+                    &expected_strided(world, rank, layout, 1),
+                    "non-blocking {ctx}"
+                );
+                let want = expected_strided(world, rank, layout, 2);
+                assert_eq!(pa, &want, "persistent round 0 {ctx}");
+                assert_eq!(pb, &want, "persistent round 1 {ctx}");
+            }
+        }
+    }
+}
+
+/// The combination surface: a *user* operator over a *strided* buffer.
+#[test]
+fn strided_allreduce_with_user_operator_matches_closed_form() {
+    let layout = strided_layout();
+    for library in Library::ALL {
+        let topo = Topology::new(2, 3);
+        let world = topo.world_size();
+        let op = seeded_op(SEED_C);
+        let results = World::run_with_profile(topo, library.profile(), |comm| {
+            let rank = comm.rank();
+            let mut buf = payload_u64(rank, layout.extent(), 0);
+            comm.allreduce_strided_op(&mut buf, layout, &op);
+            buf
+        })
+        .unwrap();
+        let extent = layout.extent();
+        for (rank, got) in results.iter().enumerate() {
+            let mut want = payload_u64(rank, extent, 0);
+            for slot in selected_indices(layout) {
+                want[slot] =
+                    seeded_fold((0..world).map(|r| payload_u64(r, extent, 0)[slot]), SEED_C);
+            }
+            assert_eq!(got, &want, "{} rank {rank}", library.name());
+        }
+    }
+}
+
+/// Strided point-to-point: a column exchanged via `sendrecv_strided`
+/// arrives in the peer's column positions with gaps untouched.
+#[test]
+fn strided_sendrecv_scatters_into_the_selected_positions() {
+    let layout = strided_layout();
+    let topo = Topology::new(1, 2);
+    let results = World::run_with_profile(topo, Library::PipMColl.profile(), |comm| {
+        let rank = comm.rank();
+        let peer = 1 - rank;
+        let send = payload_u64(rank, layout.extent(), 0);
+        let mut recv = vec![u64::MAX; layout.extent()];
+        comm.sendrecv_strided(peer, &send, layout, peer, layout, &mut recv, 7);
+        recv
+    })
+    .unwrap();
+    for (rank, got) in results.iter().enumerate() {
+        let peer_full = payload_u64(1 - rank, layout.extent(), 0);
+        for i in 0..layout.extent() {
+            if selected_indices(layout).any(|s| s == i) {
+                assert_eq!(got[i], peer_full[i], "rank {rank} selected {i}");
+            } else {
+                assert_eq!(got[i], u64::MAX, "rank {rank} gap {i} must survive");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pack/unpack round trip
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `unpack(pack(src))` restores every selected byte and preserves every
+    /// gap byte — across non-power-of-two counts, blocklens and strides,
+    /// including the `stride == blocklen` contiguous edge and `count == 0`.
+    #[test]
+    fn pack_unpack_round_trips_and_preserves_gaps(
+        count in 0usize..9,
+        blocklen in 1usize..6,
+        extra in 0usize..4,
+    ) {
+        let layout = Layout::vector(count, blocklen, blocklen + extra);
+        prop_assert_eq!(layout.is_contiguous(), count <= 1 || extra == 0);
+
+        let src: Vec<u8> = (0..layout.extent()).map(|i| (i as u8).wrapping_mul(31).wrapping_add(7)).collect();
+        let mut packed = Vec::new();
+        layout.pack_bytes(&src, &mut packed);
+        prop_assert_eq!(packed.len(), layout.packed_len());
+        prop_assert_eq!(layout.packed_len(), count * blocklen);
+
+        // Unpack into a sentinel-filled buffer: selected positions take the
+        // packed bytes, gaps keep the sentinel.
+        let mut out = vec![0xEEu8; layout.extent()];
+        layout.unpack_bytes(&packed, &mut out);
+        let mut cursor = 0;
+        for block in 0..count {
+            for i in 0..blocklen {
+                prop_assert_eq!(out[block * (blocklen + extra) + i], packed[cursor]);
+                cursor += 1;
+            }
+        }
+        let selected: Vec<usize> = (0..count)
+            .flat_map(|b| (0..blocklen).map(move |i| b * (blocklen + extra) + i))
+            .collect();
+        for i in 0..layout.extent() {
+            if selected.contains(&i) {
+                prop_assert_eq!(out[i], src[i], "selected byte {} must round-trip", i);
+            } else {
+                prop_assert_eq!(out[i], 0xEE, "gap byte {} must be preserved", i);
+            }
+        }
+
+        // And the packed form itself is a fixed point.
+        let mut repacked = Vec::new();
+        layout.pack_bytes(&out, &mut repacked);
+        prop_assert_eq!(repacked, packed);
+    }
+}
