@@ -1,0 +1,259 @@
+//! **Compression figure**: error-bounded lossy-compressed MPI_Allreduce —
+//! bytes-on-wire and simulated makespan across the error-bound sweep, on
+//! two fabrics.
+//!
+//! The C-Coll line of work compresses large collective payloads with an
+//! error-bounded predictor codec so bandwidth-bound schedules move a
+//! fraction of the raw bytes.  This figure replays that trade on the model:
+//! each library's large-message Allreduce schedule is compiled once exact
+//! and once per swept error bound (the plan rewrite pass fuses
+//! compress/decompress into every eligible inter-node transfer and prices
+//! the wire at the calibrated compressed size), then both are replayed on
+//! the paper's 100 Gb/s Omni-Path testbed *and* on a 25 Gb/s commodity
+//! fabric.  Reported per (fabric, library, block, bound): bytes-on-wire,
+//! the reduction ratio against the exact schedule, and the makespan
+//! speedup.
+//!
+//! Three structural findings, the first two pinned by assertions:
+//!
+//! * On the commodity fabric the ring-selecting Open MPI schedule cuts
+//!   bytes-on-wire by >= 4x at the loose bound **and finishes faster** —
+//!   at 0.32 ns/B of wire, shedding three quarters of the bytes buys more
+//!   than the codec's compute costs.
+//! * Tightening the bound shrinks the byte savings monotonically: each
+//!   100x of bound costs quantization-code bits on every element.
+//! * On the 100 Gb/s testbed the same rewrite is byte-effective but not
+//!   always time-effective — the wire is fast enough that codec compute
+//!   can outweigh the transfer savings.  Compression is a fabric-dependent
+//!   trade, which is exactly why it is a per-call policy and not a
+//!   default.
+//!
+//! The sweep is deterministic: the wire model compresses a fixed
+//! calibration stream, so the artifact is reproducible bit-for-bit.
+//!
+//! ```text
+//! cargo run --release -p pip-mcoll-bench --bin fig_compression            # hpdc23 scale
+//! cargo run --release -p pip-mcoll-bench --bin fig_compression -- --small # CI smoke grid
+//! ```
+
+use pip_collectives::plan::Fidelity;
+use pip_collectives::CollectiveKind;
+use pip_mpi_model::plan::compile_cluster;
+use pip_mpi_model::{compile_folded, CollectiveShape, CompressSpec, Library};
+use pip_netsim::{RunOptions, SimEngine};
+use pip_runtime::Topology;
+use pip_transport::netcard::NicParams;
+
+/// Bytes-on-wire threshold for this figure.  Deliberately below the
+/// dispatch default (`compress_min_bytes`): the ring splits the buffer into
+/// `world` chunks, and the figure wants the per-chunk transfers of the
+/// swept blocks eligible so the bound sweep — not the threshold — is the
+/// story.
+const MIN_WIRE: usize = 256;
+
+/// Swept end-to-end error bounds, loosest first.  `f64` payloads; the
+/// per-hop codec bound is the end-to-end bound divided by the schedule's
+/// worst-case hop count (`2 * (world - 1)` for the ring).
+const BOUNDS: [f64; 3] = [1e-2, 1e-4, 1e-6];
+
+struct Point {
+    fabric: &'static str,
+    library: &'static str,
+    block: usize,
+    bound: f64,
+    makespan_us: f64,
+    wire_bytes: usize,
+    bytes_ratio: f64,
+    speedup: f64,
+}
+
+/// Compile `shape` and replay it, folded when the schedule's node symmetry
+/// closes (the ring does), full otherwise.  Returns (makespan_us,
+/// bytes-on-wire).
+fn replay(
+    library: Library,
+    topology: Topology,
+    shape: &CollectiveShape,
+    nic: NicParams,
+) -> (f64, usize) {
+    let profile = library.profile();
+    let engine = SimEngine::new(profile.sim_params(nic));
+    let outcome = if let Some(folded) = compile_folded(&profile, topology, shape, 1) {
+        engine.run_folded_trace(&folded, RunOptions::summary())
+    } else {
+        let plan = compile_cluster(&profile, topology, shape, Fidelity::Schedule);
+        engine.run_with(&plan.to_trace(1), RunOptions::summary())
+    }
+    .unwrap_or_else(|e| panic!("{} block {}: {e}", library.name(), shape.block));
+    let wire = outcome.stats.internode_bytes + outcome.stats.retransmitted_bytes;
+    (outcome.makespan / 1_000.0, wire)
+}
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let topology = if small {
+        Topology::new(16, 8)
+    } else {
+        Topology::new(128, 18)
+    };
+    let world = topology.world_size();
+    // Blocks sized so the ring's `world` chunks stay 8-byte aligned and
+    // big enough for NIC occupancy — not per-message latency — to dominate
+    // the inter-node hop: block = world * 8 bytes * elements-per-chunk,
+    // giving 8 KiB and 32 KiB ring chunks at either scale.
+    let blocks: Vec<usize> = [1024usize, 4096].iter().map(|&e| world * 8 * e).collect();
+    let fabrics: [(&'static str, NicParams); 2] = [
+        ("omni-path-100g", NicParams::omni_path_hpdc23()),
+        ("commodity-25g", NicParams::commodity_25g()),
+    ];
+
+    println!(
+        "=== Compression: MPI_Allreduce f64 on {}x{}, error-bound sweep (min wire {MIN_WIRE} B) ===\n",
+        topology.nodes(),
+        topology.ppn()
+    );
+
+    let shape_for = |block: usize, bound: Option<f64>| CollectiveShape {
+        kind: CollectiveKind::Allreduce,
+        block,
+        root: 0,
+        elem_size: 8,
+        reduce: None,
+        layout: None,
+        compress: bound.and_then(|b| CompressSpec::from_bound(b, MIN_WIRE).normalized_for(block)),
+    };
+
+    println!(
+        "| fabric | library | block (B) | bound | wire (B) | bytes ratio | time (us) | speedup |"
+    );
+    println!("|---|---|---:|---:|---:|---:|---:|---:|");
+
+    let mut points: Vec<Point> = Vec::new();
+    for (fabric, nic) in fabrics {
+        for library in Library::ALL {
+            for &block in &blocks {
+                let (exact_us, exact_wire) =
+                    replay(library, topology, &shape_for(block, None), nic);
+                println!(
+                    "| {fabric} | {} | {block} | exact | {exact_wire} | 1.00x | {exact_us:.1} | 1.00x |",
+                    library.name()
+                );
+                points.push(Point {
+                    fabric,
+                    library: library.name(),
+                    block,
+                    bound: 0.0,
+                    makespan_us: exact_us,
+                    wire_bytes: exact_wire,
+                    bytes_ratio: 1.0,
+                    speedup: 1.0,
+                });
+                for &bound in &BOUNDS {
+                    let (us, wire) = replay(library, topology, &shape_for(block, Some(bound)), nic);
+                    let bytes_ratio = exact_wire as f64 / wire as f64;
+                    let speedup = exact_us / us;
+                    println!(
+                        "| {fabric} | {} | {block} | {bound:.0e} | {wire} | {bytes_ratio:.2}x | {us:.1} | {speedup:.2}x |",
+                        library.name()
+                    );
+                    points.push(Point {
+                        fabric,
+                        library: library.name(),
+                        block,
+                        bound,
+                        makespan_us: us,
+                        wire_bytes: wire,
+                        bytes_ratio,
+                        speedup,
+                    });
+                }
+            }
+        }
+    }
+
+    // Headline + acceptance pins, on the Ring-selecting Open MPI schedule
+    // (plain send/recv transfers end to end, so every inter-node ring chunk
+    // is eligible) at the largest block and loosest bound, on the fabric
+    // slow enough for bytes to be the bottleneck.
+    let headline_block = *blocks.last().expect("blocks");
+    let ring = |fabric: &str, bound: f64| {
+        points
+            .iter()
+            .find(|p| {
+                p.fabric == fabric
+                    && p.library == "Open MPI"
+                    && p.block == headline_block
+                    && p.bound == bound
+            })
+            .expect("swept point")
+    };
+    let loose = ring("commodity-25g", BOUNDS[0]);
+    assert!(
+        loose.bytes_ratio >= 4.0,
+        "compressed ring allreduce must cut bytes-on-wire >= 4x at bound {:.0e}, got {:.2}x",
+        BOUNDS[0],
+        loose.bytes_ratio
+    );
+    assert!(
+        loose.speedup > 1.0,
+        "compressed ring allreduce must beat the exact schedule on the \
+         commodity fabric, got {:.2}x",
+        loose.speedup
+    );
+    for (fabric, _) in fabrics {
+        let mut last_ratio = f64::INFINITY;
+        for &bound in &BOUNDS {
+            let p = ring(fabric, bound);
+            assert!(
+                p.bytes_ratio <= last_ratio,
+                "tightening the bound to {bound:.0e} must not improve the bytes ratio"
+            );
+            last_ratio = p.bytes_ratio;
+        }
+    }
+    println!(
+        "\nHeadline: Open MPI ring allreduce at {headline_block} B/process, bound {:.0e}, \
+         commodity 25G fabric: {:.2}x fewer bytes-on-wire, {:.2}x faster than the exact \
+         schedule.",
+        BOUNDS[0], loose.bytes_ratio, loose.speedup
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"compression\",\n  \"schema\": 1,\n");
+    json.push_str(&format!(
+        "  \"topology\": \"{}x{}\",\n  \"min_wire_bytes\": {MIN_WIRE},\n  \"elem\": \"f64\",\n",
+        topology.nodes(),
+        topology.ppn()
+    ));
+    json.push_str("  \"points\": [\n");
+    for (idx, p) in points.iter().enumerate() {
+        let comma = if idx + 1 == points.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"fabric\":\"{}\",\"library\":\"{}\",\"block\":{},\"bound\":{:e},\
+             \"makespan_us\":{:.3},\"wire_bytes\":{},\"bytes_ratio\":{:.4},\
+             \"speedup\":{:.4}}}{comma}\n",
+            p.fabric,
+            p.library,
+            p.block,
+            p.bound,
+            p.makespan_us,
+            p.wire_bytes,
+            p.bytes_ratio,
+            p.speedup
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"headline\": {{\"fabric\":\"commodity-25g\",\"library\":\"Open MPI\",\
+         \"block\":{headline_block},\"bound\":{:e},\"bytes_ratio\":{:.4},\
+         \"speedup\":{:.4}}}\n}}\n",
+        BOUNDS[0], loose.bytes_ratio, loose.speedup
+    ));
+    std::fs::write("BENCH_compression.json", &json).expect("write BENCH_compression.json");
+    println!(
+        "\nWrote BENCH_compression.json ({} points across {} fabrics x {} libraries x {} blocks x {} bounds).",
+        points.len(),
+        fabrics.len(),
+        Library::ALL.len(),
+        blocks.len(),
+        BOUNDS.len() + 1
+    );
+}

@@ -50,6 +50,7 @@ fn main() {
         elem_size: 1,
         reduce: None,
         layout: None,
+        compress: None,
     };
 
     println!("=== Projection: MPI_Allreduce {BLOCK} B/process, ppn {PPN}, folded replay ===\n");

@@ -180,6 +180,7 @@ fn record_for(
         elem_size: 1,
         reduce: None,
         layout: None,
+        compress: None,
     };
     // Compile outside the lock so concurrent figure builders never block
     // behind another cell's whole-cluster compile; first inserter wins.

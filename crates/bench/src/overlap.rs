@@ -133,6 +133,7 @@ fn overlap_point(
         elem_size: 1,
         reduce: None,
         layout: None,
+        compress: None,
     };
     let plan = compile_cluster(&profile, cluster.topology(), &shape, Fidelity::Schedule);
     let trace = plan.to_trace(1);
@@ -231,6 +232,7 @@ mod tests {
             elem_size: 1,
             reduce: None,
             layout: None,
+            compress: None,
         };
         let plan = compile_cluster(&profile, cluster.topology(), &shape, Fidelity::Schedule);
         let trace = plan.to_trace(1);

@@ -20,6 +20,7 @@ fn allgather_shape() -> CollectiveShape {
         elem_size: 1,
         reduce: None,
         layout: None,
+        compress: None,
     }
 }
 

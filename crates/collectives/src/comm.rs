@@ -97,6 +97,19 @@ pub trait Comm {
     /// Receive exactly `len` bytes from `source` with `tag`.
     fn recv(&self, source: usize, tag: u64, len: usize) -> Vec<u8>;
 
+    /// Receive a message of *unknown* length from `source` with `tag` —
+    /// the receive side of a compressed transfer, whose frame length
+    /// depends on the sender's payload and so cannot be asserted.
+    ///
+    /// Only live executors ever hit this (recording communicators see the
+    /// symbolic [`crate::plan::PlanOp::Decompress`] op, never a real
+    /// frame), so the default panics rather than forcing recorders to
+    /// invent a length.
+    fn recv_unsized(&self, source: usize, tag: u64) -> Vec<u8> {
+        let _ = (source, tag);
+        panic!("this communicator does not support unsized receives");
+    }
+
     /// Send to `dest`, then receive from `source`.
     ///
     /// The default implementation posts the send first and then blocks on
@@ -235,6 +248,15 @@ pub trait NonBlockingComm: Comm {
     /// data-dependent failure).
     fn try_recv(&self, source: usize, tag: u64, len: usize) -> Option<Vec<u8>>;
 
+    /// Non-blocking twin of [`Comm::recv_unsized`]: returns whatever
+    /// payload has arrived from `source` with `tag` without checking its
+    /// length.  Default panics — only live communicators receive real
+    /// compressed frames.
+    fn try_recv_unsized(&self, source: usize, tag: u64) -> Option<Vec<u8>> {
+        let _ = (source, tag);
+        panic!("this communicator does not support unsized receives");
+    }
+
     /// How long a caller polling via [`NonBlockingComm::try_recv`] should
     /// wait without observing any progress before declaring the schedule
     /// broken.  Mirrors the blocking receive timeout so deadlocks surface as
@@ -298,6 +320,11 @@ impl Comm for ThreadComm<'_> {
             tag,
             msg.payload.len()
         );
+        msg.payload.into_vec()
+    }
+
+    fn recv_unsized(&self, source: usize, tag: u64) -> Vec<u8> {
+        let msg = self.ctx.recv(source, tag).expect("recv failed");
         msg.payload.into_vec()
     }
 
@@ -399,6 +426,11 @@ impl NonBlockingComm for ThreadComm<'_> {
             tag,
             msg.payload.len()
         );
+        Some(msg.payload.into_vec())
+    }
+
+    fn try_recv_unsized(&self, source: usize, tag: u64) -> Option<Vec<u8>> {
+        let msg = self.ctx.try_recv(source, tag).expect("try_recv failed")?;
         Some(msg.payload.into_vec())
     }
 

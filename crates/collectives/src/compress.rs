@@ -1,0 +1,527 @@
+//! Error-bounded lossy compression for float streams (the C-Coll codec).
+//!
+//! The codec is SZ-flavoured: a Lorenzo-style 1-D predictor — each element
+//! is predicted as the previously *decoded* element — with linear
+//! quantization of the prediction residual against an absolute error
+//! bound.  A stream is cut into fixed-size blocks and every block is
+//! encoded either as bit-packed quantization codes (at the block's own
+//! code width) or **verbatim** when quantization cannot hold the bound
+//! (NaN/Inf, wild data, or a bound below the element type's precision).
+//! The encoder replays the decoder's reconstruction of every element
+//! before committing a quantized block, so `|decoded - original| <= bound`
+//! holds unconditionally and incompressible data costs at most one type
+//! byte per block over raw.
+//!
+//! Plans embed compressed transfers as fused
+//! [`PlanOp::Compress`](crate::plan::PlanOp::Compress) /
+//! [`PlanOp::Decompress`](crate::plan::PlanOp::Decompress) ops.  Because
+//! plans are symbolic, the byte count a compressed send contributes to a
+//! lowered trace must be deterministic: [`calibrated_wire_bytes`]
+//! compresses a synthetic smooth stream of matching length once per
+//! `(length, codec)` and both endpoints stamp that size into their ops.
+//! Live execution ships the real variable-length frame (received with the
+//! unsized receive entry points, which skip the exact-length assertion).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Element type of a compressed float stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FloatElem {
+    /// IEEE-754 binary32 (`f32`) little-endian elements.
+    F32,
+    /// IEEE-754 binary64 (`f64`) little-endian elements.
+    F64,
+}
+
+impl FloatElem {
+    /// Byte width of one element.
+    pub fn size(self) -> usize {
+        match self {
+            FloatElem::F32 => 4,
+            FloatElem::F64 => 8,
+        }
+    }
+
+    /// The element type with the given byte width (4 or 8), if any.
+    pub fn for_size(size: usize) -> Option<FloatElem> {
+        match size {
+            4 => Some(FloatElem::F32),
+            8 => Some(FloatElem::F64),
+            _ => None,
+        }
+    }
+}
+
+/// Element types the error-bounded codec can compress.  Implemented by the
+/// IEEE-754 floats only; integer and user-defined element types have no
+/// meaningful "absolute error bound" and always travel exact.
+pub trait FloatDatatype: crate::datatype::Datatype {
+    /// Codec element width of this type.
+    const ELEM: FloatElem;
+}
+
+impl FloatDatatype for f32 {
+    const ELEM: FloatElem = FloatElem::F32;
+}
+
+impl FloatDatatype for f64 {
+    const ELEM: FloatElem = FloatElem::F64;
+}
+
+/// Wire codec for one compressed transfer: the element type plus the
+/// absolute error bound every decoded element is guaranteed to satisfy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Codec {
+    /// Element type of the stream.
+    pub elem: FloatElem,
+    /// Absolute per-element error bound (`|decoded - original| <= bound`).
+    pub bound: f64,
+}
+
+/// User-facing compression policy for a collective: the end-to-end error
+/// bound on the *result* and the message size below which transfers stay
+/// exact.  The per-hop codec bound is derived from `bound` by dividing by
+/// the schedule's worst-case hop count (see the plan rewrite pass).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressionPolicy {
+    /// Absolute element-wise error bound on the collective's result.
+    pub bound: f64,
+    /// Messages smaller than this many bytes are sent uncompressed.
+    pub min_wire_bytes: usize,
+}
+
+/// Elements per encoded block.
+const BLOCK: usize = 256;
+/// Block type byte: raw little-endian element bytes follow.
+const TYPE_VERBATIM: u8 = 0;
+/// Block type byte: a code-width byte and bit-packed quantization codes
+/// follow.
+const TYPE_QUANTIZED: u8 = 1;
+/// Quantization codes beyond this magnitude force a verbatim block (keeps
+/// `round()` and zigzag arithmetic far from `i64` overflow).
+const MAX_CODE_MAGNITUDE: f64 = (1u64 << 40) as f64;
+
+/// Quantization step for a bound.  A hair under `2 * bound` so a residual
+/// sitting exactly on a bin midpoint (e.g. `0.125` at bound `1e-3`) still
+/// reconstructs strictly within the bound after f64 rounding, instead of
+/// overshooting by one ulp and forcing the block verbatim.  Encoder and
+/// decoder must agree on this — both call here.
+fn quant_step(bound: f64) -> f64 {
+    2.0 * bound * (1.0 - 1e-9)
+}
+
+/// Read one element at `bytes` (little-endian) as `f64`.
+fn load(elem: FloatElem, bytes: &[u8]) -> f64 {
+    match elem {
+        FloatElem::F32 => f32::from_le_bytes(bytes[..4].try_into().unwrap()) as f64,
+        FloatElem::F64 => f64::from_le_bytes(bytes[..8].try_into().unwrap()),
+    }
+}
+
+/// Append one element to `out` (little-endian).
+fn store(elem: FloatElem, value: f64, out: &mut Vec<u8>) {
+    match elem {
+        FloatElem::F32 => out.extend_from_slice(&(value as f32).to_le_bytes()),
+        FloatElem::F64 => out.extend_from_slice(&value.to_le_bytes()),
+    }
+}
+
+/// The value the decoder will actually hold after storing `value` at the
+/// element type's precision — the encoder predicts and verifies against
+/// this, never against its own full-precision intermediate.
+fn round_store(elem: FloatElem, value: f64) -> f64 {
+    match elem {
+        FloatElem::F32 => value as f32 as f64,
+        FloatElem::F64 => value,
+    }
+}
+
+fn zigzag(code: i64) -> u64 {
+    ((code << 1) ^ (code >> 63)) as u64
+}
+
+fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+/// Bit-pack `codes` at `bits` bits each, LSB first.
+fn pack_bits(codes: &[u64], bits: u8, out: &mut Vec<u8>) {
+    if bits == 0 {
+        return;
+    }
+    let mut acc: u64 = 0;
+    let mut filled: u32 = 0;
+    for &code in codes {
+        acc |= code << filled;
+        filled += u32::from(bits);
+        while filled >= 8 {
+            out.push(acc as u8);
+            acc >>= 8;
+            filled -= 8;
+        }
+    }
+    if filled > 0 {
+        out.push(acc as u8);
+    }
+}
+
+/// Inverse of [`pack_bits`]: read `count` codes of `bits` bits each.
+fn unpack_bits(bytes: &[u8], bits: u8, count: usize) -> Vec<u64> {
+    if bits == 0 {
+        return vec![0; count];
+    }
+    let mask = if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
+    let mut acc: u64 = 0;
+    let mut filled: u32 = 0;
+    let mut pos = 0;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        while filled < u32::from(bits) {
+            acc |= u64::from(bytes[pos]) << filled;
+            pos += 1;
+            filled += 8;
+        }
+        out.push(acc & mask);
+        acc >>= bits;
+        filled -= u32::from(bits);
+    }
+    out
+}
+
+/// Try to quantize one block, predicting the first element from `prev_in`
+/// (the last decoded element of the previous block, or `0.0` at stream
+/// start).  Returns the zigzagged codes, their bit width and the block's
+/// last decoded value, or `None` when any element cannot be reconstructed
+/// within the bound (the block must then go verbatim).
+fn quantize_block(values: &[f64], codec: Codec, prev_in: f64) -> Option<(u8, Vec<u64>, f64)> {
+    let step = quant_step(codec.bound);
+    if !step.is_finite() || step <= 0.0 {
+        return None;
+    }
+    let mut prev = prev_in;
+    let mut codes = Vec::with_capacity(values.len());
+    let mut max_code: u64 = 0;
+    for &orig in values {
+        // Deadband: when the prediction already satisfies the bound, emit
+        // code zero.  Nearest-rounding alone would oscillate +-1 forever on
+        // residuals near a half step; the deadband keeps constant streams
+        // stationary (all-zero codes, zero-width blocks).
+        let code = if (prev - orig).abs() <= codec.bound {
+            0i64
+        } else {
+            let scaled = (orig - prev) / step;
+            if !scaled.is_finite() || scaled.abs() >= MAX_CODE_MAGNITUDE {
+                return None;
+            }
+            scaled.round_ties_even() as i64
+        };
+        let recon = round_store(codec.elem, prev + code as f64 * step);
+        // The one check the bound rests on: replay the decoder and reject
+        // the block unless this element really lands within `bound` — a
+        // NaN error (non-finite input) must reject too.
+        let err = (recon - orig).abs();
+        if err.is_nan() || err > codec.bound {
+            return None;
+        }
+        let z = zigzag(code);
+        max_code = max_code.max(z);
+        codes.push(z);
+        prev = recon;
+    }
+    let bits = (64 - max_code.leading_zeros()) as u8;
+    Some((bits, codes, prev))
+}
+
+/// Compress a little-endian float stream under `codec`.
+///
+/// # Panics
+///
+/// Panics when `data.len()` is not a multiple of the element width.
+pub fn compress(data: &[u8], codec: Codec) -> Vec<u8> {
+    let elem = codec.elem.size();
+    assert_eq!(
+        data.len() % elem,
+        0,
+        "compressed stream must be whole elements"
+    );
+    let mut out = Vec::with_capacity(data.len() / 4 + 16);
+    let mut prev = 0.0f64;
+    for chunk in data.chunks(BLOCK * elem) {
+        let values: Vec<f64> = chunk
+            .chunks_exact(elem)
+            .map(|b| load(codec.elem, b))
+            .collect();
+        let quantized = quantize_block(&values, codec, prev);
+        let verbatim_len = 1 + chunk.len();
+        match quantized {
+            Some((bits, ref codes, prev_out))
+                if 2 + (codes.len() * usize::from(bits)).div_ceil(8) < verbatim_len =>
+            {
+                out.push(TYPE_QUANTIZED);
+                out.push(bits);
+                pack_bits(codes, bits, &mut out);
+                prev = prev_out;
+            }
+            _ => {
+                out.push(TYPE_VERBATIM);
+                out.extend_from_slice(chunk);
+                // A verbatim block decodes bit-exactly, so the decoder's
+                // predictor state is the block's last original value.
+                prev = *values.last().expect("blocks are non-empty");
+            }
+        }
+    }
+    out
+}
+
+/// Decompress a frame produced by [`compress`] back into `raw_len` bytes
+/// of little-endian elements.
+///
+/// # Panics
+///
+/// Panics on a malformed frame (frames only travel between the codec's
+/// own endpoints; corruption is a logic error, not an input condition).
+pub fn decompress(frame: &[u8], raw_len: usize, codec: Codec) -> Vec<u8> {
+    let elem = codec.elem.size();
+    assert_eq!(raw_len % elem, 0, "raw length must be whole elements");
+    let step = quant_step(codec.bound);
+    let mut out = Vec::with_capacity(raw_len);
+    let mut pos = 0;
+    let mut remaining = raw_len / elem;
+    let mut prev = 0.0f64;
+    while remaining > 0 {
+        let count = remaining.min(BLOCK);
+        match frame[pos] {
+            TYPE_VERBATIM => {
+                pos += 1;
+                out.extend_from_slice(&frame[pos..pos + count * elem]);
+                pos += count * elem;
+                prev = load(codec.elem, &out[out.len() - elem..]);
+            }
+            TYPE_QUANTIZED => {
+                let bits = frame[pos + 1];
+                pos += 2;
+                let packed = (count * usize::from(bits)).div_ceil(8);
+                let codes = unpack_bits(&frame[pos..pos + packed], bits, count);
+                pos += packed;
+                for z in codes {
+                    let code = unzigzag(z);
+                    let value = round_store(codec.elem, prev + code as f64 * step);
+                    store(codec.elem, value, &mut out);
+                    prev = value;
+                }
+            }
+            other => panic!("corrupt compressed frame: unknown block type {other}"),
+        }
+        remaining -= count;
+    }
+    assert_eq!(pos, frame.len(), "trailing bytes in compressed frame");
+    out
+}
+
+/// Deterministic smooth calibration stream: the value of element `i`.
+///
+/// Plans are symbolic, so the byte count a compressed send contributes to
+/// a lowered trace cannot depend on runtime payloads.  Both endpoints of a
+/// rewritten transfer instead price the wire with the compressed size of
+/// this stream — a slow sine typical of the smooth scientific fields
+/// lossy-compressed collectives target.
+fn calibration_value(i: usize) -> f64 {
+    (i as f64 * 0.001).sin() * 10.0
+}
+
+/// The wire size a `raw_len`-byte transfer under `codec` is priced at in
+/// lowered traces: the compressed size of the deterministic calibration
+/// stream of the same length.  Cached process-wide per `(length, codec)`.
+pub fn calibrated_wire_bytes(raw_len: usize, codec: Codec) -> usize {
+    static CACHE: Mutex<BTreeMap<(usize, u8, u64), usize>> = Mutex::new(BTreeMap::new());
+    let key = (raw_len, codec.elem.size() as u8, codec.bound.to_bits());
+    if let Some(&size) = CACHE.lock().unwrap().get(&key) {
+        return size;
+    }
+    let elem = codec.elem.size();
+    let count = raw_len / elem;
+    let mut data = Vec::with_capacity(raw_len);
+    for i in 0..count {
+        store(codec.elem, calibration_value(i), &mut data);
+    }
+    let size = compress(&data, codec).len();
+    CACHE.lock().unwrap().insert(key, size);
+    size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f64_bytes(values: &[f64]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn f32_bytes(values: &[f32]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn assert_bound_f64(original: &[u8], decoded: &[u8], bound: f64) {
+        for (o, d) in original.chunks_exact(8).zip(decoded.chunks_exact(8)) {
+            let o = f64::from_le_bytes(o.try_into().unwrap());
+            let d = f64::from_le_bytes(d.try_into().unwrap());
+            if o.is_finite() {
+                assert!((d - o).abs() <= bound, "|{d} - {o}| > {bound}");
+            } else {
+                assert_eq!(o.to_bits(), d.to_bits(), "non-finite must pass verbatim");
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_stream_round_trips_within_bound_and_compresses() {
+        for &bound in &[1e-2, 1e-4, 1e-6] {
+            let codec = Codec {
+                elem: FloatElem::F64,
+                bound,
+            };
+            let values: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.01).sin() * 3.0).collect();
+            let raw = f64_bytes(&values);
+            let frame = compress(&raw, codec);
+            assert!(
+                frame.len() * 4 <= raw.len(),
+                "smooth f64 stream should compress >= 4x at bound {bound} \
+                 (got {} from {})",
+                frame.len(),
+                raw.len()
+            );
+            let decoded = decompress(&frame, raw.len(), codec);
+            assert_eq!(decoded.len(), raw.len());
+            assert_bound_f64(&raw, &decoded, bound);
+        }
+    }
+
+    #[test]
+    fn f32_streams_hold_the_bound_despite_storage_rounding() {
+        let codec = Codec {
+            elem: FloatElem::F32,
+            bound: 1e-3,
+        };
+        let values: Vec<f32> = (0..1000)
+            .map(|i| ((i as f32 * 0.02).sin() * 100.0) + i as f32)
+            .collect();
+        let raw = f32_bytes(&values);
+        let frame = compress(&raw, codec);
+        let decoded = decompress(&frame, raw.len(), codec);
+        for (o, d) in raw.chunks_exact(4).zip(decoded.chunks_exact(4)) {
+            let o = f32::from_le_bytes(o.try_into().unwrap()) as f64;
+            let d = f32::from_le_bytes(d.try_into().unwrap()) as f64;
+            assert!((d - o).abs() <= codec.bound);
+        }
+    }
+
+    #[test]
+    fn incompressible_stream_expands_at_most_one_byte_per_block() {
+        let codec = Codec {
+            elem: FloatElem::F64,
+            bound: 1e-12,
+        };
+        // Pseudo-random wild magnitudes: residuals dwarf the bound, so
+        // quantization codes would be astronomical and blocks go verbatim.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let values: Vec<f64> = (0..2048)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 1e18
+            })
+            .collect();
+        let raw = f64_bytes(&values);
+        let frame = compress(&raw, codec);
+        assert!(frame.len() <= raw.len() + raw.len().div_ceil(BLOCK * 8));
+        let decoded = decompress(&frame, raw.len(), codec);
+        assert_eq!(decoded, raw, "verbatim blocks must be bit-exact");
+    }
+
+    #[test]
+    fn non_finite_values_pass_through_verbatim() {
+        let codec = Codec {
+            elem: FloatElem::F64,
+            bound: 0.5,
+        };
+        let values = vec![1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -2.0];
+        let raw = f64_bytes(&values);
+        let frame = compress(&raw, codec);
+        let decoded = decompress(&frame, raw.len(), codec);
+        assert_eq!(decoded, raw, "a block holding NaN/Inf must be verbatim");
+    }
+
+    #[test]
+    fn zero_bound_degenerates_to_bit_exact_verbatim() {
+        let codec = Codec {
+            elem: FloatElem::F32,
+            bound: 0.0,
+        };
+        let values: Vec<f32> = (0..700).map(|i| (i as f32).sqrt()).collect();
+        let raw = f32_bytes(&values);
+        let frame = compress(&raw, codec);
+        let decoded = decompress(&frame, raw.len(), codec);
+        assert_eq!(decoded, raw);
+    }
+
+    #[test]
+    fn empty_stream_round_trips() {
+        let codec = Codec {
+            elem: FloatElem::F64,
+            bound: 1e-3,
+        };
+        let frame = compress(&[], codec);
+        assert!(frame.is_empty());
+        assert!(decompress(&frame, 0, codec).is_empty());
+    }
+
+    #[test]
+    fn constant_stream_collapses_to_near_nothing() {
+        let codec = Codec {
+            elem: FloatElem::F64,
+            bound: 1e-3,
+        };
+        let raw = f64_bytes(&vec![0.125f64; 4096]);
+        let frame = compress(&raw, codec);
+        // All residuals after the first element are zero; blocks carry two
+        // header bytes plus (at most) a handful of packed bits each.
+        assert!(
+            frame.len() < raw.len() / 100,
+            "constant stream should collapse (got {})",
+            frame.len()
+        );
+        let decoded = decompress(&frame, raw.len(), codec);
+        assert_bound_f64(&raw, &decoded, codec.bound);
+    }
+
+    #[test]
+    fn calibrated_wire_bytes_is_deterministic_and_smaller() {
+        let codec = Codec {
+            elem: FloatElem::F32,
+            bound: 1e-3,
+        };
+        let a = calibrated_wire_bytes(1 << 20, codec);
+        let b = calibrated_wire_bytes(1 << 20, codec);
+        assert_eq!(a, b);
+        assert!(
+            a * 4 <= 1 << 20,
+            "calibration stream should compress >= 4x (got {a})"
+        );
+        // A different bound must calibrate independently.
+        let tighter = calibrated_wire_bytes(
+            1 << 20,
+            Codec {
+                elem: FloatElem::F32,
+                bound: 1e-6,
+            },
+        );
+        assert!(tighter >= a);
+    }
+}

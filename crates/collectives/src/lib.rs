@@ -51,6 +51,7 @@
 pub mod binomial;
 pub mod bruck;
 pub mod comm;
+pub mod compress;
 pub mod datatype;
 pub mod hierarchical;
 pub mod multi_object;
@@ -63,6 +64,7 @@ pub mod ring;
 pub mod scan;
 
 pub use comm::{Comm, NonBlockingComm, ReduceFn, ThreadComm, TraceComm};
+pub use compress::{Codec, CompressionPolicy, FloatDatatype, FloatElem};
 pub use datatype::{
     Datatype, DtypeId, Layout, Op, OwnedReduction, ReduceIdent, ReduceKernel, ReduceOp, Reduction,
 };

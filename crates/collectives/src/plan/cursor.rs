@@ -31,6 +31,7 @@
 use std::rc::Rc;
 
 use crate::comm::{NonBlockingComm, ReduceFn};
+use crate::compress::{compress, decompress};
 use crate::plan::arena::{shared_arena, SharedArena};
 use crate::plan::exec::{materialize_into, store_val};
 use crate::plan::ir::{Fidelity, PlanOp, RankPlan, Src};
@@ -186,6 +187,8 @@ impl PlanCursor {
                 .filter_map(|op| match op {
                     PlanOp::Send { tag, .. }
                     | PlanOp::Recv { tag, .. }
+                    | PlanOp::Compress { tag, .. }
+                    | PlanOp::Decompress { tag, .. }
                     | PlanOp::SendFromShared { tag, .. }
                     | PlanOp::RecvIntoShared { tag, .. } => Some(*tag),
                     _ => None,
@@ -403,6 +406,32 @@ impl PlanCursor {
                 dst,
             } => match comm.try_recv(*source, self.tag + t, *len) {
                 Some(data) => self.store_val(*dst, data),
+                None => return StepOutcome::Blocked,
+            },
+            PlanOp::Compress {
+                dest,
+                tag: t,
+                src,
+                codec,
+                ..
+            } => {
+                let data = self.materialize(src);
+                let frame = compress(&data, *codec);
+                self.arena.borrow_mut().release(data);
+                comm.send_owned(*dest, self.tag + t, frame);
+            }
+            PlanOp::Decompress {
+                source,
+                tag: t,
+                raw_len,
+                dst,
+                codec,
+                ..
+            } => match comm.try_recv_unsized(*source, self.tag + t) {
+                Some(frame) => {
+                    let data = decompress(&frame, *raw_len, *codec);
+                    self.store_val(*dst, data);
+                }
                 None => return StepOutcome::Blocked,
             },
             PlanOp::SendFromShared {
@@ -626,6 +655,8 @@ mod tests {
         let _ = PlanCursor::new(plan, Some(vec![0u8; 2]), Some(vec![0u8; 4]), 1 << 16);
     }
 
+    // The tag-range scan it exercises is compiled into debug builds only.
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "collides with the barrier tag range")]
     fn cursor_rejects_plans_using_barrier_tag_offsets() {

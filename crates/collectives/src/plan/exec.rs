@@ -13,6 +13,7 @@
 //! stop allocating entirely — the persistent-collective steady state.
 
 use crate::comm::{Comm, ReduceFn};
+use crate::compress::{compress, decompress};
 use crate::plan::arena::BufferArena;
 use crate::plan::ir::{Fidelity, IoShape, PlanOp, RankPlan, Src, SrcSeg};
 
@@ -238,6 +239,33 @@ pub fn execute_rank_plan_reusing<C: Comm>(
                 dst,
             } => {
                 let data = comm.recv(*source, tag + t, *len);
+                store_val(&mut vals, arena, *dst, data);
+            }
+            PlanOp::Compress {
+                dest,
+                tag: t,
+                src,
+                codec,
+                ..
+            } => {
+                let mut data = arena.acquire(src.len());
+                materialize_into(&mut data, src, &plan.io, sendbuf, recv_view, &vals);
+                let frame = compress(&data, *codec);
+                arena.release(data);
+                comm.send_owned(*dest, tag + t, frame);
+            }
+            PlanOp::Decompress {
+                source,
+                tag: t,
+                raw_len,
+                dst,
+                codec,
+                ..
+            } => {
+                // The frame's length depends on the sender's payload, so the
+                // receive is unsized; the decoded length is asserted instead.
+                let frame = comm.recv_unsized(*source, tag + t);
+                let data = decompress(&frame, *raw_len, *codec);
                 store_val(&mut vals, arena, *dst, data);
             }
             PlanOp::SendFromShared {

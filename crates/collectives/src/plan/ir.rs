@@ -24,6 +24,8 @@ use pip_netsim::trace::{Trace, TraceOp};
 use pip_runtime::Topology;
 use pip_transport::cost::IntranodeMechanism;
 
+use crate::compress::Codec;
+
 /// Index of a runtime value (received message, shared read, reduction
 /// result) within a rank's plan.
 pub type ValId = u32;
@@ -209,6 +211,45 @@ pub enum PlanOp {
         len: usize,
         /// Value receiving the bytes.
         dst: ValId,
+    },
+    /// Compress `src` under `codec` and send the frame to `dest` — the
+    /// fused lossy twin of [`PlanOp::Send`], produced by the compression
+    /// rewrite pass.  The live frame's length depends on the payload;
+    /// lowered traces price the transfer at the deterministic
+    /// `wire_bytes` both endpoints stamped from the calibration stream
+    /// (see [`crate::compress::calibrated_wire_bytes`]), plus a
+    /// [`TraceOp::Codec`] pass over the raw length for the codec's CPU
+    /// cost — a single vectorized sweep priced at streaming-copy speed.
+    Compress {
+        /// Destination rank.
+        dest: usize,
+        /// Tag offset from the invocation tag.
+        tag: u64,
+        /// Uncompressed payload.
+        src: Src,
+        /// Error-bound codec applied to the payload.
+        codec: Codec,
+        /// Calibrated wire size the trace charges for this transfer.
+        wire_bytes: usize,
+    },
+    /// Receive a compressed frame from `source` and decompress it into
+    /// value `dst` of exactly `raw_len` bytes — the fused lossy twin of
+    /// [`PlanOp::Recv`].  Both endpoints derive the same `wire_bytes`
+    /// from `(raw_len, codec)`, so lowered traces keep matched
+    /// send/receive byte counts.
+    Decompress {
+        /// Source rank.
+        source: usize,
+        /// Tag offset from the invocation tag.
+        tag: u64,
+        /// Uncompressed length the frame must decode to.
+        raw_len: usize,
+        /// Value receiving the decoded bytes.
+        dst: ValId,
+        /// Error-bound codec the sender applied.
+        codec: Codec,
+        /// Calibrated wire size the trace charges for this transfer.
+        wire_bytes: usize,
     },
     /// Send straight out of a peer's shared region (zero-copy).
     SendFromShared {
@@ -503,6 +544,8 @@ impl RankPlan {
                 }
                 PlanOp::Send { src, .. } => check_src(src, &defined)?,
                 PlanOp::Recv { len, dst, .. } => define(i, *dst, *len, &mut defined)?,
+                PlanOp::Compress { src, .. } => check_src(src, &defined)?,
+                PlanOp::Decompress { raw_len, dst, .. } => define(i, *dst, *raw_len, &mut defined)?,
                 PlanOp::SendFromShared { name, .. } | PlanOp::RecvIntoShared { name, .. } => {
                     check_name(i, *name)?
                 }
@@ -549,6 +592,37 @@ impl RankPlan {
                     bytes: *len,
                     tag: tag + t,
                 }),
+                // A compressed transfer costs the codec pass (one
+                // vectorized sweep of the raw bytes at streaming-copy
+                // speed) plus the calibrated wire size on the network.
+                PlanOp::Compress {
+                    dest,
+                    tag: t,
+                    src,
+                    wire_bytes,
+                    ..
+                } => {
+                    ops.push(TraceOp::Codec { bytes: src.len() });
+                    ops.push(TraceOp::Send {
+                        dest: *dest,
+                        bytes: *wire_bytes,
+                        tag: tag + t,
+                    });
+                }
+                PlanOp::Decompress {
+                    source,
+                    tag: t,
+                    raw_len,
+                    wire_bytes,
+                    ..
+                } => {
+                    ops.push(TraceOp::Recv {
+                        source: *source,
+                        bytes: *wire_bytes,
+                        tag: tag + t,
+                    });
+                    ops.push(TraceOp::Codec { bytes: *raw_len });
+                }
                 PlanOp::SendFromShared {
                     len, dest, tag: t, ..
                 } => ops.push(TraceOp::Send {

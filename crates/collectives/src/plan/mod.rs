@@ -24,6 +24,7 @@ pub mod cursor;
 pub mod exec;
 pub mod ir;
 pub mod record;
+pub mod rewrite;
 pub mod symmetry;
 
 pub use arena::{shared_arena, ArenaStats, BufferArena, SharedArena};
@@ -31,4 +32,5 @@ pub use cursor::{CursorOutput, PlanCursor, StepOutcome};
 pub use exec::{execute_rank_plan, execute_rank_plan_reusing, PlanIo};
 pub use ir::{Fidelity, IoShape, Plan, PlanError, PlanOp, RankPlan, Src, SrcSeg, ValId};
 pub use record::{assemble, PlanComm, EXEC_PASSES};
+pub use rewrite::compress_rank_transfers;
 pub use symmetry::{folded_trace, ranks_equal_under, schedules_equal_under, PlanSymmetry};

@@ -162,63 +162,92 @@ pub fn schedules_equal_under(
     let relabeled = base
         .ops
         .iter()
-        .filter_map(schedule_atom)
+        .flat_map(schedule_atoms)
         .map(|op| relabel_atom(op, group, topology, delta));
-    relabeled.eq(image.ops.iter().filter_map(schedule_atom))
+    relabeled.eq(image.ops.iter().flat_map(schedule_atoms))
 }
 
-/// The trace op a plan op lowers to, with tags left at their recorded
-/// offsets (rebasing shifts all ranks alike, so equality is unaffected).
-/// Must mirror `RankPlan::to_trace_ops` — pinned by a test below.
-fn schedule_atom(op: &PlanOp) -> Option<TraceOp> {
+/// The trace ops a plan op lowers to (zero, one, or — for the fused
+/// compressed transfers — two), with tags left at their recorded offsets
+/// (rebasing shifts all ranks alike, so equality is unaffected).  Must
+/// mirror `RankPlan::to_trace_ops` — pinned by a test below.
+fn schedule_atoms(op: &PlanOp) -> Vec<TraceOp> {
     match op {
-        PlanOp::Send { dest, tag, src } => Some(TraceOp::Send {
+        PlanOp::Send { dest, tag, src } => vec![TraceOp::Send {
             dest: *dest,
             bytes: src.len(),
             tag: *tag,
-        }),
+        }],
         PlanOp::Recv {
             source, tag, len, ..
-        } => Some(TraceOp::Recv {
+        } => vec![TraceOp::Recv {
             source: *source,
             bytes: *len,
             tag: *tag,
-        }),
-        PlanOp::SendFromShared { len, dest, tag, .. } => Some(TraceOp::Send {
+        }],
+        PlanOp::Compress {
+            dest,
+            tag,
+            src,
+            wire_bytes,
+            ..
+        } => vec![
+            TraceOp::Codec { bytes: src.len() },
+            TraceOp::Send {
+                dest: *dest,
+                bytes: *wire_bytes,
+                tag: *tag,
+            },
+        ],
+        PlanOp::Decompress {
+            source,
+            tag,
+            raw_len,
+            wire_bytes,
+            ..
+        } => vec![
+            TraceOp::Recv {
+                source: *source,
+                bytes: *wire_bytes,
+                tag: *tag,
+            },
+            TraceOp::Codec { bytes: *raw_len },
+        ],
+        PlanOp::SendFromShared { len, dest, tag, .. } => vec![TraceOp::Send {
             dest: *dest,
             bytes: *len,
             tag: *tag,
-        }),
+        }],
         PlanOp::RecvIntoShared {
             source, tag, len, ..
-        } => Some(TraceOp::Recv {
+        } => vec![TraceOp::Recv {
             source: *source,
             bytes: *len,
             tag: *tag,
-        }),
-        PlanOp::SharedWrite { src, .. } => Some(TraceOp::CopyIntra {
+        }],
+        PlanOp::SharedWrite { src, .. } => vec![TraceOp::CopyIntra {
             bytes: src.len(),
             mechanism: None,
             first_use: false,
-        }),
-        PlanOp::SharedRead { len, .. } => Some(TraceOp::CopyIntra {
+        }],
+        PlanOp::SharedRead { len, .. } => vec![TraceOp::CopyIntra {
             bytes: *len,
             mechanism: None,
             first_use: false,
-        }),
-        PlanOp::NodeBarrier => Some(TraceOp::LocalBarrier),
-        PlanOp::ChargeCopy { bytes } => Some(TraceOp::CopyIntra {
+        }],
+        PlanOp::NodeBarrier => vec![TraceOp::LocalBarrier],
+        PlanOp::ChargeCopy { bytes } => vec![TraceOp::CopyIntra {
             bytes: *bytes,
             mechanism: Some(IntranodeMechanism::Pip),
             first_use: false,
-        }),
-        PlanOp::ChargeReduce { bytes } => Some(TraceOp::Reduce { bytes: *bytes }),
-        PlanOp::Delay { nanos } => Some(TraceOp::Delay { nanos: *nanos }),
+        }],
+        PlanOp::ChargeReduce { bytes } => vec![TraceOp::Reduce { bytes: *bytes }],
+        PlanOp::Delay { nanos } => vec![TraceOp::Delay { nanos: *nanos }],
         PlanOp::SharedAlloc { .. }
         | PlanOp::SharedPublish { .. }
         | PlanOp::SharedCollect { .. }
         | PlanOp::Reduce { .. }
-        | PlanOp::CopyOut { .. } => None,
+        | PlanOp::CopyOut { .. } => Vec::new(),
     }
 }
 
@@ -643,11 +672,11 @@ mod tests {
 
     #[test]
     fn schedule_atoms_mirror_to_trace_ops() {
-        // `schedule_atom` must stay in lockstep with `to_trace_ops`: same
+        // `schedule_atoms` must stay in lockstep with `to_trace_ops`: same
         // ops, same order, tags shifted by exactly the rebase.
         let plan = ring_plan(3, 2, 64);
         for rank_plan in &plan.ranks {
-            let atoms: Vec<TraceOp> = rank_plan.ops.iter().filter_map(schedule_atom).collect();
+            let atoms: Vec<TraceOp> = rank_plan.ops.iter().flat_map(schedule_atoms).collect();
             assert_eq!(atoms, rank_plan.to_trace_ops(0));
         }
     }

@@ -21,11 +21,14 @@ use std::time::Instant;
 use pip_collectives::comm::{Comm as _, NonBlockingComm as _, ThreadComm};
 use pip_collectives::plan::{ArenaStats, PlanCursor, RankPlan, SharedArena};
 use pip_collectives::request::{ProgressEngine, ReqId, SharedReduceOp};
-use pip_mpi_model::{dispatch, CollectiveRequest, LibraryProfile, OwnedCollective, PlanCache};
+use pip_mpi_model::{
+    dispatch, CollectiveRequest, CompressSpec, LibraryProfile, OwnedCollective, PlanCache,
+};
 use pip_runtime::{TaskCtx, Topology};
 
 use crate::datatype::{
-    from_bytes, to_bytes, Datatype, Layout, Op, OwnedReduction, ReduceKernel, ReduceOp, Reduction,
+    from_bytes, to_bytes, Datatype, FloatDatatype, Layout, Op, OwnedReduction, ReduceKernel,
+    ReduceOp, Reduction,
 };
 
 /// Tag space reserved for each collective invocation (rounds and phases are
@@ -331,6 +334,47 @@ impl<'a> Communicator<'a> {
             buf: &mut bytes,
             op: Reduction::typed::<T>(op),
             layout: None,
+            compress: None,
+        });
+        for (value, chunk) in buf.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
+            *value = T::read_le(chunk);
+        }
+    }
+
+    /// The compression spec for a caller-requested error bound: the bound
+    /// plus this profile's bytes-on-wire threshold
+    /// (`selection.compress_min_bytes`).  Normalization against the actual
+    /// message size happens at shape time, so a bound of `0.0` (or a
+    /// buffer under the threshold) degrades to the exact plan.
+    fn compress_spec(&self, bound: f64) -> Option<CompressSpec> {
+        assert!(
+            bound >= 0.0 && bound.is_finite(),
+            "compression error bound must be finite and non-negative, got {bound}"
+        );
+        Some(CompressSpec::from_bound(
+            bound,
+            self.profile.selection.compress_min_bytes,
+        ))
+    }
+
+    /// [`Communicator::allreduce`] over error-bounded lossy-compressed
+    /// transfers: every element of the result is within `bound` of the
+    /// exact reduction.  Large inter-process transfers of the compiled
+    /// schedule travel as predictor-compressed streams (C-Coll style);
+    /// messages under the profile's `compress_min_bytes` threshold — and
+    /// node-local shared-memory moves — stay exact.  `bound == 0.0` is the
+    /// exact [`Communicator::allreduce`].
+    ///
+    /// Non-blocking and persistent variants:
+    /// [`Communicator::iallreduce_compressed`] and
+    /// [`Communicator::allreduce_compressed_init`].
+    pub fn allreduce_compressed<T: FloatDatatype>(&self, buf: &mut [T], op: ReduceOp, bound: f64) {
+        let mut bytes = to_bytes(buf);
+        self.collective(CollectiveRequest::Allreduce {
+            buf: &mut bytes,
+            op: Reduction::typed::<T>(op),
+            layout: None,
+            compress: self.compress_spec(bound),
         });
         for (value, chunk) in buf.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
             *value = T::read_le(chunk);
@@ -433,6 +477,7 @@ impl<'a> Communicator<'a> {
             buf: &mut bytes,
             op: Reduction::User(op),
             layout: None,
+            compress: None,
         });
         for (value, chunk) in buf.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
             *value = T::read_le(chunk);
@@ -515,6 +560,7 @@ impl<'a> Communicator<'a> {
             buf: &mut bytes,
             op: Reduction::typed::<T>(op),
             layout: Some(layout),
+            compress: None,
         });
         for (value, chunk) in buf.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
             *value = T::read_le(chunk);
@@ -534,6 +580,7 @@ impl<'a> Communicator<'a> {
             buf: &mut bytes,
             op: Reduction::User(op),
             layout: Some(layout),
+            compress: None,
         });
         for (value, chunk) in buf.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
             *value = T::read_le(chunk);
@@ -775,6 +822,30 @@ impl<'a> Communicator<'a> {
                 buf: to_bytes(buf),
                 op: OwnedReduction::Typed(kernel),
                 layout: None,
+                compress: None,
+            },
+            Some(kernel.shared()),
+            Box::new(|recv| from_bytes(&recv.expect("allreduce binds an in/out buffer"))),
+        )
+    }
+
+    /// Non-blocking [`Communicator::allreduce_compressed`]: `wait` yields
+    /// a vector whose every element is within `bound` of the exact
+    /// reduction.
+    pub fn iallreduce_compressed<T: FloatDatatype>(
+        &self,
+        buf: &[T],
+        op: ReduceOp,
+        bound: f64,
+    ) -> CollRequest<'_, Vec<T>> {
+        let kernel = ReduceKernel::of::<T>(op);
+        let compress = self.compress_spec(bound);
+        self.submit_request(
+            OwnedCollective::Allreduce {
+                buf: to_bytes(buf),
+                op: OwnedReduction::Typed(kernel),
+                layout: None,
+                compress,
             },
             Some(kernel.shared()),
             Box::new(|recv| from_bytes(&recv.expect("allreduce binds an in/out buffer"))),
@@ -876,6 +947,7 @@ impl<'a> Communicator<'a> {
                 buf: to_bytes(buf),
                 op: OwnedReduction::User(op.clone()),
                 layout: None,
+                compress: None,
             },
             Some(op.shared()),
             Box::new(|recv| from_bytes(&recv.expect("allreduce binds an in/out buffer"))),
@@ -970,6 +1042,7 @@ impl<'a> Communicator<'a> {
                 buf: to_bytes(buf),
                 op: OwnedReduction::Typed(kernel),
                 layout: Some(layout),
+                compress: None,
             },
             Some(kernel.shared()),
             Box::new(|recv| from_bytes(&recv.expect("allreduce binds an in/out buffer"))),
@@ -1085,6 +1158,30 @@ impl<'a> Communicator<'a> {
                 buf: to_bytes(buf),
                 op: OwnedReduction::Typed(kernel),
                 layout: None,
+                compress: None,
+            },
+            Some(kernel.shared()),
+            Box::new(|recv| from_bytes(recv.expect("allreduce binds an in/out buffer"))),
+        )
+    }
+
+    /// Persistent [`Communicator::allreduce_compressed`]: the compiled
+    /// lossy-transfer schedule is reused across starts, so repeat traffic
+    /// pays neither re-planning nor re-calibration of the wire model.
+    pub fn allreduce_compressed_init<T: FloatDatatype>(
+        &self,
+        buf: &[T],
+        op: ReduceOp,
+        bound: f64,
+    ) -> PersistentColl<'_, Vec<T>> {
+        let kernel = ReduceKernel::of::<T>(op);
+        let compress = self.compress_spec(bound);
+        self.init_persistent(
+            OwnedCollective::Allreduce {
+                buf: to_bytes(buf),
+                op: OwnedReduction::Typed(kernel),
+                layout: None,
+                compress,
             },
             Some(kernel.shared()),
             Box::new(|recv| from_bytes(recv.expect("allreduce binds an in/out buffer"))),
@@ -1171,6 +1268,7 @@ impl<'a> Communicator<'a> {
                 buf: to_bytes(buf),
                 op: OwnedReduction::User(op.clone()),
                 layout: None,
+                compress: None,
             },
             Some(op.shared()),
             Box::new(|recv| from_bytes(recv.expect("allreduce binds an in/out buffer"))),
@@ -1268,6 +1366,7 @@ impl<'a> Communicator<'a> {
                 buf: to_bytes(buf),
                 op: OwnedReduction::Typed(kernel),
                 layout: Some(layout),
+                compress: None,
             },
             Some(kernel.shared()),
             Box::new(|recv| from_bytes(recv.expect("allreduce binds an in/out buffer"))),

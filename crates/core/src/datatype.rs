@@ -13,3 +13,5 @@ pub use pip_collectives::datatype::{
     from_bytes, to_bytes, Datatype, DtypeId, Layout, Op, OwnedReduction, ReduceIdent, ReduceKernel,
     ReduceOp, Reduction, LANES,
 };
+
+pub use pip_collectives::compress::FloatDatatype;

@@ -73,6 +73,11 @@ pub enum CollectiveRequest<'a> {
         /// participate, in *element* units (an `MPI_Type_vector`).  `None`
         /// means the whole buffer is contiguous payload.
         layout: Option<Layout>,
+        /// Optional error-bounded lossy compression of large transfers
+        /// (`None` = exact).  Only meaningful for float element types on
+        /// the planned dispatch path; the direct path and non-float
+        /// operators ignore it and stay exact.
+        compress: Option<crate::plan::CompressSpec>,
     },
     /// MPI_Reduce to `root` with a commutative operator.
     Reduce {
@@ -177,7 +182,9 @@ pub fn execute<C: Comm>(
                 multi_object::gather_multi_object(comm, sendbuf, recvbuf, root, tag)
             }
         },
-        CollectiveRequest::Allreduce { buf, op, layout } => {
+        CollectiveRequest::Allreduce {
+            buf, op, layout, ..
+        } => {
             let f = op.as_fn();
             let elem = op.elem_size();
             match layout
@@ -275,7 +282,10 @@ fn allreduce_bytes<C: Comm>(
     f: &pip_collectives::ReduceFn<'_>,
     tag: u64,
 ) {
-    match profile.selection.allreduce_for(buf.len()) {
+    match profile
+        .selection
+        .allreduce_for_fabric(buf.len(), profile.fabric)
+    {
         AllreduceAlgo::RecursiveDoubling => {
             recursive_doubling::allreduce_recursive_doubling(comm, buf, f, tag)
         }
@@ -394,6 +404,9 @@ pub enum OwnedCollective {
         /// Optional derived datatype in element units; see
         /// [`CollectiveRequest::Allreduce`].
         layout: Option<Layout>,
+        /// Optional error-bounded lossy compression; see
+        /// [`CollectiveRequest::Allreduce`].
+        compress: Option<crate::plan::CompressSpec>,
     },
     /// MPI_Ireduce / MPI_Reduce_init to `root` (operator supplied separately
     /// to the progress engine).
@@ -443,18 +456,26 @@ impl OwnedCollective {
     /// of `world` ranks — the plan-cache key component, identical to what
     /// the blocking path derives via [`crate::plan::CollectiveShape::of`].
     pub fn shape(&self, world: usize) -> crate::plan::CollectiveShape {
-        // Allreduce is the one variant that carries a derived datatype;
-        // normalize contiguous layouts away exactly like the borrowed path
-        // so both request forms key the same cache entry.
-        if let OwnedCollective::Allreduce { buf, op, layout } = self {
+        // Allreduce is the one variant that carries a derived datatype and
+        // a compression spec; normalize both exactly like the borrowed path
+        // so the two request forms key the same cache entry.
+        if let OwnedCollective::Allreduce {
+            buf,
+            op,
+            layout,
+            compress,
+        } = self
+        {
             let layout = layout.filter(|l| !l.is_contiguous());
+            let block = layout.map_or(buf.len(), |l| l.packed_len() * op.elem_size());
             return crate::plan::CollectiveShape {
                 kind: CollectiveKind::Allreduce,
-                block: layout.map_or(buf.len(), |l| l.packed_len() * op.elem_size()),
+                block,
                 root: 0,
                 elem_size: op.elem_size(),
                 reduce: Some(op.ident()),
                 layout,
+                compress: compress.and_then(|spec| spec.normalized_for(block)),
             };
         }
         let (kind, block, root, op) = match self {
@@ -494,6 +515,7 @@ impl OwnedCollective {
             elem_size: op.map_or(1, |o| o.elem_size()),
             reduce: op.map(|o| o.ident()),
             layout: None,
+            compress: None,
         }
     }
 
@@ -675,6 +697,7 @@ pub fn record_allreduce(profile: &LibraryProfile, topology: Topology, bytes: usi
                 buf: &mut buf,
                 op: byte_sum(),
                 layout: None,
+                compress: None,
             },
             1,
         );
@@ -881,6 +904,7 @@ mod tests {
                         buf: &mut buf,
                         op: Reduction::typed::<u8>(ReduceOp::Sum),
                         layout: None,
+                        compress: None,
                     },
                     1,
                 );
@@ -971,12 +995,14 @@ mod tests {
             buf: vec![0u8; block],
             op: OwnedReduction::Typed(kernel),
             layout: None,
+            compress: None,
         };
         let mut allreduce_buf = vec![0u8; block];
         let borrowed = CollectiveRequest::Allreduce {
             buf: &mut allreduce_buf,
             op: Reduction::Typed(kernel),
             layout: None,
+            compress: None,
         };
         let shape = crate::plan::CollectiveShape::of(&borrowed, world);
         assert_eq!(owned.shape(world), shape);
@@ -995,12 +1021,14 @@ mod tests {
             buf: vec![0u8; layout.extent() * 2],
             op: OwnedReduction::User(op.clone()),
             layout: Some(layout),
+            compress: None,
         };
         let mut strided_buf = vec![0u8; layout.extent() * 2];
         let borrowed = CollectiveRequest::Allreduce {
             buf: &mut strided_buf,
             op: Reduction::User(&op),
             layout: Some(layout),
+            compress: None,
         };
         let shape = crate::plan::CollectiveShape::of(&borrowed, world);
         assert_eq!(owned.shape(world), shape);
@@ -1035,6 +1063,7 @@ mod tests {
             elem_size: 1,
             reduce: None,
             layout: None,
+            compress: None,
         };
         cache.lookup_or_compile(&profile, topo, 0, &shape);
         assert_eq!(cache.stats(), (1, 1));

@@ -29,10 +29,12 @@ use pip_transport::cost::{IntranodeMechanism, Nanos};
 use serde::{Deserialize, Serialize};
 
 pub use dispatch::{CollectiveRequest, OwnedCollective};
-pub use plan::{compile_folded, ClusterPlanCache, CollectiveShape, PlanCache, PlanKey};
+pub use plan::{
+    compile_folded, ClusterPlanCache, CollectiveShape, CompressSpec, PlanCache, PlanKey,
+};
 pub use selection::{
-    AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, GatherAlgo, ReduceAlgo,
-    ReduceScatterAlgo, ScanAlgo, ScatterAlgo, SelectionTable,
+    AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, BcastAlgo, FabricCondition, GatherAlgo, ReduceAlgo,
+    ReduceScatterAlgo, ScanAlgo, ScatterAlgo, SelectionTable, LOSSY_DROP_CROSSOVER,
 };
 
 /// The five MPI implementations evaluated in the paper's figures.
@@ -104,6 +106,11 @@ pub struct LibraryProfile {
     pub per_collective_setup: Nanos,
     /// Algorithm selection table.
     pub selection: SelectionTable,
+    /// Observed fabric condition this profile selects for.  `Healthy` in
+    /// every stock profile; flip to `Lossy` (see
+    /// [`LibraryProfile::for_fabric`]) when the configured drop rate
+    /// crosses [`selection::LOSSY_DROP_CROSSOVER`].
+    pub fabric: selection::FabricCondition,
 }
 
 impl LibraryProfile {
@@ -119,6 +126,7 @@ impl LibraryProfile {
                 per_message_sync: 0.0,
                 per_collective_setup: cal::GENERIC_COLLECTIVE_SETUP,
                 selection: SelectionTable::open_mpi(),
+                fabric: selection::FabricCondition::Healthy,
             },
             Library::IntelMpi => Self {
                 library,
@@ -128,6 +136,7 @@ impl LibraryProfile {
                 per_message_sync: 0.0,
                 per_collective_setup: cal::GENERIC_COLLECTIVE_SETUP,
                 selection: SelectionTable::intel_mpi(),
+                fabric: selection::FabricCondition::Healthy,
             },
             Library::Mvapich2 => Self {
                 library,
@@ -137,6 +146,7 @@ impl LibraryProfile {
                 per_message_sync: 0.0,
                 per_collective_setup: cal::GENERIC_COLLECTIVE_SETUP,
                 selection: SelectionTable::mvapich2(),
+                fabric: selection::FabricCondition::Healthy,
             },
             Library::PipMpich => Self {
                 library,
@@ -146,6 +156,7 @@ impl LibraryProfile {
                 per_message_sync: cal::PIPMPICH_SIZE_SYNC,
                 per_collective_setup: cal::GENERIC_COLLECTIVE_SETUP,
                 selection: SelectionTable::pip_mpich(),
+                fabric: selection::FabricCondition::Healthy,
             },
             Library::PipMColl => Self {
                 library,
@@ -155,6 +166,7 @@ impl LibraryProfile {
                 per_message_sync: 0.0,
                 per_collective_setup: cal::GENERIC_COLLECTIVE_SETUP,
                 selection: SelectionTable::pip_mcoll(),
+                fabric: selection::FabricCondition::Healthy,
             },
         }
     }
@@ -162,6 +174,14 @@ impl LibraryProfile {
     /// Display name of the library.
     pub fn name(&self) -> &'static str {
         self.library.name()
+    }
+
+    /// This profile re-targeted at a fabric in the given condition.  The
+    /// fabric is part of the profile (not a per-call argument) so compiled
+    /// plans key on it: a lossy-fabric plan never aliases a healthy one.
+    pub fn for_fabric(mut self, fabric: selection::FabricCondition) -> Self {
+        self.fabric = fabric;
+        self
     }
 
     /// Simulation parameters for this library on the given NIC.

@@ -22,8 +22,9 @@ use std::sync::Arc;
 
 use pip_collectives::comm::Comm;
 use pip_collectives::plan::{
-    assemble, execute_rank_plan_reusing, schedules_equal_under, shared_arena, ArenaStats,
-    BufferArena, Fidelity, IoShape, Plan, PlanComm, PlanIo, RankPlan, SharedArena, EXEC_PASSES,
+    assemble, compress_rank_transfers, execute_rank_plan_reusing, schedules_equal_under,
+    shared_arena, ArenaStats, BufferArena, Fidelity, IoShape, Plan, PlanComm, PlanIo, RankPlan,
+    SharedArena, EXEC_PASSES,
 };
 use pip_collectives::CollectiveKind;
 use pip_netsim::{FoldGroup, FoldedTrace};
@@ -37,6 +38,45 @@ use crate::{Library, LibraryProfile};
 /// The tag base plans are compiled at; executions rebase by the invocation
 /// tag.  Zero keeps recorded tags equal to the algorithms' tag offsets.
 pub const COMPILE_TAG_BASE: u64 = 0;
+
+/// Compression request carried by a collective's shape: the end-to-end
+/// absolute error bound (stored as `f64` bits so the shape stays `Eq +
+/// Hash`) plus the bytes-on-wire threshold below which transfers stay
+/// exact.
+///
+/// Being part of [`CollectiveShape`] puts the spec in the [`PlanKey`], so a
+/// bounded plan can never alias the exact plan of the same size — and two
+/// different bounds never alias each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompressSpec {
+    /// `f64::to_bits` of the end-to-end absolute error bound.
+    pub bound_bits: u64,
+    /// Transfers below this many bytes stay exact.
+    pub min_wire_bytes: usize,
+}
+
+impl CompressSpec {
+    /// A spec for the given end-to-end bound and wire threshold.
+    pub fn from_bound(bound: f64, min_wire_bytes: usize) -> Self {
+        Self {
+            bound_bits: bound.to_bits(),
+            min_wire_bytes,
+        }
+    }
+
+    /// The end-to-end absolute error bound.
+    pub fn bound(self) -> f64 {
+        f64::from_bits(self.bound_bits)
+    }
+
+    /// Normalize against a message of `block` bytes: a spec that cannot
+    /// rewrite anything (zero/invalid bound, or the whole buffer under the
+    /// wire threshold) collapses to `None`, so the invocation shares the
+    /// exact plan's cache entry instead of compiling a bit-identical twin.
+    pub fn normalized_for(self, block: usize) -> Option<Self> {
+        (self.bound() > 0.0 && block >= self.min_wire_bytes).then_some(self)
+    }
+}
 
 /// The shape of one collective invocation — everything besides library and
 /// topology that algorithm selection and scheduling depend on.
@@ -67,6 +107,12 @@ pub struct CollectiveShape {
     /// never hits a contiguous plan.  When present, [`CollectiveShape::block`]
     /// is the **packed** byte count.
     pub layout: Option<Layout>,
+    /// Error-bounded lossy compression of large transfers; `None` for the
+    /// exact path (including bounded requests normalized away by
+    /// [`CompressSpec::normalized_for`]).  Part of the plan-cache key:
+    /// bounded and exact plans of the same size never alias, nor do two
+    /// different bounds.
+    pub compress: Option<CompressSpec>,
 }
 
 impl CollectiveShape {
@@ -86,6 +132,7 @@ impl CollectiveShape {
             elem_size: 1,
             reduce: None,
             layout: None,
+            compress: None,
         };
         match request {
             CollectiveRequest::Allgather { sendbuf, .. } => {
@@ -100,18 +147,25 @@ impl CollectiveShape {
             CollectiveRequest::Gather { sendbuf, root, .. } => {
                 contiguous(CollectiveKind::Gather, sendbuf.len(), *root)
             }
-            CollectiveRequest::Allreduce { buf, op, layout } => {
+            CollectiveRequest::Allreduce {
+                buf,
+                op,
+                layout,
+                compress,
+            } => {
                 // Degenerate (contiguous) layouts share the contiguous
                 // plans: their IO behavior is byte-identical, so giving
                 // them distinct keys would only split the cache.
                 let layout = layout.filter(|l| !l.is_contiguous());
+                let block = layout.map_or(buf.len(), |l| l.packed_len() * op.elem_size());
                 Self {
                     kind: CollectiveKind::Allreduce,
-                    block: layout.map_or(buf.len(), |l| l.packed_len() * op.elem_size()),
+                    block,
                     root: 0,
                     elem_size: op.elem_size(),
                     reduce: op.ident(),
                     layout,
+                    compress: compress.and_then(|spec| spec.normalized_for(block)),
                 }
             }
             CollectiveRequest::Reduce {
@@ -123,6 +177,7 @@ impl CollectiveShape {
                 elem_size: op.elem_size(),
                 reduce: op.ident(),
                 layout: None,
+                compress: None,
             },
             CollectiveRequest::ReduceScatter { recvbuf, op, .. } => Self {
                 kind: CollectiveKind::ReduceScatter,
@@ -131,6 +186,7 @@ impl CollectiveShape {
                 elem_size: op.elem_size(),
                 reduce: op.ident(),
                 layout: None,
+                compress: None,
             },
             CollectiveRequest::Scan { buf, op } => Self {
                 kind: CollectiveKind::Scan,
@@ -139,6 +195,7 @@ impl CollectiveShape {
                 elem_size: op.elem_size(),
                 reduce: op.ident(),
                 layout: None,
+                compress: None,
             },
             CollectiveRequest::Exscan { buf, op } => Self {
                 kind: CollectiveKind::Exscan,
@@ -147,6 +204,7 @@ impl CollectiveShape {
                 elem_size: op.elem_size(),
                 reduce: op.ident(),
                 layout: None,
+                compress: None,
             },
             CollectiveRequest::Alltoall { sendbuf, .. } => {
                 contiguous(CollectiveKind::Alltoall, sendbuf.len() / world.max(1), 0)
@@ -346,7 +404,38 @@ pub fn compile_rank(
             )
         })
         .collect();
-    assemble(rank, topology, fidelity, io, passes)
+    let mut plan = assemble(rank, topology, fidelity, io, passes);
+    if let Some(spec) = shape.compress {
+        if let Some(codec) = per_message_codec(spec, shape.elem_size, world) {
+            compress_rank_transfers(&mut plan, codec, spec.min_wire_bytes);
+        }
+    }
+    plan
+}
+
+/// The per-message codec a [`CompressSpec`] implies on a world of `world`
+/// ranks, or `None` when the element size is not a float width the codec
+/// handles.
+///
+/// The user's bound constrains the **result**; each decode adds at most the
+/// per-message bound to one element's error, and an element of a ring
+/// allreduce (the deepest schedule here: `world - 1` reduce-scatter hops
+/// plus `world - 1` allgather hops) passes through at most
+/// `2 * (world - 1)` lossy transfers, so dividing by that keeps the
+/// end-to-end error within the user's bound for every schedule in the
+/// workspace.  Recursive doubling and the hierarchical schedules touch each
+/// element strictly fewer times, so the budget is conservative there.
+fn per_message_codec(
+    spec: CompressSpec,
+    elem_size: usize,
+    world: usize,
+) -> Option<pip_collectives::Codec> {
+    let elem = pip_collectives::FloatElem::for_size(elem_size)?;
+    let hops = 2 * world.saturating_sub(1);
+    Some(pip_collectives::Codec {
+        elem,
+        bound: spec.bound() / hops.max(1) as f64,
+    })
 }
 
 /// Compile the whole-cluster plan (every rank's program).
@@ -525,6 +614,7 @@ fn run_for_recording(
                         // buffers; the layout lives in the plan's IoShape
                         // (io_for), where the executor packs/unpacks.
                         layout: None,
+                        compress: None,
                     },
                     COMPILE_TAG_BASE,
                 );
@@ -988,6 +1078,7 @@ mod tests {
             elem_size: 1,
             reduce: None,
             layout: None,
+            compress: None,
         };
         let mut cache = PlanCache::new();
         let a = cache.lookup_or_compile(&stock, topo, 0, &shape);
@@ -1010,6 +1101,7 @@ mod tests {
             elem_size: 1,
             reduce: None,
             layout: None,
+            compress: None,
         };
         let mut cache = PlanCache::new();
         let a = cache.lookup_or_compile(&profile, topo, 0, &shape);
@@ -1032,6 +1124,7 @@ mod tests {
                 elem_size: 1,
                 reduce: None,
                 layout: None,
+                compress: None,
             };
             cache.lookup_or_compile(&profile, topo, 0, &shape);
         }
@@ -1054,6 +1147,7 @@ mod tests {
             elem_size: 1,
             reduce: None,
             layout: None,
+            compress: None,
         };
         let plans: Vec<RankPlan> = (0..world)
             .map(|rank| compile_rank(&profile, topo, rank, &shape, Fidelity::Exec))
@@ -1174,6 +1268,7 @@ mod tests {
                 elem_size: 1,
                 reduce: None,
                 layout: None,
+                compress: None,
             };
             let plan = compile_cluster(&profile, topo, &shape, Fidelity::Schedule);
             plan.validate().unwrap();

@@ -112,6 +112,36 @@ pub enum ScanAlgo {
 /// switch from latency-oriented to bandwidth-oriented algorithms.
 pub const LARGE_MESSAGE_THRESHOLD: usize = 32 * 1024;
 
+/// The message-drop rate at which the degradation sweep
+/// (`BENCH_degradation.json`) shows deep multi-leader fan-outs starting to
+/// lose to the single-leader hierarchy: every extra inter-node message is
+/// another retransmission lottery ticket, so above this rate selection
+/// should trade parallelism for fewer, larger transfers.
+pub const LOSSY_DROP_CROSSOVER: f64 = 0.05;
+
+/// Observed fabric health, as a selection dimension.  Libraries that adapt
+/// (PiP-MColl) switch their allreduce to a shallower schedule on a lossy
+/// fabric; the comparators' tables keep their stock choice in both states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FabricCondition {
+    /// Nominal fabric: negligible drops, selection by message size alone.
+    Healthy,
+    /// Drop rate at or above [`LOSSY_DROP_CROSSOVER`]: prefer schedules
+    /// with fewer inter-node messages.
+    Lossy,
+}
+
+impl FabricCondition {
+    /// Classify a measured (or configured) message-drop rate.
+    pub fn from_drop_rate(rate: f64) -> Self {
+        if rate >= LOSSY_DROP_CROSSOVER {
+            FabricCondition::Lossy
+        } else {
+            FabricCondition::Healthy
+        }
+    }
+}
+
 /// Per-collective algorithm selection for one library.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SelectionTable {
@@ -129,6 +159,9 @@ pub struct SelectionTable {
     pub allreduce_small: AllreduceAlgo,
     /// Allreduce for large messages.
     pub allreduce_large: AllreduceAlgo,
+    /// Allreduce on a [`FabricCondition::Lossy`] fabric (any size): the
+    /// schedule with the fewest inter-node messages the library offers.
+    pub allreduce_lossy: AllreduceAlgo,
     /// Alltoall.
     pub alltoall: AlltoallAlgo,
     /// Reduce (same algorithm across the sizes studied).
@@ -143,6 +176,11 @@ pub struct SelectionTable {
     /// Whether recursive doubling replaces Bruck when the rank count is a
     /// power of two (MPICH-derived behaviour).
     pub prefer_recursive_doubling_pow2: bool,
+    /// Bytes-on-wire threshold for error-bounded lossy compression: a
+    /// compressed allreduce only rewrites transfers of at least this many
+    /// bytes (below it, the codec's latency overhead outweighs the wire
+    /// savings, exactly like the large-message algorithm switch).
+    pub compress_min_bytes: usize,
 }
 
 impl SelectionTable {
@@ -156,12 +194,14 @@ impl SelectionTable {
             gather: GatherAlgo::Binomial,
             allreduce_small: AllreduceAlgo::RecursiveDoubling,
             allreduce_large: AllreduceAlgo::Ring,
+            allreduce_lossy: AllreduceAlgo::RecursiveDoubling,
             alltoall: AlltoallAlgo::Bruck,
             reduce: ReduceAlgo::Binomial,
             reduce_scatter_small: ReduceScatterAlgo::RecursiveHalving,
             reduce_scatter_large: ReduceScatterAlgo::Ring,
             scan: ScanAlgo::Linear,
             prefer_recursive_doubling_pow2: false,
+            compress_min_bytes: LARGE_MESSAGE_THRESHOLD,
         }
     }
 
@@ -175,12 +215,14 @@ impl SelectionTable {
             gather: GatherAlgo::Binomial,
             allreduce_small: AllreduceAlgo::RecursiveDoubling,
             allreduce_large: AllreduceAlgo::Ring,
+            allreduce_lossy: AllreduceAlgo::RecursiveDoubling,
             alltoall: AlltoallAlgo::Bruck,
             reduce: ReduceAlgo::Binomial,
             reduce_scatter_small: ReduceScatterAlgo::RecursiveHalving,
             reduce_scatter_large: ReduceScatterAlgo::Ring,
             scan: ScanAlgo::RecursiveDoubling,
             prefer_recursive_doubling_pow2: true,
+            compress_min_bytes: LARGE_MESSAGE_THRESHOLD,
         }
     }
 
@@ -194,12 +236,14 @@ impl SelectionTable {
             gather: GatherAlgo::Binomial,
             allreduce_small: AllreduceAlgo::Hierarchical,
             allreduce_large: AllreduceAlgo::Ring,
+            allreduce_lossy: AllreduceAlgo::Hierarchical,
             alltoall: AlltoallAlgo::Bruck,
             reduce: ReduceAlgo::Binomial,
             reduce_scatter_small: ReduceScatterAlgo::RecursiveHalving,
             reduce_scatter_large: ReduceScatterAlgo::Ring,
             scan: ScanAlgo::RecursiveDoubling,
             prefer_recursive_doubling_pow2: true,
+            compress_min_bytes: LARGE_MESSAGE_THRESHOLD,
         }
     }
 
@@ -213,12 +257,14 @@ impl SelectionTable {
             gather: GatherAlgo::Binomial,
             allreduce_small: AllreduceAlgo::RecursiveDoubling,
             allreduce_large: AllreduceAlgo::Ring,
+            allreduce_lossy: AllreduceAlgo::RecursiveDoubling,
             alltoall: AlltoallAlgo::Bruck,
             reduce: ReduceAlgo::Binomial,
             reduce_scatter_small: ReduceScatterAlgo::RecursiveHalving,
             reduce_scatter_large: ReduceScatterAlgo::Ring,
             scan: ScanAlgo::RecursiveDoubling,
             prefer_recursive_doubling_pow2: true,
+            compress_min_bytes: LARGE_MESSAGE_THRESHOLD,
         }
     }
 
@@ -232,12 +278,14 @@ impl SelectionTable {
             gather: GatherAlgo::MultiObject,
             allreduce_small: AllreduceAlgo::MultiObject,
             allreduce_large: AllreduceAlgo::MultiObject,
+            allreduce_lossy: AllreduceAlgo::Hierarchical,
             alltoall: AlltoallAlgo::MultiObject,
             reduce: ReduceAlgo::MultiObject,
             reduce_scatter_small: ReduceScatterAlgo::MultiObject,
             reduce_scatter_large: ReduceScatterAlgo::MultiObject,
             scan: ScanAlgo::RecursiveDoubling,
             prefer_recursive_doubling_pow2: false,
+            compress_min_bytes: LARGE_MESSAGE_THRESHOLD,
         }
     }
 
@@ -265,6 +313,16 @@ impl SelectionTable {
             self.allreduce_large
         } else {
             self.allreduce_small
+        }
+    }
+
+    /// The allreduce algorithm for a vector of `bytes` bytes on a fabric in
+    /// the given condition: a lossy fabric overrides the size-based choice
+    /// with [`SelectionTable::allreduce_lossy`].
+    pub fn allreduce_for_fabric(&self, bytes: usize, fabric: FabricCondition) -> AllreduceAlgo {
+        match fabric {
+            FabricCondition::Healthy => self.allreduce_for(bytes),
+            FabricCondition::Lossy => self.allreduce_lossy,
         }
     }
 

@@ -878,6 +878,7 @@ impl SimEngine {
         // one-entry memo per local-op kind turns the repeated cost-model
         // evaluation into a compare and an add.
         let mut reduce_memo: (usize, Nanos) = (usize::MAX, 0.0);
+        let mut codec_memo: (usize, Nanos) = (usize::MAX, 0.0);
         let mut copy_memo: (usize, Option<IntranodeMechanism>, bool, Nanos) =
             (usize::MAX, None, false, 0.0);
 
@@ -945,6 +946,16 @@ impl SimEngine {
                             reduce_memo = (bytes, self.params.memcpy.reduce_cost(bytes));
                         }
                         now += reduce_memo.1;
+                        ranks[rank].pc += 1;
+                        chained = true;
+                    }
+                    TraceOp::Codec { bytes } => {
+                        // A codec pass streams the raw payload once at copy
+                        // speed; no reduction-arithmetic surcharge.
+                        if codec_memo.0 != bytes {
+                            codec_memo = (bytes, self.params.memcpy.copy_cost(bytes));
+                        }
+                        now += codec_memo.1;
                         ranks[rank].pc += 1;
                         chained = true;
                     }
@@ -1198,6 +1209,7 @@ impl SimEngine {
 
         // Same one-entry cost memos as the full replay (see there).
         let mut reduce_memo: (usize, Nanos) = (usize::MAX, 0.0);
+        let mut codec_memo: (usize, Nanos) = (usize::MAX, 0.0);
         let mut copy_memo: (usize, Option<IntranodeMechanism>, bool, Nanos) =
             (usize::MAX, None, false, 0.0);
 
@@ -1291,6 +1303,14 @@ impl SimEngine {
                             reduce_memo = (bytes, self.params.memcpy.reduce_cost(bytes));
                         }
                         now += reduce_memo.1;
+                        ranks[local].pc += 1;
+                        chained = true;
+                    }
+                    TraceOp::Codec { bytes } => {
+                        if codec_memo.0 != bytes {
+                            codec_memo = (bytes, self.params.memcpy.copy_cost(bytes));
+                        }
+                        now += codec_memo.1;
                         ranks[local].pc += 1;
                         chained = true;
                     }

@@ -25,6 +25,14 @@ pub struct SimulationReport {
     pub intranode_messages: usize,
     /// Bytes that crossed the network.
     pub internode_bytes: usize,
+    /// Payload bytes retransmitted by the drop/retry model (zero on a
+    /// healthy fabric).
+    pub retransmitted_bytes: usize,
+    /// Total bytes-on-wire: every internode payload byte including
+    /// retransmissions (`internode_bytes + retransmitted_bytes`).  The axis
+    /// the compression figures report, and the quantity the lossy-fabric
+    /// selection dimension minimizes.
+    pub wire_bytes: usize,
     /// Largest per-node NIC occupancy, as a fraction of the makespan
     /// (how close the busiest adapter came to saturation).
     pub nic_utilization: f64,
@@ -54,6 +62,8 @@ impl SimulationReport {
             internode_messages: outcome.stats.internode_messages,
             intranode_messages: outcome.stats.intranode_messages,
             internode_bytes: outcome.stats.internode_bytes,
+            retransmitted_bytes: outcome.stats.retransmitted_bytes,
+            wire_bytes: outcome.stats.internode_bytes + outcome.stats.retransmitted_bytes,
             nic_utilization,
             barrier_episodes: outcome.stats.barrier_episodes,
             retries: outcome.stats.retries,
@@ -180,6 +190,8 @@ mod tests {
         assert_eq!(report.world_size, 2);
         assert_eq!(report.internode_messages, 2);
         assert_eq!(report.internode_bytes, 512);
+        assert_eq!(report.retransmitted_bytes, 0);
+        assert_eq!(report.wire_bytes, 512);
     }
 
     #[test]
@@ -271,5 +283,13 @@ mod tests {
         let degraded = simulate_degraded("x", &trace, &SimParams::default(), perturbation).unwrap();
         assert!(degraded.retries > 0);
         assert!(degraded.makespan_ns > healthy.makespan_ns);
+        // Every retry re-sends the 256-byte payload, and the wire total
+        // accounts for both the first transmission and every repeat.
+        assert_eq!(degraded.retransmitted_bytes, degraded.retries * 256);
+        assert_eq!(
+            degraded.wire_bytes,
+            degraded.internode_bytes + degraded.retransmitted_bytes
+        );
+        assert_eq!(healthy.wire_bytes, healthy.internode_bytes);
     }
 }

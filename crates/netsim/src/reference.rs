@@ -257,6 +257,12 @@ pub(crate) fn replay(
                 ranks[rank].ready_time = done;
                 push_event(&mut queue, &mut seq, done, rank);
             }
+            TraceOp::Codec { bytes } => {
+                let done = now + params.memcpy.copy_cost(bytes);
+                ranks[rank].pc += 1;
+                ranks[rank].ready_time = done;
+                push_event(&mut queue, &mut seq, done, rank);
+            }
             TraceOp::Delay { nanos } => {
                 let done = now + nanos.max(0.0);
                 ranks[rank].pc += 1;

@@ -39,6 +39,12 @@ pub enum TraceOp {
     },
     /// Apply a reduction over `bytes` bytes of local data.
     Reduce { bytes: usize },
+    /// One codec pass (compress or decompress) over `bytes` bytes of raw
+    /// payload.  The error-bounded predictor codec is a single vectorized
+    /// sweep — predict, quantize, pack (or the reverse) — with no
+    /// reduction arithmetic, so it is priced at streaming-copy speed
+    /// rather than [`TraceOp::Reduce`]'s arithmetic rate.
+    Codec { bytes: usize },
     /// Generic local work of a fixed duration (software bookkeeping the
     /// algorithm performs, e.g. PiP-MPICH's size synchronization).
     Delay { nanos: Nanos },
@@ -62,7 +68,8 @@ impl TraceOp {
             TraceOp::Send { bytes, .. }
             | TraceOp::Recv { bytes, .. }
             | TraceOp::CopyIntra { bytes, .. }
-            | TraceOp::Reduce { bytes } => *bytes,
+            | TraceOp::Reduce { bytes }
+            | TraceOp::Codec { bytes } => *bytes,
             TraceOp::Delay { .. } | TraceOp::Compute { .. } | TraceOp::LocalBarrier => 0,
         }
     }
@@ -484,6 +491,10 @@ fn hash_ops(ops: &[TraceOp]) -> u64 {
                 mix(nanos.to_bits());
             }
             TraceOp::LocalBarrier => mix(7),
+            TraceOp::Codec { bytes } => {
+                mix(8);
+                mix(bytes as u64);
+            }
         }
     }
     hash

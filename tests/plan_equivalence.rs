@@ -106,6 +106,7 @@ fn plan_executor_matches_oracle_for_every_collective_and_library() {
                     buf: &mut allreduce_out,
                     op: Reduction::typed::<u8>(ReduceOp::Sum),
                     layout: None,
+                    compress: None,
                 });
 
                 // Alltoall.
@@ -335,5 +336,6 @@ fn shape(kind: CollectiveKind, block: usize, root: usize) -> CollectiveShape {
         elem_size: 1,
         reduce: None,
         layout: None,
+        compress: None,
     }
 }

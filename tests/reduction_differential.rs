@@ -327,6 +327,7 @@ fn shape(kind: CollectiveKind, block: usize, root: usize) -> CollectiveShape {
         elem_size: 1,
         reduce: None,
         layout: None,
+        compress: None,
     }
 }
 
@@ -775,6 +776,7 @@ fn same_shape_different_type_or_op_never_aliases_a_plan() {
         elem_size: 4,
         reduce: Some(reduce),
         layout: None,
+        compress: None,
     };
     // All three shapes are 32 B of 4-byte elements; only the (type, op)
     // identity differs.
@@ -831,6 +833,7 @@ fn user_operators_never_alias_builtins_or_each_other_in_the_plan_cache() {
         elem_size: 4,
         reduce: Some(reduce),
         layout: None,
+        compress: None,
     };
     let shapes = [
         mk(ReduceKernel::of::<f32>(ReduceOp::Sum).ident()),
@@ -878,6 +881,7 @@ fn strided_and_contiguous_allreduce_of_equal_packed_bytes_never_alias() {
         elem_size: 4,
         reduce: Some(ident),
         layout,
+        compress: None,
     };
     // All three move 8 f32 = 32 packed bytes; only the memory walk differs.
     let shapes = [
@@ -912,6 +916,7 @@ fn strided_and_contiguous_allreduce_of_equal_packed_bytes_never_alias() {
         buf: &mut contiguous,
         op: pip_mcoll::collectives::Reduction::Typed(ReduceKernel::of::<f32>(ReduceOp::Sum)),
         layout: Some(Layout::vector(4, 2, 2)),
+        compress: None,
     };
     assert_eq!(CollectiveShape::of(&request, 4), mk(None));
 }
@@ -950,6 +955,7 @@ fn anonymous_opaque_reductions_bypass_the_plan_cache() {
                     f: &combine,
                 },
                 layout: None,
+                compress: None,
             },
             1 << 16,
             &mut cache,
